@@ -1,0 +1,161 @@
+// Ablation studies for the design choices called out in DESIGN.md §5:
+//   A. Eq. (3) full 8-strategy enumeration vs the reduced Eq. (4) set —
+//      realized by comparing the generic k-ary scheduler (full permutation
+//      x keep/spill space) against Algorithm 1 on pruned DWT trees.
+//   B. MVM tiling degrees of freedom: full hybrid search vs
+//      accumulator-residency only (g = 0) vs vector-residency only (h = 1).
+//   C. Layer-by-layer traversal alternation on vs off.
+//   D. Value of the DP overall: optimum vs greedy-topological scheduling.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/kary_tree.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+#include "util/table.h"
+
+namespace wrbpg {
+namespace {
+
+void AblationA(const std::string& csv_dir) {
+  std::cout << "\n== Ablation A: Eq.(4) reduced strategies vs full "
+               "enumeration (pruned DWT) ==\n";
+  TextTable table({"budget (bits)", "full enumeration", "Eq.(4) reduced",
+                   "equal?"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "full", "reduced", "equal"}};
+  const DwtGraph dwt = BuildDwt(64, 6, PrecisionConfig::DoubleAccumulator());
+  const PrunedDwt pruned = PruneDwt(dwt);
+  KaryTreeScheduler full(pruned.graph);
+  DwtOptimalScheduler reduced(dwt);
+  Weight coeff_bits = 0;
+  for (NodeId v = 0; v < dwt.graph.num_nodes(); ++v) {
+    if (dwt.roles[v] == DwtRole::kCoefficient) {
+      coeff_bits += dwt.graph.weight(v);
+    }
+  }
+  for (Weight b : bench::BudgetGridBits(128, 4096)) {
+    const Weight f = full.CostOnly(b);
+    const Weight r = reduced.CostOnly(b);
+    if (f >= kInfiniteCost) continue;
+    const bool equal = (f + coeff_bits) == r;
+    table.AddRow({std::to_string(b), std::to_string(f + coeff_bits),
+                  std::to_string(r), equal ? "yes" : "NO"});
+    csv.push_back({std::to_string(b), std::to_string(f + coeff_bits),
+                   std::to_string(r), equal ? "1" : "0"});
+  }
+  table.Print(std::cout);
+  std::cout << "(Lemma 3.3's dominance argument: dropping strategies (1), "
+               "(2), (5), (6) loses nothing.)\n";
+  bench::DumpCsv(csv_dir, "ablation_a_strategies", csv);
+}
+
+void AblationB(const std::string& csv_dir) {
+  std::cout << "\n== Ablation B: MVM tiling degrees of freedom "
+               "(DA MVM(96,120)) ==\n";
+  const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+  MvmTilingScheduler tiling(mvm);
+
+  auto restricted_cost = [&](Weight budget, bool allow_g, bool allow_h) {
+    Weight best = kInfiniteCost;
+    for (std::int64_t stripes = 1; stripes <= mvm.m; ++stripes) {
+      const std::int64_t h = (mvm.m + stripes - 1) / stripes;
+      if (!allow_h && h != 1) continue;
+      for (std::int64_t g = 0; g <= mvm.n; ++g) {
+        if (!allow_g && g != 0) continue;
+        const MvmTilingScheduler::Tile tile{.g = g, .h = h,
+                                            .spill_running = false};
+        if (tiling.TilePeak(tile) <= budget) {
+          best = std::min(best, tiling.TileCost(tile));
+        }
+      }
+    }
+    return best;
+  };
+
+  TextTable table({"budget (bits)", "hybrid (full)", "accumulators only",
+                   "vector only"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "hybrid", "acc_only", "vec_only"}};
+  auto str = [](Weight w) {
+    return w >= kInfiniteCost ? std::string("-") : std::to_string(w);
+  };
+  for (Weight b : bench::BudgetGridBits(128, 8192)) {
+    const Weight hybrid = restricted_cost(b, true, true);
+    const Weight acc = restricted_cost(b, false, true);
+    const Weight vec = restricted_cost(b, true, false);
+    table.AddRow({std::to_string(b), str(hybrid), str(acc), str(vec)});
+    csv.push_back({std::to_string(b), str(hybrid), str(acc), str(vec)});
+  }
+  table.Print(std::cout);
+  std::cout << "(Vector residency is what equalizes the DA capacity with "
+               "Equal's -- Sec 5.3.)\n";
+  bench::DumpCsv(csv_dir, "ablation_b_tiling", csv);
+}
+
+void AblationC(const std::string& csv_dir) {
+  std::cout << "\n== Ablation C: layer-by-layer traversal alternation "
+               "(Equal DWT(256,8)) ==\n";
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::Equal());
+  LayerByLayerScheduler alternating(dwt.graph, dwt.layers, true);
+  LayerByLayerScheduler fixed(dwt.graph, dwt.layers, false);
+  TextTable table({"budget (bits)", "alternating", "fixed direction",
+                   "saved (bits)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "alternating", "fixed", "saved"}};
+  for (Weight b : bench::BudgetGridBits(64, 16384)) {
+    const Weight alt = alternating.CostOnly(b);
+    const Weight fix = fixed.CostOnly(b);
+    if (alt >= kInfiniteCost || fix >= kInfiniteCost) continue;
+    table.AddRow({std::to_string(b), std::to_string(alt), std::to_string(fix),
+                  std::to_string(fix - alt)});
+    csv.push_back({std::to_string(b), std::to_string(alt),
+                   std::to_string(fix), std::to_string(fix - alt)});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, "ablation_c_alternation", csv);
+}
+
+void AblationD(const std::string& csv_dir) {
+  std::cout << "\n== Ablation D: value of the DP — optimum vs greedy "
+               "topological (DA DWT(256,8)) ==\n";
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::DoubleAccumulator());
+  DwtOptimalScheduler optimal(dwt);
+  GreedyTopoScheduler greedy(dwt.graph);
+  TextTable table({"budget (bits)", "greedy topo", "optimum", "ratio"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "greedy", "optimum", "ratio"}};
+  for (Weight b : bench::BudgetGridBits(128, 16384)) {
+    const Weight g = greedy.CostOnly(b);
+    const Weight o = optimal.CostOnly(b);
+    if (g >= kInfiniteCost || o >= kInfiniteCost) continue;
+    const double ratio =
+        static_cast<double>(g) / static_cast<double>(o);
+    table.AddRow({std::to_string(b), std::to_string(g), std::to_string(o),
+                  std::to_string(ratio).substr(0, 4)});
+    csv.push_back({std::to_string(b), std::to_string(g), std::to_string(o),
+                   std::to_string(ratio)});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, "ablation_d_greedy", csv);
+}
+
+}  // namespace
+}  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  const CliArgs args(argc, argv);
+  const std::string csv_dir = args.GetString("csv", "");
+  std::cout << "Ablation studies (DESIGN.md section 5)\n";
+  AblationA(csv_dir);
+  AblationB(csv_dir);
+  AblationC(csv_dir);
+  AblationD(csv_dir);
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Extension studies beyond the paper's evaluation (DESIGN.md, EXPERIMENTS.md
+// "Beyond the paper"):
+//   E1. Generalized wavelets (Daubechies-4, taps = 4): I/O of the general-
+//       DAG schedulers vs budget on the non-tree dataflow the paper leaves
+//       to future work.
+//   E2. Butterfly/WHT: data reuse scheduling on the FFT dataflow.
+//   E3. Matrix-matrix multiplication: tiled I/O vs budget and minimum
+//       memory across residency families (the tensor extension of Sec 4.3).
+//   E4. Energy per DWT window: the Table-1 designs through the SRAM energy
+//       model — the metric implanted BCIs actually budget.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "core/analysis.h"
+#include "dataflows/banded_mvm_graph.h"
+#include "dataflows/butterfly_graph.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mmm_graph.h"
+#include "dataflows/wavelet_graph.h"
+#include "hardware/energy_model.h"
+#include "schedulers/banded_mvm.h"
+#include "schedulers/belady.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mmm_tiling.h"
+#include "util/table.h"
+
+namespace wrbpg {
+namespace {
+
+std::string CostStr(Weight w) {
+  return w >= kInfiniteCost ? "-" : std::to_string(w);
+}
+
+void WaveletStudy(const std::string& csv_dir) {
+  std::cout << "\n== Ext 1: Daubechies-4 wavelet (taps=4), Wavelet(256, 5), "
+               "Equal weights ==\n";
+  const WaveletGraph w = BuildWavelet(256, 5, 4);
+  LayerByLayerScheduler baseline(w.graph, w.layers);
+  BeladyScheduler belady(w.graph);
+  GreedyTopoScheduler greedy(w.graph);
+  const Weight lb = AlgorithmicLowerBound(w.graph);
+
+  TextTable table({"budget (bits)", "Algorithmic LB", "Greedy", "FIFO layers",
+                   "Belady"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "lb", "greedy", "fifo", "belady"}};
+  for (Weight b : bench::BudgetGridBits(128, 16384)) {
+    const Weight gg = greedy.CostOnly(b);
+    const Weight ll = baseline.CostOnly(b);
+    const Weight bb = belady.CostOnly(b);
+    table.AddRow({std::to_string(b), std::to_string(lb), CostStr(gg),
+                  CostStr(ll), CostStr(bb)});
+    csv.push_back({std::to_string(b), std::to_string(lb), CostStr(gg),
+                   CostStr(ll), CostStr(bb)});
+  }
+  table.Print(std::cout);
+  std::cout << "(taps > 2 overlapping windows: not a tree; the Sec 3 optimal "
+               "schedulers do not apply — open problem per the paper.)\n";
+  bench::DumpCsv(csv_dir, "ext1_db4_wavelet", csv);
+}
+
+void ButterflyStudy(const std::string& csv_dir) {
+  std::cout << "\n== Ext 2: Butterfly/WHT(256), Equal weights ==\n";
+  const ButterflyGraph bf = BuildButterfly(256);
+  LayerByLayerScheduler baseline(bf.graph, bf.layers);
+  BeladyScheduler belady(bf.graph);
+  const Weight lb = AlgorithmicLowerBound(bf.graph);
+
+  TextTable table({"budget (bits)", "Algorithmic LB", "FIFO layers",
+                   "Belady"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "lb", "fifo", "belady"}};
+  for (Weight b : bench::BudgetGridBits(128, 16384)) {
+    table.AddRow({std::to_string(b), std::to_string(lb),
+                  CostStr(baseline.CostOnly(b)), CostStr(belady.CostOnly(b))});
+    csv.push_back({std::to_string(b), std::to_string(lb),
+                   CostStr(baseline.CostOnly(b)),
+                   CostStr(belady.CostOnly(b))});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, "ext2_butterfly", csv);
+}
+
+void MmmStudy(const std::string& csv_dir) {
+  std::cout << "\n== Ext 3: MMM(24, 24, 24) tiled I/O, Equal and DA ==\n";
+  TextTable table({"config", "budget (bits)", "tiling cost", "greedy cost"});
+  std::vector<std::vector<std::string>> csv = {
+      {"config", "budget_bits", "tiling", "greedy"}};
+  for (const bool da : {false, true}) {
+    const PrecisionConfig config =
+        da ? PrecisionConfig::DoubleAccumulator() : PrecisionConfig::Equal();
+    const MmmGraph mmm = BuildMmm(24, 24, 24, config);
+    MmmTilingScheduler tiling(mmm);
+    GreedyTopoScheduler greedy(mmm.graph);
+    for (Weight b : bench::BudgetGridBits(256, 32768)) {
+      const Weight tc = tiling.CostOnly(b);
+      const Weight gc = greedy.CostOnly(b);
+      table.AddRow({ConfigLabel(config), std::to_string(b), CostStr(tc),
+                    CostStr(gc)});
+      csv.push_back({ConfigLabel(config), std::to_string(b), CostStr(tc),
+                     CostStr(gc)});
+    }
+    std::cout << ConfigLabel(config) << ": algorithmic LB = "
+              << AlgorithmicLowerBound(mmm.graph)
+              << " bits, min memory for LB = "
+              << tiling.MinMemoryForLowerBound() << " bits ("
+              << tiling.MinMemoryForLowerBound() / 16 << " words)\n";
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, "ext3_mmm", csv);
+}
+
+void EnergyStudy(const std::string& csv_dir) {
+  std::cout << "\n== Ext 4: energy per DWT(256,8) window on the Table-1 "
+               "designs (duty cycle 4x) ==\n";
+  TextTable table({"config", "approach", "SRAM (bits)", "I/O (bits)",
+                   "dynamic (nJ)", "static (nJ)", "total (nJ)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"config", "approach", "sram_bits", "io_bits", "dynamic_nj",
+       "static_nj", "total_nj"}};
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << v;
+    return os.str();
+  };
+  for (const bool da : {false, true}) {
+    const PrecisionConfig config =
+        da ? PrecisionConfig::DoubleAccumulator() : PrecisionConfig::Equal();
+    const DwtGraph dwt = BuildDwt(256, 8, config);
+    DwtOptimalScheduler optimal(dwt);
+    LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+
+    struct Entry {
+      const char* name;
+      Weight sram_bits;
+      Weight io_bits;
+    };
+    const Weight opt_mem = optimal.MinMemoryForLowerBound(16, 1 << 17);
+    const Weight base_mem = baseline.MinMemoryForLowerBound(16, 1 << 17);
+    const Entry entries[] = {
+        {"Optimum (ours)", PowerOfTwoCapacity(opt_mem),
+         optimal.CostOnly(opt_mem)},
+        {"Layer-by-Layer", PowerOfTwoCapacity(base_mem),
+         baseline.CostOnly(base_mem)},
+    };
+    for (const Entry& e : entries) {
+      const SramMacro macro = SynthesizeSram(e.sram_bits);
+      const EnergyReport report =
+          EstimateScheduleEnergy(macro, e.io_bits / 2, e.io_bits / 2, 4.0);
+      const std::vector<std::string> cells = {
+          ConfigLabel(config),
+          e.name,
+          std::to_string(e.sram_bits),
+          std::to_string(e.io_bits),
+          fmt(report.read_energy_nj + report.write_energy_nj),
+          fmt(report.static_energy_nj),
+          fmt(report.total_energy_nj)};
+      table.AddRow(cells);
+      csv.push_back(cells);
+    }
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, "ext4_energy", csv);
+}
+
+void BandedStudy(const std::string& csv_dir) {
+  std::cout << "\n== Ext 5: banded MVM — minimum memory vs matrix size "
+               "(half-bandwidth 4, Equal weights) ==\n";
+  TextTable table({"n", "nnz", "min memory (bits)", "min memory (words)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"n", "nnz", "min_memory_bits", "min_memory_words"}};
+  for (std::int64_t n = 16; n <= 1024; n *= 2) {
+    const BandedMvmGraph bm = BuildBandedMvm(n, 4);
+    const Weight bits = BandedMvmScheduler(bm).MinMemoryForLowerBound();
+    table.AddRow({std::to_string(n), std::to_string(bm.nnz()),
+                  std::to_string(bits), std::to_string(bits / 16)});
+    csv.push_back({std::to_string(n), std::to_string(bm.nnz()),
+                   std::to_string(bits), std::to_string(bits / 16)});
+  }
+  table.Print(std::cout);
+  std::cout << "(Constant in n: the sliding window pins only the band -- "
+               "structured sparsity turns minimum memory from O(n) into "
+               "O(bandwidth).)\n";
+  bench::DumpCsv(csv_dir, "ext5_banded", csv);
+}
+
+}  // namespace
+}  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  const CliArgs args(argc, argv);
+  const std::string csv_dir = args.GetString("csv", "");
+  std::cout << "Extension studies (beyond the paper's evaluation)\n";
+  WaveletStudy(csv_dir);
+  ButterflyStudy(csv_dir);
+  MmmStudy(csv_dir);
+  BandedStudy(csv_dir);
+  EnergyStudy(csv_dir);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 5 — bits transferred between fast and slow memory as a function of
+// fast memory size, for all four panels:
+//   (a) Equal DWT(256, 8):  Algorithmic LB, Layer-by-Layer, Optimum (ours)
+//   (b) DA    DWT(256, 8):  same series
+//   (c) Equal MVM(96, 120): IOOpt LB, IOOpt UB, Tiling (ours)
+//   (d) DA    MVM(96, 120): same series
+//
+// Word size is 16 bits (BCI sample width); DA doubles non-input precision.
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "ioopt/ioopt_bounds.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+#include "util/table.h"
+
+namespace wrbpg {
+namespace {
+
+std::string CostStr(Weight cost) {
+  return cost >= kInfiniteCost ? "-" : std::to_string(cost);
+}
+
+void DwtPanel(const char* title, const PrecisionConfig& config,
+              const std::string& csv_dir, const std::string& csv_name) {
+  const DwtGraph dwt = BuildDwt(256, 8, config);
+  DwtOptimalScheduler optimal(dwt);
+  LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+  const Weight lb = AlgorithmicLowerBound(dwt.graph);
+
+  std::cout << "\n== Fig 5 " << title << " ==\n";
+  TextTable table({"fast memory (bits)", "words", "Algorithmic LB",
+                   "Layer-by-Layer", "Optimum (ours)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "budget_words", "algorithmic_lb", "layer_by_layer",
+       "optimum"}};
+  for (Weight b : bench::BudgetGridBits(64, 16384)) {
+    const Weight base = baseline.CostOnly(b);
+    const Weight ours = optimal.CostOnly(b);
+    table.AddRow({std::to_string(b), std::to_string(b / 16),
+                  std::to_string(lb), CostStr(base), CostStr(ours)});
+    csv.push_back({std::to_string(b), std::to_string(b / 16),
+                   std::to_string(lb), CostStr(base), CostStr(ours)});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, csv_name, csv);
+}
+
+void MvmPanel(const char* title, const PrecisionConfig& config,
+              const std::string& csv_dir, const std::string& csv_name) {
+  const MvmGraph mvm = BuildMvm(96, 120, config);
+  MvmTilingScheduler tiling(mvm);
+  const IoOptMvmBounds bounds(mvm);
+
+  std::cout << "\n== Fig 5 " << title << " ==\n";
+  TextTable table({"fast memory (bits)", "words", "IOOpt LB", "IOOpt UB",
+                   "Tiling (ours)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "budget_words", "ioopt_lb", "ioopt_ub", "tiling"}};
+  for (Weight b : bench::BudgetGridBits(64, 16384)) {
+    const Weight ub = bounds.UpperBoundCost(b);
+    const Weight ours = tiling.CostOnly(b);
+    table.AddRow({std::to_string(b), std::to_string(b / 16),
+                  std::to_string(bounds.LowerBound()), CostStr(ub),
+                  CostStr(ours)});
+    csv.push_back({std::to_string(b), std::to_string(b / 16),
+                   std::to_string(bounds.LowerBound()), CostStr(ub),
+                   CostStr(ours)});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, csv_name, csv);
+}
+
+}  // namespace
+}  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  const CliArgs args(argc, argv);
+  const std::string csv_dir = args.GetString("csv", "");
+
+  std::cout << "Figure 5: weighted I/O vs fast memory size "
+               "(DWT(256,8) and MVM(96,120), 16-bit words)\n";
+  DwtPanel("(a) Equal DWT(256,8)", PrecisionConfig::Equal(), csv_dir,
+           "fig5a_equal_dwt");
+  DwtPanel("(b) DA DWT(256,8)", PrecisionConfig::DoubleAccumulator(), csv_dir,
+           "fig5b_da_dwt");
+  MvmPanel("(c) Equal MVM(96,120)", PrecisionConfig::Equal(), csv_dir,
+           "fig5c_equal_mvm");
+  MvmPanel("(d) DA MVM(96,120)", PrecisionConfig::DoubleAccumulator(),
+           csv_dir, "fig5d_da_mvm");
+  std::cout << "\n'-' marks budgets below the scheduler's feasibility "
+               "floor.\n";
+  return 0;
+}

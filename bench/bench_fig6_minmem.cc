@@ -1,0 +1,117 @@
+// Figure 6 — minimum fast memory size (the smallest budget whose I/O equals
+// the algorithmic lower bound) as a function of the workload parameter n:
+//   (a) Equal DWT(n, d*)   (b) DA DWT(n, d*)   — vs the layer-by-layer
+//       baseline, d* the largest level possible for n (its 2-adic valuation)
+//   (c) Equal MVM(96, n)   (d) DA MVM(96, n)   — vs the IOOpt upper bound
+//
+// The DWT panels sweep even n in [2, 256]; the baseline scan is the slow
+// part and is parallelized across n on a thread pool.
+#include <iostream>
+#include <mutex>
+
+#include "bench/bench_util.h"
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "ioopt/ioopt_bounds.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace wrbpg {
+namespace {
+
+struct DwtRow {
+  std::int64_t n = 0;
+  int d = 0;
+  Weight optimal_bits = 0;
+  Weight baseline_bits = 0;
+};
+
+void DwtPanel(const char* title, const PrecisionConfig& config,
+              const std::string& csv_dir, const std::string& csv_name,
+              ThreadPool& pool) {
+  std::vector<std::int64_t> ns;
+  for (std::int64_t n = 2; n <= 256; n += 2) ns.push_back(n);
+  std::vector<DwtRow> rows(ns.size());
+
+  ParallelFor(pool, 0, static_cast<std::int64_t>(ns.size()),
+              [&](std::int64_t i) {
+                const std::int64_t n = ns[static_cast<std::size_t>(i)];
+                const int d = MaxDwtLevel(n);
+                const DwtGraph dwt = BuildDwt(n, d, config);
+                DwtOptimalScheduler optimal(dwt);
+                LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+                DwtRow row;
+                row.n = n;
+                row.d = d;
+                row.optimal_bits =
+                    optimal.MinMemoryForLowerBound(kWordBits, 1 << 17);
+                row.baseline_bits =
+                    baseline.MinMemoryForLowerBound(kWordBits, 1 << 17);
+                rows[static_cast<std::size_t>(i)] = row;
+              });
+
+  std::cout << "\n== Fig 6 " << title << " ==\n";
+  TextTable table({"n", "d*", "Layer-by-Layer (bits)", "Optimum (bits)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"n", "d", "layer_by_layer_bits", "optimum_bits"}};
+  for (const DwtRow& row : rows) {
+    // Print a decimated view; the CSV keeps every point.
+    if (row.n % 16 == 2 || row.n % 16 == 0) {
+      table.AddRow({std::to_string(row.n), std::to_string(row.d),
+                    std::to_string(row.baseline_bits),
+                    std::to_string(row.optimal_bits)});
+    }
+    csv.push_back({std::to_string(row.n), std::to_string(row.d),
+                   std::to_string(row.baseline_bits),
+                   std::to_string(row.optimal_bits)});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, csv_name, csv);
+}
+
+void MvmPanel(const char* title, const PrecisionConfig& config,
+              const std::string& csv_dir, const std::string& csv_name) {
+  std::cout << "\n== Fig 6 " << title << " ==\n";
+  TextTable table({"n", "IOOpt UB (bits)", "Tiling (bits)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"n", "ioopt_ub_bits", "tiling_bits"}};
+  for (std::int64_t n = 1; n <= 120; ++n) {
+    const MvmGraph mvm = BuildMvm(96, n, config);
+    const Weight ours = MvmTilingScheduler(mvm).MinMemoryForLowerBound();
+    const Weight ioopt = IoOptMvmBounds(mvm).UpperBoundMinMemory();
+    if (n % 10 == 0 || n == 1) {
+      table.AddRow({std::to_string(n), std::to_string(ioopt),
+                    std::to_string(ours)});
+    }
+    csv.push_back(
+        {std::to_string(n), std::to_string(ioopt), std::to_string(ours)});
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, csv_name, csv);
+}
+
+}  // namespace
+}  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  const CliArgs args(argc, argv);
+  const std::string csv_dir = args.GetString("csv", "");
+  ThreadPool pool;
+
+  std::cout << "Figure 6: minimum fast memory size vs workload parameter n "
+               "(16-bit words)\n";
+  DwtPanel("(a) Equal DWT(n, d*)", PrecisionConfig::Equal(), csv_dir,
+           "fig6a_equal_dwt", pool);
+  DwtPanel("(b) DA DWT(n, d*)", PrecisionConfig::DoubleAccumulator(),
+           csv_dir, "fig6b_da_dwt", pool);
+  MvmPanel("(c) Equal MVM(96, n)", PrecisionConfig::Equal(), csv_dir,
+           "fig6c_equal_mvm");
+  MvmPanel("(d) DA MVM(96, n)", PrecisionConfig::DoubleAccumulator(),
+           csv_dir, "fig6d_da_mvm");
+  return 0;
+}

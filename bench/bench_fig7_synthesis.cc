@@ -1,0 +1,102 @@
+// Figure 7 — physical synthesis of the Table-1 power-of-two capacities:
+// (a) area, (b) leakage power, (c) read power, (d) write power,
+// (e) peak read bandwidth, (f) peak write bandwidth.
+//
+// The paper synthesizes with AMC in TSMC 65 nm; we use the analytic SRAM
+// macro model (see src/hardware/sram_model.h and DESIGN.md §3).
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "hardware/sram_model.h"
+#include "util/table.h"
+
+namespace wrbpg {
+namespace {
+
+struct DesignPoint {
+  std::string workload;  // Fig. 7 x-axis group
+  std::string approach;
+  Weight pow2_bits;
+};
+
+std::string Fmt(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v;
+  return os.str();
+}
+
+}  // namespace
+}  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  const CliArgs args(argc, argv);
+  const std::string csv_dir = args.GetString("csv", "");
+
+  // Power-of-two capacities from Table 1.
+  const std::vector<DesignPoint> points = {
+      {"Equal DWT(256,8)", "Optimum (ours)", 256},
+      {"Equal DWT(256,8)", "Layer-by-Layer", 8192},
+      {"DA DWT(256,8)", "Optimum (ours)", 512},
+      {"DA DWT(256,8)", "Layer-by-Layer", 16384},
+      {"Equal MVM(96,120)", "Tiling (ours)", 2048},
+      {"Equal MVM(96,120)", "IOOpt UB", 4096},
+      {"DA MVM(96,120)", "Tiling (ours)", 2048},
+      {"DA MVM(96,120)", "IOOpt UB", 8192},
+  };
+
+  std::cout << "Figure 7: synthesized SRAM metrics for the Table-1 "
+               "power-of-two capacities\n(analytic AMC/TSMC65-style model; "
+               "see DESIGN.md substitution notes)\n\n";
+
+  TextTable table({"Workload", "Approach", "Capacity (bits)",
+                   "Area (lambda^2)", "Leakage (mW)", "Read Pwr (mW)",
+                   "Write Pwr (mW)", "Read BW (GB/s)", "Write BW (GB/s)"});
+  std::vector<std::vector<std::string>> csv = {
+      {"workload", "approach", "capacity_bits", "area_lambda2", "leakage_mw",
+       "read_power_mw", "write_power_mw", "read_bw_gbps", "write_bw_gbps"}};
+  for (const DesignPoint& p : points) {
+    const SramMacro macro = SynthesizeSram(p.pow2_bits);
+    const std::vector<std::string> cells = {
+        p.workload,
+        p.approach,
+        std::to_string(p.pow2_bits),
+        Fmt(macro.area_lambda2),
+        Fmt(macro.leakage_mw),
+        Fmt(macro.read_power_mw),
+        Fmt(macro.write_power_mw),
+        Fmt(macro.read_bw_gbps),
+        Fmt(macro.write_bw_gbps)};
+    table.AddRow(cells);
+    csv.push_back(cells);
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, "fig7_synthesis", csv);
+
+  // Per-workload reduction summary (the paper's headline percentages).
+  std::cout << "\nReductions of ours vs baseline per workload:\n";
+  TextTable summary({"Workload", "Area reduction", "Leakage reduction",
+                     "Read BW ratio"});
+  double area_sum = 0, leak_sum = 0;
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    const SramMacro ours = SynthesizeSram(points[i].pow2_bits);
+    const SramMacro base = SynthesizeSram(points[i + 1].pow2_bits);
+    const double area_red = 100.0 * (1.0 - ours.area_lambda2 / base.area_lambda2);
+    const double leak_red = 100.0 * (1.0 - ours.leakage_mw / base.leakage_mw);
+    area_sum += area_red;
+    leak_sum += leak_red;
+    summary.AddRow({points[i].workload, Fmt(area_red) + "%",
+                    Fmt(leak_red) + "%",
+                    Fmt(ours.read_bw_gbps / base.read_bw_gbps)});
+  }
+  summary.AddRow({"AVERAGE", Fmt(area_sum / 4) + "%", Fmt(leak_sum / 4) + "%",
+                  "-"});
+  summary.Print(std::cout);
+  std::cout << "\nPaper reference: average 63% area and 43% leakage "
+               "reduction;\nDWT area -85.7%/-89.5%, MVM area -24.3%/-52.6%; "
+               "throughput preserved.\n";
+  return 0;
+}

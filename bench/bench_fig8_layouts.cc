@@ -1,0 +1,36 @@
+// Figure 8 — physical layout comparison between the power-of-two memories
+// of Table 1. The paper shows GDS plots from AMC; we render deterministic
+// ASCII floorplans of the same macro organizations (DESIGN.md §3).
+#include <iostream>
+
+#include "hardware/sram_model.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  (void)CliArgs(argc, argv);
+
+  struct Panel {
+    const char* title;
+    const char* ours_label;
+    Weight ours_bits;
+    const char* base_label;
+    Weight base_bits;
+  };
+  const Panel panels[] = {
+      {"(a) Equal DWT(256,8)", "Optimum (ours)", 256, "Layer-by-Layer", 8192},
+      {"(b) DA DWT(256,8)", "Optimum (ours)", 512, "Layer-by-Layer", 16384},
+      {"(c) Equal MVM(96,120)", "Tiling (ours)", 2048, "IOOpt UB", 4096},
+      {"(d) DA MVM(96,120)", "Tiling (ours)", 2048, "IOOpt UB", 8192},
+  };
+
+  std::cout << "Figure 8: layout comparison between power-of-two memory "
+               "sizes\n('#' bit-cell array, ':' row decoder, '=' column "
+               "periphery)\n";
+  for (const Panel& p : panels) {
+    std::cout << "\n== Fig 8 " << p.title << " ==\n";
+    std::cout << RenderLayout(SynthesizeSram(p.ours_bits), p.ours_label);
+    std::cout << RenderLayout(SynthesizeSram(p.base_bits), p.base_label);
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Scheduler runtime microbenchmarks (google-benchmark).
+//
+// Supports the polynomial-time claims of Theorems 3.5 and 3.8: DP cost
+// evaluation and schedule generation scale polynomially in |V| (DWT) and
+// stay tractable in k (k-ary trees), and the WRBPG simulator replays
+// hundreds of thousands of moves per millisecond.
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/tree_graph.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/kary_tree.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+
+namespace wrbpg {
+namespace {
+
+void BM_DwtOptimalCost(benchmark::State& state) {
+  const auto n = state.range(0);
+  const DwtGraph dwt =
+      BuildDwt(n, MaxDwtLevel(n), PrecisionConfig::DoubleAccumulator());
+  const Weight budget = MinValidBudget(dwt.graph) + 64;
+  for (auto _ : state) {
+    DwtOptimalScheduler optimal(dwt);  // fresh memo each iteration
+    benchmark::DoNotOptimize(optimal.CostOnly(budget));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DwtOptimalCost)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_DwtOptimalSchedule(benchmark::State& state) {
+  const auto n = state.range(0);
+  const DwtGraph dwt = BuildDwt(n, MaxDwtLevel(n));
+  const Weight budget = MinValidBudget(dwt.graph) + 64;
+  for (auto _ : state) {
+    DwtOptimalScheduler optimal(dwt);
+    benchmark::DoNotOptimize(optimal.Run(budget).schedule.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DwtOptimalSchedule)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity();
+
+void BM_KaryTreeCostByArity(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // Keep node counts comparable: pick levels so |V| stays in the hundreds.
+  const int levels = k == 2 ? 7 : (k == 3 ? 5 : 4);
+  const TreeGraph t = BuildPerfectTree(k, levels);
+  const Weight budget = MinValidBudget(t.graph) + 64;
+  for (auto _ : state) {
+    KaryTreeScheduler sched(t.graph);
+    benchmark::DoNotOptimize(sched.CostOnly(budget));
+  }
+}
+BENCHMARK(BM_KaryTreeCostByArity)->DenseRange(2, 4);
+
+void BM_MvmTilingSearch(benchmark::State& state) {
+  const auto n = state.range(0);
+  const MvmGraph mvm =
+      BuildMvm(96, n, PrecisionConfig::DoubleAccumulator());
+  MvmTilingScheduler tiling(mvm);
+  const Weight budget = 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiling.CostOnly(budget));
+  }
+}
+BENCHMARK(BM_MvmTilingSearch)->RangeMultiplier(2)->Range(15, 120);
+
+void BM_MvmTilingScheduleGeneration(benchmark::State& state) {
+  const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::Equal());
+  MvmTilingScheduler tiling(mvm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiling.Run(1584).schedule.size());
+  }
+}
+BENCHMARK(BM_MvmTilingScheduleGeneration);
+
+void BM_LayerByLayerRun(benchmark::State& state) {
+  const DwtGraph dwt = BuildDwt(256, 8);
+  LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+  const Weight budget = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline.CostOnly(budget));
+  }
+}
+BENCHMARK(BM_LayerByLayerRun)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_SimulatorReplay(benchmark::State& state) {
+  const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::Equal());
+  MvmTilingScheduler tiling(mvm);
+  const auto run = tiling.Run(1584);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Simulate(mvm.graph, 1584, run.schedule).cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(run.schedule.size()));
+}
+BENCHMARK(BM_SimulatorReplay);
+
+void BM_MinMemorySearchDwt(benchmark::State& state) {
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::DoubleAccumulator());
+  for (auto _ : state) {
+    DwtOptimalScheduler optimal(dwt);
+    benchmark::DoNotOptimize(
+        optimal.MinMemoryForLowerBound(kWordBits, 1 << 17));
+  }
+}
+BENCHMARK(BM_MinMemorySearchDwt);
+
+}  // namespace
+}  // namespace wrbpg

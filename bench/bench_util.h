@@ -1,0 +1,51 @@
+// Shared helpers for the figure/table regeneration binaries.
+//
+// Every bench prints the paper-style series/rows to stdout and, when run
+// with --csv <dir>, additionally dumps machine-readable CSV for replotting.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace wrbpg::bench {
+
+// Log-ish budget grid in bits: powers of two refined with midpoints, the
+// granularity of the paper's Fig. 5 sweeps.
+inline std::vector<Weight> BudgetGridBits(Weight lo, Weight hi) {
+  std::vector<Weight> grid;
+  for (Weight b = lo; b < hi; b *= 2) {
+    grid.push_back(b);
+    const Weight mid = b + b / 2;
+    if (mid < hi) grid.push_back(mid);
+  }
+  grid.push_back(hi);
+  return grid;
+}
+
+// Writes rows to <dir>/<name>.csv when dir is non-empty.
+inline void DumpCsv(const std::string& dir, const std::string& name,
+                    const std::vector<std::vector<std::string>>& rows) {
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  CsvWriter csv(out);
+  for (const auto& row : rows) csv.WriteRow(row);
+  std::cout << "  [csv] " << path << "\n";
+}
+
+inline std::string FormatBits(Weight bits) {
+  return std::to_string(bits) + " bits (" + std::to_string(bits / 16) +
+         " words)";
+}
+
+}  // namespace wrbpg::bench

@@ -1,0 +1,114 @@
+// BCI scenario 2 — movement-intent decoding with MVM on an implanted device.
+//
+// A linear decoder maps a 120-dimensional neural feature vector (e.g. band
+// powers over a time window) to 96 per-electrode outputs — the MVM(96, 120)
+// configuration of the evaluation (Utah-array scale). The example compares
+// the Sec 4.3 tiling schedule against the IOOpt baseline at the same fast
+// memory size, executes the schedule on synthetic features, and verifies
+// the decoded vector against a plain mat-vec.
+//
+//   $ ./bci_decode_mvm
+//   $ ./bci_decode_mvm --words 126 --precision da
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/analysis.h"
+#include "dataflows/mvm_graph.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "ioopt/ioopt_bounds.h"
+#include "schedulers/mvm_tiling.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace wrbpg;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string precision = args.GetString("precision", "equal");
+  const PrecisionConfig config = precision == "da"
+                                     ? PrecisionConfig::DoubleAccumulator()
+                                     : PrecisionConfig::Equal();
+  const MvmGraph mvm = BuildMvm(96, 120, config);
+  MvmTilingScheduler tiling(mvm);
+
+  const Weight default_words = tiling.MinMemoryForLowerBound() / kWordBits;
+  const Weight words = args.GetInt("words", default_words);
+  const Weight budget = words * kWordBits;
+
+  std::cout << "MVM(96, 120) [" << ConfigLabel(config) << "]: "
+            << mvm.graph.num_nodes() << " nodes; fast memory = " << words
+            << " words (" << budget << " bits)\n";
+
+  const auto tile = tiling.BestTile(budget);
+  if (!tile) {
+    std::cerr << "No tiling schedule fits (need >= "
+              << MinValidBudget(mvm.graph) << " bits)\n";
+    return 1;
+  }
+  std::cout << "Best tile: " << tile->h << " resident accumulator row(s), "
+            << tile->g << " resident vector word(s)"
+            << (tile->spill_running ? ", running sums spilled" : "") << "\n";
+
+  const auto run = tiling.Run(budget);
+  std::cout << "Tiling schedule: " << run.schedule.size() << " moves, "
+            << run.cost << " bits moved (algorithmic lower bound "
+            << AlgorithmicLowerBound(mvm.graph) << ")\n";
+
+  const IoOptMvmBounds bounds(mvm);
+  const Weight ub = bounds.UpperBoundCost(budget);
+  if (ub < kInfiniteCost) {
+    std::cout << "IOOpt schedule at the same budget: " << ub << " bits ("
+              << (ub - run.cost) << " bits more traffic)\n";
+  } else {
+    std::cout << "IOOpt's model cannot schedule this budget\n";
+  }
+
+  // Synthetic decoder and features: smooth tuning curves + firing noise.
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 9)));
+  std::vector<double> decoder(96 * 120);
+  for (std::size_t i = 0; i < decoder.size(); ++i) {
+    const double row = static_cast<double>(i / 120);
+    const double col = static_cast<double>(i % 120);
+    decoder[i] = std::cos(0.13 * row + 0.07 * col) / 120.0;
+  }
+  std::vector<double> features(120);
+  for (auto& f : features) f = rng.UniformDouble() * 4.0;  // band powers
+
+  std::vector<double> sources(mvm.graph.num_nodes(), 0.0);
+  for (std::int64_t c = 0; c < 120; ++c) {
+    sources[mvm.x(c)] = features[static_cast<std::size_t>(c)];
+    for (std::int64_t r = 0; r < 96; ++r) {
+      sources[mvm.a(r, c)] = decoder[static_cast<std::size_t>(r * 120 + c)];
+    }
+  }
+  const ExecResult exec = ExecuteSchedule(mvm.graph, budget, run.schedule,
+                                          MakeMvmNodeOp(mvm), sources);
+  if (!exec.ok) {
+    std::cerr << "Execution failed: " << exec.error << "\n";
+    return 1;
+  }
+
+  const std::vector<double> expected = MatVec(96, 120, decoder, features);
+  double max_output = 0.0;
+  std::int64_t argmax = 0;
+  for (std::int64_t r = 0; r < 96; ++r) {
+    const double y = exec.slow_values[mvm.output(r)];
+    if (y != expected[static_cast<std::size_t>(r)]) {
+      std::cerr << "numeric mismatch at row " << r << "\n";
+      return 1;
+    }
+    if (std::abs(y) > std::abs(max_output)) {
+      max_output = y;
+      argmax = r;
+    }
+  }
+  std::cout << "Decoded 96 outputs; all match the reference mat-vec "
+               "exactly.\nStrongest channel: " << argmax << " (activation "
+            << max_output << ")\n";
+  std::cout << "Traffic: " << exec.bits_loaded << " bits read, "
+            << exec.bits_stored << " bits written; peak occupancy "
+            << exec.peak_fast_bits << "/" << budget << " bits\n";
+  return 0;
+}

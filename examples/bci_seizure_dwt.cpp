@@ -1,0 +1,130 @@
+// BCI scenario 1 — seizure detection with the DWT on an implanted device.
+//
+// Synthesizes a 256-sample intracranial EEG window (background rhythm +
+// noise, with an optional injected high-frequency seizure burst), schedules
+// DWT(256, 8) under a user-chosen fast-memory budget with the optimal
+// WRBPG scheduler, EXECUTES the schedule on the samples through the
+// two-level memory machine, and detects the seizure from the detail-band
+// energy of the computed wavelet coefficients.
+//
+//   $ ./bci_seizure_dwt                 # seizure present, 10-word SRAM
+//   $ ./bci_seizure_dwt --words 24 --seizure=false --seed 7
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/layer_by_layer.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+using namespace wrbpg;
+
+namespace {
+
+// 256 samples at 512 Hz: 8 Hz background alpha rhythm + pink-ish noise;
+// a seizure adds an 80 Hz oscillation burst in the second half.
+std::vector<double> SynthesizeIeeg(bool seizure, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> signal(256);
+  constexpr double kFs = 512.0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double t = static_cast<double>(i) / kFs;
+    double v = 0.6 * std::sin(2.0 * std::numbers::pi * 8.0 * t);
+    v += 0.15 * (rng.UniformDouble() * 2.0 - 1.0);
+    if (seizure && i >= 128) {
+      v += 0.8 * std::sin(2.0 * std::numbers::pi * 80.0 * t);
+    }
+    signal[i] = v;
+  }
+  return signal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const Weight words = args.GetInt("words", 10);
+  const bool seizure = args.GetBool("seizure", true);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const Weight budget = words * kWordBits;
+
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::Equal());
+  std::cout << "DWT(256, 8): " << dwt.graph.num_nodes() << " nodes, "
+            << dwt.graph.num_edges() << " edges; fast memory = " << words
+            << " words (" << budget << " bits)\n";
+
+  if (!ScheduleExists(dwt.graph, budget)) {
+    std::cerr << "No schedule exists under " << budget
+              << " bits (need >= " << MinValidBudget(dwt.graph) << ")\n";
+    return 1;
+  }
+
+  DwtOptimalScheduler optimal(dwt);
+  const auto run = optimal.Run(budget);
+  if (!run.feasible) {
+    std::cerr << "Scheduler failed unexpectedly\n";
+    return 1;
+  }
+  std::cout << "Optimal schedule: " << run.schedule.size() << " moves, "
+            << run.cost << " bits of fast<->slow traffic (lower bound "
+            << AlgorithmicLowerBound(dwt.graph) << ")\n";
+
+  LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+  const Weight base_cost = baseline.CostOnly(budget);
+  if (base_cost < kInfiniteCost) {
+    std::cout << "Layer-by-layer baseline at the same budget: " << base_cost
+              << " bits (" << (base_cost - run.cost)
+              << " bits of avoidable traffic)\n";
+  } else {
+    std::cout << "Layer-by-layer baseline: infeasible at this budget\n";
+  }
+
+  // Run the schedule on the actual samples.
+  const std::vector<double> signal = SynthesizeIeeg(seizure, seed);
+  std::vector<double> sources(dwt.graph.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < 256; ++j) sources[dwt.layers[0][j]] = signal[j];
+  const ExecResult exec = ExecuteSchedule(dwt.graph, budget, run.schedule,
+                                          MakeDwtNodeOp(dwt), sources);
+  if (!exec.ok) {
+    std::cerr << "Execution failed: " << exec.error << "\n";
+    return 1;
+  }
+  std::cout << "Executed on device: " << exec.bits_loaded << " bits read, "
+            << exec.bits_stored << " bits written, peak fast-memory "
+            << "occupancy " << exec.peak_fast_bits << " bits\n";
+
+  // Detection: energy of the level-1/2 detail coefficients (the >64 Hz
+  // bands for a 512 Hz sampling rate) in the second half of the window.
+  double detail_energy = 0.0;
+  for (int level = 2; level <= 3; ++level) {
+    const auto& layer = dwt.layers[static_cast<std::size_t>(level - 1)];
+    for (std::size_t j = 1; j < layer.size(); j += 2) {  // coefficients
+      if (j < layer.size() / 2) continue;  // second half of the window
+      const double c = exec.slow_values[layer[j]];
+      detail_energy += c * c;
+    }
+  }
+  constexpr double kThreshold = 3.0;
+  std::cout << "High-frequency detail energy: " << detail_energy
+            << (detail_energy > kThreshold ? "  -> SEIZURE DETECTED\n"
+                                           : "  -> background activity\n");
+
+  // Cross-check the on-device outputs against the direct Haar transform.
+  const std::vector<double> expected = DwtReferenceValues(dwt, signal);
+  for (NodeId s : dwt.graph.sinks()) {
+    if (exec.slow_values[s] != expected[s]) {
+      std::cerr << "numeric mismatch at node " << s << "\n";
+      return 1;
+    }
+  }
+  std::cout << "All " << dwt.graph.sinks().size()
+            << " outputs match the reference transform exactly.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Memory designer — the end-to-end hardware-design flow of Sec 5.3 as a
+// command-line tool: pick a kernel and precision, derive the minimum fast
+// memory size under the optimal WRBPG schedule, round to a power of two,
+// synthesize the SRAM macro, and report power/performance/area against the
+// baseline scheduler's requirement.
+//
+//   $ ./memory_designer --kernel dwt --n 256 --d 8 --precision da
+//   $ ./memory_designer --kernel mvm --m 96 --mvm-n 120 --layout
+#include <iostream>
+#include <string>
+
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "hardware/sram_model.h"
+#include "ioopt/ioopt_bounds.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace wrbpg;
+
+namespace {
+
+void Report(const std::string& kernel, Weight ours_bits, Weight base_bits,
+            const std::string& base_name, bool layout) {
+  TextTable table({"Design", "Min capacity", "Pow2 capacity",
+                   "Area (lambda^2)", "Leakage (mW)", "Read BW (GB/s)"});
+  const auto add = [&](const std::string& name, Weight bits) {
+    const Weight pow2 = PowerOfTwoCapacity(bits);
+    const SramMacro macro = SynthesizeSram(pow2);
+    table.AddRow({name, std::to_string(bits) + " b",
+                  std::to_string(pow2) + " b",
+                  std::to_string(static_cast<long long>(macro.area_lambda2)),
+                  std::to_string(macro.leakage_mw).substr(0, 5),
+                  std::to_string(macro.read_bw_gbps).substr(0, 5)});
+  };
+  add("WRBPG optimal (ours)", ours_bits);
+  add(base_name, base_bits);
+  table.Print(std::cout);
+
+  const SramMacro ours = SynthesizeSram(PowerOfTwoCapacity(ours_bits));
+  const SramMacro base = SynthesizeSram(PowerOfTwoCapacity(base_bits));
+  std::cout << "\n" << kernel << ": area -"
+            << static_cast<int>(100.0 * (1.0 - ours.area_lambda2 /
+                                                   base.area_lambda2))
+            << "%, leakage -"
+            << static_cast<int>(100.0 *
+                                (1.0 - ours.leakage_mw / base.leakage_mw))
+            << "% vs " << base_name << "\n";
+  if (layout) {
+    std::cout << "\n" << RenderLayout(ours, "WRBPG optimal (ours)") << "\n"
+              << RenderLayout(base, base_name);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string kernel = args.GetString("kernel", "dwt");
+  const std::string precision = args.GetString("precision", "equal");
+  const bool layout = args.GetBool("layout", false);
+  const PrecisionConfig config = precision == "da"
+                                     ? PrecisionConfig::DoubleAccumulator()
+                                     : PrecisionConfig::Equal();
+
+  if (kernel == "dwt") {
+    const std::int64_t n = args.GetInt("n", 256);
+    const int d = static_cast<int>(args.GetInt("d", MaxDwtLevel(n)));
+    if (!DwtParamsValid(n, d)) {
+      std::cerr << "invalid DWT parameters: n=" << n << " d=" << d
+                << " (need n a positive multiple of 2^d)\n";
+      return 1;
+    }
+    const DwtGraph dwt = BuildDwt(n, d, config);
+    std::cout << "Designing on-chip memory for DWT(" << n << ", " << d
+              << ") [" << ConfigLabel(config) << "]\n\n";
+    DwtOptimalScheduler optimal(dwt);
+    const Weight ours = optimal.MinMemoryForLowerBound(kWordBits, 1 << 20);
+    LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+    const Weight base = baseline.MinMemoryForLowerBound(kWordBits, 1 << 20);
+    if (ours == 0 || base == 0) {
+      std::cerr << "minimum-memory search failed\n";
+      return 1;
+    }
+    Report("DWT", ours, base, "Layer-by-Layer", layout);
+  } else if (kernel == "mvm") {
+    const std::int64_t m = args.GetInt("m", 96);
+    const std::int64_t n = args.GetInt("mvm-n", 120);
+    if (m < 2 || n < 1) {
+      std::cerr << "invalid MVM parameters: m=" << m << " n=" << n << "\n";
+      return 1;
+    }
+    const MvmGraph mvm = BuildMvm(m, n, config);
+    std::cout << "Designing on-chip memory for MVM(" << m << ", " << n
+              << ") [" << ConfigLabel(config) << "]\n\n";
+    const Weight ours = MvmTilingScheduler(mvm).MinMemoryForLowerBound();
+    const Weight base = IoOptMvmBounds(mvm).UpperBoundMinMemory();
+    Report("MVM", ours, base, "IOOpt UB", layout);
+  } else {
+    std::cerr << "unknown --kernel '" << kernel << "' (use dwt or mvm)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// wrbpg_cli — schedule arbitrary CDAGs from the command line.
+//
+// Works on the text graph format of core/serialize.h, so downstream users
+// can drive the library without writing C++:
+//
+//   wrbpg_cli info <graph.txt>
+//       model properties: nodes, edges, min valid budget, lower bound.
+//   wrbpg_cli schedule <graph.txt> --budget <bits> [--algo greedy|belady|brute]
+//       emit a validated schedule (move per line) on stdout; stats on stderr.
+//   wrbpg_cli validate <graph.txt> <schedule.txt> --budget <bits>
+//       replay a schedule through the simulator and report cost/peak.
+//   wrbpg_cli trace <graph.txt> <schedule.txt> --budget <bits>
+//       render the schedule's fast-memory occupancy timeline.
+//   wrbpg_cli dot <graph.txt>
+//       Graphviz rendering of the dataflow.
+//
+// Example:
+//   $ cat > add3.txt << 'EOF'
+//   wrbpg-graph v1
+//   node 0 16 a
+//   node 1 16 b
+//   node 2 32 sum
+//   edge 0 2
+//   edge 1 2
+//   EOF
+//   $ wrbpg_cli schedule add3.txt --budget 64 --algo belady
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analysis.h"
+#include "core/serialize.h"
+#include "core/simulator.h"
+#include "core/trace.h"
+#include "schedulers/belady.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/greedy_topo.h"
+#include "util/cli.h"
+
+using namespace wrbpg;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|dot> "
+               "<graph.txt> [schedule.txt] [--budget N] "
+               "[--algo greedy|belady|brute]\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+  if (args.positional().size() < 2) return Usage();
+  const std::string& command = args.positional()[0];
+
+  std::string graph_text;
+  if (!ReadFile(args.positional()[1], graph_text)) return 1;
+  const GraphParseResult parsed = ParseGraphText(graph_text);
+  if (!parsed.ok) {
+    std::cerr << "error: " << args.positional()[1] << ": " << parsed.error
+              << "\n";
+    return 1;
+  }
+  const Graph& graph = parsed.graph;
+
+  if (command == "info") {
+    std::cout << "nodes:            " << graph.num_nodes() << "\n"
+              << "edges:            " << graph.num_edges() << "\n"
+              << "sources:          " << graph.sources().size() << "\n"
+              << "sinks:            " << graph.sinks().size() << "\n"
+              << "total weight:     " << graph.total_weight() << " bits\n"
+              << "min valid budget: " << MinValidBudget(graph)
+              << " bits (Prop 2.3)\n"
+              << "algorithmic LB:   " << AlgorithmicLowerBound(graph)
+              << " bits of I/O (Prop 2.4)\n";
+    return 0;
+  }
+  if (command == "dot") {
+    std::cout << ToDot(graph, args.positional()[1]);
+    return 0;
+  }
+
+  const Weight budget = args.GetInt("budget", 0);
+  if (budget <= 0) {
+    std::cerr << "error: --budget <bits> is required\n";
+    return 2;
+  }
+
+  if (command == "schedule") {
+    const std::string algo = args.GetString("algo", "belady");
+    ScheduleResult result;
+    if (algo == "greedy") {
+      result = GreedyTopoScheduler(graph).Run(budget);
+    } else if (algo == "belady") {
+      result = BeladyScheduler(graph).Run(budget);
+    } else if (algo == "brute") {
+      if (graph.num_nodes() > 20) {
+        std::cerr << "error: --algo brute supports at most 20 nodes\n";
+        return 2;
+      }
+      result = BruteForceScheduler(graph).Run(budget);
+    } else {
+      std::cerr << "error: unknown --algo '" << algo << "'\n";
+      return 2;
+    }
+    if (!result.feasible) {
+      std::cerr << "infeasible: no schedule under " << budget
+                << " bits (need >= " << MinValidBudget(graph) << ")\n";
+      return 1;
+    }
+    const SimResult sim = Simulate(graph, budget, result.schedule);
+    if (!sim.valid) {
+      std::cerr << "internal error: generated schedule invalid: " << sim.error
+                << "\n";
+      return 1;
+    }
+    std::cout << ToText(result.schedule);
+    std::cerr << "algo=" << algo << " moves=" << result.schedule.size()
+              << " cost=" << sim.cost << " bits, peak=" << sim.peak_red_weight
+              << "/" << budget << " bits, lb="
+              << AlgorithmicLowerBound(graph) << " bits\n";
+    return 0;
+  }
+
+  if (command == "trace") {
+    if (args.positional().size() < 3) return Usage();
+    std::string schedule_text;
+    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
+    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    if (!sched.ok) {
+      std::cerr << "error: " << args.positional()[2] << ": " << sched.error
+                << "\n";
+      return 1;
+    }
+    const OccupancyTrace trace = TraceOccupancy(graph, budget, sched.schedule);
+    if (!trace.ok) {
+      std::cerr << "INVALID schedule: " << trace.error << "\n";
+      return 1;
+    }
+    std::cout << RenderOccupancy(trace, budget);
+    return 0;
+  }
+
+  if (command == "validate") {
+    if (args.positional().size() < 3) return Usage();
+    std::string schedule_text;
+    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
+    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    if (!sched.ok) {
+      std::cerr << "error: " << args.positional()[2] << ": " << sched.error
+                << "\n";
+      return 1;
+    }
+    const SimResult sim = Simulate(graph, budget, sched.schedule);
+    if (!sim.valid) {
+      std::cerr << "INVALID at move " << sim.error_index << ": " << sim.error
+                << "\n";
+      return 1;
+    }
+    std::cout << "valid: cost=" << sim.cost
+              << " bits, peak=" << sim.peak_red_weight << " bits, loads="
+              << sim.loads << ", stores=" << sim.stores << ", computes="
+              << sim.computes << ", deletes=" << sim.deletes << "\n";
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,66 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wrbpg {
+
+Weight AlgorithmicLowerBound(const Graph& graph) {
+  Weight sum = 0;
+  for (NodeId v : graph.sources()) sum += graph.weight(v);
+  for (NodeId v : graph.sinks()) sum += graph.weight(v);
+  return sum;
+}
+
+Weight MinValidBudget(const Graph& graph) {
+  Weight best = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.is_source(v)) continue;
+    Weight need = graph.weight(v);
+    for (NodeId p : graph.parents(v)) need += graph.weight(p);
+    best = std::max(best, need);
+  }
+  // Sources must also fit alone for their initial M1 (implied by the above
+  // whenever a source has a child, which disjointness guarantees).
+  for (NodeId v : graph.sources()) best = std::max(best, graph.weight(v));
+  return best;
+}
+
+bool ScheduleExists(const Graph& graph, Weight budget) {
+  return budget >= MinValidBudget(graph);
+}
+
+std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
+                                            Weight target_cost,
+                                            const MinMemoryOptions& options) {
+  assert(options.step > 0);
+  if (options.hi < options.lo) return std::nullopt;
+  const Weight steps = (options.hi - options.lo) / options.step;
+
+  auto budget_at = [&](Weight k) { return options.lo + k * options.step; };
+  auto achieves = [&](Weight k) {
+    return cost_fn(budget_at(k)) <= target_cost;
+  };
+
+  if (options.monotone) {
+    // Invariant: achieving budgets form a suffix of the scanned grid.
+    if (!achieves(steps)) return std::nullopt;
+    Weight lo = 0, hi = steps;  // hi always achieves
+    while (lo < hi) {
+      const Weight mid = lo + (hi - lo) / 2;
+      if (achieves(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return budget_at(hi);
+  }
+
+  for (Weight k = 0; k <= steps; ++k) {
+    if (achieves(k)) return budget_at(k);
+  }
+  return std::nullopt;
+}
+
+}  // namespace wrbpg

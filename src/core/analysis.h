@@ -1,0 +1,47 @@
+// Basic WRBPG properties (Sec 2.2) and the optimization targets of Sec 2.3.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace wrbpg {
+
+// Proposition 2.4: Cost(S_G) >= sum_{v in A(G)} w_v + sum_{v in Z(G)} w_v
+// for every valid schedule. Widely used as the best-case I/O estimate.
+Weight AlgorithmicLowerBound(const Graph& graph);
+
+// The smallest budget for which a valid schedule exists: by Proposition 2.3
+// this is max over non-source v of (w_v + sum_{p in H(v)} w_p).
+Weight MinValidBudget(const Graph& graph);
+
+// Proposition 2.3: a valid WRBPG schedule exists iff budget >= MinValidBudget.
+bool ScheduleExists(const Graph& graph, Weight budget);
+
+// Evaluates a scheduler at a budget and returns the weighted cost of the
+// schedule it produces (kInfiniteCost when no schedule exists under the
+// budget). Schedulers adapt themselves to this signature for budget searches.
+using CostFn = std::function<Weight(Weight budget)>;
+
+struct MinMemoryOptions {
+  // Budgets scanned are lo, lo+step, lo+2*step, ..., <= hi. The paper
+  // reports fast memory sizes in 16-bit words, i.e. step = 16.
+  Weight lo = 1;
+  Weight hi = 0;  // inclusive upper limit of the scan
+  Weight step = 1;
+  // When the scheduler's cost is monotone non-increasing in the budget
+  // (true for the optimal DP schedulers), binary search is used; otherwise
+  // a linear scan from lo upward finds the first achieving budget.
+  bool monotone = false;
+};
+
+// Definition 2.6: the smallest scanned budget whose schedule cost equals
+// `target_cost` (normally AlgorithmicLowerBound(graph)). Returns nullopt if
+// no scanned budget achieves it.
+std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
+                                            Weight target_cost,
+                                            const MinMemoryOptions& options);
+
+}  // namespace wrbpg

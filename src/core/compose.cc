@@ -1,0 +1,100 @@
+#include "core/compose.h"
+
+#include <set>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+Composition ComposeSequential(const Graph& producer, const Graph& consumer,
+                              const std::vector<Binding>& bindings) {
+  Composition result;
+  auto fail = [&](std::string message) {
+    result.error = std::move(message);
+    return result;
+  };
+
+  std::set<NodeId> bound_sources;
+  for (const Binding& binding : bindings) {
+    if (binding.producer_sink >= producer.num_nodes() ||
+        !producer.is_sink(binding.producer_sink)) {
+      return fail("binding producer node " +
+                  std::to_string(binding.producer_sink) +
+                  " is not a producer sink");
+    }
+    if (binding.consumer_source >= consumer.num_nodes() ||
+        !consumer.is_source(binding.consumer_source)) {
+      return fail("binding consumer node " +
+                  std::to_string(binding.consumer_source) +
+                  " is not a consumer source");
+    }
+    if (!bound_sources.insert(binding.consumer_source).second) {
+      return fail("consumer source " +
+                  std::to_string(binding.consumer_source) + " bound twice");
+    }
+    if (producer.weight(binding.producer_sink) !=
+        consumer.weight(binding.consumer_source)) {
+      return fail("weight mismatch on binding: producer sink carries " +
+                  std::to_string(producer.weight(binding.producer_sink)) +
+                  " bits, consumer source " +
+                  std::to_string(consumer.weight(binding.consumer_source)));
+    }
+  }
+
+  GraphBuilder builder;
+  result.producer_to_composite.resize(producer.num_nodes());
+  for (NodeId v = 0; v < producer.num_nodes(); ++v) {
+    result.producer_to_composite[v] = builder.AddNode(producer.weight(v),
+                                                      producer.name(v));
+  }
+  result.consumer_to_composite.assign(consumer.num_nodes(), kInvalidNode);
+  for (const Binding& binding : bindings) {
+    result.consumer_to_composite[binding.consumer_source] =
+        result.producer_to_composite[binding.producer_sink];
+  }
+  for (NodeId v = 0; v < consumer.num_nodes(); ++v) {
+    if (result.consumer_to_composite[v] != kInvalidNode) continue;
+    result.consumer_to_composite[v] =
+        builder.AddNode(consumer.weight(v), consumer.name(v));
+  }
+
+  for (NodeId v = 0; v < producer.num_nodes(); ++v) {
+    for (NodeId c : producer.children(v)) {
+      builder.AddEdge(result.producer_to_composite[v],
+                      result.producer_to_composite[c]);
+    }
+  }
+  for (NodeId v = 0; v < consumer.num_nodes(); ++v) {
+    for (NodeId c : consumer.children(v)) {
+      builder.AddEdge(result.consumer_to_composite[v],
+                      result.consumer_to_composite[c]);
+    }
+  }
+
+  auto built = builder.Build();
+  if (!built.ok) return fail("composite graph invalid: " + built.error);
+  result.graph = std::move(built.graph);
+  result.ok = true;
+  return result;
+}
+
+Schedule TranslateSchedule(const Schedule& schedule,
+                           const std::vector<NodeId>& to_composite) {
+  Schedule out;
+  for (const Move& move : schedule) {
+    out.Append({move.type, to_composite[move.node]});
+  }
+  return out;
+}
+
+Schedule StitchSchedules(const Composition& composition,
+                         const Schedule& producer_schedule,
+                         const Schedule& consumer_schedule) {
+  Schedule out =
+      TranslateSchedule(producer_schedule, composition.producer_to_composite);
+  out.Append(
+      TranslateSchedule(consumer_schedule, composition.consumer_to_composite));
+  return out;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,64 @@
+// Modular composition of CDAGs and their schedules.
+//
+// The paper's framing (Sec 1): express computational tasks in parts, attach
+// an efficient pebbling algorithm to each part, then stitch the minimal
+// module schedules into a schedule for the overall task.
+//
+// ComposeSequential() splices producer sinks onto consumer sources: the
+// consumer's designated source nodes are replaced by the producer's sink
+// nodes, yielding one CDAG for the fused task. StitchSchedules() then
+// concatenates module schedules translated into the composite's node ids —
+// valid by construction, because the producer schedule leaves blue pebbles
+// on exactly the values the consumer schedule's M1 moves expect (module
+// boundaries communicate through slow memory, the natural contract between
+// independently scheduled parts).
+//
+// Modules must end with fast memory empty (all red pebbles deleted) for the
+// stitched budget to be the max of the module budgets; every scheduler in
+// src/schedulers/ that produces full-game schedules satisfies this.
+//
+// Stitched cost = producer cost + consumer cost: the composition is
+// generally not globally optimal (a fused scheduler could forward values
+// in fast memory), but it is valid at the max of the module budgets and
+// inherits each module's optimality within its part — the paper's
+// modularity trade.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+
+namespace wrbpg {
+
+struct Composition {
+  Graph graph;
+  // Node-id translations from each part into the composite.
+  std::vector<NodeId> producer_to_composite;  // indexed by producer NodeId
+  std::vector<NodeId> consumer_to_composite;  // indexed by consumer NodeId
+  bool ok = false;
+  std::string error;
+};
+
+// Fuses `producer` and `consumer`: consumer node bindings[i].consumer_source
+// (a source of `consumer`) becomes producer node bindings[i].producer_sink
+// (a sink of `producer`). Weights of bound pairs must match. Unbound
+// consumer sources remain sources of the composite.
+struct Binding {
+  NodeId producer_sink;
+  NodeId consumer_source;
+};
+Composition ComposeSequential(const Graph& producer, const Graph& consumer,
+                              const std::vector<Binding>& bindings);
+
+// Translates a module schedule into composite ids.
+Schedule TranslateSchedule(const Schedule& schedule,
+                           const std::vector<NodeId>& to_composite);
+
+// producer_schedule followed by consumer_schedule, both translated.
+Schedule StitchSchedules(const Composition& composition,
+                         const Schedule& producer_schedule,
+                         const Schedule& consumer_schedule);
+
+}  // namespace wrbpg

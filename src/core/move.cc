@@ -1,0 +1,24 @@
+#include "core/move.h"
+
+namespace wrbpg {
+
+const char* ToString(MoveType type) {
+  switch (type) {
+    case MoveType::kLoad:
+      return "M1";
+    case MoveType::kStore:
+      return "M2";
+    case MoveType::kCompute:
+      return "M3";
+    case MoveType::kDelete:
+      return "M4";
+  }
+  return "M?";
+}
+
+std::string ToString(const Move& move) {
+  return std::string(ToString(move.type)) + "(v" + std::to_string(move.node) +
+         ")";
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,38 @@
+// Moves of the red-blue pebble game (Sec 2).
+//
+//   M1 kLoad    copy to fast memory  (red pebble onto a node holding blue)
+//   M2 kStore   copy to slow memory  (blue pebble onto a node holding red)
+//   M3 kCompute perform a computation (red pebble when all parents are red)
+//   M4 kDelete  delete a red pebble  (blue pebbles are never deleted)
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace wrbpg {
+
+enum class MoveType : std::uint8_t {
+  kLoad = 0,     // M1
+  kStore = 1,    // M2
+  kCompute = 2,  // M3
+  kDelete = 3,   // M4
+};
+
+struct Move {
+  MoveType type;
+  NodeId node;
+
+  friend bool operator==(const Move&, const Move&) = default;
+};
+
+constexpr Move Load(NodeId v) { return {MoveType::kLoad, v}; }
+constexpr Move Store(NodeId v) { return {MoveType::kStore, v}; }
+constexpr Move Compute(NodeId v) { return {MoveType::kCompute, v}; }
+constexpr Move Delete(NodeId v) { return {MoveType::kDelete, v}; }
+
+// "M1(v3)" style rendering, matching the paper's move notation.
+std::string ToString(const Move& move);
+const char* ToString(MoveType type);
+
+}  // namespace wrbpg

@@ -1,0 +1,22 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace wrbpg {
+
+std::size_t Schedule::CountType(MoveType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(moves_.begin(), moves_.end(),
+                    [type](const Move& m) { return m.type == type; }));
+}
+
+std::string Schedule::ToString() const {
+  std::string out;
+  for (const Move& m : moves_) {
+    out += wrbpg::ToString(m);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,47 @@
+// A WRBPG schedule S_G = (sigma_1, ..., sigma_t): an ordered move sequence.
+//
+// Schedules are produced by the algorithms in src/schedulers/ and consumed by
+// core/Simulator (validation + cost) and exec/Executor (running the dataflow
+// on real data). A Schedule is just the sequence; validity is relative to a
+// (graph, budget) pair and established by Simulator::Simulate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/move.h"
+
+namespace wrbpg {
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Move> moves) : moves_(std::move(moves)) {}
+
+  void Append(Move move) { moves_.push_back(move); }
+  void Append(const Schedule& other) {
+    moves_.insert(moves_.end(), other.moves_.begin(), other.moves_.end());
+  }
+
+  std::size_t size() const noexcept { return moves_.size(); }
+  bool empty() const noexcept { return moves_.empty(); }
+  const Move& operator[](std::size_t i) const { return moves_[i]; }
+
+  const std::vector<Move>& moves() const noexcept { return moves_; }
+
+  auto begin() const noexcept { return moves_.begin(); }
+  auto end() const noexcept { return moves_.end(); }
+
+  std::size_t CountType(MoveType type) const;
+
+  // One move per line ("M3(v7)"), for traces and golden tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<Move> moves_;
+};
+
+}  // namespace wrbpg

@@ -1,0 +1,40 @@
+// Text serialization for graphs and schedules.
+//
+// Graph text format (one directive per line, '#' comments):
+//   wrbpg-graph v1
+//   node <id> <weight> [name]
+//   edge <u> <v>
+// Node ids must be dense 0..n-1 and declared before use in edges.
+//
+// Also emits Graphviz DOT for visual inspection of the dataflow graphs
+// (sources as boxes, sinks as double circles, weights as labels).
+#pragma once
+
+#include <string>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+
+namespace wrbpg {
+
+std::string ToText(const Graph& graph);
+std::string ToDot(const Graph& graph, const std::string& title = "wrbpg");
+
+struct GraphParseResult {
+  Graph graph;
+  bool ok = false;
+  std::string error;
+};
+GraphParseResult ParseGraphText(const std::string& text);
+
+// Schedules serialize as one move per line, e.g. "M3 7".
+std::string ToText(const Schedule& schedule);
+
+struct ScheduleParseResult {
+  Schedule schedule;
+  bool ok = false;
+  std::string error;
+};
+ScheduleParseResult ParseScheduleText(const std::string& text);
+
+}  // namespace wrbpg

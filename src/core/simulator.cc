@@ -1,0 +1,132 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+
+namespace wrbpg {
+namespace {
+
+std::string NodeStr(NodeId v) { return "v" + std::to_string(v); }
+
+}  // namespace
+
+SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
+                   const SimOptions& options, const SimObserver& observer) {
+  SimResult result;
+  const NodeId n = graph.num_nodes();
+
+  std::vector<unsigned char> red(n, 0);
+  std::vector<unsigned char> blue(n, 0);
+  for (NodeId v : graph.sources()) blue[v] = 1;
+  for (NodeId v : options.initial_blue) blue[v] = 1;
+
+  Weight red_weight = 0;
+
+  auto fail = [&](std::size_t index, std::string message) {
+    result.valid = false;
+    result.error = std::move(message);
+    result.error_index = index;
+    return result;
+  };
+
+  for (NodeId v : options.initial_red) {
+    if (!red[v]) {
+      red[v] = 1;
+      red_weight += graph.weight(v);
+    }
+  }
+  if (red_weight > budget) {
+    return fail(0, "initial red pebbles already exceed the budget");
+  }
+  result.peak_red_weight = red_weight;
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Move& m = schedule[i];
+    const NodeId v = m.node;
+    if (v >= n) {
+      return fail(i, ToString(m) + ": node out of range");
+    }
+    const Weight w = graph.weight(v);
+    switch (m.type) {
+      case MoveType::kLoad:  // M1: blue -> both
+        if (!blue[v]) {
+          return fail(i, ToString(m) + ": no blue pebble to copy from");
+        }
+        if (red[v]) {
+          return fail(i, ToString(m) + ": node already holds a red pebble");
+        }
+        red[v] = 1;
+        red_weight += w;
+        result.cost += w;
+        ++result.loads;
+        break;
+      case MoveType::kStore:  // M2: red -> both
+        if (!red[v]) {
+          return fail(i, ToString(m) + ": no red pebble to copy from");
+        }
+        if (blue[v]) {
+          return fail(i, ToString(m) + ": node already holds a blue pebble");
+        }
+        blue[v] = 1;
+        result.cost += w;
+        ++result.stores;
+        break;
+      case MoveType::kCompute: {  // M3: all parents red -> add red
+        if (graph.is_source(v)) {
+          return fail(i, ToString(m) +
+                             ": source nodes are inputs and cannot be "
+                             "computed; use M1");
+        }
+        if (red[v]) {
+          return fail(i, ToString(m) + ": node already holds a red pebble");
+        }
+        for (NodeId p : graph.parents(v)) {
+          if (!red[p]) {
+            return fail(i, ToString(m) + ": parent " + NodeStr(p) +
+                               " holds no red pebble");
+          }
+        }
+        red[v] = 1;
+        red_weight += w;
+        ++result.computes;
+        break;
+      }
+      case MoveType::kDelete:  // M4: remove red
+        if (!red[v]) {
+          return fail(i, ToString(m) + ": no red pebble to delete");
+        }
+        red[v] = 0;
+        red_weight -= w;
+        ++result.deletes;
+        break;
+    }
+    if (red_weight > budget) {
+      return fail(i, ToString(m) + ": weighted red pebble constraint violated"
+                                   " (" +
+                         std::to_string(red_weight) + " > budget " +
+                         std::to_string(budget) + ")");
+    }
+    result.peak_red_weight = std::max(result.peak_red_weight, red_weight);
+    if (observer) observer(i, m, red_weight);
+  }
+
+  result.stop_condition_met =
+      std::all_of(graph.sinks().begin(), graph.sinks().end(),
+                  [&](NodeId s) { return blue[s] != 0; });
+  if (options.require_stop_condition && !result.stop_condition_met) {
+    return fail(schedule.size(),
+                "stopping condition unmet: some sink holds no blue pebble");
+  }
+  for (NodeId v : options.required_red_at_end) {
+    if (!red[v]) {
+      return fail(schedule.size(), "reuse condition unmet: v" +
+                                       std::to_string(v) +
+                                       " holds no red pebble at the end");
+    }
+  }
+
+  result.final_red_weight = red_weight;
+  result.valid = true;
+  return result;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,66 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/simulator.h"
+
+namespace wrbpg {
+
+OccupancyTrace TraceOccupancy(const Graph& graph, Weight budget,
+                              const Schedule& schedule) {
+  OccupancyTrace trace;
+  trace.occupancy_bits.reserve(schedule.size());
+  const SimResult sim = Simulate(
+      graph, budget, schedule, {},
+      [&](std::size_t, const Move&, Weight red_weight) {
+        trace.occupancy_bits.push_back(red_weight);
+      });
+  if (!sim.valid) {
+    trace.error = sim.error;
+    trace.occupancy_bits.clear();
+    return trace;
+  }
+  trace.peak_bits = sim.peak_red_weight;
+  for (std::size_t i = 0; i < trace.occupancy_bits.size(); ++i) {
+    if (trace.occupancy_bits[i] == trace.peak_bits) {
+      trace.peak_index = i;
+      break;
+    }
+  }
+  trace.ok = true;
+  return trace;
+}
+
+std::string RenderOccupancy(const OccupancyTrace& trace, Weight budget,
+                            int width, int height) {
+  std::ostringstream out;
+  if (!trace.ok || trace.occupancy_bits.empty()) {
+    out << "(no occupancy data)\n";
+    return out.str();
+  }
+  const std::size_t t = trace.occupancy_bits.size();
+  const std::size_t cols = std::min<std::size_t>(
+      t, static_cast<std::size_t>(std::max(1, width)));
+  // Downsample by maximum within each column so peaks never vanish.
+  std::vector<Weight> column_peaks(cols, 0);
+  for (std::size_t i = 0; i < t; ++i) {
+    const std::size_t c = i * cols / t;
+    column_peaks[c] = std::max(column_peaks[c], trace.occupancy_bits[i]);
+  }
+  out << "fast-memory occupancy, peak " << trace.peak_bits << "/" << budget
+      << " bits at move " << trace.peak_index << " of " << t << "\n";
+  for (int row = height; row >= 1; --row) {
+    const Weight threshold =
+        budget * row / height;
+    out << (row == height ? "budget |" : "       |");
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << (column_peaks[c] >= threshold ? '#' : ' ');
+    }
+    out << "|\n";
+  }
+  out << "       +" << std::string(cols, '-') << "+\n";
+  return out.str();
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,35 @@
+// Schedule occupancy tracing and rendering.
+//
+// Turns a valid schedule into its fast-memory occupancy timeline (the total
+// red weight after each move — the quantity Definition 2.1 bounds) plus an
+// ASCII rendering for eyeballing where a schedule actually needs its
+// budget. Used by the CLI's `trace` command and in tests to reason about
+// peak placement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+
+namespace wrbpg {
+
+struct OccupancyTrace {
+  bool ok = false;
+  std::string error;
+  std::vector<Weight> occupancy_bits;  // after each move, schedule.size() long
+  Weight peak_bits = 0;
+  std::size_t peak_index = 0;  // first move attaining the peak
+};
+
+// Replays the schedule (enforcing all rules) and records occupancy.
+OccupancyTrace TraceOccupancy(const Graph& graph, Weight budget,
+                              const Schedule& schedule);
+
+// Fixed-height ASCII chart (rows = occupancy buckets, cols = time,
+// downsampled to at most `width` columns).
+std::string RenderOccupancy(const OccupancyTrace& trace, Weight budget,
+                            int width = 72, int height = 10);
+
+}  // namespace wrbpg

@@ -1,0 +1,26 @@
+// Fundamental types of the Weighted Red-Blue Pebble Game (WRBPG).
+//
+// Weights and budgets are positive 64-bit integers measured in *bits*. The
+// paper (Sec 2.1) allows real weights of polynomial precision; the entire
+// evaluation uses bit-widths (16-bit words, 32-bit accumulators), and integer
+// weights keep the (node, budget) dynamic programs exact and hashable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wrbpg {
+
+// Index of a node in a Graph. Dense, assigned by GraphBuilder in insertion
+// order.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// Node weight / fast-memory budget, in bits.
+using Weight = std::int64_t;
+
+// Sentinel for "no valid schedule under this budget" (Eq. 2's infinity).
+inline constexpr Weight kInfiniteCost = std::numeric_limits<Weight>::max() / 4;
+
+}  // namespace wrbpg

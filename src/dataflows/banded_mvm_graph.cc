@@ -1,0 +1,89 @@
+#include "dataflows/banded_mvm_graph.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+BandedMvmGraph BuildBandedMvm(std::int64_t n, std::int64_t h,
+                              const PrecisionConfig& config) {
+  if (n < 2 || h < 0 || h >= n) {
+    std::fprintf(stderr, "BuildBandedMvm: invalid parameters n=%lld h=%lld\n",
+                 static_cast<long long>(n), static_cast<long long>(h));
+    std::abort();
+  }
+
+  BandedMvmGraph bm;
+  bm.n = n;
+  bm.h = h;
+  GraphBuilder builder;
+
+  bm.row_offset_.resize(static_cast<std::size_t>(n) + 1, 0);
+  bm.acc_offset_.resize(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    bm.row_offset_[static_cast<std::size_t>(r) + 1] =
+        bm.row_offset_[static_cast<std::size_t>(r)] + bm.support(r);
+    bm.acc_offset_[static_cast<std::size_t>(r) + 1] =
+        bm.acc_offset_[static_cast<std::size_t>(r)] + (bm.support(r) - 1);
+  }
+  bm.nnz_ = bm.row_offset_[static_cast<std::size_t>(n)];
+
+  auto idx = [](std::int64_t r, std::int64_t c) {
+    return std::to_string(r) + "," + std::to_string(c);
+  };
+
+  bm.x_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t c = 0; c < n; ++c) {
+    bm.x_[static_cast<std::size_t>(c)] =
+        builder.AddNode(config.input_bits, "x[" + std::to_string(c) + "]");
+    bm.roles.push_back(MvmRole::kVectorInput);
+  }
+  bm.a_.resize(static_cast<std::size_t>(bm.nnz_));
+  bm.p_.resize(static_cast<std::size_t>(bm.nnz_));
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = bm.col_lo(r); c <= bm.col_hi(r); ++c) {
+      bm.a_[bm.Flat(r, c)] =
+          builder.AddNode(config.input_bits, "a[" + idx(r, c) + "]");
+      bm.roles.push_back(MvmRole::kMatrixInput);
+    }
+  }
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = bm.col_lo(r); c <= bm.col_hi(r); ++c) {
+      bm.p_[bm.Flat(r, c)] =
+          builder.AddNode(config.compute_bits, "p[" + idx(r, c) + "]");
+      bm.roles.push_back(MvmRole::kProduct);
+    }
+  }
+  bm.acc_.resize(static_cast<std::size_t>(bm.nnz_ - n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t i = 1; i < bm.support(r); ++i) {
+      bm.acc_[static_cast<std::size_t>(
+          bm.acc_offset_[static_cast<std::size_t>(r)] + (i - 1))] =
+          builder.AddNode(config.compute_bits,
+                          "s[" + idx(r, i) + "]");
+      bm.roles.push_back(MvmRole::kAccumulator);
+    }
+  }
+
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = bm.col_lo(r); c <= bm.col_hi(r); ++c) {
+      builder.AddEdge(bm.x(c), bm.product(r, c));
+      builder.AddEdge(bm.a(r, c), bm.product(r, c));
+      const std::int64_t i = c - bm.col_lo(r);
+      if (i >= 1) {
+        const NodeId prev = i == 1 ? bm.product(r, bm.col_lo(r))
+                                   : bm.accumulator(r, i - 1);
+        builder.AddEdge(prev, bm.accumulator(r, i));
+        builder.AddEdge(bm.product(r, c), bm.accumulator(r, i));
+      }
+    }
+  }
+
+  bm.graph = builder.BuildOrDie();
+  return bm;
+}
+
+}  // namespace wrbpg

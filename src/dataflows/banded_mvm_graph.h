@@ -1,0 +1,75 @@
+// Banded matrix-vector multiplication — the "structured sparse" tensor
+// case Sec 4.3 says the data-reuse approach extends to.
+//
+// BandedMvm(n, h) is y = A x for a square banded A (n x n, half-bandwidth
+// h): row r touches columns [max(0, r-h), min(n-1, r+h)]. Only the
+// structural nonzeros materialize as nodes, so the accumulation chain of
+// row r has supp(r) products. The interesting property for memory design:
+// consecutive rows' column supports overlap in all but one position, so a
+// sliding window of 2h+1 vector words captures all reuse — minimum fast
+// memory proportional to the bandwidth, not the problem size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/weights.h"
+
+namespace wrbpg {
+
+struct BandedMvmGraph {
+  Graph graph;
+  std::int64_t n = 0;  // matrix dimension
+  std::int64_t h = 0;  // half-bandwidth (band has up to 2h+1 diagonals)
+
+  std::vector<MvmRole> roles;
+
+  std::int64_t col_lo(std::int64_t r) const { return r > h ? r - h : 0; }
+  std::int64_t col_hi(std::int64_t r) const {  // inclusive
+    return r + h < n - 1 ? r + h : n - 1;
+  }
+  std::int64_t support(std::int64_t r) const {
+    return col_hi(r) - col_lo(r) + 1;
+  }
+  std::int64_t nnz() const { return nnz_; }
+
+  NodeId x(std::int64_t c) const { return x_[static_cast<std::size_t>(c)]; }
+  // Structural nonzero A(r, c); c must lie within row r's band.
+  NodeId a(std::int64_t r, std::int64_t c) const {
+    return a_[Flat(r, c)];
+  }
+  NodeId product(std::int64_t r, std::int64_t c) const {
+    return p_[Flat(r, c)];
+  }
+  // Running sum of row r after its first `i + 1` band entries, i in [1,
+  // support(r)); the last one is the output (or the lone product).
+  NodeId accumulator(std::int64_t r, std::int64_t i) const {
+    return acc_[static_cast<std::size_t>(acc_offset_[static_cast<std::size_t>(r)] +
+                                         (i - 1))];
+  }
+  NodeId output(std::int64_t r) const {
+    return support(r) == 1 ? product(r, col_lo(r))
+                           : accumulator(r, support(r) - 1);
+  }
+
+ private:
+  friend BandedMvmGraph BuildBandedMvm(std::int64_t, std::int64_t,
+                                       const PrecisionConfig&);
+  std::size_t Flat(std::int64_t r, std::int64_t c) const {
+    return static_cast<std::size_t>(row_offset_[static_cast<std::size_t>(r)] +
+                                    (c - col_lo(r)));
+  }
+  std::int64_t nnz_ = 0;
+  std::vector<std::int64_t> row_offset_;  // prefix sums of support
+  std::vector<std::int64_t> acc_offset_;  // prefix sums of support - 1
+  std::vector<NodeId> x_, a_, p_, acc_;
+};
+
+// n >= 2, 0 <= h < n.
+BandedMvmGraph BuildBandedMvm(std::int64_t n, std::int64_t h,
+                              const PrecisionConfig& config =
+                                  PrecisionConfig::Equal());
+
+}  // namespace wrbpg

@@ -1,0 +1,48 @@
+#include "dataflows/butterfly_graph.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/graph_builder.h"
+#include "util/mathutil.h"
+
+namespace wrbpg {
+
+ButterflyGraph BuildButterfly(std::int64_t n, const PrecisionConfig& config) {
+  if (n < 2 || !IsPowerOfTwo(n)) {
+    std::fprintf(stderr, "BuildButterfly: n=%lld must be a power of two >= 2\n",
+                 static_cast<long long>(n));
+    std::abort();
+  }
+
+  ButterflyGraph bf;
+  bf.n = n;
+  bf.stages = FloorLog2(n);
+  GraphBuilder builder;
+
+  bf.layers.resize(static_cast<std::size_t>(bf.stages) + 1);
+  for (int s = 0; s <= bf.stages; ++s) {
+    auto& layer = bf.layers[static_cast<std::size_t>(s)];
+    layer.resize(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j) {
+      layer[static_cast<std::size_t>(j)] = builder.AddNode(
+          s == 0 ? config.input_bits : config.compute_bits,
+          (s == 0 ? "x[" : "s" + std::to_string(s) + "[") +
+              std::to_string(j) + "]");
+    }
+  }
+
+  for (int s = 1; s <= bf.stages; ++s) {
+    const std::int64_t bit = std::int64_t{1} << (s - 1);
+    for (std::int64_t j = 0; j < n; ++j) {
+      builder.AddEdge(bf.at(s - 1, j), bf.at(s, j));
+      builder.AddEdge(bf.at(s - 1, j ^ bit), bf.at(s, j));
+    }
+  }
+
+  bf.graph = builder.BuildOrDie();
+  return bf;
+}
+
+}  // namespace wrbpg

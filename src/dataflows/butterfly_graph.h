@@ -1,0 +1,41 @@
+// Butterfly (FFT-structured) dataflow graphs.
+//
+// The paper's introduction points out that DWT's recursive structure
+// "appears in filters and fast Fourier transforms"; this family provides
+// the radix-2 butterfly CDAG itself: log2(n) stages of n nodes, where the
+// node at (stage s, position j) reads its previous-stage partner pair
+// {j, j xor 2^(s-1)}. Executed with +/- semantics this computes the
+// Walsh-Hadamard transform (the real-valued transform with the exact FFT
+// dataflow), which keeps end-to-end numeric verification in doubles.
+//
+// Butterfly graphs are NOT trees (every value feeds two successors), so
+// they exercise the general-DAG schedulers and the data-reuse machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/weights.h"
+
+namespace wrbpg {
+
+struct ButterflyGraph {
+  Graph graph;
+  std::int64_t n = 0;  // power of two, >= 2
+  int stages = 0;      // log2(n)
+
+  std::vector<std::vector<NodeId>> layers;  // layers[0] = inputs
+
+  NodeId at(int stage, std::int64_t j) const {
+    return layers[static_cast<std::size_t>(stage)]
+                 [static_cast<std::size_t>(j)];
+  }
+};
+
+// n must be a power of two >= 2.
+ButterflyGraph BuildButterfly(std::int64_t n,
+                              const PrecisionConfig& config =
+                                  PrecisionConfig::Equal());
+
+}  // namespace wrbpg

@@ -1,0 +1,114 @@
+#include "dataflows/dwt_graph.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/graph_builder.h"
+#include "util/mathutil.h"
+
+namespace wrbpg {
+
+bool DwtParamsValid(std::int64_t n, int d) {
+  if (n < 2 || d < 1 || d > 62) return false;
+  const std::int64_t block = std::int64_t{1} << d;
+  return n % block == 0;
+}
+
+int MaxDwtLevel(std::int64_t n) {
+  assert(n >= 2);
+  return TwoAdicValuation(n);
+}
+
+DwtGraph BuildDwt(std::int64_t n, int d, const PrecisionConfig& config) {
+  if (!DwtParamsValid(n, d)) {
+    std::fprintf(stderr, "BuildDwt: invalid parameters n=%lld d=%d\n",
+                 static_cast<long long>(n), d);
+    std::abort();
+  }
+
+  DwtGraph dwt;
+  dwt.n = n;
+  dwt.d = d;
+  GraphBuilder builder;
+
+  // Layer sizes: |S_1| = n, |S_2| = n, |S_i| = |S_{i-1}| / 2 for i > 2.
+  dwt.layers.resize(static_cast<std::size_t>(d) + 1);
+  std::int64_t size = n;
+  for (int i = 1; i <= d + 1; ++i) {
+    auto& layer = dwt.layers[static_cast<std::size_t>(i - 1)];
+    layer.resize(static_cast<std::size_t>(size));
+    for (std::int64_t j = 1; j <= size; ++j) {
+      NodeId id;
+      if (i == 1) {
+        id = builder.AddNode(config.input_bits, "x[" + std::to_string(j) + "]");
+        dwt.roles.push_back(DwtRole::kInput);
+      } else {
+        const bool average = (j % 2 == 1);
+        const std::string tag = average ? "a" : "c";
+        id = builder.AddNode(config.compute_bits, tag + std::to_string(i - 1) +
+                                                      "[" + std::to_string(j) +
+                                                      "]");
+        dwt.roles.push_back(average ? DwtRole::kAverage
+                                    : DwtRole::kCoefficient);
+      }
+      layer[static_cast<std::size_t>(j - 1)] = id;
+    }
+    if (i >= 2) size /= 2;
+  }
+
+  // Rule (1): inputs feed the first transform layer in adjacent pairs.
+  for (std::int64_t j = 1; j <= n; ++j) {
+    builder.AddEdge(dwt.at(1, j), dwt.at(2, j));
+    if (j % 2 == 1) {
+      builder.AddEdge(dwt.at(1, j), dwt.at(2, j + 1));
+    } else {
+      builder.AddEdge(dwt.at(1, j), dwt.at(2, j - 1));
+    }
+  }
+
+  // Rules (2) and (3): averages of S_i (odd j) feed the average/coefficient
+  // pair of S_{i+1}.
+  for (int i = 2; i <= d; ++i) {
+    const std::int64_t layer_size =
+        static_cast<std::int64_t>(dwt.layers[static_cast<std::size_t>(i - 1)].size());
+    for (std::int64_t j = 1; j <= layer_size; ++j) {
+      if (j % 4 == 1) {
+        builder.AddEdge(dwt.at(i, j), dwt.at(i + 1, (j + 1) / 2));
+        builder.AddEdge(dwt.at(i, j), dwt.at(i + 1, (j + 3) / 2));
+      } else if (j % 4 == 3) {
+        builder.AddEdge(dwt.at(i, j), dwt.at(i + 1, (j - 1) / 2));
+        builder.AddEdge(dwt.at(i, j), dwt.at(i + 1, (j + 1) / 2));
+      }
+    }
+  }
+
+  dwt.graph = builder.BuildOrDie();
+  return dwt;
+}
+
+PrunedDwt PruneDwt(const DwtGraph& dwt) {
+  PrunedDwt pruned;
+  const Graph& g = dwt.graph;
+  pruned.from_original.assign(g.num_nodes(), kInvalidNode);
+
+  GraphBuilder builder;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dwt.roles[v] == DwtRole::kCoefficient) continue;
+    const NodeId id = builder.AddNode(g.weight(v), g.name(v));
+    pruned.from_original[v] = id;
+    pruned.to_original.push_back(v);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (pruned.from_original[v] == kInvalidNode) continue;
+    for (NodeId p : g.parents(v)) {
+      assert(pruned.from_original[p] != kInvalidNode);
+      builder.AddEdge(pruned.from_original[p], pruned.from_original[v]);
+    }
+  }
+  pruned.graph = builder.BuildOrDie();
+  return pruned;
+}
+
+}  // namespace wrbpg

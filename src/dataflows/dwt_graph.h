@@ -1,0 +1,65 @@
+// DWT(n, d) graphs — Definition 3.1 — plus the pruning of Lemma 3.2.
+//
+// The Haar discrete wavelet transform over n inputs and d levels. Layers
+// S_1..S_{d+1}: S_1 holds the n input samples; each deeper layer holds the
+// averages (odd indices) and detail coefficients (even indices) of the level.
+// Coefficients have no successors, so every layer past S_1 contributes
+// outputs; the final averages live in S_{d+1}. Requires n ≡ 0 (mod 2^d),
+// i.e. n ∈ {k · 2^d}; the graph then decomposes into k independent
+// complete-binary-tree subgraphs (the observation driving Lemma 3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/weights.h"
+
+namespace wrbpg {
+
+enum class DwtRole : std::uint8_t {
+  kInput,        // S_1
+  kAverage,      // odd index in S_i, i > 1 (scaling function)
+  kCoefficient,  // even index in S_i, i > 1 (wavelet function)
+};
+
+struct DwtGraph {
+  Graph graph;
+  std::int64_t n = 0;  // number of input samples
+  int d = 0;           // number of transform levels
+
+  // layers[i][j] is node v^{i+1}_{j+1} in the paper's 1-based notation.
+  std::vector<std::vector<NodeId>> layers;
+  std::vector<DwtRole> roles;  // indexed by NodeId
+
+  // Convenience: node v^{layer}_{index} with the paper's 1-based indices.
+  NodeId at(int layer, std::int64_t index) const {
+    return layers[static_cast<std::size_t>(layer - 1)]
+                 [static_cast<std::size_t>(index - 1)];
+  }
+};
+
+// Builds DWT(n, d) with the given precision weights. Aborts on invalid
+// parameters (n < 2, d < 1, or 2^d does not divide n).
+DwtGraph BuildDwt(std::int64_t n, int d,
+                  const PrecisionConfig& config = PrecisionConfig::Equal());
+
+// True when DWT(n, d) is constructible.
+bool DwtParamsValid(std::int64_t n, int d);
+
+// Largest level d* for a given n: the 2-adic valuation of n (used by the
+// Fig. 6 scaling study, where d is set to the maximum possible level).
+int MaxDwtLevel(std::int64_t n);
+
+// Lemma 3.2 pruning: removes every coefficient node v^i_j (i > 1, j even)
+// together with its incident edges, leaving k independent binary trees whose
+// sinks are the final averages.
+struct PrunedDwt {
+  Graph graph;
+  std::vector<NodeId> to_original;    // pruned id -> original id
+  std::vector<NodeId> from_original;  // original id -> pruned id or
+                                      // kInvalidNode for removed nodes
+};
+PrunedDwt PruneDwt(const DwtGraph& dwt);
+
+}  // namespace wrbpg

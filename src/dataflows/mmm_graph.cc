@@ -1,0 +1,88 @@
+#include "dataflows/mmm_graph.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+MmmGraph BuildMmm(std::int64_t m, std::int64_t k, std::int64_t n,
+                  const PrecisionConfig& config) {
+  if (m < 1 || k < 1 || n < 1 || (m == 1 && n == 1 && k == 1)) {
+    std::fprintf(stderr, "BuildMmm: invalid parameters m=%lld k=%lld n=%lld\n",
+                 static_cast<long long>(m), static_cast<long long>(k),
+                 static_cast<long long>(n));
+    std::abort();
+  }
+
+  MmmGraph mmm;
+  mmm.m = m;
+  mmm.k = k;
+  mmm.n = n;
+  GraphBuilder builder;
+
+  auto idx2 = [](std::int64_t x, std::int64_t y) {
+    return std::to_string(x) + "," + std::to_string(y);
+  };
+
+  mmm.a_.resize(static_cast<std::size_t>(m * k));
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      mmm.a_[static_cast<std::size_t>(r * k + kk)] =
+          builder.AddNode(config.input_bits, "a[" + idx2(r, kk) + "]");
+      mmm.roles.push_back(MmmRole::kMatrixAInput);
+    }
+  }
+  mmm.b_.resize(static_cast<std::size_t>(k * n));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      mmm.b_[static_cast<std::size_t>(kk * n + c)] =
+          builder.AddNode(config.input_bits, "b[" + idx2(kk, c) + "]");
+      mmm.roles.push_back(MmmRole::kMatrixBInput);
+    }
+  }
+  mmm.p_.resize(static_cast<std::size_t>(m * n * k));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        mmm.p_[static_cast<std::size_t>((kk * m + r) * n + c)] =
+            builder.AddNode(config.compute_bits,
+                            "p" + std::to_string(kk) + "[" + idx2(r, c) + "]");
+        mmm.roles.push_back(MmmRole::kProduct);
+      }
+    }
+  }
+  mmm.acc_.resize(static_cast<std::size_t>(m * n * (k - 1)));
+  for (std::int64_t kk = 1; kk < k; ++kk) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        mmm.acc_[static_cast<std::size_t>(((kk - 1) * m + r) * n + c)] =
+            builder.AddNode(config.compute_bits,
+                            "s" + std::to_string(kk) + "[" + idx2(r, c) + "]");
+        mmm.roles.push_back(MmmRole::kAccumulator);
+      }
+    }
+  }
+
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        builder.AddEdge(mmm.a(r, kk), mmm.product(r, c, kk));
+        builder.AddEdge(mmm.b(kk, c), mmm.product(r, c, kk));
+        if (kk >= 1) {
+          const NodeId prev = kk == 1 ? mmm.product(r, c, 0)
+                                      : mmm.accumulator(r, c, kk - 1);
+          builder.AddEdge(prev, mmm.accumulator(r, c, kk));
+          builder.AddEdge(mmm.product(r, c, kk), mmm.accumulator(r, c, kk));
+        }
+      }
+    }
+  }
+
+  mmm.graph = builder.BuildOrDie();
+  return mmm;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,58 @@
+// Matrix-matrix multiplication graphs — the "more complicated tensor
+// computations" extension the paper's Sec 4.3 points to.
+//
+// MMM(m, k, n) is the CDAG of C = A * B with A in R^{m x k}, B in R^{k x n}:
+// per output (r, c) a chain accumulating the k products a_{r,kk} * b_{kk,c},
+// structured exactly like MVM's per-row chains (every product and
+// accumulation node is binary). |V| = mk + kn + mnk + mn(k-1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/weights.h"
+
+namespace wrbpg {
+
+enum class MmmRole : std::uint8_t {
+  kMatrixAInput,
+  kMatrixBInput,
+  kProduct,
+  kAccumulator,
+};
+
+struct MmmGraph {
+  Graph graph;
+  std::int64_t m = 0, k = 0, n = 0;
+
+  std::vector<MmmRole> roles;
+
+  NodeId a(std::int64_t r, std::int64_t kk) const {
+    return a_[static_cast<std::size_t>(r * k + kk)];
+  }
+  NodeId b(std::int64_t kk, std::int64_t c) const {
+    return b_[static_cast<std::size_t>(kk * n + c)];
+  }
+  NodeId product(std::int64_t r, std::int64_t c, std::int64_t kk) const {
+    return p_[static_cast<std::size_t>((kk * m + r) * n + c)];
+  }
+  // Running sum of output (r, c) after terms 0..kk; defined for kk in [1, k).
+  NodeId accumulator(std::int64_t r, std::int64_t c, std::int64_t kk) const {
+    return acc_[static_cast<std::size_t>(((kk - 1) * m + r) * n + c)];
+  }
+  NodeId output(std::int64_t r, std::int64_t c) const {
+    return k == 1 ? product(r, c, 0) : accumulator(r, c, k - 1);
+  }
+
+ private:
+  friend MmmGraph BuildMmm(std::int64_t, std::int64_t, std::int64_t,
+                           const PrecisionConfig&);
+  std::vector<NodeId> a_, b_, p_, acc_;
+};
+
+// m, n >= 1 (not both 1), k >= 1.
+MmmGraph BuildMmm(std::int64_t m, std::int64_t k, std::int64_t n,
+                  const PrecisionConfig& config = PrecisionConfig::Equal());
+
+}  // namespace wrbpg

@@ -1,0 +1,85 @@
+#include "dataflows/mvm_graph.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+MvmGraph BuildMvm(std::int64_t m, std::int64_t n,
+                  const PrecisionConfig& config) {
+  if (m < 2 || n < 1) {
+    std::fprintf(stderr, "BuildMvm: invalid parameters m=%lld n=%lld\n",
+                 static_cast<long long>(m), static_cast<long long>(n));
+    std::abort();
+  }
+
+  MvmGraph mvm;
+  mvm.m = m;
+  mvm.n = n;
+  GraphBuilder builder;
+
+  auto idx = [](std::int64_t r, std::int64_t c) { return std::to_string(r) +
+                                                         "," +
+                                                         std::to_string(c); };
+
+  // S_1, column-major: [x_k, a_{1,k}, ..., a_{m,k}] for each column k.
+  mvm.x_.resize(static_cast<std::size_t>(n));
+  mvm.a_.resize(static_cast<std::size_t>(m * n));
+  for (std::int64_t c = 0; c < n; ++c) {
+    mvm.x_[static_cast<std::size_t>(c)] =
+        builder.AddNode(config.input_bits, "x[" + std::to_string(c) + "]");
+    mvm.roles.push_back(MvmRole::kVectorInput);
+    for (std::int64_t r = 0; r < m; ++r) {
+      mvm.a_[static_cast<std::size_t>(c * m + r)] =
+          builder.AddNode(config.input_bits, "a[" + idx(r, c) + "]");
+      mvm.roles.push_back(MvmRole::kMatrixInput);
+    }
+  }
+
+  // S_2: products, column-major.
+  mvm.p_.resize(static_cast<std::size_t>(m * n));
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      mvm.p_[static_cast<std::size_t>(c * m + r)] =
+          builder.AddNode(config.compute_bits, "p[" + idx(r, c) + "]");
+      mvm.roles.push_back(MvmRole::kProduct);
+    }
+  }
+
+  // S_3..S_{n+1}: accumulation chains, one node per (row, column >= 1).
+  mvm.acc_.resize(static_cast<std::size_t>(m * (n - 1)));
+  for (std::int64_t c = 1; c < n; ++c) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      mvm.acc_[static_cast<std::size_t>((c - 1) * m + r)] =
+          builder.AddNode(config.compute_bits, "s[" + idx(r, c) + "]");
+      mvm.roles.push_back(MvmRole::kAccumulator);
+    }
+  }
+
+  // Definition 4.1 rule (1): inputs feed their products.
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      builder.AddEdge(mvm.x(c), mvm.product(r, c));
+      builder.AddEdge(mvm.a(r, c), mvm.product(r, c));
+    }
+  }
+  // Rules (2) and (3): accumulation chains. The first accumulator of row r
+  // sums the first two products; each later accumulator sums the previous
+  // accumulator with the next column's product.
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t c = 1; c < n; ++c) {
+      const NodeId prev =
+          (c == 1) ? mvm.product(r, 0) : mvm.accumulator(r, c - 1);
+      builder.AddEdge(prev, mvm.accumulator(r, c));
+      builder.AddEdge(mvm.product(r, c), mvm.accumulator(r, c));
+    }
+  }
+
+  mvm.graph = builder.BuildOrDie();
+  return mvm;
+}
+
+}  // namespace wrbpg

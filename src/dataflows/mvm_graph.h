@@ -1,0 +1,64 @@
+// MVM(m, n) graphs — Definition 4.1.
+//
+// Matrix-vector multiplication y = A x with A in R^{m x n}, x in R^n.
+// Layers S_1..S_{n+1}: S_1 holds all mn + n inputs ordered column-major as
+// [x_k, a_{1,k}, ..., a_{m,k}] per column k; S_2 holds the mn elementwise
+// products (column-major); S_i for i in [3, n+1] holds the m running
+// accumulations after i-1 columns, ending with the outputs y in S_{n+1}.
+// Every product and accumulation node is binary (in-degree two), so the m
+// per-row accumulation chains are k-ary trees with k = 2 — the structure the
+// Sec. 4.3 tiling exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/weights.h"
+
+namespace wrbpg {
+
+enum class MvmRole : std::uint8_t {
+  kVectorInput,  // x_k
+  kMatrixInput,  // a_{r,k}
+  kProduct,      // a_{r,k} * x_k
+  kAccumulator,  // running sum for row r (the last column's is the output y_r)
+};
+
+struct MvmGraph {
+  Graph graph;
+  std::int64_t m = 0;  // rows
+  std::int64_t n = 0;  // columns
+
+  std::vector<MvmRole> roles;  // indexed by NodeId
+
+  // Accessors use 0-based row r in [0, m) and column c in [0, n).
+  NodeId x(std::int64_t c) const {
+    return x_[static_cast<std::size_t>(c)];
+  }
+  NodeId a(std::int64_t r, std::int64_t c) const {
+    return a_[static_cast<std::size_t>(c * m + r)];
+  }
+  NodeId product(std::int64_t r, std::int64_t c) const {
+    return p_[static_cast<std::size_t>(c * m + r)];
+  }
+  // Running sum of row r after columns 0..c ; defined for c in [1, n).
+  NodeId accumulator(std::int64_t r, std::int64_t c) const {
+    return acc_[static_cast<std::size_t>((c - 1) * m + r)];
+  }
+  // The sink holding y_r: the last accumulator (or the lone product if n==1).
+  NodeId output(std::int64_t r) const {
+    return n == 1 ? product(r, 0) : accumulator(r, n - 1);
+  }
+
+ private:
+  friend MvmGraph BuildMvm(std::int64_t, std::int64_t,
+                           const PrecisionConfig&);
+  std::vector<NodeId> x_, a_, p_, acc_;
+};
+
+// Builds MVM(m, n); m >= 2, n >= 1. Aborts on invalid parameters.
+MvmGraph BuildMvm(std::int64_t m, std::int64_t n,
+                  const PrecisionConfig& config = PrecisionConfig::Equal());
+
+}  // namespace wrbpg

@@ -1,0 +1,69 @@
+#include "dataflows/random_dag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+Graph BuildRandomDag(Rng& rng, const RandomDagOptions& options) {
+  assert(options.num_layers >= 2 && options.nodes_per_layer >= 1);
+  assert(options.max_in_degree >= 1);
+  assert(options.min_weight >= 1 && options.min_weight <= options.max_weight);
+
+  GraphBuilder builder;
+  std::vector<std::vector<NodeId>> layers(
+      static_cast<std::size_t>(options.num_layers));
+  for (auto& layer : layers) {
+    layer.resize(static_cast<std::size_t>(options.nodes_per_layer));
+    for (auto& v : layer) {
+      v = builder.AddNode(
+          rng.UniformInt(options.min_weight, options.max_weight));
+    }
+  }
+
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (edges.emplace(u, v).second) builder.AddEdge(u, v);
+  };
+
+  for (std::size_t li = 1; li < layers.size(); ++li) {
+    for (NodeId v : layers[li]) {
+      const int arity =
+          static_cast<int>(rng.UniformInt(1, options.max_in_degree));
+      for (int i = 0; i < arity; ++i) {
+        // Locality-biased parent layer pick.
+        std::size_t pl = li - 1;
+        if (li >= 2 && !rng.Bernoulli(options.locality)) {
+          pl = static_cast<std::size_t>(
+              rng.UniformInt(0, static_cast<std::int64_t>(li) - 1));
+        }
+        const auto& pool = layers[pl];
+        add_edge(pool[static_cast<std::size_t>(rng.UniformInt(
+                     0, static_cast<std::int64_t>(pool.size()) - 1))],
+                 v);
+      }
+    }
+  }
+
+  // Repair: every node outside the final layer must feed something so that
+  // sources and sinks stay disjoint and no value is dead on arrival.
+  std::vector<unsigned char> has_child(
+      static_cast<std::size_t>(builder.num_nodes()), 0);
+  for (const auto& [u, v] : edges) has_child[u] = 1;
+  for (std::size_t li = 0; li + 1 < layers.size(); ++li) {
+    for (NodeId v : layers[li]) {
+      if (has_child[v]) continue;
+      const auto& next = layers[li + 1];
+      add_edge(v, next[static_cast<std::size_t>(rng.UniformInt(
+                   0, static_cast<std::int64_t>(next.size()) - 1))]);
+    }
+  }
+
+  return builder.BuildOrDie();
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,28 @@
+// Random layered CDAG generator for property tests and heuristics studies.
+//
+// Produces graphs satisfying the WRBPG model assumptions (acyclic, positive
+// weights, sources and sinks disjoint): nodes are organized into layers,
+// layer 0 is all sources, every deeper node draws 1..max_in_degree parents
+// from strictly earlier layers, and a repair pass guarantees every
+// non-final node feeds at least one successor.
+#pragma once
+
+#include "core/graph.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+
+struct RandomDagOptions {
+  int num_layers = 4;          // >= 2
+  int nodes_per_layer = 4;     // >= 1
+  int max_in_degree = 3;       // >= 1
+  Weight min_weight = 1;
+  Weight max_weight = 8;
+  // Bias parent picks toward the previous layer (locality), probability of
+  // drawing from layer i-1 rather than any earlier layer.
+  double locality = 0.7;
+};
+
+Graph BuildRandomDag(Rng& rng, const RandomDagOptions& options = {});
+
+}  // namespace wrbpg

@@ -1,0 +1,110 @@
+#include "dataflows/tree_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+std::optional<NodeId> TreeRoot(const Graph& graph) {
+  if (graph.num_nodes() == 0) return std::nullopt;
+  NodeId root = kInvalidNode;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.out_degree(v) > 1) return std::nullopt;
+    if (graph.out_degree(v) == 0) {
+      if (root != kInvalidNode) return std::nullopt;  // two sinks
+      root = v;
+    }
+  }
+  if (root == kInvalidNode) return std::nullopt;
+  // Out-degree <= 1 with a unique sink and acyclicity (Graph invariant)
+  // implies every node reaches the root, i.e. the graph is connected.
+  return root;
+}
+
+TreeGraph BuildPerfectTree(int k, int levels, const PrecisionConfig& config) {
+  if (k < 1 || levels < 1) {
+    std::fprintf(stderr, "BuildPerfectTree: invalid k=%d levels=%d\n", k,
+                 levels);
+    std::abort();
+  }
+  GraphBuilder builder;
+  // Build breadth-first from the root; level l has k^l nodes.
+  std::vector<NodeId> frontier;
+  const NodeId root = builder.AddNode(config.compute_bits, "t0[0]");
+  frontier.push_back(root);
+  for (int level = 1; level <= levels; ++level) {
+    const bool leaf_level = (level == levels);
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(k));
+    std::int64_t index = 0;
+    for (NodeId parent : frontier) {
+      for (int c = 0; c < k; ++c, ++index) {
+        const NodeId child = builder.AddNode(
+            leaf_level ? config.input_bits : config.compute_bits,
+            "t" + std::to_string(level) + "[" + std::to_string(index) + "]");
+        builder.AddEdge(child, parent);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  TreeGraph tree;
+  tree.graph = builder.BuildOrDie();
+  tree.root = root;
+  tree.max_in_degree = k;
+  return tree;
+}
+
+TreeGraph BuildRandomTree(Rng& rng, const RandomTreeOptions& options) {
+  assert(options.max_k >= 1 && options.max_internal >= 1);
+  assert(options.min_weight >= 1 &&
+         options.min_weight <= options.max_weight);
+
+  GraphBuilder builder;
+  auto random_weight = [&] {
+    return rng.UniformInt(options.min_weight, options.max_weight);
+  };
+
+  const NodeId root = builder.AddNode(random_weight(), "r");
+  // Frontier of nodes that still need their in-edges decided.
+  std::vector<NodeId> frontier = {root};
+  int internal_budget = options.max_internal - 1;
+  int max_in_degree = 1;
+
+  while (!frontier.empty()) {
+    // Pop a random frontier entry to avoid biasing depth.
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(frontier.size()) - 1));
+    std::swap(frontier[pick], frontier.back());
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+
+    const int arity =
+        static_cast<int>(rng.UniformInt(1, options.max_k));
+    max_in_degree = std::max(max_in_degree, arity);
+    for (int c = 0; c < arity; ++c) {
+      const NodeId child = builder.AddNode(random_weight());
+      builder.AddEdge(child, v);
+      // A child becomes internal while budget remains and a coin flip allows;
+      // otherwise it stays a leaf (source).
+      if (internal_budget > 0 && rng.Bernoulli(0.6)) {
+        --internal_budget;
+        frontier.push_back(child);
+      }
+    }
+  }
+
+  TreeGraph tree;
+  tree.graph = builder.BuildOrDie();
+  tree.root = root;
+  tree.max_in_degree = max_in_degree;
+  return tree;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,49 @@
+// k-ary tree graphs T_k — Definition 3.6 — and generators.
+//
+// A k-ary tree graph is a rooted in-tree: a unique sink r, every other node
+// has exactly one outgoing edge on its path to r, and in-degree is bounded
+// by k. Computation flows from the leaves (sources) toward the root. The
+// paper's H(v) — the "parents" of the pebble game — are the tree *children*
+// in the usual data-structure sense; we keep the paper's orientation: edges
+// point toward the root, and Graph::parents(v) is H(v).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/graph.h"
+#include "dataflows/weights.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+
+struct TreeGraph {
+  Graph graph;
+  NodeId root = kInvalidNode;  // the unique sink
+  int max_in_degree = 0;       // the k of T_k this instance inhabits
+};
+
+// True iff `graph` is a rooted in-tree (unique sink, out-degree <= 1
+// everywhere, connected). Returns the root when it is.
+std::optional<NodeId> TreeRoot(const Graph& graph);
+
+// Perfect k-ary tree with `levels` levels of internal nodes; leaves are the
+// sources. levels >= 1, k >= 1. Node count: sum_{i=0..levels} k^i.
+TreeGraph BuildPerfectTree(int k, int levels,
+                           const PrecisionConfig& config =
+                               PrecisionConfig::Equal());
+
+struct RandomTreeOptions {
+  int max_k = 3;            // in-degree bound (>= 1)
+  int max_internal = 10;    // number of internal (non-leaf) nodes (>= 1)
+  Weight min_weight = 1;
+  Weight max_weight = 8;
+};
+
+// Random in-tree: grows internal nodes top-down from the root, each with a
+// uniform arity in [1, max_k]; slots not expanded into internal nodes become
+// leaves. Weights are uniform in [min_weight, max_weight]. Deterministic for
+// a given Rng state.
+TreeGraph BuildRandomTree(Rng& rng, const RandomTreeOptions& options = {});
+
+}  // namespace wrbpg

@@ -1,0 +1,93 @@
+#include "dataflows/wavelet_graph.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/graph_builder.h"
+
+namespace wrbpg {
+
+bool WaveletParamsValid(std::int64_t n, int d, int taps) {
+  if (taps < 2 || !DwtParamsValid(n, d)) return false;
+  // Every level must span at least one full window.
+  const std::int64_t last_level_inputs = n >> (d - 1);
+  return last_level_inputs >= taps;
+}
+
+WaveletGraph BuildWavelet(std::int64_t n, int d, int taps,
+                          const PrecisionConfig& config) {
+  if (!WaveletParamsValid(n, d, taps)) {
+    std::fprintf(stderr, "BuildWavelet: invalid parameters n=%lld d=%d taps=%d\n",
+                 static_cast<long long>(n), d, taps);
+    std::abort();
+  }
+
+  WaveletGraph w;
+  w.n = n;
+  w.d = d;
+  w.taps = taps;
+  GraphBuilder builder;
+
+  w.layers.resize(static_cast<std::size_t>(d) + 1);
+  std::int64_t size = n;
+  for (int i = 0; i <= d; ++i) {
+    auto& layer = w.layers[static_cast<std::size_t>(i)];
+    layer.resize(static_cast<std::size_t>(size));
+    for (std::int64_t j = 0; j < size; ++j) {
+      if (i == 0) {
+        layer[static_cast<std::size_t>(j)] =
+            builder.AddNode(config.input_bits, "x[" + std::to_string(j) + "]");
+        w.roles.push_back(DwtRole::kInput);
+      } else {
+        const bool average = (j % 2 == 0);
+        layer[static_cast<std::size_t>(j)] = builder.AddNode(
+            config.compute_bits,
+            std::string(average ? "a" : "c") + std::to_string(i) + "[" +
+                std::to_string(j / 2) + "]");
+        w.roles.push_back(average ? DwtRole::kAverage
+                                  : DwtRole::kCoefficient);
+      }
+    }
+    if (i >= 1) size /= 2;
+  }
+
+  w.window_parents.resize(static_cast<std::size_t>(builder.num_nodes()));
+
+  // Level l output pair (a_j, c_j) reads the window prev[(2j + t) mod m],
+  // averages of the previous layer (all of layer 0 feeds level 1).
+  for (int l = 1; l <= d; ++l) {
+    const auto& prev = w.layers[static_cast<std::size_t>(l - 1)];
+    const auto& cur = w.layers[static_cast<std::size_t>(l)];
+    // The consumable values of the previous layer: inputs for l == 1,
+    // averages (even positions) for l > 1.
+    std::vector<NodeId> feed;
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      if (l == 1 || j % 2 == 0) feed.push_back(prev[j]);
+    }
+    const std::int64_t m = static_cast<std::int64_t>(feed.size());
+    for (std::int64_t j = 0; j < m / 2; ++j) {
+      // Window positions (2j + t) mod m are pairwise distinct because
+      // validation guarantees m >= taps.
+      std::vector<NodeId> window;
+      window.reserve(static_cast<std::size_t>(taps));
+      for (int t = 0; t < taps; ++t) {
+        window.push_back(feed[static_cast<std::size_t>((2 * j + t) % m)]);
+      }
+      const NodeId avg = cur[static_cast<std::size_t>(2 * j)];
+      const NodeId coeff = cur[static_cast<std::size_t>(2 * j + 1)];
+      for (NodeId p : window) {
+        builder.AddEdge(p, avg);
+        builder.AddEdge(p, coeff);
+      }
+      w.window_parents[avg] = window;
+      w.window_parents[coeff] = window;
+    }
+  }
+
+  w.graph = builder.BuildOrDie();
+  return w;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,51 @@
+// Generalized wavelet transform graphs — the paper's Sec 3.1.1 future work:
+// "wavelet transforms that perform convolutions with more than two
+// inputs/averages".
+//
+// WaveletGraph(n, d, taps) is the dataflow of a d-level DWT whose low/high
+// pass filters have `taps` coefficients, with periodic (circular) boundary
+// handling: level l maps m = n / 2^(l-1) previous averages to m/2 averages
+// and m/2 detail coefficients, where output j reads prev[(2j + i) mod m]
+// for i in [0, taps). taps = 2 is exactly the Haar graph of Definition 3.1
+// (modulo the wrap never triggering).
+//
+// For taps > 2 consecutive windows overlap, so average nodes have
+// out-degree > 1 and the graph is NOT a tree: the optimal tree schedulers
+// do not apply, and scheduling falls to the general-DAG heuristics
+// (layer-by-layer, Belady, greedy) — precisely the regime the paper leaves
+// open. Layer metadata is exposed so the Sec 5.1 baseline runs unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/weights.h"
+
+namespace wrbpg {
+
+struct WaveletGraph {
+  Graph graph;
+  std::int64_t n = 0;
+  int d = 0;
+  int taps = 2;
+
+  std::vector<std::vector<NodeId>> layers;  // layers[0] = inputs
+  std::vector<DwtRole> roles;               // same role taxonomy as DWT
+
+  // For each non-input node, its window in tap order: window_parents[v][t]
+  // is the operand multiplied by filter coefficient t. (Graph::parents is
+  // id-sorted; this preserves the convolution ordering across the wrap.)
+  std::vector<std::vector<NodeId>> window_parents;
+};
+
+// Requires: taps >= 2, n a positive multiple of 2^d, and the final level
+// at least `taps` wide (n / 2^(d-1) >= taps).
+bool WaveletParamsValid(std::int64_t n, int d, int taps);
+
+WaveletGraph BuildWavelet(std::int64_t n, int d, int taps,
+                          const PrecisionConfig& config =
+                              PrecisionConfig::Equal());
+
+}  // namespace wrbpg

@@ -1,0 +1,42 @@
+// Node-weight configurations of the evaluation (Sec 5.1).
+//
+// Weights model the storage footprint of a node's result in bits. The paper
+// evaluates two configurations:
+//   * Equal              — every node one 16-bit word (the classic unweighted
+//                          red-blue pebble game, B = R * 16).
+//   * Double Accumulator — non-input nodes (partial/accumulated results) carry
+//                          twice the input precision: 32-bit vs 16-bit,
+//                          the mixed-precision scenario motivating the WRBPG.
+#pragma once
+
+#include "core/types.h"
+
+namespace wrbpg {
+
+// Number of bits in one fast-memory word across the evaluation.
+inline constexpr Weight kWordBits = 16;
+
+struct PrecisionConfig {
+  Weight input_bits;    // weight of source (input) nodes
+  Weight compute_bits;  // weight of every non-input node
+
+  static constexpr PrecisionConfig Equal(Weight word_bits = kWordBits) {
+    return {word_bits, word_bits};
+  }
+  static constexpr PrecisionConfig DoubleAccumulator(
+      Weight word_bits = kWordBits) {
+    return {word_bits, 2 * word_bits};
+  }
+
+  friend bool operator==(const PrecisionConfig&,
+                         const PrecisionConfig&) = default;
+};
+
+// Human-readable label used in bench output ("Equal", "DA", ...).
+inline const char* ConfigLabel(const PrecisionConfig& config) {
+  if (config.compute_bits == config.input_bits) return "Equal";
+  if (config.compute_bits == 2 * config.input_bits) return "DA";
+  return "Custom";
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,107 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+namespace wrbpg {
+
+ExecResult ExecuteSchedule(const Graph& graph, Weight budget,
+                           const Schedule& schedule, const NodeOp& op,
+                           const std::vector<double>& source_values) {
+  ExecResult result;
+  const NodeId n = graph.num_nodes();
+
+  std::vector<double> fast(n, 0.0);
+  std::vector<unsigned char> in_fast(n, 0);
+  result.slow_values.assign(n, 0.0);
+  result.present.assign(n, 0);
+  for (NodeId v : graph.sources()) {
+    result.slow_values[v] = source_values[v];
+    result.present[v] = 1;
+  }
+
+  Weight fast_bits = 0;
+
+  auto fail = [&](std::size_t index, std::string message) {
+    result.ok = false;
+    result.error = std::move(message);
+    result.error_index = index;
+    return result;
+  };
+
+  std::vector<double> parent_values;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Move& m = schedule[i];
+    const NodeId v = m.node;
+    if (v >= n) return fail(i, ToString(m) + ": node out of range");
+    const Weight w = graph.weight(v);
+    switch (m.type) {
+      case MoveType::kLoad:
+        if (!result.present[v]) {
+          return fail(i, ToString(m) + ": value absent from slow memory");
+        }
+        if (in_fast[v]) {
+          return fail(i, ToString(m) + ": value already in fast memory");
+        }
+        fast[v] = result.slow_values[v];
+        in_fast[v] = 1;
+        fast_bits += w;
+        result.bits_loaded += w;
+        break;
+      case MoveType::kStore:
+        if (!in_fast[v]) {
+          return fail(i, ToString(m) + ": value absent from fast memory");
+        }
+        if (result.present[v]) {
+          return fail(i, ToString(m) + ": value already in slow memory");
+        }
+        result.slow_values[v] = fast[v];
+        result.present[v] = 1;
+        result.bits_stored += w;
+        break;
+      case MoveType::kCompute: {
+        if (graph.is_source(v)) {
+          return fail(i, ToString(m) + ": cannot compute an input");
+        }
+        if (in_fast[v]) {
+          return fail(i, ToString(m) + ": slot already occupied");
+        }
+        parent_values.clear();
+        for (NodeId p : graph.parents(v)) {
+          if (!in_fast[p]) {
+            return fail(i, ToString(m) + ": operand v" + std::to_string(p) +
+                               " not in fast memory");
+          }
+          parent_values.push_back(fast[p]);
+        }
+        fast[v] = op(v, parent_values);
+        in_fast[v] = 1;
+        fast_bits += w;
+        break;
+      }
+      case MoveType::kDelete:
+        if (!in_fast[v]) {
+          return fail(i, ToString(m) + ": value absent from fast memory");
+        }
+        in_fast[v] = 0;
+        fast_bits -= w;
+        break;
+    }
+    if (fast_bits > budget) {
+      return fail(i, ToString(m) + ": fast memory capacity exceeded (" +
+                         std::to_string(fast_bits) + " > " +
+                         std::to_string(budget) + " bits)");
+    }
+    result.peak_fast_bits = std::max(result.peak_fast_bits, fast_bits);
+  }
+
+  for (NodeId s : graph.sinks()) {
+    if (!result.present[s]) {
+      return fail(schedule.size(), "output v" + std::to_string(s) +
+                                       " never reached slow memory");
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,208 @@
+#include "exec/extended_kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wrbpg {
+
+std::vector<double> Db4Lowpass() {
+  const double s3 = std::sqrt(3.0);
+  const double norm = 4.0 * std::sqrt(2.0);
+  return {(1.0 + s3) / norm, (3.0 + s3) / norm, (3.0 - s3) / norm,
+          (1.0 - s3) / norm};
+}
+
+std::vector<double> Db4Highpass() {
+  // Quadrature mirror of the lowpass: g_t = (-1)^t h_{taps-1-t}.
+  const std::vector<double> h = Db4Lowpass();
+  std::vector<double> g(h.size());
+  for (std::size_t t = 0; t < h.size(); ++t) {
+    g[t] = (t % 2 == 0 ? 1.0 : -1.0) * h[h.size() - 1 - t];
+  }
+  return g;
+}
+
+NodeOp MakeWaveletNodeOp(const WaveletGraph& wavelet,
+                         std::vector<double> lowpass,
+                         std::vector<double> highpass) {
+  assert(static_cast<int>(lowpass.size()) == wavelet.taps);
+  assert(static_cast<int>(highpass.size()) == wavelet.taps);
+  const Graph& g = wavelet.graph;
+
+  // Parent values arrive in id-sorted order; precompute, per node and tap,
+  // the index of the tap's operand so summation runs in tap order (the
+  // reference's order) regardless of wrap-around.
+  std::vector<std::vector<std::uint16_t>> tap_to_parent(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& window = wavelet.window_parents[v];
+    if (window.empty()) continue;
+    const auto parents = g.parents(v);
+    auto& map = tap_to_parent[v];
+    map.resize(window.size());
+    for (std::size_t t = 0; t < window.size(); ++t) {
+      const auto it = std::find(parents.begin(), parents.end(), window[t]);
+      assert(it != parents.end());
+      map[t] = static_cast<std::uint16_t>(it - parents.begin());
+    }
+  }
+  std::vector<DwtRole> roles = wavelet.roles;
+
+  return [roles = std::move(roles), tap_to_parent = std::move(tap_to_parent),
+          lowpass = std::move(lowpass), highpass = std::move(highpass)](
+             NodeId v, std::span<const double> parents) {
+    const auto& filter =
+        roles[v] == DwtRole::kAverage ? lowpass : highpass;
+    const auto& map = tap_to_parent[v];
+    double sum = 0.0;
+    for (std::size_t t = 0; t < map.size(); ++t) {
+      sum += filter[t] * parents[map[t]];
+    }
+    return sum;
+  };
+}
+
+std::vector<double> WaveletReferenceValues(
+    const WaveletGraph& wavelet, const std::vector<double>& signal,
+    const std::vector<double>& lowpass, const std::vector<double>& highpass) {
+  assert(static_cast<std::int64_t>(signal.size()) == wavelet.n);
+  std::vector<double> values(wavelet.graph.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < signal.size(); ++j) {
+    values[wavelet.layers[0][j]] = signal[j];
+  }
+
+  std::vector<double> prev = signal;
+  for (int l = 1; l <= wavelet.d; ++l) {
+    const auto& layer = wavelet.layers[static_cast<std::size_t>(l)];
+    const std::int64_t m = static_cast<std::int64_t>(prev.size());
+    std::vector<double> averages(static_cast<std::size_t>(m / 2));
+    for (std::int64_t j = 0; j < m / 2; ++j) {
+      double a = 0.0, c = 0.0;
+      for (int t = 0; t < wavelet.taps; ++t) {
+        const double x = prev[static_cast<std::size_t>((2 * j + t) % m)];
+        a += lowpass[static_cast<std::size_t>(t)] * x;
+        c += highpass[static_cast<std::size_t>(t)] * x;
+      }
+      averages[static_cast<std::size_t>(j)] = a;
+      values[layer[static_cast<std::size_t>(2 * j)]] = a;
+      values[layer[static_cast<std::size_t>(2 * j + 1)]] = c;
+    }
+    prev = std::move(averages);
+  }
+  return values;
+}
+
+NodeOp MakeWhtNodeOp(const ButterflyGraph& butterfly) {
+  // A node subtracts iff its stage bit is set in its position.
+  std::vector<unsigned char> minus(butterfly.graph.num_nodes(), 0);
+  for (int s = 1; s <= butterfly.stages; ++s) {
+    const std::int64_t bit = std::int64_t{1} << (s - 1);
+    for (std::int64_t j = 0; j < butterfly.n; ++j) {
+      if ((j & bit) != 0) minus[butterfly.at(s, j)] = 1;
+    }
+  }
+  return [minus = std::move(minus)](NodeId v,
+                                    std::span<const double> parents) {
+    assert(parents.size() == 2);
+    // Parents are id-sorted, so parents[0] is the bit-clear partner.
+    return minus[v] ? parents[0] - parents[1] : parents[0] + parents[1];
+  };
+}
+
+std::vector<double> WhtReferenceValues(const ButterflyGraph& butterfly,
+                                       const std::vector<double>& signal) {
+  assert(static_cast<std::int64_t>(signal.size()) == butterfly.n);
+  std::vector<double> values(butterfly.graph.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < signal.size(); ++j) {
+    values[butterfly.layers[0][j]] = signal[j];
+  }
+  std::vector<double> prev = signal;
+  for (int s = 1; s <= butterfly.stages; ++s) {
+    const std::int64_t bit = std::int64_t{1} << (s - 1);
+    std::vector<double> cur(prev.size());
+    for (std::int64_t j = 0; j < butterfly.n; ++j) {
+      const std::size_t ji = static_cast<std::size_t>(j);
+      const std::size_t pi = static_cast<std::size_t>(j ^ bit);
+      cur[ji] = (j & bit) == 0 ? prev[ji] + prev[pi] : prev[pi] - prev[ji];
+      values[butterfly.at(s, j)] = cur[ji];
+    }
+    prev = std::move(cur);
+  }
+  return values;
+}
+
+std::vector<double> FastWht(std::vector<double> signal) {
+  const std::int64_t n = static_cast<std::int64_t>(signal.size());
+  for (std::int64_t bit = 1; bit < n; bit <<= 1) {
+    std::vector<double> next(signal.size());
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::size_t ji = static_cast<std::size_t>(j);
+      const std::size_t pi = static_cast<std::size_t>(j ^ bit);
+      next[ji] =
+          (j & bit) == 0 ? signal[ji] + signal[pi] : signal[pi] - signal[ji];
+    }
+    signal = std::move(next);
+  }
+  return signal;
+}
+
+NodeOp MakeMmmNodeOp(const MmmGraph& mmm) {
+  std::vector<MmmRole> roles = mmm.roles;
+  return [roles = std::move(roles)](NodeId v,
+                                    std::span<const double> parents) {
+    assert(parents.size() == 2);
+    return roles[v] == MmmRole::kProduct ? parents[0] * parents[1]
+                                         : parents[0] + parents[1];
+  };
+}
+
+std::vector<double> MmmReferenceValues(const MmmGraph& mmm,
+                                       const std::vector<double>& a_row_major,
+                                       const std::vector<double>& b_row_major) {
+  const std::int64_t m = mmm.m, k = mmm.k, n = mmm.n;
+  assert(static_cast<std::int64_t>(a_row_major.size()) == m * k);
+  assert(static_cast<std::int64_t>(b_row_major.size()) == k * n);
+  std::vector<double> values(mmm.graph.num_nodes(), 0.0);
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      values[mmm.a(r, kk)] = a_row_major[static_cast<std::size_t>(r * k + kk)];
+    }
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      values[mmm.b(kk, c)] = b_row_major[static_cast<std::size_t>(kk * n + c)];
+    }
+  }
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      double sum = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double p = values[mmm.a(r, kk)] * values[mmm.b(kk, c)];
+        values[mmm.product(r, c, kk)] = p;
+        sum = kk == 0 ? p : sum + p;
+        if (kk >= 1) values[mmm.accumulator(r, c, kk)] = sum;
+      }
+    }
+  }
+  return values;
+}
+
+std::vector<double> MatMul(std::int64_t m, std::int64_t k, std::int64_t n,
+                           const std::vector<double>& a_row_major,
+                           const std::vector<double>& b_row_major) {
+  std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t cc = 0; cc < n; ++cc) {
+      double sum = a_row_major[static_cast<std::size_t>(r * k)] *
+                   b_row_major[static_cast<std::size_t>(cc)];
+      for (std::int64_t kk = 1; kk < k; ++kk) {
+        sum += a_row_major[static_cast<std::size_t>(r * k + kk)] *
+               b_row_major[static_cast<std::size_t>(kk * n + cc)];
+      }
+      c[static_cast<std::size_t>(r * n + cc)] = sum;
+    }
+  }
+  return c;
+}
+
+}  // namespace wrbpg

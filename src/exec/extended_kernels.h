@@ -1,0 +1,49 @@
+// Node semantics + reference implementations for the extension dataflows:
+// generalized wavelets (taps > 2), butterfly/WHT, and matrix-matrix
+// multiplication. Same contract as reference_kernels.h: executing a valid
+// schedule reproduces the reference values bit-for-bit (identical operation
+// order per node).
+#pragma once
+
+#include <vector>
+
+#include "dataflows/butterfly_graph.h"
+#include "dataflows/mmm_graph.h"
+#include "dataflows/wavelet_graph.h"
+#include "exec/executor.h"
+
+namespace wrbpg {
+
+// Daubechies-4 analysis filters (taps = 4), the canonical >2-tap wavelet.
+std::vector<double> Db4Lowpass();
+std::vector<double> Db4Highpass();
+
+// Averages apply `lowpass`, coefficients `highpass`, both of size
+// wavelet.taps, over the node's window in tap order.
+NodeOp MakeWaveletNodeOp(const WaveletGraph& wavelet,
+                         std::vector<double> lowpass,
+                         std::vector<double> highpass);
+
+std::vector<double> WaveletReferenceValues(const WaveletGraph& wavelet,
+                                           const std::vector<double>& signal,
+                                           const std::vector<double>& lowpass,
+                                           const std::vector<double>& highpass);
+
+// Butterfly stages computing the (unnormalized) Walsh-Hadamard transform.
+NodeOp MakeWhtNodeOp(const ButterflyGraph& butterfly);
+std::vector<double> WhtReferenceValues(const ButterflyGraph& butterfly,
+                                       const std::vector<double>& signal);
+// Direct fast WHT of the input vector (output order matches sink order).
+std::vector<double> FastWht(std::vector<double> signal);
+
+// Products multiply, accumulators add (same contract as MVM).
+NodeOp MakeMmmNodeOp(const MmmGraph& mmm);
+std::vector<double> MmmReferenceValues(const MmmGraph& mmm,
+                                       const std::vector<double>& a_row_major,
+                                       const std::vector<double>& b_row_major);
+// Plain C = A * B accumulated in kk order (row-major operands/result).
+std::vector<double> MatMul(std::int64_t m, std::int64_t k, std::int64_t n,
+                           const std::vector<double>& a_row_major,
+                           const std::vector<double>& b_row_major);
+
+}  // namespace wrbpg

@@ -1,0 +1,110 @@
+#include "exec/reference_kernels.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wrbpg {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+}  // namespace
+
+NodeOp MakeDwtNodeOp(const DwtGraph& dwt) {
+  // Copy the role table so the op remains valid independent of `dwt`.
+  std::vector<DwtRole> roles = dwt.roles;
+  return [roles = std::move(roles)](NodeId v,
+                                    std::span<const double> parents) {
+    assert(parents.size() == 2);
+    const double sum = roles[v] == DwtRole::kAverage
+                           ? parents[0] + parents[1]
+                           : parents[0] - parents[1];
+    return sum * kInvSqrt2;
+  };
+}
+
+NodeOp MakeMvmNodeOp(const MvmGraph& mvm) {
+  std::vector<MvmRole> roles = mvm.roles;
+  return [roles = std::move(roles)](NodeId v,
+                                    std::span<const double> parents) {
+    assert(parents.size() == 2);
+    return roles[v] == MvmRole::kProduct ? parents[0] * parents[1]
+                                         : parents[0] + parents[1];
+  };
+}
+
+std::vector<double> DwtReferenceValues(const DwtGraph& dwt,
+                                       const std::vector<double>& signal) {
+  assert(static_cast<std::int64_t>(signal.size()) == dwt.n);
+  std::vector<double> values(dwt.graph.num_nodes(), 0.0);
+
+  // Level-by-level recurrence of Sec 3.1.1, written against the raw arrays
+  // rather than the graph so that it independently checks the wiring.
+  std::vector<double> prev_averages = signal;
+  for (std::size_t i = 1; i < dwt.layers.size(); ++i) {
+    const auto& layer = dwt.layers[i];
+    std::vector<double> averages(layer.size() / 2);
+    for (std::size_t j = 0; j < layer.size(); j += 2) {
+      const double lhs = prev_averages[j];
+      const double rhs = prev_averages[j + 1];
+      averages[j / 2] = (lhs + rhs) * kInvSqrt2;
+      values[layer[j]] = averages[j / 2];
+      values[layer[j + 1]] = (lhs - rhs) * kInvSqrt2;
+    }
+    prev_averages = std::move(averages);
+  }
+  for (std::size_t j = 0; j < dwt.layers[0].size(); ++j) {
+    values[dwt.layers[0][j]] = signal[j];
+  }
+  return values;
+}
+
+std::vector<double> HaarOutputs(const DwtGraph& dwt,
+                                const std::vector<double>& signal) {
+  const std::vector<double> values = DwtReferenceValues(dwt, signal);
+  std::vector<double> outputs;
+  for (NodeId v : dwt.graph.sinks()) outputs.push_back(values[v]);
+  return outputs;
+}
+
+std::vector<double> MvmReferenceValues(const MvmGraph& mvm,
+                                       const std::vector<double>& a_row_major,
+                                       const std::vector<double>& x) {
+  const std::int64_t m = mvm.m, n = mvm.n;
+  assert(static_cast<std::int64_t>(a_row_major.size()) == m * n);
+  assert(static_cast<std::int64_t>(x.size()) == n);
+  std::vector<double> values(mvm.graph.num_nodes(), 0.0);
+  for (std::int64_t c = 0; c < n; ++c) {
+    values[mvm.x(c)] = x[static_cast<std::size_t>(c)];
+    for (std::int64_t r = 0; r < m; ++r) {
+      values[mvm.a(r, c)] = a_row_major[static_cast<std::size_t>(r * n + c)];
+      values[mvm.product(r, c)] =
+          values[mvm.a(r, c)] * values[mvm.x(c)];
+    }
+  }
+  for (std::int64_t r = 0; r < m; ++r) {
+    double sum = values[mvm.product(r, 0)];
+    for (std::int64_t c = 1; c < n; ++c) {
+      sum += values[mvm.product(r, c)];
+      values[mvm.accumulator(r, c)] = sum;
+    }
+  }
+  return values;
+}
+
+std::vector<double> MatVec(std::int64_t m, std::int64_t n,
+                           const std::vector<double>& a_row_major,
+                           const std::vector<double>& x) {
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  for (std::int64_t r = 0; r < m; ++r) {
+    double sum = a_row_major[static_cast<std::size_t>(r * n)] * x[0];
+    for (std::int64_t c = 1; c < n; ++c) {
+      sum += a_row_major[static_cast<std::size_t>(r * n + c)] *
+             x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+  return y;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,45 @@
+// Direct (schedule-free) reference implementations of the evaluation
+// kernels, plus the NodeOp semantics that make DWT/MVM graphs executable.
+//
+// References compute every node's value straight from the recurrences of
+// Sec 3.1 / Sec 4.2; executing any valid schedule through exec/Executor must
+// reproduce them bit-for-bit (doubles, exact same operation order per node).
+#pragma once
+
+#include <vector>
+
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "exec/executor.h"
+
+namespace wrbpg {
+
+// Node semantics: averages (x_j + x_{j+1}) / sqrt(2), coefficients
+// (x_j - x_{j+1}) / sqrt(2); parent order follows Graph::parents (ascending
+// NodeId, which matches ascending sample index by construction).
+NodeOp MakeDwtNodeOp(const DwtGraph& dwt);
+
+// Node semantics: products multiply (x parent, a parent); accumulators add.
+NodeOp MakeMvmNodeOp(const MvmGraph& mvm);
+
+// Values for every node of the DWT graph given the input signal (length n).
+std::vector<double> DwtReferenceValues(const DwtGraph& dwt,
+                                       const std::vector<double>& signal);
+
+// Values for every node of the MVM graph given row-major A (m x n) and x.
+std::vector<double> MvmReferenceValues(const MvmGraph& mvm,
+                                       const std::vector<double>& a_row_major,
+                                       const std::vector<double>& x);
+
+// Plain y = A x for end-to-end output checks (row-major A).
+std::vector<double> MatVec(std::int64_t m, std::int64_t n,
+                           const std::vector<double>& a_row_major,
+                           const std::vector<double>& x);
+
+// Multi-level Haar DWT: returns the concatenated outputs in graph order —
+// the values of the final averages and all coefficient layers — keyed by
+// sink NodeId in `dwt`.
+std::vector<double> HaarOutputs(const DwtGraph& dwt,
+                                const std::vector<double>& signal);
+
+}  // namespace wrbpg

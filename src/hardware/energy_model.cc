@@ -1,0 +1,56 @@
+#include "hardware/energy_model.h"
+
+#include <cassert>
+
+namespace wrbpg {
+namespace {
+
+// Accesses per second at peak bandwidth (word-granular transfers).
+double AccessRatePerSecond(const SramMacro& macro, double bw_gbps) {
+  const double bytes_per_word = static_cast<double>(macro.word_bits) / 8.0;
+  return bw_gbps * 1e9 / bytes_per_word;
+}
+
+}  // namespace
+
+double ReadEnergyPerWordNj(const SramMacro& macro) {
+  // P[mW] / rate[1/s] = energy per access in microjoules * 1e-3 -> nJ.
+  return macro.read_power_mw * 1e-3 /
+         AccessRatePerSecond(macro, macro.read_bw_gbps) * 1e9;
+}
+
+double WriteEnergyPerWordNj(const SramMacro& macro) {
+  return macro.write_power_mw * 1e-3 /
+         AccessRatePerSecond(macro, macro.write_bw_gbps) * 1e9;
+}
+
+EnergyReport EstimateScheduleEnergy(const SramMacro& macro,
+                                    Weight bits_loaded, Weight bits_stored,
+                                    double duty_cycle) {
+  assert(duty_cycle >= 1.0);
+  EnergyReport report;
+  const double reads =
+      static_cast<double>(bits_loaded) / static_cast<double>(macro.word_bits);
+  const double writes =
+      static_cast<double>(bits_stored) / static_cast<double>(macro.word_bits);
+
+  report.read_energy_nj = reads * ReadEnergyPerWordNj(macro);
+  report.write_energy_nj = writes * WriteEnergyPerWordNj(macro);
+
+  const double traffic_seconds =
+      reads / AccessRatePerSecond(macro, macro.read_bw_gbps) +
+      writes / AccessRatePerSecond(macro, macro.write_bw_gbps);
+  const double window_seconds = traffic_seconds * duty_cycle;
+  report.execution_time_us = window_seconds * 1e6;
+  report.static_energy_nj = macro.leakage_mw * 1e-3 * window_seconds * 1e9;
+
+  report.total_energy_nj = report.read_energy_nj + report.write_energy_nj +
+                           report.static_energy_nj;
+  report.average_power_mw =
+      window_seconds > 0
+          ? report.total_energy_nj * 1e-9 / window_seconds * 1e3
+          : 0.0;
+  return report;
+}
+
+}  // namespace wrbpg

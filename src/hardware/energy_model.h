@@ -1,0 +1,37 @@
+// Energy model tying WRBPG schedule costs to the SRAM macro — the quantity
+// the BCI domain actually optimizes (Sec 1: milliwatt budgets, thermal
+// safety).
+//
+// Per-access dynamic energy is derived from the macro's dynamic power at
+// its peak access rate (E = P / rate); static energy integrates leakage
+// over the workload's execution window. The schedule's M1/M2 traffic (in
+// words of the macro's word size) provides the access counts.
+#pragma once
+
+#include "core/types.h"
+#include "hardware/sram_model.h"
+
+namespace wrbpg {
+
+struct EnergyReport {
+  double read_energy_nj = 0;     // dynamic energy of all M1 transfers
+  double write_energy_nj = 0;    // dynamic energy of all M2 transfers
+  double static_energy_nj = 0;   // leakage over the execution window
+  double total_energy_nj = 0;
+  double execution_time_us = 0;  // traffic-limited lower bound
+  double average_power_mw = 0;
+};
+
+// Per-word access energies implied by the macro (nanojoules).
+double ReadEnergyPerWordNj(const SramMacro& macro);
+double WriteEnergyPerWordNj(const SramMacro& macro);
+
+// Energy of a schedule that loads `bits_loaded` and stores `bits_stored`
+// through `macro`. `duty_cycle` stretches the execution window relative to
+// the traffic-limited minimum (1.0 = memory-bound back-to-back accesses;
+// BCI pipelines idle between windows, increasing static share).
+EnergyReport EstimateScheduleEnergy(const SramMacro& macro,
+                                    Weight bits_loaded, Weight bits_stored,
+                                    double duty_cycle = 1.0);
+
+}  // namespace wrbpg

@@ -1,0 +1,144 @@
+#include "hardware/sram_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/mathutil.h"
+
+namespace wrbpg {
+namespace {
+
+// Calibration constants (TSMC-65-like, lambda units). See header.
+constexpr double kBitcellArea = 2.0;      // λ² per bit
+constexpr double kRowPeriph = 20.0;       // λ² per row (decoder/driver)
+constexpr double kColPeriph = 45.0;       // λ² per column (sense/precharge)
+constexpr double kBankOverhead = 300.0;   // λ² per bank (local control)
+constexpr double kGlobalOverhead = 400.0; // λ² (global control/IO)
+
+constexpr double kBitcellWidth = 1.3;     // λ per column
+constexpr double kBitcellHeight = 1.54;   // λ per row (2.0 λ²/bit)
+
+constexpr double kLeakPerBit = 1.40e-3;   // mW per bit
+constexpr double kLeakPerRow = 2.0e-3;    // mW per row of periphery
+constexpr double kLeakPerCol = 3.0e-3;    // mW per column of periphery
+constexpr double kLeakBase = 0.20;        // mW fixed
+
+constexpr double kReadBase = 0.6;         // mW
+constexpr double kReadPerBit = 2.25e-3;   // mW per bit (precharge network)
+constexpr double kWriteScale = 1.05;      // writes drive full-swing bitlines
+
+// Access time: decode + bitline + sense, pipelined over a 16-byte window.
+constexpr double kCycleBase = 0.33;       // ns
+constexpr double kCyclePerRow = 4.0e-4;   // ns per row in a bank
+constexpr double kCyclePerCol = 2.0e-4;   // ns per bitline
+constexpr double kAccessBytes = 16.0;
+constexpr double kWriteBwDerate = 0.95;
+
+constexpr std::int64_t kMaxRowsPerBank = 256;
+
+}  // namespace
+
+Weight PowerOfTwoCapacity(Weight capacity_bits) {
+  return NextPowerOfTwo(capacity_bits);
+}
+
+SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits) {
+  if (capacity_bits <= 0 || word_bits <= 0 ||
+      capacity_bits % word_bits != 0) {
+    std::fprintf(stderr,
+                 "SynthesizeSram: capacity (%lld) must be a positive "
+                 "multiple of the word size (%lld)\n",
+                 static_cast<long long>(capacity_bits),
+                 static_cast<long long>(word_bits));
+    std::abort();
+  }
+
+  SramMacro macro;
+  macro.capacity_bits = capacity_bits;
+  macro.word_bits = word_bits;
+
+  // Pick the column count (word-width multiple, power-of-two mux) that makes
+  // the array squarest, then bank tall arrays.
+  std::int64_t best_cols = word_bits;
+  std::int64_t best_gap = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t mux = 1;; mux *= 2) {
+    const std::int64_t cols = word_bits * mux;
+    if (cols > capacity_bits) break;
+    if (capacity_bits % cols != 0) continue;
+    const std::int64_t rows = capacity_bits / cols;
+    const std::int64_t gap = std::llabs(rows - cols);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_cols = cols;
+    }
+  }
+  macro.cols = best_cols;
+  std::int64_t total_rows = capacity_bits / macro.cols;
+  macro.banks = 1;
+  while (total_rows > kMaxRowsPerBank) {
+    total_rows /= 2;
+    macro.banks *= 2;
+  }
+  macro.rows = total_rows;
+
+  const double bits = static_cast<double>(capacity_bits);
+  const double rows_total =
+      static_cast<double>(macro.rows) * static_cast<double>(macro.banks);
+  const double cols_d = static_cast<double>(macro.cols);
+
+  macro.area_lambda2 = kBitcellArea * bits + kRowPeriph * rows_total +
+                       kColPeriph * cols_d +
+                       kBankOverhead * static_cast<double>(macro.banks) +
+                       kGlobalOverhead;
+  macro.width_lambda = kBitcellWidth * cols_d + 24.0;  // + column periphery
+  macro.height_lambda =
+      kBitcellHeight * rows_total + 16.0 * static_cast<double>(macro.banks);
+
+  macro.leakage_mw = kLeakPerBit * bits + kLeakPerRow * rows_total +
+                     kLeakPerCol * cols_d + kLeakBase;
+  macro.read_power_mw = kReadBase + kReadPerBit * bits;
+  macro.write_power_mw = kWriteScale * macro.read_power_mw;
+
+  const double cycle_ns = kCycleBase +
+                          kCyclePerRow * static_cast<double>(macro.rows) +
+                          kCyclePerCol * cols_d;
+  macro.read_bw_gbps = kAccessBytes / cycle_ns;  // GB/s: bytes per ns
+  macro.write_bw_gbps = kWriteBwDerate * macro.read_bw_gbps;
+  return macro;
+}
+
+std::string RenderLayout(const SramMacro& macro, const std::string& label) {
+  std::ostringstream out;
+  // Scale: one character column ~ 8 λ wide, one row ~ 24 λ tall, with
+  // floors so tiny macros remain visible.
+  const int w = std::max(6, static_cast<int>(macro.width_lambda / 8.0));
+  const int bank_h =
+      std::max(2, static_cast<int>(static_cast<double>(macro.rows) *
+                                   kBitcellHeight / 24.0));
+  out << label << "  (" << macro.capacity_bits << " bits, " << macro.banks
+      << (macro.banks == 1 ? " bank, " : " banks, ") << macro.rows << "x"
+      << macro.cols << " per bank, " << static_cast<long long>(macro.area_lambda2)
+      << " lambda^2)\n";
+  const std::string border = "+" + std::string(static_cast<std::size_t>(w), '-') + "+\n";
+  out << border;
+  for (std::int64_t b = 0; b < macro.banks; ++b) {
+    for (int r = 0; r < bank_h; ++r) {
+      out << "|";
+      for (int c = 0; c < w; ++c) {
+        // Left strip: row decoder; body: bit-cell array.
+        out << (c < 2 ? ':' : '#');
+      }
+      out << "|\n";
+    }
+    // Column periphery strip under each bank.
+    out << "|" << std::string(static_cast<std::size_t>(w), '=') << "|\n";
+  }
+  out << border;
+  return out.str();
+}
+
+}  // namespace wrbpg

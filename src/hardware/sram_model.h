@@ -1,0 +1,63 @@
+// Analytic SRAM macro model — the physical-synthesis substrate of Sec 5.3.
+//
+// SUBSTITUTION (see DESIGN.md §3): the paper synthesizes SRAM arrays with
+// AMC (an asynchronous memory compiler) in the TSMC 65 nm PDK — proprietary
+// EDA we cannot run. This module models the same design points analytically:
+// a banked 6T SRAM macro with a bit-cell array plus row/column periphery.
+//
+//   organization  cols picked near sqrt(capacity) as word-width multiples;
+//                 arrays taller than kMaxRowsPerBank rows split into banks.
+//   area (λ²)     kBitcellArea·bits + kRowPeriph·rows + kColPeriph·cols
+//                 + kBankOverhead·banks + kGlobalOverhead.
+//   leakage (mW)  kLeakPerBit·bits + per-row/col periphery + constant —
+//                 dominated by the bit count, which is what makes the
+//                 paper's capacity reductions translate to static power.
+//   read/write    dynamic power grows with the active array size; peak
+//                 bandwidth is nearly capacity-independent because AMC's
+//                 gate sizing is fixed (Sec 5.3) — modeled as a pipelined
+//                 16-byte access window whose cycle time grows only weakly
+//                 with rows/cols.
+//
+// Constants are calibrated so the Fig. 7 magnitudes (tens of kλ², tens of
+// mW, tens of GB/s) are matched; the claims reproduced are the *relative*
+// reductions, which depend only on the monotone capacity → area/power maps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace wrbpg {
+
+struct SramMacro {
+  Weight capacity_bits = 0;
+  Weight word_bits = 0;
+  std::int64_t rows = 0;   // rows per bank
+  std::int64_t cols = 0;   // bitlines (bits per row)
+  std::int64_t banks = 1;
+
+  double area_lambda2 = 0;
+  double width_lambda = 0;
+  double height_lambda = 0;
+
+  double leakage_mw = 0;
+  double read_power_mw = 0;
+  double write_power_mw = 0;
+  double read_bw_gbps = 0;
+  double write_bw_gbps = 0;
+};
+
+// Synthesizes the macro for a capacity (bits, must be a positive multiple
+// of word_bits). Deterministic.
+SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits = 16);
+
+// Round a minimum capacity up to the power-of-two macro actually built
+// (standard design practice; final column of Table 1).
+Weight PowerOfTwoCapacity(Weight capacity_bits);
+
+// ASCII floorplan of the macro (Fig. 8 stand-in): banks drawn to scale with
+// row decoder / column periphery strips.
+std::string RenderLayout(const SramMacro& macro, const std::string& label);
+
+}  // namespace wrbpg

@@ -1,0 +1,44 @@
+// Sliding-window scheduler for banded MVM — structured-sparse data reuse.
+//
+// Two strategies:
+//   * kSlidingWindow — rows in order; the vector words of the current row's
+//     band stay resident and the window slides (drop the column leaving the
+//     band, load the one entering). Every input is read exactly once and
+//     every output written once: the algorithmic lower bound, with peak
+//     memory ~ (2h+1) * w_in + 3 * w_c — bandwidth-, not size-proportional.
+//   * kStreaming — no vector reuse: x re-read per structural nonzero.
+//     Cheapest-feasible fallback at small budgets.
+#pragma once
+
+#include <optional>
+
+#include "dataflows/banded_mvm_graph.h"
+#include "schedulers/scheduler.h"
+
+namespace wrbpg {
+
+class BandedMvmScheduler {
+ public:
+  explicit BandedMvmScheduler(const BandedMvmGraph& banded);
+
+  enum class Strategy : std::uint8_t { kSlidingWindow, kStreaming };
+
+  Weight CostOnly(Weight budget) const;
+  std::optional<Strategy> BestStrategy(Weight budget) const;
+  ScheduleResult Run(Weight budget) const;
+
+  Weight StrategyCost(Strategy strategy) const;
+  Weight StrategyPeak(Strategy strategy) const;
+
+  // Definition 2.6 over the family (the sliding window's peak).
+  Weight MinMemoryForLowerBound() const;
+
+ private:
+  void Generate(Strategy strategy, Schedule& out) const;
+
+  const BandedMvmGraph& banded_;
+  Weight w_in_ = 0;
+  Weight w_c_ = 0;
+};
+
+}  // namespace wrbpg

@@ -1,0 +1,155 @@
+#include "schedulers/belady.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/analysis.h"
+
+namespace wrbpg {
+namespace {
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+BeladyScheduler::BeladyScheduler(const Graph& graph) : graph_(graph) {
+  for (NodeId v : graph.topological_order()) {
+    if (!graph.is_source(v)) order_.push_back(v);
+  }
+}
+
+BeladyScheduler::BeladyScheduler(const Graph& graph, std::vector<NodeId> order)
+    : graph_(graph), order_(std::move(order)) {
+#ifndef NDEBUG
+  std::vector<unsigned char> seen(graph.num_nodes(), 0);
+  for (NodeId v : order_) {
+    assert(!graph.is_source(v) && !seen[v]);
+    seen[v] = 1;
+  }
+  std::size_t non_sources = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (!graph.is_source(v)) ++non_sources;
+  }
+  assert(order_.size() == non_sources);
+#endif
+}
+
+ScheduleResult BeladyScheduler::Run(Weight budget) const {
+  const NodeId n = graph_.num_nodes();
+
+  // use_times[p]: the positions in the compute sequence that consume p.
+  std::vector<std::vector<std::size_t>> use_times(n);
+  for (std::size_t t = 0; t < order_.size(); ++t) {
+    for (NodeId p : graph_.parents(order_[t])) use_times[p].push_back(t);
+  }
+  for (auto& uses : use_times) std::sort(uses.begin(), uses.end());
+  std::vector<std::size_t> cursor(n, 0);
+  // First consumption of p at or after time t (kNever when exhausted).
+  auto next_use = [&](NodeId p, std::size_t t) {
+    auto& c = cursor[p];
+    const auto& uses = use_times[p];
+    while (c < uses.size() && uses[c] < t) ++c;
+    return c < uses.size() ? uses[c] : kNever;
+  };
+
+  ScheduleResult result;
+  Schedule& s = result.schedule;
+  std::vector<unsigned char> red(n, 0);
+  std::vector<unsigned char> blue(n, 0);
+  std::vector<unsigned char> pinned(n, 0);
+  for (NodeId v : graph_.sources()) blue[v] = 1;
+  std::vector<NodeId> resident;  // nodes currently red, unordered
+  Weight red_weight = 0;
+  Weight cost = 0;
+
+  auto place = [&](NodeId v) {
+    red[v] = 1;
+    red_weight += graph_.weight(v);
+    resident.push_back(v);
+  };
+  auto drop = [&](NodeId v) {
+    s.Append(Delete(v));
+    red[v] = 0;
+    red_weight -= graph_.weight(v);
+    resident.erase(std::find(resident.begin(), resident.end(), v));
+  };
+  // Evict furthest-next-use values until `w` more bits fit at time t.
+  auto make_room = [&](Weight w, std::size_t t) {
+    while (red_weight + w > budget) {
+      NodeId victim = kInvalidNode;
+      std::size_t victim_use = 0;
+      for (NodeId r : resident) {
+        if (pinned[r]) continue;
+        const std::size_t use = next_use(r, t);
+        if (victim == kInvalidNode || use > victim_use ||
+            (use == victim_use && graph_.weight(r) > graph_.weight(victim))) {
+          victim = r;
+          victim_use = use;
+        }
+      }
+      if (victim == kInvalidNode) return false;
+      if (victim_use != kNever && !blue[victim]) {
+        s.Append(Store(victim));
+        blue[victim] = 1;
+        cost += graph_.weight(victim);
+      }
+      drop(victim);
+    }
+    return true;
+  };
+
+  for (std::size_t t = 0; t < order_.size(); ++t) {
+    const NodeId v = order_[t];
+    const auto parents = graph_.parents(v);
+    pinned[v] = 1;
+    for (NodeId p : parents) pinned[p] = 1;
+
+    for (NodeId p : parents) {
+      if (red[p]) continue;
+      assert(blue[p] && "evicted value was not stored");
+      if (!make_room(graph_.weight(p), t)) {
+        return ScheduleResult::Infeasible();
+      }
+      s.Append(Load(p));
+      cost += graph_.weight(p);
+      place(p);
+    }
+    if (!make_room(graph_.weight(v), t)) return ScheduleResult::Infeasible();
+    s.Append(Compute(v));
+    place(v);
+
+    pinned[v] = 0;
+    for (NodeId p : parents) pinned[p] = 0;
+
+    // Retire values that will never be consumed again.
+    for (NodeId p : parents) {
+      if (red[p] && next_use(p, t + 1) == kNever) drop(p);
+    }
+    if (graph_.is_sink(v)) {
+      s.Append(Store(v));
+      blue[v] = 1;
+      cost += graph_.weight(v);
+      drop(v);
+    }
+  }
+
+  result.feasible = true;
+  result.cost = cost;
+  return result;
+}
+
+Weight BeladyScheduler::CostOnly(Weight budget) const {
+  const ScheduleResult r = Run(budget);
+  return r.feasible ? r.cost : kInfiniteCost;
+}
+
+Weight BeladyScheduler::MinMemoryForLowerBound(Weight step, Weight hi) const {
+  const Weight target = AlgorithmicLowerBound(graph_);
+  const auto found = FindMinimumFastMemory(
+      [this](Weight b) { return CostOnly(b); }, target,
+      {.lo = step, .hi = hi, .step = step, .monotone = false});
+  return found.value_or(0);
+}
+
+}  // namespace wrbpg

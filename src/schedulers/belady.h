@@ -1,0 +1,43 @@
+// Belady-style scheduler for arbitrary CDAGs.
+//
+// Processes compute nodes in a fixed topological order. With the
+// consumption sequence known in advance, the classic optimal-replacement
+// rule applies: when fast memory overflows, evict the resident value whose
+// next use lies furthest in the future, preferring values that are never
+// used again (free M4) and charging a store (M2) only when an evictee
+// still has pending consumers and no blue pebble yet.
+//
+// A strict generalization of the Sec 5.1 layer-by-layer baseline's spill
+// policy (FIFO -> furthest-next-use) that works on any graph. It is a
+// heuristic: optimal eviction does not imply optimal scheduling in the
+// pebble game (recomputation and order freedom remain unexplored), so
+// tests assert validity and bounds, not optimality.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.h"
+#include "schedulers/scheduler.h"
+
+namespace wrbpg {
+
+class BeladyScheduler {
+ public:
+  // Uses the graph's canonical topological order; `order` overrides the
+  // compute sequence (must list every non-source node exactly once, in a
+  // valid topological order).
+  explicit BeladyScheduler(const Graph& graph);
+  BeladyScheduler(const Graph& graph, std::vector<NodeId> order);
+
+  ScheduleResult Run(Weight budget) const;
+  Weight CostOnly(Weight budget) const;
+
+  // Definition 2.6 scan (linear; heuristic costs need not be monotone).
+  Weight MinMemoryForLowerBound(Weight step, Weight hi) const;
+
+ private:
+  const Graph& graph_;
+  std::vector<NodeId> order_;  // compute sequence (non-source nodes)
+};
+
+}  // namespace wrbpg

@@ -1,0 +1,184 @@
+#include "schedulers/brute_force.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace wrbpg {
+namespace {
+
+using State = std::uint64_t;  // red mask | (blue mask << 32)
+
+constexpr std::uint32_t RedOf(State s) {
+  return static_cast<std::uint32_t>(s & 0xffffffffu);
+}
+constexpr std::uint32_t BlueOf(State s) {
+  return static_cast<std::uint32_t>(s >> 32);
+}
+constexpr State MakeState(std::uint32_t red, std::uint32_t blue) {
+  return static_cast<State>(red) | (static_cast<State>(blue) << 32);
+}
+
+struct QueueEntry {
+  Weight cost;
+  State state;
+  bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+};
+
+}  // namespace
+
+BruteForceScheduler::BruteForceScheduler(const Graph& graph) : graph_(graph) {
+  if (graph.num_nodes() > 32) {
+    std::fprintf(stderr,
+                 "BruteForceScheduler: graph has %u nodes; the oracle "
+                 "supports at most 32\n",
+                 graph.num_nodes());
+    std::abort();
+  }
+}
+
+ScheduleResult BruteForceScheduler::Search(Weight budget,
+                                           const BruteForceOptions& options,
+                                           bool want_schedule) const {
+  const NodeId n = graph_.num_nodes();
+
+  std::uint32_t sources_mask = 0;
+  std::uint32_t sinks_mask = 0;
+  std::vector<std::uint32_t> parents_mask(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph_.is_source(v)) sources_mask |= 1u << v;
+    if (graph_.is_sink(v)) sinks_mask |= 1u << v;
+    for (NodeId p : graph_.parents(v)) parents_mask[v] |= 1u << p;
+  }
+
+  auto red_weight = [&](std::uint32_t red) {
+    Weight w = 0;
+    while (red != 0) {
+      const int v = std::countr_zero(red);
+      w += graph_.weight(static_cast<NodeId>(v));
+      red &= red - 1;
+    }
+    return w;
+  };
+
+  const std::uint32_t initial_red =
+      static_cast<std::uint32_t>(options.initial_red);
+  const std::uint32_t initial_blue = static_cast<std::uint32_t>(
+      options.initial_blue.value_or(sources_mask));
+  const std::uint32_t required_red =
+      static_cast<std::uint32_t>(options.required_red_at_end);
+  const State start = MakeState(initial_red, initial_blue);
+
+  if (red_weight(initial_red) > budget) return ScheduleResult::Infeasible();
+
+  auto is_goal = [&](State s) {
+    if ((RedOf(s) & required_red) != required_red) return false;
+    if (options.require_sinks_blue &&
+        (BlueOf(s) & sinks_mask) != sinks_mask) {
+      return false;
+    }
+    return true;
+  };
+
+  std::unordered_map<State, Weight> dist;
+  std::unordered_map<State, std::pair<State, Move>> pred;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[start] = 0;
+  pq.push({0, start});
+
+  std::size_t settled = 0;
+  State goal_state = 0;
+  bool found = false;
+
+  while (!pq.empty()) {
+    const auto [cost, state] = pq.top();
+    pq.pop();
+    const auto it = dist.find(state);
+    if (it == dist.end() || it->second < cost) continue;  // stale entry
+    if (is_goal(state)) {
+      goal_state = state;
+      found = true;
+      break;
+    }
+    if (++settled > options.max_states) {
+      std::fprintf(stderr,
+                   "BruteForceScheduler: state limit exceeded (%zu states)\n",
+                   options.max_states);
+      std::abort();
+    }
+
+    const std::uint32_t red = RedOf(state);
+    const std::uint32_t blue = BlueOf(state);
+    const Weight rw = red_weight(red);
+
+    auto relax = [&](State next, Weight move_cost, Move move) {
+      const Weight next_cost = cost + move_cost;
+      const auto [dit, inserted] = dist.try_emplace(next, next_cost);
+      if (!inserted && dit->second <= next_cost) return;
+      dit->second = next_cost;
+      if (want_schedule) pred[next] = {state, move};
+      pq.push({next_cost, next});
+    };
+
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t bit = 1u << v;
+      const Weight w = graph_.weight(v);
+      if ((red & bit) == 0) {
+        // M1: load from blue.
+        if ((blue & bit) != 0 && rw + w <= budget) {
+          relax(MakeState(red | bit, blue), w, Load(v));
+        }
+        // M3: compute when all parents red (non-source only).
+        if ((sources_mask & bit) == 0 &&
+            (red & parents_mask[v]) == parents_mask[v] && rw + w <= budget) {
+          relax(MakeState(red | bit, blue), 0, Compute(v));
+        }
+      } else {
+        // M2: store to blue.
+        if ((blue & bit) == 0) {
+          relax(MakeState(red, blue | bit), w, Store(v));
+        }
+        // M4: delete red.
+        relax(MakeState(red & ~bit, blue), 0, Delete(v));
+      }
+    }
+  }
+
+  if (!found) return ScheduleResult::Infeasible();
+
+  ScheduleResult result;
+  result.feasible = true;
+  result.cost = dist[goal_state];
+  if (want_schedule) {
+    std::vector<Move> moves;
+    State s = goal_state;
+    while (s != start) {
+      const auto& [prev, move] = pred.at(s);
+      moves.push_back(move);
+      s = prev;
+    }
+    std::reverse(moves.begin(), moves.end());
+    // Disambiguate M1 vs M3 where both lead to the same state with the same
+    // cost: the recorded move is whichever relaxed last; both are legal, so
+    // the reconstructed schedule is valid either way.
+    result.schedule = Schedule(std::move(moves));
+  }
+  return result;
+}
+
+ScheduleResult BruteForceScheduler::Run(Weight budget,
+                                        const BruteForceOptions& options) const {
+  return Search(budget, options, /*want_schedule=*/true);
+}
+
+Weight BruteForceScheduler::CostOnly(Weight budget,
+                                     const BruteForceOptions& options) const {
+  return Search(budget, options, /*want_schedule=*/false).cost;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,53 @@
+// Exhaustive optimal WRBPG solver — the test oracle.
+//
+// Dijkstra over pebbling configurations (red mask, blue mask) with move
+// costs from Definition 2.2 (M1/M2 cost w_v, M3/M4 free). Exponential in
+// |V|; intended for graphs of at most ~20 nodes, where it certifies the
+// optimality of the polynomial dataflow-specific schedulers.
+//
+// Options support the Sec. 4.1 memory-state semantics: arbitrary initial
+// red/blue pebbles and a required final red set, so Eq. (8)'s P_m can be
+// cross-checked as well as the plain game.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/graph.h"
+#include "schedulers/scheduler.h"
+
+namespace wrbpg {
+
+struct BruteForceOptions {
+  std::uint64_t initial_red = 0;  // bitmask over NodeId
+  // Blue pebbles at the start; defaults to the sources A(G).
+  std::optional<std::uint64_t> initial_blue;
+  // Goal: these nodes must hold red pebbles at the end (memory-state games).
+  std::uint64_t required_red_at_end = 0;
+  // Goal: all sinks must hold blue pebbles (the game's stopping condition).
+  bool require_sinks_blue = true;
+  // Safety valve: give up (abort) past this many settled states.
+  std::size_t max_states = 20'000'000;
+};
+
+class BruteForceScheduler {
+ public:
+  explicit BruteForceScheduler(const Graph& graph);
+
+  ScheduleResult Run(Weight budget, const BruteForceOptions& options) const;
+  ScheduleResult Run(Weight budget) const {
+    return Run(budget, BruteForceOptions{});
+  }
+  Weight CostOnly(Weight budget, const BruteForceOptions& options) const;
+  Weight CostOnly(Weight budget) const {
+    return CostOnly(budget, BruteForceOptions{});
+  }
+
+ private:
+  ScheduleResult Search(Weight budget, const BruteForceOptions& options,
+                        bool want_schedule) const;
+
+  const Graph& graph_;
+};
+
+}  // namespace wrbpg

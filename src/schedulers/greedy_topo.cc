@@ -1,0 +1,43 @@
+#include "schedulers/greedy_topo.h"
+
+#include "core/analysis.h"
+
+namespace wrbpg {
+
+ScheduleResult GreedyTopoScheduler::Run(Weight budget) const {
+  if (!ScheduleExists(graph_, budget)) return ScheduleResult::Infeasible();
+
+  ScheduleResult result;
+  result.feasible = true;
+  result.cost = 0;
+  Schedule& s = result.schedule;
+
+  for (NodeId v : graph_.topological_order()) {
+    if (graph_.is_source(v)) continue;
+    // Bring every parent into fast memory. Sources carry their initial blue
+    // pebble; computed nodes were stored (M2) right after their M3 below.
+    for (NodeId p : graph_.parents(v)) {
+      s.Append(Load(p));
+      result.cost += graph_.weight(p);
+    }
+    s.Append(Compute(v));
+    s.Append(Store(v));
+    result.cost += graph_.weight(v);
+    for (NodeId p : graph_.parents(v)) s.Append(Delete(p));
+    s.Append(Delete(v));
+  }
+  return result;
+}
+
+Weight GreedyTopoScheduler::CostOnly(Weight budget) const {
+  if (!ScheduleExists(graph_, budget)) return kInfiniteCost;
+  Weight cost = 0;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (graph_.is_source(v)) continue;
+    cost += graph_.weight(v);
+    for (NodeId p : graph_.parents(v)) cost += graph_.weight(p);
+  }
+  return cost;
+}
+
+}  // namespace wrbpg

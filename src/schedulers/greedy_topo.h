@@ -1,0 +1,26 @@
+// Greedy topological scheduler — the constructive half of Proposition 2.3.
+//
+// Processes nodes in topological order; for each non-source node it loads
+// the parents from slow memory, computes, stores the result, and frees all
+// red pebbles. Produces a valid schedule for ANY CDAG whenever the budget
+// admits one (budget >= MinValidBudget), at the price of one load per edge.
+// Serves as the universal feasibility fallback and the weakest baseline.
+#pragma once
+
+#include "core/graph.h"
+#include "schedulers/scheduler.h"
+
+namespace wrbpg {
+
+class GreedyTopoScheduler {
+ public:
+  explicit GreedyTopoScheduler(const Graph& graph) : graph_(graph) {}
+
+  ScheduleResult Run(Weight budget) const;
+  Weight CostOnly(Weight budget) const;
+
+ private:
+  const Graph& graph_;
+};
+
+}  // namespace wrbpg

@@ -1,0 +1,243 @@
+#include "schedulers/memory_state.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "dataflows/tree_graph.h"
+
+namespace wrbpg {
+namespace {
+
+Weight SatAdd(Weight a, Weight b) {
+  if (a >= kInfiniteCost || b >= kInfiniteCost) return kInfiniteCost;
+  return a + b;
+}
+
+constexpr std::uint64_t Bit(NodeId v) { return std::uint64_t{1} << v; }
+
+}  // namespace
+
+MemoryStateScheduler::MemoryStateScheduler(const Graph& graph)
+    : graph_(graph), subtree_mask_(graph.num_nodes(), 0) {
+  if (graph.num_nodes() > 64) {
+    std::fprintf(stderr,
+                 "MemoryStateScheduler: graphs are limited to 64 nodes\n");
+    std::abort();
+  }
+  if (!TreeRoot(graph)) {
+    std::fprintf(stderr,
+                 "MemoryStateScheduler: graph is not a rooted in-tree\n");
+    std::abort();
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.in_degree(v) > 8) {
+      std::fprintf(stderr,
+                   "MemoryStateScheduler: in-degree %zu exceeds the "
+                   "supported bound of 8\n",
+                   graph.in_degree(v));
+      std::abort();
+    }
+  }
+  // Predecessor-closure masks in topological order (parents precede child).
+  for (NodeId v : graph.topological_order()) {
+    std::uint64_t mask = Bit(v);
+    for (NodeId p : graph.parents(v)) mask |= subtree_mask_[p];
+    subtree_mask_[v] = mask;
+  }
+}
+
+Weight MemoryStateScheduler::MaskWeight(std::uint64_t mask) const {
+  Weight w = 0;
+  while (mask != 0) {
+    w += graph_.weight(static_cast<NodeId>(std::countr_zero(mask)));
+    mask &= mask - 1;
+  }
+  return w;
+}
+
+MemoryStateScheduler::Entry MemoryStateScheduler::P(NodeId v, Weight b) {
+  const std::uint64_t sub = subtree_mask_[v];
+  const std::uint64_t iv = state_.initial & sub;
+  const std::uint64_t rv = state_.reuse & sub;
+
+  // Eq. (8) first line: R_v, H(v) and v must be able to co-reside.
+  std::uint64_t need_mask = rv | Bit(v);
+  for (NodeId p : graph_.parents(v)) need_mask |= Bit(p);
+  if (MaskWeight(need_mask) > b) return Entry{};
+
+  if ((iv & Bit(v)) != 0) {
+    // Already resident: only bring in the reuse nodes that are not.
+    Entry e;
+    e.cost = MaskWeight(rv & ~state_.initial);
+    return e;
+  }
+  if (graph_.is_source(v)) {
+    Entry e;
+    e.cost = graph_.weight(v);
+    return e;
+  }
+
+  const Key key{v, b};
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  const auto parents = graph_.parents(v);
+  const int k = static_cast<int>(parents.size());
+
+  // Per-parent masks and the spill rules.
+  std::array<std::uint64_t, 8> isub{}, rsub{};
+  std::array<Weight, 8> spill_cost{};
+  std::array<bool, 8> may_spill{};
+  for (int i = 0; i < k; ++i) {
+    const NodeId p = parents[static_cast<std::size_t>(i)];
+    isub[static_cast<std::size_t>(i)] = state_.initial & subtree_mask_[p];
+    rsub[static_cast<std::size_t>(i)] = state_.reuse & subtree_mask_[p];
+    // A source's blue pebble is permanent, so spilling it only pays the
+    // reload; otherwise store + reload (the literal 2w of Eq. (8)).
+    spill_cost[static_cast<std::size_t>(i)] =
+        graph_.is_source(p) ? graph_.weight(p) : 2 * graph_.weight(p);
+    // Reuse nodes stay resident once computed: never spilled.
+    may_spill[static_cast<std::size_t>(i)] = (state_.reuse & Bit(p)) == 0;
+  }
+
+  Entry best;
+  std::array<std::uint8_t, 8> order{};
+  std::iota(order.begin(), order.begin() + k, std::uint8_t{0});
+  do {
+    // Keep-heavy deltas first so cost ties prefer fewer spills.
+    for (std::uint32_t delta = (1u << k); delta-- > 0;) {
+      bool allowed = true;
+      for (int i = 0; i < k && allowed; ++i) {
+        if (((delta >> i) & 1u) == 0 &&
+            !may_spill[order[static_cast<std::size_t>(i)]]) {
+          allowed = false;
+        }
+      }
+      if (!allowed) continue;
+
+      Weight cost = 0;
+      // Initial residents of the not-yet-computed subtrees occupy memory
+      // throughout the earlier phases.
+      std::uint64_t pending_initial = 0;
+      for (int i = 0; i < k; ++i) {
+        pending_initial |= isub[order[static_cast<std::size_t>(i)]];
+      }
+      std::uint64_t held = 0;  // what earlier subtrees keep resident
+      for (int i = 0; i < k && cost < kInfiniteCost; ++i) {
+        const int pi = order[static_cast<std::size_t>(i)];
+        const NodeId p = parents[static_cast<std::size_t>(pi)];
+        pending_initial &= ~isub[static_cast<std::size_t>(pi)];
+        const Weight sub_budget =
+            b - MaskWeight(held) - MaskWeight(pending_initial);
+        cost = SatAdd(cost, P(p, sub_budget).cost);
+        held |= rsub[static_cast<std::size_t>(pi)];
+        if ((delta >> i) & 1u) {
+          held |= Bit(p);
+        } else {
+          cost = SatAdd(cost, spill_cost[static_cast<std::size_t>(pi)]);
+        }
+      }
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.is_state_case = false;
+        best.delta = delta;
+        best.perm = 0;
+        for (int i = 0; i < k; ++i) {
+          best.perm |= static_cast<std::uint32_t>(
+                           order[static_cast<std::size_t>(i)])
+                       << (4 * i);
+        }
+      }
+    }
+  } while (std::next_permutation(order.begin(), order.begin() + k));
+
+  memo_.emplace(key, best);
+  return best;
+}
+
+void MemoryStateScheduler::Generate(NodeId v, Weight b, Schedule& out) const {
+  const std::uint64_t sub = subtree_mask_[v];
+  const std::uint64_t iv = state_.initial & sub;
+  const std::uint64_t rv = state_.reuse & sub;
+
+  if ((iv & Bit(v)) != 0) {
+    // Release stale initial residents below v (not reused, free), then bring
+    // in missing reuse nodes — they carry blue pebbles by assumption.
+    std::uint64_t stale = iv & ~rv & ~Bit(v);
+    while (stale != 0) {
+      out.Append(Delete(static_cast<NodeId>(std::countr_zero(stale))));
+      stale &= stale - 1;
+    }
+    std::uint64_t missing = rv & ~state_.initial;
+    while (missing != 0) {
+      out.Append(Load(static_cast<NodeId>(std::countr_zero(missing))));
+      missing &= missing - 1;
+    }
+    return;
+  }
+  if (graph_.is_source(v)) {
+    out.Append(Load(v));
+    return;
+  }
+
+  const auto it = memo_.find(Key{v, b});
+  assert(it != memo_.end() && it->second.cost < kInfiniteCost &&
+         !it->second.is_state_case);
+  const Entry& entry = it->second;
+
+  const auto parents = graph_.parents(v);
+  const int k = static_cast<int>(parents.size());
+
+  std::uint64_t pending_initial = 0;
+  for (NodeId p : parents) pending_initial |= state_.initial & subtree_mask_[p];
+  std::uint64_t held = 0;
+  for (int i = 0; i < k; ++i) {
+    const int pi = static_cast<int>((entry.perm >> (4 * i)) & 0xf);
+    const NodeId p = parents[static_cast<std::size_t>(pi)];
+    pending_initial &= ~(state_.initial & subtree_mask_[p]);
+    const Weight sub_budget =
+        b - MaskWeight(held) - MaskWeight(pending_initial);
+    Generate(p, sub_budget, out);
+    held |= state_.reuse & subtree_mask_[p];
+    if ((entry.delta >> i) & 1u) {
+      held |= Bit(p);
+    } else {
+      // Sources keep their initial blue pebble, so eviction needs no store.
+      if (!graph_.is_source(p)) out.Append(Store(p));
+      out.Append(Delete(p));
+    }
+  }
+  // Reload the spilled parents now that the kept ones are co-resident.
+  for (int i = 0; i < k; ++i) {
+    if ((entry.delta >> i) & 1u) continue;
+    out.Append(Load(parents[(entry.perm >> (4 * i)) & 0xf]));
+  }
+  out.Append(Compute(v));
+  for (NodeId p : parents) {
+    if ((state_.reuse & Bit(p)) == 0) out.Append(Delete(p));
+  }
+}
+
+Weight MemoryStateScheduler::Cost(NodeId target, Weight budget,
+                                  const MemoryState& state) {
+  state_ = state;
+  memo_.clear();
+  return P(target, budget).cost;
+}
+
+ScheduleResult MemoryStateScheduler::Run(NodeId target, Weight budget,
+                                         const MemoryState& state) {
+  const Weight cost = Cost(target, budget, state);
+  if (cost >= kInfiniteCost) return ScheduleResult::Infeasible();
+  ScheduleResult result;
+  result.feasible = true;
+  result.cost = cost;
+  Generate(target, budget, result.schedule);
+  return result;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,240 @@
+#include "schedulers/mmm_tiling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/analysis.h"
+#include "util/mathutil.h"
+
+namespace wrbpg {
+
+MmmTilingScheduler::MmmTilingScheduler(const MmmGraph& mmm) : mmm_(mmm) {
+  const Graph& g = mmm.graph;
+  w_in_ = g.weight(mmm.a(0, 0));
+  w_c_ = g.weight(mmm.product(0, 0, 0));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool is_input = mmm_.roles[v] == MmmRole::kMatrixAInput ||
+                          mmm_.roles[v] == MmmRole::kMatrixBInput;
+    if (g.weight(v) != (is_input ? w_in_ : w_c_)) {
+      std::fprintf(stderr,
+                   "MmmTilingScheduler: weights must be uniform per role\n");
+      std::abort();
+    }
+  }
+}
+
+Weight MmmTilingScheduler::TileCost(const Tile& tile) const {
+  const std::int64_t m = mmm_.m, k = mmm_.k, n = mmm_.n;
+  const Weight lb = w_in_ * (m * k + k * n) + w_c_ * m * n;
+  switch (tile.residency) {
+    case Residency::kAResident:
+    case Residency::kBResident:
+      return lb;
+    case Residency::kBlock: {
+      if (tile.bi < 1 || tile.bi > m || tile.bj < 1 || tile.bj > n) {
+        return kInfiniteCost;
+      }
+      const std::int64_t si = CeilDiv(m, tile.bi);  // row stripes
+      const std::int64_t sj = CeilDiv(n, tile.bj);  // column stripes
+      return w_in_ * (m * k * sj + k * n * si) + w_c_ * m * n;
+    }
+  }
+  return kInfiniteCost;
+}
+
+Weight MmmTilingScheduler::TilePeak(const Tile& tile) const {
+  const std::int64_t m = mmm_.m, k = mmm_.k, n = mmm_.n;
+  const Weight chain_extra = k >= 2 ? 2 * w_c_ : 0;
+  switch (tile.residency) {
+    case Residency::kAResident:
+      return m * k * w_in_ + w_in_ + m * w_c_ + chain_extra;
+    case Residency::kBResident:
+      return k * n * w_in_ + w_in_ + n * w_c_ + chain_extra;
+    case Residency::kBlock: {
+      if (tile.bi < 1 || tile.bi > m || tile.bj < 1 || tile.bj > n) {
+        return kInfiniteCost;
+      }
+      return (tile.bi + tile.bj) * w_in_ + tile.bi * tile.bj * w_c_ +
+             chain_extra;
+    }
+  }
+  return kInfiniteCost;
+}
+
+std::optional<MmmTilingScheduler::Tile> MmmTilingScheduler::BestTile(
+    Weight budget) const {
+  std::optional<Tile> best;
+  Weight best_cost = kInfiniteCost;
+  auto consider = [&](const Tile& tile) {
+    if (TilePeak(tile) > budget) return;
+    const Weight cost = TileCost(tile);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = tile;
+    }
+  };
+  consider({.residency = Residency::kAResident});
+  consider({.residency = Residency::kBResident});
+  for (std::int64_t si = 1; si <= mmm_.m; ++si) {
+    for (std::int64_t sj = 1; sj <= mmm_.n; ++sj) {
+      consider({.residency = Residency::kBlock,
+                .bi = CeilDiv(mmm_.m, si),
+                .bj = CeilDiv(mmm_.n, sj)});
+    }
+  }
+  return best;
+}
+
+Weight MmmTilingScheduler::CostOnly(Weight budget) const {
+  const auto tile = BestTile(budget);
+  return tile ? TileCost(*tile) : kInfiniteCost;
+}
+
+Weight MmmTilingScheduler::MinMemoryForLowerBound() const {
+  const Weight lb = AlgorithmicLowerBound(mmm_.graph);
+  Weight best = kInfiniteCost;
+  auto consider = [&](const Tile& tile) {
+    if (TileCost(tile) == lb) best = std::min(best, TilePeak(tile));
+  };
+  consider({.residency = Residency::kAResident});
+  consider({.residency = Residency::kBResident});
+  consider({.residency = Residency::kBlock, .bi = mmm_.m, .bj = mmm_.n});
+  return best;
+}
+
+void MmmTilingScheduler::GenerateBlock(const Tile& tile, Schedule& out) const {
+  const std::int64_t m = mmm_.m, k = mmm_.k, n = mmm_.n;
+  std::vector<NodeId> running(static_cast<std::size_t>(m * n), kInvalidNode);
+  auto run_at = [&](std::int64_t r, std::int64_t c) -> NodeId& {
+    return running[static_cast<std::size_t>(r * n + c)];
+  };
+
+  for (std::int64_t r0 = 0; r0 < m; r0 += tile.bi) {
+    const std::int64_t r1 = std::min(r0 + tile.bi, m);
+    for (std::int64_t c0 = 0; c0 < n; c0 += tile.bj) {
+      const std::int64_t c1 = std::min(c0 + tile.bj, n);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        for (std::int64_t r = r0; r < r1; ++r) out.Append(Load(mmm_.a(r, kk)));
+        for (std::int64_t c = c0; c < c1; ++c) out.Append(Load(mmm_.b(kk, c)));
+        for (std::int64_t r = r0; r < r1; ++r) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            out.Append(Compute(mmm_.product(r, c, kk)));
+            if (kk == 0) {
+              run_at(r, c) = mmm_.product(r, c, 0);
+            } else {
+              out.Append(Compute(mmm_.accumulator(r, c, kk)));
+              out.Append(Delete(run_at(r, c)));
+              out.Append(Delete(mmm_.product(r, c, kk)));
+              run_at(r, c) = mmm_.accumulator(r, c, kk);
+            }
+          }
+        }
+        for (std::int64_t r = r0; r < r1; ++r) {
+          out.Append(Delete(mmm_.a(r, kk)));
+        }
+        for (std::int64_t c = c0; c < c1; ++c) {
+          out.Append(Delete(mmm_.b(kk, c)));
+        }
+      }
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          out.Append(Store(run_at(r, c)));
+          out.Append(Delete(run_at(r, c)));
+        }
+      }
+    }
+  }
+}
+
+void MmmTilingScheduler::GenerateResident(bool a_resident,
+                                          Schedule& out) const {
+  const std::int64_t m = mmm_.m, k = mmm_.k, n = mmm_.n;
+  if (a_resident) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t kk = 0; kk < k; ++kk) out.Append(Load(mmm_.a(r, kk)));
+    }
+    std::vector<NodeId> running(static_cast<std::size_t>(m));
+    for (std::int64_t c = 0; c < n; ++c) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        out.Append(Load(mmm_.b(kk, c)));
+        for (std::int64_t r = 0; r < m; ++r) {
+          out.Append(Compute(mmm_.product(r, c, kk)));
+          if (kk == 0) {
+            running[static_cast<std::size_t>(r)] = mmm_.product(r, c, 0);
+          } else {
+            out.Append(Compute(mmm_.accumulator(r, c, kk)));
+            out.Append(Delete(running[static_cast<std::size_t>(r)]));
+            out.Append(Delete(mmm_.product(r, c, kk)));
+            running[static_cast<std::size_t>(r)] = mmm_.accumulator(r, c, kk);
+          }
+        }
+        out.Append(Delete(mmm_.b(kk, c)));
+      }
+      for (std::int64_t r = 0; r < m; ++r) {
+        out.Append(Store(running[static_cast<std::size_t>(r)]));
+        out.Append(Delete(running[static_cast<std::size_t>(r)]));
+      }
+    }
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        out.Append(Delete(mmm_.a(r, kk)));
+      }
+    }
+  } else {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t c = 0; c < n; ++c) out.Append(Load(mmm_.b(kk, c)));
+    }
+    std::vector<NodeId> running(static_cast<std::size_t>(n));
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        out.Append(Load(mmm_.a(r, kk)));
+        for (std::int64_t c = 0; c < n; ++c) {
+          out.Append(Compute(mmm_.product(r, c, kk)));
+          if (kk == 0) {
+            running[static_cast<std::size_t>(c)] = mmm_.product(r, c, 0);
+          } else {
+            out.Append(Compute(mmm_.accumulator(r, c, kk)));
+            out.Append(Delete(running[static_cast<std::size_t>(c)]));
+            out.Append(Delete(mmm_.product(r, c, kk)));
+            running[static_cast<std::size_t>(c)] = mmm_.accumulator(r, c, kk);
+          }
+        }
+        out.Append(Delete(mmm_.a(r, kk)));
+      }
+      for (std::int64_t c = 0; c < n; ++c) {
+        out.Append(Store(running[static_cast<std::size_t>(c)]));
+        out.Append(Delete(running[static_cast<std::size_t>(c)]));
+      }
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        out.Append(Delete(mmm_.b(kk, c)));
+      }
+    }
+  }
+}
+
+ScheduleResult MmmTilingScheduler::Run(Weight budget) const {
+  const auto tile = BestTile(budget);
+  if (!tile) return ScheduleResult::Infeasible();
+  ScheduleResult result;
+  result.feasible = true;
+  result.cost = TileCost(*tile);
+  switch (tile->residency) {
+    case Residency::kBlock:
+      GenerateBlock(*tile, result.schedule);
+      break;
+    case Residency::kAResident:
+      GenerateResident(true, result.schedule);
+      break;
+    case Residency::kBResident:
+      GenerateResident(false, result.schedule);
+      break;
+  }
+  return result;
+}
+
+}  // namespace wrbpg

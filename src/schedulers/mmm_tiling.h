@@ -1,0 +1,53 @@
+// Tiled scheduler for MMM(m, k, n) — the tensor extension of Sec 4.3.
+//
+// Three reuse families generalize the MVM tiling's accumulator/vector
+// residency to two-dimensional outputs:
+//   * kBlock — a bi x bj block of output accumulators stays resident;
+//     per reduction step the block's A-column and B-row segments stream
+//     through. A is re-read once per column stripe, B once per row stripe:
+//       Cost = w_in*(m*k*ceil(n/bj) + k*n*ceil(m/bi)) + w_c*m*n
+//   * kAResident — all of A pinned, one output column of accumulators at a
+//     time: every input read exactly once (the algorithmic lower bound).
+//   * kBResident — symmetric.
+// The search picks the cheapest feasible family/tile for a budget; the
+// generator emits the move-exact schedule, cross-checked by the simulator.
+#pragma once
+
+#include <optional>
+
+#include "dataflows/mmm_graph.h"
+#include "schedulers/scheduler.h"
+
+namespace wrbpg {
+
+class MmmTilingScheduler {
+ public:
+  explicit MmmTilingScheduler(const MmmGraph& mmm);
+
+  enum class Residency : std::uint8_t { kBlock, kAResident, kBResident };
+  struct Tile {
+    Residency residency = Residency::kBlock;
+    std::int64_t bi = 1;  // block rows (kBlock only)
+    std::int64_t bj = 1;  // block cols (kBlock only)
+  };
+
+  Weight CostOnly(Weight budget) const;
+  std::optional<Tile> BestTile(Weight budget) const;
+  ScheduleResult Run(Weight budget) const;
+
+  Weight TileCost(const Tile& tile) const;
+  Weight TilePeak(const Tile& tile) const;
+
+  // Definition 2.6, exact over the strategy family.
+  Weight MinMemoryForLowerBound() const;
+
+ private:
+  void GenerateBlock(const Tile& tile, Schedule& out) const;
+  void GenerateResident(bool a_resident, Schedule& out) const;
+
+  const MmmGraph& mmm_;
+  Weight w_in_ = 0;
+  Weight w_c_ = 0;
+};
+
+}  // namespace wrbpg

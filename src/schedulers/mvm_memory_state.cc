@@ -1,0 +1,107 @@
+#include "schedulers/mvm_memory_state.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/compose.h"
+#include "core/graph_builder.h"
+#include "schedulers/memory_state.h"
+
+namespace wrbpg {
+namespace {
+
+// A single output row's dataflow as a standalone binary in-tree, with the
+// translation back into MVM node ids.
+struct RowTree {
+  Graph graph;
+  NodeId root = kInvalidNode;           // the row's output
+  std::vector<NodeId> to_mvm;           // row-tree id -> MVM id
+  std::uint64_t x_mask = 0;             // row-tree mask of the vector nodes
+};
+
+RowTree BuildRowTree(const MvmGraph& mvm, std::int64_t r) {
+  RowTree tree;
+  GraphBuilder builder;
+  auto add = [&](NodeId mvm_node) {
+    const NodeId id = builder.AddNode(mvm.graph.weight(mvm_node),
+                                      mvm.graph.name(mvm_node));
+    tree.to_mvm.push_back(mvm_node);
+    return id;
+  };
+
+  std::vector<NodeId> x(static_cast<std::size_t>(mvm.n));
+  for (std::int64_t c = 0; c < mvm.n; ++c) {
+    x[static_cast<std::size_t>(c)] = add(mvm.x(c));
+    tree.x_mask |= std::uint64_t{1} << x[static_cast<std::size_t>(c)];
+  }
+  NodeId running = kInvalidNode;
+  for (std::int64_t c = 0; c < mvm.n; ++c) {
+    const NodeId a = add(mvm.a(r, c));
+    const NodeId p = add(mvm.product(r, c));
+    builder.AddEdge(x[static_cast<std::size_t>(c)], p);
+    builder.AddEdge(a, p);
+    if (c == 0) {
+      running = p;
+    } else {
+      const NodeId acc = add(mvm.accumulator(r, c));
+      builder.AddEdge(running, acc);
+      builder.AddEdge(p, acc);
+      running = acc;
+    }
+  }
+  tree.root = running;
+  tree.graph = builder.BuildOrDie();
+  return tree;
+}
+
+}  // namespace
+
+MvmMemoryStateScheduler::MvmMemoryStateScheduler(const MvmGraph& mvm)
+    : mvm_(mvm) {
+  if (mvm.n > 16) {
+    std::fprintf(stderr,
+                 "MvmMemoryStateScheduler: n = %lld exceeds the 16-column "
+                 "bound of the Eq. (8) reference path\n",
+                 static_cast<long long>(mvm.n));
+    std::abort();
+  }
+}
+
+ScheduleResult MvmMemoryStateScheduler::Run(Weight budget) {
+  ScheduleResult result;
+  Weight total_cost = 0;
+  Schedule stitched;
+
+  for (std::int64_t r = 0; r < mvm_.m; ++r) {
+    const RowTree tree = BuildRowTree(mvm_, r);
+    MemoryStateScheduler row_scheduler(tree.graph);
+    MemoryState state;
+    // The vector is resident from the previous row and stays resident for
+    // the next one; the first row brings it in, the last one releases it.
+    state.initial = r == 0 ? 0 : tree.x_mask;
+    state.reuse = r == mvm_.m - 1 ? 0 : tree.x_mask;
+
+    const auto row_run = row_scheduler.Run(tree.root, budget, state);
+    if (!row_run.feasible) return ScheduleResult::Infeasible();
+    total_cost += row_run.cost;
+
+    stitched.Append(TranslateSchedule(row_run.schedule, tree.to_mvm));
+    // Tile boundary: the output leaves fast memory.
+    stitched.Append(Store(tree.to_mvm[tree.root]));
+    stitched.Append(Delete(tree.to_mvm[tree.root]));
+    total_cost += tree.graph.weight(tree.root);
+  }
+
+  result.feasible = true;
+  result.cost = total_cost;
+  result.schedule = std::move(stitched);
+  return result;
+}
+
+Weight MvmMemoryStateScheduler::CostOnly(Weight budget) {
+  const ScheduleResult r = Run(budget);
+  return r.feasible ? r.cost : kInfiniteCost;
+}
+
+}  // namespace wrbpg

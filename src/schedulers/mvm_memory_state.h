@@ -1,0 +1,40 @@
+// MVM tiling driven by the Eq. (8) memory-state procedure — the mechanism
+// Sec 4.3 actually describes: "for each tile, our algorithm uses the k-ary
+// tree procedure (for k = 2) with initial/reuse memory states".
+//
+// Width-one tiles with full vector residency: each output row's chain is a
+// binary in-tree (a caterpillar of products and accumulations over the
+// shared vector x). Row r is scheduled by MemoryStateScheduler with
+//   I = the x entries already resident from previous rows,
+//   R = the x entries to keep for the following rows,
+// and the per-row schedules are stitched in row order, storing each output
+// at its tile boundary. This realizes the same minimum-I/O schedule as
+// MvmTilingScheduler's analytic (g = n, h = 1) tile — cross-checked in
+// tests — while exercising the Sec 4.1 machinery end to end.
+//
+// The per-row subgraph must fit the MemoryStateScheduler's 64-node bound:
+// n <= 16 (a row tree has 4n - 1 nodes). This scheduler is the modular
+// composition reference, not the production search (use MvmTilingScheduler
+// for large instances).
+#pragma once
+
+#include "dataflows/mvm_graph.h"
+#include "schedulers/scheduler.h"
+
+namespace wrbpg {
+
+class MvmMemoryStateScheduler {
+ public:
+  // Requires n <= 16.
+  explicit MvmMemoryStateScheduler(const MvmGraph& mvm);
+
+  // Width-one, vector-resident tiling via Eq. (8). Infeasible when the
+  // budget cannot hold the vector plus a row's working set.
+  ScheduleResult Run(Weight budget);
+  Weight CostOnly(Weight budget);
+
+ private:
+  const MvmGraph& mvm_;
+};
+
+}  // namespace wrbpg

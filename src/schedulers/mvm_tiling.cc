@@ -1,0 +1,190 @@
+#include "schedulers/mvm_tiling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/analysis.h"
+#include "util/mathutil.h"
+
+namespace wrbpg {
+
+MvmTilingScheduler::MvmTilingScheduler(const MvmGraph& mvm) : mvm_(mvm) {
+  const Graph& g = mvm.graph;
+  w_in_ = g.weight(mvm.x(0));
+  w_c_ = g.weight(mvm.product(0, 0));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool is_input = mvm_.roles[v] == MvmRole::kVectorInput ||
+                          mvm_.roles[v] == MvmRole::kMatrixInput;
+    if (g.weight(v) != (is_input ? w_in_ : w_c_)) {
+      std::fprintf(stderr,
+                   "MvmTilingScheduler: weights must be uniform per role\n");
+      std::abort();
+    }
+  }
+}
+
+Weight MvmTilingScheduler::TileCost(const Tile& tile) const {
+  const std::int64_t m = mvm_.m, n = mvm_.n;
+  if (tile.g < 0 || tile.g > n || tile.h < 1 || tile.h > m) {
+    return kInfiniteCost;
+  }
+  if (tile.spill_running) {
+    // Every running value (first product + each accumulator) is stored once
+    // and all but the output reloaded once: (2n - 1) * w_c per row.
+    return w_in_ * m * n + w_in_ * (tile.g + (n - tile.g) * m) +
+           w_c_ * m * (2 * n - 1);
+  }
+  const std::int64_t stripes = CeilDiv(m, tile.h);
+  return w_in_ * m * n + w_in_ * (tile.g + (n - tile.g) * stripes) +
+         w_c_ * m;
+}
+
+Weight MvmTilingScheduler::TilePeak(const Tile& tile) const {
+  const std::int64_t m = mvm_.m, n = mvm_.n;
+  if (tile.g < 0 || tile.g > n || tile.h < 1 || tile.h > m) {
+    return kInfiniteCost;
+  }
+  const Weight base = w_in_ * tile.g;
+  // Extra word for the currently streamed, non-resident vector entry.
+  const Weight xe = tile.g < n ? w_in_ : 0;        // for columns >= 1
+  const Weight xe0 = tile.g == 0 ? w_in_ : 0;      // for column 0
+
+  if (tile.spill_running) {
+    Weight peak = base + xe0 + w_in_ + w_c_;               // M3(product), c=0
+    if (n >= 2) {
+      peak = std::max(peak, base + xe + w_in_ + w_c_);     // M3(product)
+      peak = std::max(peak, base + 3 * w_c_);              // M3(accumulate)
+    }
+    return peak;
+  }
+
+  const Weight hh = std::min<std::int64_t>(tile.h, m);
+  Weight peak = base + xe0 + hh * w_c_ + w_in_;            // col 0, M3(p)
+  if (n >= 2) {
+    peak = std::max(peak, base + xe + (hh + 1) * w_c_ + w_in_);  // M3(p)
+    peak = std::max(peak, base + xe + (hh + 2) * w_c_);          // M3(acc)
+  }
+  return peak;
+}
+
+std::optional<MvmTilingScheduler::Tile> MvmTilingScheduler::BestTile(
+    Weight budget) const {
+  const std::int64_t m = mvm_.m, n = mvm_.n;
+  std::optional<Tile> best;
+  Weight best_cost = kInfiniteCost;
+  auto consider = [&](const Tile& tile) {
+    if (TilePeak(tile) > budget) return;
+    const Weight cost = TileCost(tile);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = tile;
+    }
+  };
+  // For each stripe count the tallest feasible tile dominates within the
+  // family, so it suffices to scan h = ceil(m / stripes).
+  for (std::int64_t stripes = 1; stripes <= m; ++stripes) {
+    const std::int64_t h = CeilDiv(m, stripes);
+    for (std::int64_t g = 0; g <= n; ++g) {
+      consider({.g = g, .h = h, .spill_running = false});
+    }
+  }
+  for (std::int64_t g = 0; g <= n; ++g) {
+    consider({.g = g, .h = 1, .spill_running = true});
+  }
+  return best;
+}
+
+Weight MvmTilingScheduler::CostOnly(Weight budget) const {
+  const auto tile = BestTile(budget);
+  return tile ? TileCost(*tile) : kInfiniteCost;
+}
+
+Weight MvmTilingScheduler::MinMemoryForLowerBound() const {
+  const Weight target = AlgorithmicLowerBound(mvm_.graph);
+  Weight best = kInfiniteCost;
+  const std::int64_t m = mvm_.m, n = mvm_.n;
+  for (std::int64_t g = 0; g <= n; ++g) {
+    for (std::int64_t stripes = 1; stripes <= m; ++stripes) {
+      const Tile tile{.g = g, .h = CeilDiv(m, stripes), .spill_running = false};
+      if (TileCost(tile) == target) best = std::min(best, TilePeak(tile));
+    }
+  }
+  return best;
+}
+
+void MvmTilingScheduler::GenerateTile(const Tile& tile, Schedule& out) const {
+  const std::int64_t m = mvm_.m, n = mvm_.n;
+  const std::int64_t g = tile.g;
+
+  for (std::int64_t c = 0; c < g; ++c) out.Append(Load(mvm_.x(c)));
+
+  std::vector<NodeId> running(static_cast<std::size_t>(m), kInvalidNode);
+
+  if (tile.spill_running) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        if (c >= g) out.Append(Load(mvm_.x(c)));
+        out.Append(Load(mvm_.a(r, c)));
+        out.Append(Compute(mvm_.product(r, c)));
+        out.Append(Delete(mvm_.a(r, c)));
+        if (c >= g) out.Append(Delete(mvm_.x(c)));
+        NodeId value = mvm_.product(r, c);
+        if (c > 0) {
+          const NodeId prev = running[static_cast<std::size_t>(r)];
+          out.Append(Load(prev));
+          out.Append(Compute(mvm_.accumulator(r, c)));
+          out.Append(Delete(prev));
+          out.Append(Delete(mvm_.product(r, c)));
+          value = mvm_.accumulator(r, c);
+        }
+        // Spill the running value (the last column's is the output store).
+        out.Append(Store(value));
+        out.Append(Delete(value));
+        running[static_cast<std::size_t>(r)] = value;
+      }
+    }
+  } else {
+    for (std::int64_t r0 = 0; r0 < m; r0 += tile.h) {
+      const std::int64_t r1 = std::min(r0 + tile.h, m);
+      for (std::int64_t c = 0; c < n; ++c) {
+        if (c >= g) out.Append(Load(mvm_.x(c)));
+        for (std::int64_t r = r0; r < r1; ++r) {
+          out.Append(Load(mvm_.a(r, c)));
+          out.Append(Compute(mvm_.product(r, c)));
+          out.Append(Delete(mvm_.a(r, c)));
+          if (c == 0) {
+            running[static_cast<std::size_t>(r)] = mvm_.product(r, c);
+          } else {
+            const NodeId prev = running[static_cast<std::size_t>(r)];
+            out.Append(Compute(mvm_.accumulator(r, c)));
+            out.Append(Delete(prev));
+            out.Append(Delete(mvm_.product(r, c)));
+            running[static_cast<std::size_t>(r)] = mvm_.accumulator(r, c);
+          }
+        }
+        if (c >= g) out.Append(Delete(mvm_.x(c)));
+      }
+      for (std::int64_t r = r0; r < r1; ++r) {
+        out.Append(Store(running[static_cast<std::size_t>(r)]));
+        out.Append(Delete(running[static_cast<std::size_t>(r)]));
+      }
+    }
+  }
+
+  for (std::int64_t c = 0; c < g; ++c) out.Append(Delete(mvm_.x(c)));
+}
+
+ScheduleResult MvmTilingScheduler::Run(Weight budget) const {
+  const auto tile = BestTile(budget);
+  if (!tile) return ScheduleResult::Infeasible();
+  ScheduleResult result;
+  result.feasible = true;
+  result.cost = TileCost(*tile);
+  GenerateTile(*tile, result.schedule);
+  return result;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,23 @@
+// Common result type shared by all WRBPG scheduling algorithms.
+//
+// Every scheduler exposes:
+//   ScheduleResult Run(Weight budget)   — full schedule + cost
+//   Weight CostOnly(Weight budget)      — cost without materializing moves
+// CostOnly(b) == Run(b).cost for every feasible budget (tested), and both
+// return infeasible/kInfiniteCost when no valid schedule exists under b.
+#pragma once
+
+#include "core/schedule.h"
+#include "core/types.h"
+
+namespace wrbpg {
+
+struct ScheduleResult {
+  bool feasible = false;
+  Weight cost = kInfiniteCost;  // Definition 2.2 weighted cost
+  Schedule schedule;            // empty when infeasible
+
+  static ScheduleResult Infeasible() { return {}; }
+};
+
+}  // namespace wrbpg

@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace wrbpg {
+
+void CsvWriter::WriteField(std::string_view field, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << field;
+    return;
+  }
+  out_ << '"';
+  for (char c : field) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    WriteField(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    WriteField(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Field(std::int64_t v) { return std::to_string(v); }
+
+std::string CsvWriter::Field(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace wrbpg

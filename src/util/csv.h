@@ -1,0 +1,32 @@
+// Minimal CSV writer used by the benchmark harness to dump figure series.
+//
+// Fields containing commas, quotes or newlines are quoted per RFC 4180 so the
+// output loads cleanly into pandas/gnuplot for re-plotting the paper figures.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wrbpg {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(std::initializer_list<std::string_view> fields);
+
+  // Convenience for numeric rows.
+  static std::string Field(std::int64_t v);
+  static std::string Field(double v);
+
+ private:
+  void WriteField(std::string_view field, bool first);
+  std::ostream& out_;
+};
+
+}  // namespace wrbpg

@@ -1,0 +1,52 @@
+// Small integer math helpers shared across the library.
+//
+// All routines are constexpr and operate on signed 64-bit quantities, the
+// native width of pebble weights and budgets (see core/types.h).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace wrbpg {
+
+// Ceiling division for non-negative operands.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  assert(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+constexpr bool IsPowerOfTwo(std::int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+// Smallest power of two >= x (x must be positive and representable).
+constexpr std::int64_t NextPowerOfTwo(std::int64_t x) {
+  assert(x > 0);
+  std::int64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+// Floor of log2(x) for positive x.
+constexpr int FloorLog2(std::int64_t x) {
+  assert(x > 0);
+  int l = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+// 2-adic valuation: largest d such that 2^d divides x (x positive).
+constexpr int TwoAdicValuation(std::int64_t x) {
+  assert(x > 0);
+  int d = 0;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace wrbpg

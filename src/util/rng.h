@@ -1,0 +1,34 @@
+// Deterministic, seedable PRNG used by generators and property tests.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64. We carry our own
+// generator rather than <random> engines so that random graphs and weight
+// assignments are bit-identical across platforms and standard libraries —
+// property-test failures must be reproducible from a seed alone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace wrbpg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  // Uniform 64-bit value.
+  std::uint64_t Next() noexcept;
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double UniformDouble() noexcept;
+
+  // Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace wrbpg

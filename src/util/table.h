@@ -1,0 +1,25 @@
+// Fixed-width ASCII table printer for bench/ output.
+//
+// The paper's tables (e.g. Table 1) are re-emitted as aligned text so that
+// `bench_*` binaries read like the published rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wrbpg {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wrbpg

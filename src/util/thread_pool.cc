@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace wrbpg {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  const std::int64_t chunks =
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(pool.size()) * 4);
+  const std::int64_t chunk = (n + chunks - 1) / chunks;
+  for (std::int64_t lo = begin; lo < end; lo += chunk) {
+    const std::int64_t hi = std::min(lo + chunk, end);
+    pool.Submit([lo, hi, &fn] {
+      for (std::int64_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,55 @@
+// Fixed-size thread pool with a blocking task queue, plus ParallelFor.
+//
+// Parameter sweeps (budget scans in bench/, minimum-memory searches, property
+// tests over seeds) are embarrassingly parallel; this pool keeps them on a
+// bounded set of threads instead of spawning per task. Tasks must not throw:
+// exceptions escaping a task terminate, per the CP.53-style contract that
+// worker code reports failure through its captured state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wrbpg {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task. Safe to call from worker threads.
+  void Submit(std::function<void()> task);
+
+  // Block until every submitted task (including tasks submitted by tasks)
+  // has finished executing.
+  void Wait();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: work or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): all drained
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [begin, end) across the pool, blocking until complete.
+// Iterations are chunked to limit queue overhead.
+void ParallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn);
+
+}  // namespace wrbpg

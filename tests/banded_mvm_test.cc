@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analysis.h"
+#include "dataflows/banded_mvm_graph.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "schedulers/banded_mvm.h"
+#include "schedulers/greedy_topo.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(BandedMvmGraph, TridiagonalStructure) {
+  const BandedMvmGraph bm = BuildBandedMvm(5, 1);
+  EXPECT_EQ(bm.nnz(), 13);  // 3 + 3*3 + ... rows: 2,3,3,3,2
+  EXPECT_EQ(bm.support(0), 2);
+  EXPECT_EQ(bm.support(2), 3);
+  EXPECT_EQ(bm.support(4), 2);
+  EXPECT_EQ(bm.graph.sources().size(), static_cast<std::size_t>(5 + 13));
+  EXPECT_EQ(bm.graph.sinks().size(), 5u);
+  // Middle-row vector entries feed three products; the ends fewer.
+  EXPECT_EQ(bm.graph.out_degree(bm.x(2)), 3u);
+  EXPECT_EQ(bm.graph.out_degree(bm.x(0)), 2u);
+}
+
+TEST(BandedMvmGraph, DiagonalOnlyHasNoChains) {
+  const BandedMvmGraph bm = BuildBandedMvm(4, 0);
+  EXPECT_EQ(bm.nnz(), 4);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(bm.support(r), 1);
+    EXPECT_EQ(bm.output(r), bm.product(r, r));
+    EXPECT_TRUE(bm.graph.is_sink(bm.output(r)));
+  }
+}
+
+TEST(BandedMvmGraph, FullBandMatchesDenseCounts) {
+  const BandedMvmGraph bm = BuildBandedMvm(4, 3);
+  EXPECT_EQ(bm.nnz(), 16);
+  EXPECT_EQ(bm.graph.num_nodes(), static_cast<std::size_t>(4 + 16 + 16 + 12));
+}
+
+TEST(BandedMvm, MinMemoryScalesWithBandwidthNotSize) {
+  // The structured-sparse headline: minimum fast memory for lower-bound
+  // I/O depends on the band, not on n.
+  const Weight small = BandedMvmScheduler(BuildBandedMvm(32, 2))
+                           .MinMemoryForLowerBound();
+  const BandedMvmGraph big_graph = BuildBandedMvm(512, 2);
+  const Weight big = BandedMvmScheduler(big_graph).MinMemoryForLowerBound();
+  EXPECT_EQ(small, big);
+  EXPECT_EQ(big, 5 * 16 + 48);  // window (2h+1 words) + chain working set
+}
+
+class BandedSimTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, bool>> {};
+
+TEST_P(BandedSimTest, SimulatorConfirmsCostAndPeakBothStrategies) {
+  const auto [n, h, da] = GetParam();
+  const PrecisionConfig config =
+      da ? PrecisionConfig::DoubleAccumulator() : PrecisionConfig::Equal();
+  const BandedMvmGraph bm = BuildBandedMvm(n, h, config);
+  BandedMvmScheduler sched(bm);
+  const Weight lb = AlgorithmicLowerBound(bm.graph);
+
+  using S = BandedMvmScheduler::Strategy;
+  for (const S strategy : {S::kStreaming, S::kSlidingWindow}) {
+    const Weight budget = sched.StrategyPeak(strategy);
+    const auto best = sched.BestStrategy(budget);
+    ASSERT_TRUE(best.has_value());
+    const auto run = sched.Run(budget);
+    ASSERT_TRUE(run.feasible);
+    const SimResult sim = testing::ExpectValid(bm.graph, budget, run.schedule);
+    EXPECT_EQ(sim.cost, sched.StrategyCost(*best));
+    EXPECT_EQ(sim.peak_red_weight, sched.StrategyPeak(*best));
+    EXPECT_GE(sim.cost, lb);
+  }
+  // The sliding window reaches the lower bound exactly.
+  EXPECT_EQ(sched.StrategyCost(S::kSlidingWindow), lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BandedSimTest,
+    ::testing::Values(std::tuple{5, 1, false}, std::tuple{8, 2, false},
+                      std::tuple{8, 2, true}, std::tuple{6, 0, false},
+                      std::tuple{12, 5, true}, std::tuple{16, 15, false},
+                      std::tuple{9, 4, true}));
+
+TEST(BandedMvm, ExecutesBandedMatVecExactly) {
+  const std::int64_t n = 10, h = 2;
+  const BandedMvmGraph bm = BuildBandedMvm(n, h);
+  BandedMvmScheduler sched(bm);
+  Rng rng(77);
+  // Dense row-major A with zeros outside the band, for the reference.
+  std::vector<double> dense(static_cast<std::size_t>(n * n), 0.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.UniformDouble() * 2.0 - 1.0;
+  std::vector<double> sources(bm.graph.num_nodes(), 0.0);
+  for (std::int64_t c = 0; c < n; ++c) {
+    sources[bm.x(c)] = x[static_cast<std::size_t>(c)];
+  }
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = bm.col_lo(r); c <= bm.col_hi(r); ++c) {
+      const double v = rng.UniformDouble() * 2.0 - 1.0;
+      dense[static_cast<std::size_t>(r * n + c)] = v;
+      sources[bm.a(r, c)] = v;
+    }
+  }
+  // Per-row banded reference accumulating in band order (graph order).
+  std::vector<double> expected(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    double sum = dense[static_cast<std::size_t>(r * n + bm.col_lo(r))] *
+                 x[static_cast<std::size_t>(bm.col_lo(r))];
+    for (std::int64_t c = bm.col_lo(r) + 1; c <= bm.col_hi(r); ++c) {
+      sum += dense[static_cast<std::size_t>(r * n + c)] *
+             x[static_cast<std::size_t>(c)];
+    }
+    expected[static_cast<std::size_t>(r)] = sum;
+  }
+
+  // Products multiply and accumulators add; roles carry the dispatch.
+  std::vector<MvmRole> roles = bm.roles;
+  const NodeOp op = [roles = std::move(roles)](
+                        NodeId v, std::span<const double> parents) {
+    return roles[v] == MvmRole::kProduct ? parents[0] * parents[1]
+                                         : parents[0] + parents[1];
+  };
+
+  for (const auto strategy : {BandedMvmScheduler::Strategy::kStreaming,
+                              BandedMvmScheduler::Strategy::kSlidingWindow}) {
+    const Weight budget = sched.StrategyPeak(strategy);
+    const auto run = sched.Run(budget);
+    ASSERT_TRUE(run.feasible);
+    const ExecResult exec =
+        ExecuteSchedule(bm.graph, budget, run.schedule, op, sources);
+    ASSERT_TRUE(exec.ok) << exec.error;
+    for (std::int64_t r = 0; r < n; ++r) {
+      EXPECT_DOUBLE_EQ(exec.slow_values[bm.output(r)],
+                       expected[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+TEST(BandedMvm, NeverWorseThanGreedy) {
+  const BandedMvmGraph bm = BuildBandedMvm(16, 3);
+  BandedMvmScheduler sched(bm);
+  GreedyTopoScheduler greedy(bm.graph);
+  for (Weight b = sched.StrategyPeak(BandedMvmScheduler::Strategy::kStreaming);
+       b <= 1024; b += 64) {
+    EXPECT_LE(sched.CostOnly(b), greedy.CostOnly(b)) << "budget " << b;
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "dataflows/butterfly_graph.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/random_dag.h"
+#include "schedulers/belady.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/layer_by_layer.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+TEST(Belady, ChainAtMinimalBudgetReachesLowerBound) {
+  const Graph g = MakeChain(8, 2);
+  BeladyScheduler sched(g);
+  const auto run = sched.Run(4);
+  ASSERT_TRUE(run.feasible);
+  EXPECT_EQ(run.cost, AlgorithmicLowerBound(g));
+  testing::ExpectValid(g, 4, run.schedule);
+}
+
+TEST(Belady, DiamondAtMinBudgetReachesLowerBound) {
+  const Graph g = MakeDiamond();
+  BeladyScheduler sched(g);
+  const auto run = sched.Run(3);
+  ASSERT_TRUE(run.feasible);
+  EXPECT_EQ(run.cost, 3);
+  testing::ExpectValid(g, 3, run.schedule);
+}
+
+TEST(Belady, InfeasibleBelowMinValidBudget) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  BeladyScheduler sched(g);
+  EXPECT_EQ(sched.CostOnly(MinValidBudget(g) - 1), kInfiniteCost);
+  EXPECT_TRUE(sched.Run(MinValidBudget(g)).feasible);
+}
+
+class BeladyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeladyPropertyTest, ValidOnRandomDagsAcrossBudgets) {
+  Rng rng(GetParam());
+  const Graph g = BuildRandomDag(
+      rng, {.num_layers = 5, .nodes_per_layer = 5, .max_in_degree = 3,
+            .min_weight = 1, .max_weight = 6, .locality = 0.6});
+  BeladyScheduler belady(g);
+  GreedyTopoScheduler greedy(g);
+  const Weight lo = MinValidBudget(g);
+  const Weight lb = AlgorithmicLowerBound(g);
+  for (Weight b = lo; b <= lo + 40; b += 5) {
+    const auto run = belady.Run(b);
+    ASSERT_TRUE(run.feasible) << "budget " << b;
+    const SimResult sim = testing::ExpectValid(g, b, run.schedule);
+    EXPECT_EQ(sim.cost, run.cost);
+    EXPECT_GE(run.cost, lb);
+    // Furthest-next-use eviction never loses to load-everything-per-node.
+    EXPECT_LE(run.cost, greedy.CostOnly(b)) << "budget " << b;
+  }
+  // With everything resident, traffic collapses to the lower bound.
+  EXPECT_EQ(belady.CostOnly(g.total_weight()), lb);
+}
+
+TEST_P(BeladyPropertyTest, NeverBeatsOracleOnSmallDags) {
+  Rng rng(GetParam() + 500);
+  const Graph g = BuildRandomDag(
+      rng, {.num_layers = 3, .nodes_per_layer = 3, .max_in_degree = 2,
+            .min_weight = 1, .max_weight = 3, .locality = 0.8});
+  if (g.num_nodes() > 12) GTEST_SKIP();
+  BeladyScheduler belady(g);
+  BruteForceScheduler oracle(g);
+  const Weight lo = MinValidBudget(g);
+  for (Weight b = lo; b <= lo + 6; b += 2) {
+    EXPECT_GE(belady.CostOnly(b), oracle.CostOnly(b)) << "budget " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// On the DWT the informed eviction policy should not lose to the Sec 5.1
+// FIFO baseline at any budget (same traversal order, better evictions).
+TEST(Belady, DominatesLayerByLayerOnDwt) {
+  const DwtGraph dwt = BuildDwt(64, 6, PrecisionConfig::Equal());
+  // Use the baseline's own traversal order for a like-for-like comparison.
+  std::vector<NodeId> order;
+  for (std::size_t li = 1; li < dwt.layers.size(); ++li) {
+    std::vector<NodeId> layer = dwt.layers[li];
+    if (li % 2 == 0) std::reverse(layer.begin(), layer.end());
+    order.insert(order.end(), layer.begin(), layer.end());
+  }
+  BeladyScheduler belady(dwt.graph, order);
+  LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+  const Weight lo = MinValidBudget(dwt.graph);
+  for (Weight b = lo; b <= lo + 512; b += 64) {
+    EXPECT_LE(belady.CostOnly(b), baseline.CostOnly(b)) << "budget " << b;
+  }
+}
+
+// But it cannot beat the DP: optimality needs order and recomputation
+// freedom, not just good eviction.
+TEST(Belady, NeverBeatsDwtOptimal) {
+  const DwtGraph dwt = BuildDwt(32, 5, PrecisionConfig::DoubleAccumulator());
+  BeladyScheduler belady(dwt.graph);
+  DwtOptimalScheduler optimal(dwt);
+  const Weight lo = MinValidBudget(dwt.graph);
+  for (Weight b = lo; b <= lo + 320; b += 32) {
+    const Weight bc = belady.CostOnly(b);
+    if (bc >= kInfiniteCost) continue;
+    EXPECT_GE(bc, optimal.CostOnly(b)) << "budget " << b;
+  }
+}
+
+TEST(Belady, HandlesButterflyReuse) {
+  const ButterflyGraph bf = BuildButterfly(16);
+  BeladyScheduler belady(bf.graph);
+  GreedyTopoScheduler greedy(bf.graph);
+  const Weight lo = MinValidBudget(bf.graph);
+  for (Weight b = lo; b <= lo + 256; b += 64) {
+    const auto run = belady.Run(b);
+    ASSERT_TRUE(run.feasible);
+    testing::ExpectValid(bf.graph, b, run.schedule);
+    EXPECT_LE(run.cost, greedy.CostOnly(b));
+  }
+}
+
+TEST(Belady, MinMemorySearchFindsLowerBoundBudget) {
+  const DwtGraph dwt = BuildDwt(16, 4);
+  BeladyScheduler belady(dwt.graph);
+  const Weight bits = belady.MinMemoryForLowerBound(16, 1 << 14);
+  ASSERT_GT(bits, 0);
+  EXPECT_EQ(belady.CostOnly(bits), AlgorithmicLowerBound(dwt.graph));
+}
+
+}  // namespace
+}  // namespace wrbpg

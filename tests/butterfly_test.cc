@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/analysis.h"
+#include "dataflows/butterfly_graph.h"
+#include "exec/executor.h"
+#include "exec/extended_kernels.h"
+#include "schedulers/belady.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/layer_by_layer.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+class ButterflyStructureTest
+    : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ButterflyStructureTest, RadixTwoWiring) {
+  const std::int64_t n = GetParam();
+  const ButterflyGraph bf = BuildButterfly(n);
+  const int stages = bf.stages;
+  EXPECT_EQ(std::int64_t{1} << stages, n);
+  EXPECT_EQ(bf.graph.num_nodes(),
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(stages + 1));
+  EXPECT_EQ(bf.graph.sources().size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(bf.graph.sinks().size(), static_cast<std::size_t>(n));
+
+  for (int s = 1; s <= stages; ++s) {
+    const std::int64_t bit = std::int64_t{1} << (s - 1);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const auto parents = bf.graph.parents(bf.at(s, j));
+      ASSERT_EQ(parents.size(), 2u);
+      EXPECT_EQ(parents[0], bf.at(s - 1, std::min(j, j ^ bit)));
+      EXPECT_EQ(parents[1], bf.at(s - 1, std::max(j, j ^ bit)));
+    }
+  }
+  // Every non-output value feeds exactly two butterflies.
+  for (int s = 0; s < stages; ++s) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(bf.graph.out_degree(bf.at(s, j)), 2u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ButterflyStructureTest,
+                         ::testing::Values(2, 4, 8, 16, 64));
+
+TEST(ButterflyKernel, FastWhtIsAnInvolutionUpToScale) {
+  Rng rng(3);
+  std::vector<double> x(32);
+  for (auto& v : x) v = rng.UniformDouble() * 2.0 - 1.0;
+  const auto twice = FastWht(FastWht(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(twice[i], 32.0 * x[i], 1e-9);
+  }
+}
+
+TEST(ButterflyKernel, ReferenceMatchesFastWht) {
+  const ButterflyGraph bf = BuildButterfly(16);
+  Rng rng(7);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.UniformDouble();
+  const auto values = WhtReferenceValues(bf, x);
+  const auto direct = FastWht(x);
+  for (std::int64_t j = 0; j < 16; ++j) {
+    EXPECT_DOUBLE_EQ(values[bf.at(bf.stages, j)],
+                     direct[static_cast<std::size_t>(j)]);
+  }
+}
+
+class ButterflyScheduleTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ButterflyScheduleTest, SchedulesComputeTheTransformExactly) {
+  const std::int64_t n = GetParam();
+  const ButterflyGraph bf = BuildButterfly(n);
+  Rng rng(13);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.UniformDouble() * 2.0 - 1.0;
+  std::vector<double> sources(bf.graph.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < x.size(); ++j) sources[bf.layers[0][j]] = x[j];
+  const auto expected = WhtReferenceValues(bf, x);
+  const NodeOp op = MakeWhtNodeOp(bf);
+
+  const Weight budget = MinValidBudget(bf.graph) + 96;
+  LayerByLayerScheduler baseline(bf.graph, bf.layers);
+  BeladyScheduler belady(bf.graph);
+  for (const Schedule& schedule :
+       {baseline.Run(budget).schedule, belady.Run(budget).schedule}) {
+    ASSERT_FALSE(schedule.empty());
+    testing::ExpectValid(bf.graph, budget, schedule);
+    const ExecResult exec =
+        ExecuteSchedule(bf.graph, budget, schedule, op, sources);
+    ASSERT_TRUE(exec.ok) << exec.error;
+    for (NodeId s : bf.graph.sinks()) {
+      EXPECT_DOUBLE_EQ(exec.slow_values[s], expected[s]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ButterflyScheduleTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(ButterflySchedule, AmpleMemoryReachesLowerBound) {
+  const ButterflyGraph bf = BuildButterfly(32);
+  BeladyScheduler belady(bf.graph);
+  EXPECT_EQ(belady.CostOnly(bf.graph.total_weight()),
+            AlgorithmicLowerBound(bf.graph));
+}
+
+}  // namespace
+}  // namespace wrbpg

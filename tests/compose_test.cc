@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/analysis.h"
+#include "core/compose.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/mvm_tiling.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+
+TEST(Compose, ChainOntoChainIsLongerChain) {
+  const Graph first = MakeChain(3, 2);
+  const Graph second = MakeChain(4, 2);
+  const Composition comp =
+      ComposeSequential(first, second, {{.producer_sink = 2,
+                                         .consumer_source = 0}});
+  ASSERT_TRUE(comp.ok) << comp.error;
+  EXPECT_EQ(comp.graph.num_nodes(), 6u);  // 3 + 4 - 1 shared
+  EXPECT_EQ(comp.graph.sources().size(), 1u);
+  EXPECT_EQ(comp.graph.sinks().size(), 1u);
+  // The bound node is neither source nor sink in the composite.
+  const NodeId shared = comp.producer_to_composite[2];
+  EXPECT_EQ(shared, comp.consumer_to_composite[0]);
+  EXPECT_FALSE(comp.graph.is_source(shared));
+  EXPECT_FALSE(comp.graph.is_sink(shared));
+}
+
+TEST(Compose, RejectsNonSinkProducerBinding) {
+  const Graph first = MakeChain(3, 2);
+  const Graph second = MakeChain(2, 2);
+  const Composition comp = ComposeSequential(
+      first, second, {{.producer_sink = 1, .consumer_source = 0}});
+  EXPECT_FALSE(comp.ok);
+  EXPECT_NE(comp.error.find("not a producer sink"), std::string::npos);
+}
+
+TEST(Compose, RejectsNonSourceConsumerBinding) {
+  const Graph first = MakeChain(3, 2);
+  const Graph second = MakeChain(3, 2);
+  const Composition comp = ComposeSequential(
+      first, second, {{.producer_sink = 2, .consumer_source = 1}});
+  EXPECT_FALSE(comp.ok);
+  EXPECT_NE(comp.error.find("not a consumer source"), std::string::npos);
+}
+
+TEST(Compose, RejectsWeightMismatch) {
+  const Graph first = MakeChain(3, 2);
+  const Graph second = MakeChain(3, 4);
+  const Composition comp = ComposeSequential(
+      first, second, {{.producer_sink = 2, .consumer_source = 0}});
+  EXPECT_FALSE(comp.ok);
+  EXPECT_NE(comp.error.find("weight mismatch"), std::string::npos);
+}
+
+TEST(Compose, RejectsDoubleBoundSource) {
+  const Graph first = MakeChain(3, 2);
+  const Graph second = MakeChain(3, 2);
+  const Composition comp = ComposeSequential(
+      first, second,
+      {{.producer_sink = 2, .consumer_source = 0},
+       {.producer_sink = 2, .consumer_source = 0}});
+  EXPECT_FALSE(comp.ok);
+  EXPECT_NE(comp.error.find("bound twice"), std::string::npos);
+}
+
+TEST(Compose, StitchedSchedulesAreValidAndAdditive) {
+  const Graph first = MakeChain(4, 2);
+  const Graph second = MakeChain(3, 2);
+  const Composition comp = ComposeSequential(
+      first, second, {{.producer_sink = 3, .consumer_source = 0}});
+  ASSERT_TRUE(comp.ok) << comp.error;
+
+  GreedyTopoScheduler s1(first);
+  GreedyTopoScheduler s2(second);
+  const Weight budget = 8;
+  const auto r1 = s1.Run(budget);
+  const auto r2 = s2.Run(budget);
+  ASSERT_TRUE(r1.feasible && r2.feasible);
+
+  const Schedule stitched =
+      StitchSchedules(comp, r1.schedule, r2.schedule);
+  const SimResult sim = testing::ExpectValid(comp.graph, budget, stitched);
+  EXPECT_EQ(sim.cost, r1.cost + r2.cost);
+}
+
+// The paper's end-to-end story: a DWT feature extractor feeding a linear
+// decoder, each scheduled by its own optimal algorithm, stitched into one
+// valid schedule for the fused CDAG — and numerically correct.
+TEST(Compose, DwtIntoMvmPipelineComputesDecodedFeatures) {
+  const DwtGraph dwt = BuildDwt(8, 3, PrecisionConfig::Equal());
+  const std::int64_t features =
+      static_cast<std::int64_t>(dwt.graph.sinks().size());  // 8 outputs
+  const MvmGraph mvm =
+      BuildMvm(3, features, PrecisionConfig::Equal());
+
+  std::vector<Binding> bindings;
+  for (std::int64_t i = 0; i < features; ++i) {
+    bindings.push_back(
+        {.producer_sink = dwt.graph.sinks()[static_cast<std::size_t>(i)],
+         .consumer_source = mvm.x(i)});
+  }
+  const Composition comp =
+      ComposeSequential(dwt.graph, mvm.graph, bindings);
+  ASSERT_TRUE(comp.ok) << comp.error;
+  // Composite sources: DWT inputs + decoder matrix entries.
+  EXPECT_EQ(comp.graph.sources().size(),
+            8u + static_cast<std::size_t>(3 * features));
+  EXPECT_EQ(comp.graph.sinks().size(), 3u);
+
+  DwtOptimalScheduler dwt_sched(dwt);
+  MvmTilingScheduler mvm_sched(mvm);
+  const Weight budget =
+      std::max(MinValidBudget(dwt.graph) + 32,
+               mvm_sched.MinMemoryForLowerBound());
+  const auto r1 = dwt_sched.Run(budget);
+  const auto r2 = mvm_sched.Run(budget);
+  ASSERT_TRUE(r1.feasible && r2.feasible);
+  const Schedule stitched = StitchSchedules(comp, r1.schedule, r2.schedule);
+  const SimResult sim = testing::ExpectValid(comp.graph, budget, stitched);
+  EXPECT_EQ(sim.cost, r1.cost + r2.cost);
+
+  // Execute end to end: y = A * dwt_outputs(signal).
+  Rng rng(31);
+  std::vector<double> signal(8);
+  for (auto& s : signal) s = rng.UniformDouble() * 2.0 - 1.0;
+  std::vector<double> decoder(static_cast<std::size_t>(3 * features));
+  for (auto& d : decoder) d = rng.UniformDouble() - 0.5;
+
+  std::vector<double> sources(comp.graph.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < 8; ++j) {
+    sources[comp.producer_to_composite[dwt.layers[0][j]]] = signal[j];
+  }
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < features; ++c) {
+      sources[comp.consumer_to_composite[mvm.a(r, c)]] =
+          decoder[static_cast<std::size_t>(r * features + c)];
+    }
+  }
+  // Composite semantics: DWT ops on producer nodes, MVM ops on the rest.
+  const NodeOp dwt_op = MakeDwtNodeOp(dwt);
+  const NodeOp mvm_op = MakeMvmNodeOp(mvm);
+  std::vector<NodeId> back_to_dwt(comp.graph.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < dwt.graph.num_nodes(); ++v) {
+    back_to_dwt[comp.producer_to_composite[v]] = v;
+  }
+  std::vector<NodeId> back_to_mvm(comp.graph.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < mvm.graph.num_nodes(); ++v) {
+    if (mvm.graph.is_source(v) &&
+        back_to_dwt[comp.consumer_to_composite[v]] != kInvalidNode) {
+      continue;  // bound boundary node: computed by the DWT side
+    }
+    back_to_mvm[comp.consumer_to_composite[v]] = v;
+  }
+  // M3 only ever fires on compute nodes, which live in exactly one part.
+  const NodeOp fused = [&](NodeId v, std::span<const double> parents) {
+    return back_to_mvm[v] != kInvalidNode ? mvm_op(back_to_mvm[v], parents)
+                                          : dwt_op(back_to_dwt[v], parents);
+  };
+
+  const ExecResult exec =
+      ExecuteSchedule(comp.graph, budget, stitched, fused, sources);
+  ASSERT_TRUE(exec.ok) << exec.error;
+
+  const std::vector<double> feature_values = HaarOutputs(dwt, signal);
+  const std::vector<double> expected =
+      MatVec(3, features, decoder, feature_values);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(
+        exec.slow_values[comp.consumer_to_composite[mvm.output(r)]],
+        expected[static_cast<std::size_t>(r)]);
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

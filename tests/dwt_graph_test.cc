@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dataflows/dwt_graph.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(DwtParams, Validity) {
+  EXPECT_TRUE(DwtParamsValid(4, 1));
+  EXPECT_TRUE(DwtParamsValid(4, 2));
+  EXPECT_TRUE(DwtParamsValid(256, 8));
+  EXPECT_TRUE(DwtParamsValid(96, 5));
+  EXPECT_FALSE(DwtParamsValid(4, 3));    // 8 does not divide 4
+  EXPECT_FALSE(DwtParamsValid(6, 2));    // 4 does not divide 6
+  EXPECT_FALSE(DwtParamsValid(1, 1));
+  EXPECT_FALSE(DwtParamsValid(8, 0));
+}
+
+TEST(DwtParams, MaxLevelIsTwoAdicValuation) {
+  EXPECT_EQ(MaxDwtLevel(256), 8);
+  EXPECT_EQ(MaxDwtLevel(96), 5);
+  EXPECT_EQ(MaxDwtLevel(6), 1);
+  EXPECT_EQ(MaxDwtLevel(2), 1);
+}
+
+// Figure 2a: DWT(4, 1).
+TEST(DwtGraph, MatchesFigure2a) {
+  const DwtGraph dwt = BuildDwt(4, 1);
+  const Graph& g = dwt.graph;
+  EXPECT_EQ(g.num_nodes(), 8u);
+  ASSERT_EQ(dwt.layers.size(), 2u);
+  EXPECT_EQ(dwt.layers[0].size(), 4u);
+  EXPECT_EQ(dwt.layers[1].size(), 4u);
+  // Pairs (x1,x2) -> (v1,v2) and (x3,x4) -> (v3,v4).
+  for (int j = 1; j <= 4; ++j) {
+    const NodeId v = dwt.at(2, j);
+    ASSERT_EQ(g.parents(v).size(), 2u);
+  }
+  EXPECT_EQ(g.parents(dwt.at(2, 1))[0], dwt.at(1, 1));
+  EXPECT_EQ(g.parents(dwt.at(2, 1))[1], dwt.at(1, 2));
+  EXPECT_EQ(g.parents(dwt.at(2, 4))[0], dwt.at(1, 3));
+  EXPECT_EQ(g.parents(dwt.at(2, 4))[1], dwt.at(1, 4));
+  // All of S_2 are sinks at level 1.
+  for (int j = 1; j <= 4; ++j) EXPECT_TRUE(g.is_sink(dwt.at(2, j)));
+}
+
+// Figure 2b: DWT(4, 2).
+TEST(DwtGraph, MatchesFigure2b) {
+  const DwtGraph dwt = BuildDwt(4, 2);
+  const Graph& g = dwt.graph;
+  EXPECT_EQ(g.num_nodes(), 10u);
+  ASSERT_EQ(dwt.layers.size(), 3u);
+  EXPECT_EQ(dwt.layers[2].size(), 2u);
+  // S_3's average and coefficient both read the two S_2 averages.
+  for (int j = 1; j <= 2; ++j) {
+    const NodeId v = dwt.at(3, j);
+    ASSERT_EQ(g.parents(v).size(), 2u);
+    EXPECT_EQ(g.parents(v)[0], dwt.at(2, 1));
+    EXPECT_EQ(g.parents(v)[1], dwt.at(2, 3));
+  }
+  // S_2 coefficients (even index) are sinks; averages are not.
+  EXPECT_TRUE(g.is_sink(dwt.at(2, 2)));
+  EXPECT_TRUE(g.is_sink(dwt.at(2, 4)));
+  EXPECT_FALSE(g.is_sink(dwt.at(2, 1)));
+  EXPECT_FALSE(g.is_sink(dwt.at(2, 3)));
+}
+
+TEST(DwtGraph, RolesFollowParity) {
+  const DwtGraph dwt = BuildDwt(8, 3);
+  for (std::size_t i = 0; i < dwt.layers.size(); ++i) {
+    for (std::size_t j = 0; j < dwt.layers[i].size(); ++j) {
+      const DwtRole role = dwt.roles[dwt.layers[i][j]];
+      if (i == 0) {
+        EXPECT_EQ(role, DwtRole::kInput);
+      } else if (j % 2 == 0) {
+        EXPECT_EQ(role, DwtRole::kAverage);
+      } else {
+        EXPECT_EQ(role, DwtRole::kCoefficient);
+      }
+    }
+  }
+}
+
+TEST(DwtGraph, WeightsFollowPrecisionConfig) {
+  const DwtGraph dwt = BuildDwt(8, 2, PrecisionConfig::DoubleAccumulator());
+  const Graph& g = dwt.graph;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.weight(v), dwt.roles[v] == DwtRole::kInput ? 16 : 32);
+  }
+}
+
+class DwtStructureTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {};
+
+TEST_P(DwtStructureTest, SatisfiesDefinition31) {
+  const auto [n, d] = GetParam();
+  const DwtGraph dwt = BuildDwt(n, d);
+  const Graph& g = dwt.graph;
+
+  // Layer sizes: |S_1| = |S_2| = n, then halving.
+  ASSERT_EQ(dwt.layers.size(), static_cast<std::size_t>(d) + 1);
+  EXPECT_EQ(dwt.layers[0].size(), static_cast<std::size_t>(n));
+  std::int64_t expect = n;
+  std::size_t total = static_cast<std::size_t>(n);
+  for (int i = 2; i <= d + 1; ++i) {
+    EXPECT_EQ(dwt.layers[static_cast<std::size_t>(i - 1)].size(),
+              static_cast<std::size_t>(expect));
+    total += static_cast<std::size_t>(expect);
+    expect /= 2;
+  }
+  EXPECT_EQ(g.num_nodes(), total);
+
+  // Sources are exactly S_1.
+  EXPECT_EQ(g.sources().size(), static_cast<std::size_t>(n));
+  for (NodeId v : dwt.layers[0]) EXPECT_TRUE(g.is_source(v));
+
+  // Every non-input node has in-degree exactly 2, and its two parents are
+  // an adjacent pair in the previous layer.
+  for (int i = 2; i <= d + 1; ++i) {
+    const auto& layer = dwt.layers[static_cast<std::size_t>(i - 1)];
+    for (std::size_t j = 0; j < layer.size(); ++j) {
+      ASSERT_EQ(g.in_degree(layer[j]), 2u);
+    }
+  }
+
+  // Sinks: coefficients of every layer >= 2 plus the final averages.
+  std::size_t expected_sinks = 0;
+  for (std::size_t i = 1; i < dwt.layers.size(); ++i) {
+    expected_sinks += dwt.layers[i].size() / 2;
+  }
+  expected_sinks += dwt.layers.back().size() / 2;
+  EXPECT_EQ(g.sinks().size(), expected_sinks);
+
+  // Averages in layers 2..d feed exactly two children; final layer feeds none.
+  for (int i = 2; i <= d; ++i) {
+    const auto& layer = dwt.layers[static_cast<std::size_t>(i - 1)];
+    for (std::size_t j = 0; j < layer.size(); ++j) {
+      EXPECT_EQ(g.out_degree(layer[j]), j % 2 == 0 ? 2u : 0u);
+    }
+  }
+}
+
+TEST_P(DwtStructureTest, PruningRemovesCoefficients) {
+  const auto [n, d] = GetParam();
+  const DwtGraph dwt = BuildDwt(n, d);
+  const PrunedDwt pruned = PruneDwt(dwt);
+
+  std::size_t coefficients = 0;
+  for (DwtRole role : dwt.roles) {
+    if (role == DwtRole::kCoefficient) ++coefficients;
+  }
+  EXPECT_EQ(pruned.graph.num_nodes() + coefficients, dwt.graph.num_nodes());
+
+  // The pruned graph is a forest of n / 2^d binary in-trees: every node has
+  // out-degree <= 1 and the sinks are the final averages.
+  std::size_t sinks = 0;
+  for (NodeId v = 0; v < pruned.graph.num_nodes(); ++v) {
+    EXPECT_LE(pruned.graph.out_degree(v), 1u);
+    if (pruned.graph.is_sink(v)) ++sinks;
+    EXPECT_TRUE(pruned.graph.in_degree(v) == 0 ||
+                pruned.graph.in_degree(v) == 2);
+  }
+  EXPECT_EQ(sinks, static_cast<std::size_t>(n >> d));
+
+  // Mappings are mutually inverse.
+  for (std::size_t i = 0; i < pruned.to_original.size(); ++i) {
+    EXPECT_EQ(pruned.from_original[pruned.to_original[i]],
+              static_cast<NodeId>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DwtStructureTest,
+    ::testing::Values(std::tuple{2, 1}, std::tuple{4, 1}, std::tuple{4, 2},
+                      std::tuple{8, 1}, std::tuple{8, 3}, std::tuple{12, 2},
+                      std::tuple{16, 4}, std::tuple{24, 3}, std::tuple{32, 5},
+                      std::tuple{48, 4}, std::tuple{64, 6},
+                      std::tuple{256, 8}));
+
+TEST(DwtGraph, LargeInstanceNodeCount) {
+  const DwtGraph dwt = BuildDwt(256, 8);
+  // 256 + 256 + 128 + ... + 2 = 256 + 510.
+  EXPECT_EQ(dwt.graph.num_nodes(), 766u);
+  EXPECT_EQ(dwt.layers.back().size(), 2u);
+}
+
+}  // namespace
+}  // namespace wrbpg

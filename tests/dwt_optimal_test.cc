@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analysis.h"
+#include "core/graph_builder.h"
+#include "dataflows/dwt_graph.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Optimality against the exhaustive oracle on small instances.
+// ---------------------------------------------------------------------------
+
+class DwtOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int, bool>> {};
+
+TEST_P(DwtOptimalityTest, MatchesBruteForceOptimumAcrossBudgets) {
+  const auto [n, d, double_acc] = GetParam();
+  // Unit-scale weights keep the oracle's state space tractable.
+  const PrecisionConfig config = double_acc
+                                     ? PrecisionConfig::DoubleAccumulator(1)
+                                     : PrecisionConfig::Equal(1);
+  const DwtGraph dwt = BuildDwt(n, d, config);
+  DwtOptimalScheduler optimal(dwt);
+  BruteForceScheduler oracle(dwt.graph);
+
+  const Weight lo = MinValidBudget(dwt.graph);
+  for (Weight b = lo; b <= lo + 6; ++b) {
+    const Weight expected = oracle.CostOnly(b);
+    EXPECT_EQ(optimal.CostOnly(b), expected) << "budget " << b;
+
+    const auto run = optimal.Run(b);
+    ASSERT_TRUE(run.feasible) << "budget " << b;
+    const SimResult sim = testing::ExpectValid(dwt.graph, b, run.schedule);
+    EXPECT_EQ(sim.cost, expected) << "budget " << b;
+  }
+}
+
+// The oracle's configuration space grows exponentially with |V|; instances
+// here stay at or below 14 nodes (DWT(6, 1) has 12, DWT(4, 2) has 10).
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, DwtOptimalityTest,
+    ::testing::Values(std::tuple{2, 1, false}, std::tuple{4, 1, false},
+                      std::tuple{4, 2, false}, std::tuple{6, 1, false},
+                      std::tuple{2, 1, true}, std::tuple{4, 1, true},
+                      std::tuple{4, 2, true}, std::tuple{6, 1, true}));
+
+// Random weights still satisfy the Lemma 3.2 precondition when each
+// coefficient weighs no more than its sibling average.
+TEST(DwtOptimal, MatchesOracleUnderRandomWeights) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    DwtGraph dwt = BuildDwt(4, 2, PrecisionConfig::Equal(1));
+    std::vector<Weight> weights(dwt.graph.num_nodes());
+    for (std::size_t layer = 0; layer < dwt.layers.size(); ++layer) {
+      for (std::size_t j = 0; j < dwt.layers[layer].size(); ++j) {
+        const NodeId v = dwt.layers[layer][j];
+        if (layer == 0 || j % 2 == 0) {
+          weights[v] = rng.UniformInt(1, 3);
+        } else {
+          weights[v] = weights[dwt.layers[layer][j - 1]];  // == sibling avg
+        }
+      }
+    }
+    GraphBuilder builder;
+    for (NodeId v = 0; v < dwt.graph.num_nodes(); ++v) {
+      builder.AddNode(weights[v], dwt.graph.name(v));
+    }
+    for (NodeId v = 0; v < dwt.graph.num_nodes(); ++v) {
+      for (NodeId c : dwt.graph.children(v)) builder.AddEdge(v, c);
+    }
+    dwt.graph = builder.BuildOrDie();
+
+    DwtOptimalScheduler optimal(dwt);
+    BruteForceScheduler oracle(dwt.graph);
+    const Weight lo = MinValidBudget(dwt.graph);
+    for (Weight budget = lo; budget <= lo + 4; budget += 2) {
+      EXPECT_EQ(optimal.CostOnly(budget), oracle.CostOnly(budget))
+          << "seed " << seed << " budget " << budget;
+      const auto run = optimal.Run(budget);
+      ASSERT_TRUE(run.feasible);
+      const SimResult sim =
+          testing::ExpectValid(dwt.graph, budget, run.schedule);
+      EXPECT_EQ(sim.cost, run.cost);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural properties on mid-size instances.
+// ---------------------------------------------------------------------------
+
+class DwtPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {};
+
+TEST_P(DwtPropertyTest, SchedulesValidAndCostsConsistentAcrossBudgets) {
+  const auto [n, d] = GetParam();
+  const DwtGraph dwt = BuildDwt(n, d, PrecisionConfig::DoubleAccumulator());
+  DwtOptimalScheduler optimal(dwt);
+  const Weight lo = MinValidBudget(dwt.graph);
+  const Weight lb = AlgorithmicLowerBound(dwt.graph);
+
+  Weight previous = kInfiniteCost;
+  for (Weight b = lo; b <= lo + 512; b += 64) {
+    const auto run = optimal.Run(b);
+    ASSERT_TRUE(run.feasible);
+    const SimResult sim = testing::ExpectValid(dwt.graph, b, run.schedule);
+    EXPECT_EQ(sim.cost, run.cost);
+    EXPECT_EQ(run.cost, optimal.CostOnly(b));
+    EXPECT_GE(run.cost, lb);
+    EXPECT_LE(run.cost, previous);  // monotone in the budget
+    previous = run.cost;
+  }
+}
+
+TEST_P(DwtPropertyTest, InfeasibleJustBelowMinValidBudget) {
+  const auto [n, d] = GetParam();
+  const DwtGraph dwt = BuildDwt(n, d);
+  DwtOptimalScheduler optimal(dwt);
+  EXPECT_EQ(optimal.CostOnly(MinValidBudget(dwt.graph) - 1), kInfiniteCost);
+  EXPECT_FALSE(optimal.Run(MinValidBudget(dwt.graph) - 1).feasible);
+}
+
+TEST_P(DwtPropertyTest, ReachesLowerBoundWithAmpleMemory) {
+  const auto [n, d] = GetParam();
+  const DwtGraph dwt = BuildDwt(n, d, PrecisionConfig::DoubleAccumulator());
+  DwtOptimalScheduler optimal(dwt);
+  EXPECT_EQ(optimal.CostOnly(dwt.graph.total_weight()),
+            AlgorithmicLowerBound(dwt.graph));
+}
+
+TEST_P(DwtPropertyTest, NeverWorseThanGreedy) {
+  const auto [n, d] = GetParam();
+  const DwtGraph dwt = BuildDwt(n, d);
+  DwtOptimalScheduler optimal(dwt);
+  GreedyTopoScheduler greedy(dwt.graph);
+  for (Weight b = MinValidBudget(dwt.graph);
+       b <= MinValidBudget(dwt.graph) + 256; b += 128) {
+    EXPECT_LE(optimal.CostOnly(b), greedy.CostOnly(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MidSize, DwtPropertyTest,
+                         ::testing::Values(std::tuple{16, 4}, std::tuple{32, 5},
+                                           std::tuple{48, 4},
+                                           std::tuple{64, 6},
+                                           std::tuple{128, 7},
+                                           std::tuple{256, 8}));
+
+// ---------------------------------------------------------------------------
+// Published headline numbers (Table 1).
+// ---------------------------------------------------------------------------
+
+TEST(DwtOptimal, Table1EqualMinimumMemoryIsTenWords) {
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::Equal());
+  DwtOptimalScheduler optimal(dwt);
+  const Weight bits = optimal.MinMemoryForLowerBound(kWordBits, 1 << 16);
+  EXPECT_EQ(bits, 160);  // 10 words of 16 bits
+}
+
+TEST(DwtOptimal, Table1DoubleAccumulatorMinimumMemoryIs18Words) {
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::DoubleAccumulator());
+  DwtOptimalScheduler optimal(dwt);
+  const Weight bits = optimal.MinMemoryForLowerBound(kWordBits, 1 << 16);
+  EXPECT_EQ(bits, 288);  // 18 words of 16 bits
+}
+
+TEST(DwtOptimal, MinMemoryScheduleIsValidAndMeetsLowerBound) {
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::Equal());
+  DwtOptimalScheduler optimal(dwt);
+  const Weight bits = optimal.MinMemoryForLowerBound(kWordBits, 1 << 16);
+  const auto run = optimal.Run(bits);
+  ASSERT_TRUE(run.feasible);
+  const SimResult sim = testing::ExpectValid(dwt.graph, bits, run.schedule);
+  EXPECT_EQ(sim.cost, AlgorithmicLowerBound(dwt.graph));
+  EXPECT_LE(sim.peak_red_weight, bits);
+}
+
+// Lemma 3.4 at ample memory: every input and output moves exactly once.
+TEST(DwtOptimal, CostDecompositionAtAmpleMemory) {
+  const DwtGraph dwt = BuildDwt(64, 6, PrecisionConfig::DoubleAccumulator());
+  DwtOptimalScheduler optimal(dwt);
+  const auto run = optimal.Run(dwt.graph.total_weight());
+  ASSERT_TRUE(run.feasible);
+  const SimResult sim =
+      testing::ExpectValid(dwt.graph, dwt.graph.total_weight(), run.schedule);
+  EXPECT_EQ(sim.loads, dwt.graph.sources().size());
+  EXPECT_EQ(sim.stores, dwt.graph.sinks().size());
+}
+
+}  // namespace
+}  // namespace wrbpg

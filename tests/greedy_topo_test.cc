@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "schedulers/greedy_topo.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+TEST(GreedyTopo, InfeasibleBelowMinValidBudget) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  GreedyTopoScheduler sched(g);
+  EXPECT_FALSE(sched.Run(MinValidBudget(g) - 1).feasible);
+  EXPECT_EQ(sched.CostOnly(MinValidBudget(g) - 1), kInfiniteCost);
+}
+
+TEST(GreedyTopo, ValidAtExactlyMinValidBudget) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  GreedyTopoScheduler sched(g);
+  const auto result = sched.Run(MinValidBudget(g));
+  ASSERT_TRUE(result.feasible);
+  const SimResult sim =
+      testing::ExpectValid(g, MinValidBudget(g), result.schedule);
+  EXPECT_EQ(sim.cost, result.cost);
+  EXPECT_EQ(sched.CostOnly(MinValidBudget(g)), result.cost);
+}
+
+TEST(GreedyTopo, CostIsOneLoadPerEdgePlusStores) {
+  const Graph g = MakeChain(5, 2);  // 4 compute nodes, 4 edges
+  GreedyTopoScheduler sched(g);
+  const auto result = sched.Run(100);
+  ASSERT_TRUE(result.feasible);
+  // Each non-source: parents loaded (2 bits each edge) + itself stored.
+  EXPECT_EQ(result.cost, 4 * 2 + 4 * 2);
+}
+
+TEST(GreedyTopo, CostNeverBelowAlgorithmicLowerBound) {
+  for (const auto& g :
+       {MakeDiamond({3, 5, 7, 11, 13}), MakeChain(7, 3), MakeDiamond()}) {
+    GreedyTopoScheduler sched(g);
+    EXPECT_GE(sched.CostOnly(1000), AlgorithmicLowerBound(g));
+  }
+}
+
+TEST(GreedyTopo, HandlesDwtAndMvmGraphs) {
+  const DwtGraph dwt = BuildDwt(16, 4);
+  GreedyTopoScheduler dwt_sched(dwt.graph);
+  const Weight b1 = MinValidBudget(dwt.graph);
+  const auto r1 = dwt_sched.Run(b1);
+  ASSERT_TRUE(r1.feasible);
+  testing::ExpectValid(dwt.graph, b1, r1.schedule);
+
+  const MvmGraph mvm = BuildMvm(4, 3, PrecisionConfig::DoubleAccumulator());
+  GreedyTopoScheduler mvm_sched(mvm.graph);
+  const Weight b2 = MinValidBudget(mvm.graph);
+  const auto r2 = mvm_sched.Run(b2);
+  ASSERT_TRUE(r2.feasible);
+  testing::ExpectValid(mvm.graph, b2, r2.schedule);
+}
+
+TEST(GreedyTopo, BudgetDoesNotChangeCost) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  GreedyTopoScheduler sched(g);
+  EXPECT_EQ(sched.CostOnly(31), sched.CostOnly(1'000'000));
+}
+
+}  // namespace
+}  // namespace wrbpg

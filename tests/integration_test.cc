@@ -1,0 +1,260 @@
+// End-to-end regeneration of the paper's headline results, wired exactly the
+// way the bench binaries do it. Each test is one row/claim of the paper.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "hardware/sram_model.h"
+#include "ioopt/ioopt_bounds.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table 1: minimum fast memory sizes (ours, in words).
+// ---------------------------------------------------------------------------
+
+TEST(Table1, OurRows) {
+  {
+    const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::Equal());
+    DwtOptimalScheduler optimal(dwt);
+    EXPECT_EQ(optimal.MinMemoryForLowerBound(kWordBits, 1 << 16) / kWordBits,
+              10);
+  }
+  {
+    const DwtGraph dwt =
+        BuildDwt(256, 8, PrecisionConfig::DoubleAccumulator());
+    DwtOptimalScheduler optimal(dwt);
+    EXPECT_EQ(optimal.MinMemoryForLowerBound(kWordBits, 1 << 16) / kWordBits,
+              18);
+  }
+  {
+    const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::Equal());
+    EXPECT_EQ(MvmTilingScheduler(mvm).MinMemoryForLowerBound() / kWordBits,
+              99);
+  }
+  {
+    const MvmGraph mvm =
+        BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+    EXPECT_EQ(MvmTilingScheduler(mvm).MinMemoryForLowerBound() / kWordBits,
+              126);
+  }
+}
+
+TEST(Table1, IoOptRows) {
+  const MvmGraph equal = BuildMvm(96, 120, PrecisionConfig::Equal());
+  EXPECT_EQ(IoOptMvmBounds(equal).UpperBoundMinMemory() / kWordBits, 193);
+  const MvmGraph da = BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+  EXPECT_EQ(IoOptMvmBounds(da).UpperBoundMinMemory() / kWordBits, 289);
+}
+
+TEST(Table1, PowerOfTwoCapacities) {
+  // Ours: 256 / 512 / 2048 / 2048; baselines MVM: 4096 / 8192.
+  EXPECT_EQ(PowerOfTwoCapacity(10 * kWordBits), 256);
+  EXPECT_EQ(PowerOfTwoCapacity(18 * kWordBits), 512);
+  EXPECT_EQ(PowerOfTwoCapacity(99 * kWordBits), 2048);
+  EXPECT_EQ(PowerOfTwoCapacity(126 * kWordBits), 2048);
+  EXPECT_EQ(PowerOfTwoCapacity(193 * kWordBits), 4096);
+  EXPECT_EQ(PowerOfTwoCapacity(289 * kWordBits), 8192);
+}
+
+// The paper's Sec 5.3 observation: tiling equalizes the power-of-two
+// capacity across Equal and DA, unlike IOOpt which doubles it.
+TEST(Table1, TilingEqualizesCapacityAcrossPrecisions) {
+  const MvmGraph equal = BuildMvm(96, 120, PrecisionConfig::Equal());
+  const MvmGraph da = BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+  EXPECT_EQ(
+      PowerOfTwoCapacity(MvmTilingScheduler(equal).MinMemoryForLowerBound()),
+      PowerOfTwoCapacity(MvmTilingScheduler(da).MinMemoryForLowerBound()));
+  EXPECT_EQ(
+      2 * PowerOfTwoCapacity(IoOptMvmBounds(equal).UpperBoundMinMemory()),
+      PowerOfTwoCapacity(IoOptMvmBounds(da).UpperBoundMinMemory()));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 relations at sampled budgets.
+// ---------------------------------------------------------------------------
+
+TEST(Figure5, DwtOrderingHoldsAcrossTheSweep) {
+  for (const auto config : {PrecisionConfig::Equal(),
+                            PrecisionConfig::DoubleAccumulator()}) {
+    const DwtGraph dwt = BuildDwt(256, 8, config);
+    DwtOptimalScheduler optimal(dwt);
+    LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+    const Weight lb = AlgorithmicLowerBound(dwt.graph);
+    for (Weight b = 64; b <= 16384; b *= 2) {
+      const Weight opt = optimal.CostOnly(b);
+      const Weight base = baseline.CostOnly(b);
+      if (opt >= kInfiniteCost) continue;
+      EXPECT_GE(opt, lb) << ConfigLabel(config) << " @ " << b;
+      EXPECT_LE(opt, base) << ConfigLabel(config) << " @ " << b;
+    }
+    // Both converge to the lower bound with ample memory.
+    EXPECT_EQ(optimal.CostOnly(1 << 20), lb);
+    EXPECT_EQ(baseline.CostOnly(1 << 20), lb);
+  }
+}
+
+TEST(Figure5, MvmOrderingHoldsAcrossTheSweep) {
+  for (const auto config : {PrecisionConfig::Equal(),
+                            PrecisionConfig::DoubleAccumulator()}) {
+    const MvmGraph mvm = BuildMvm(96, 120, config);
+    MvmTilingScheduler tiling(mvm);
+    const IoOptMvmBounds bounds(mvm);
+    const Weight fair =
+        tiling.TilePeak({.g = 0, .h = 1, .spill_running = false});
+    for (Weight b = 128; b <= 32768; b *= 2) {
+      const Weight ours = tiling.CostOnly(b);
+      const Weight ub = bounds.UpperBoundCost(b);
+      if (b >= fair && ub < kInfiniteCost) {
+        EXPECT_LE(ours, ub) << ConfigLabel(config) << " @ " << b;
+      }
+    }
+    EXPECT_EQ(tiling.CostOnly(1 << 20), AlgorithmicLowerBound(mvm.graph));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Headline averages: memory-size reduction across the Fig. 6 scaling sweeps
+// (paper: 46.8% DWT-DA, 36.2% MVM-DA average reductions).
+// ---------------------------------------------------------------------------
+
+TEST(Figure6, DwtAverageReductionInPaperBallpark) {
+  double total_reduction = 0;
+  int count = 0;
+  for (std::int64_t n = 8; n <= 128; n += 8) {
+    const int d = MaxDwtLevel(n);
+    const DwtGraph dwt = BuildDwt(n, d, PrecisionConfig::DoubleAccumulator());
+    DwtOptimalScheduler optimal(dwt);
+    LayerByLayerScheduler baseline(dwt.graph, dwt.layers);
+    const Weight opt = optimal.MinMemoryForLowerBound(kWordBits, 1 << 17);
+    const Weight base = baseline.MinMemoryForLowerBound(kWordBits, 1 << 17);
+    ASSERT_GT(opt, 0);
+    ASSERT_GT(base, 0);
+    EXPECT_LE(opt, base) << "n=" << n;
+    total_reduction += 100.0 * (1.0 - static_cast<double>(opt) /
+                                          static_cast<double>(base));
+    ++count;
+  }
+  const double average = total_reduction / count;
+  // Our faithful §5.1 baseline differs from the paper's in absolute words;
+  // the reduction must still be substantial (paper reports 46.8%).
+  EXPECT_GT(average, 30.0);
+}
+
+TEST(Figure6, MvmTilingBelowIoOptAtEveryProblemSize) {
+  // Paper reports average reductions of 18.6% (Equal) / 36.2% (DA) over the
+  // n sweep. Our IOOpt-UB minimum memory is n-independent (its split only
+  // involves m), so the *average* depends on modeling assumptions the paper
+  // does not specify; the per-n ordering and the Table-1 endpoint (56.4%
+  // reduction at n = 120, DA) are the invariants we check.
+  Weight prev_ours = 0;
+  for (std::int64_t n = 10; n <= 120; n += 10) {
+    const MvmGraph mvm =
+        BuildMvm(96, n, PrecisionConfig::DoubleAccumulator());
+    const Weight ours = MvmTilingScheduler(mvm).MinMemoryForLowerBound();
+    const Weight ioopt = IoOptMvmBounds(mvm).UpperBoundMinMemory();
+    EXPECT_LT(ours, ioopt) << "n=" << n;
+    EXPECT_GE(ours, prev_ours) << "n=" << n;  // vector residency grows with n
+    prev_ours = ours;
+  }
+  const MvmGraph full = BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+  const double endpoint_reduction =
+      100.0 *
+      (1.0 - static_cast<double>(
+                 MvmTilingScheduler(full).MinMemoryForLowerBound()) /
+                 static_cast<double>(
+                     IoOptMvmBounds(full).UpperBoundMinMemory()));
+  EXPECT_NEAR(endpoint_reduction, 56.4, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7/8: synthesized designs from the Table 1 capacities.
+// ---------------------------------------------------------------------------
+
+TEST(Figure7, SynthesisReproducesReductions) {
+  const SramMacro dwt_ours = SynthesizeSram(256);
+  const SramMacro dwt_base = SynthesizeSram(8192);
+  EXPECT_LT(dwt_ours.area_lambda2, 0.2 * dwt_base.area_lambda2);
+  EXPECT_LT(dwt_ours.leakage_mw, 0.2 * dwt_base.leakage_mw);
+  // Bandwidth preserved within a modest factor (Fig. 7e/f).
+  EXPECT_GT(dwt_ours.read_bw_gbps, 0.7 * dwt_base.read_bw_gbps);
+
+  const SramMacro mvm_ours = SynthesizeSram(2048);
+  const SramMacro mvm_base = SynthesizeSram(8192);
+  EXPECT_LT(mvm_ours.area_lambda2, 0.6 * mvm_base.area_lambda2);
+  EXPECT_LT(mvm_ours.leakage_mw, 0.6 * mvm_base.leakage_mw);
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline: schedule at Table-1 memory, execute on a synthetic BCI
+// signal, verify numerics and traffic.
+// ---------------------------------------------------------------------------
+
+TEST(EndToEnd, Dwt256At10WordsComputesTheTransform) {
+  const DwtGraph dwt = BuildDwt(256, 8, PrecisionConfig::Equal());
+  DwtOptimalScheduler optimal(dwt);
+  const Weight budget = 160;  // 10 words
+  const auto run = optimal.Run(budget);
+  ASSERT_TRUE(run.feasible);
+
+  Rng rng(2025);
+  std::vector<double> signal(256);
+  for (auto& s : signal) s = rng.UniformDouble() * 2.0 - 1.0;
+  std::vector<double> sources(dwt.graph.num_nodes(), 0.0);
+  for (std::size_t j = 0; j < 256; ++j) sources[dwt.layers[0][j]] = signal[j];
+
+  const ExecResult exec = ExecuteSchedule(dwt.graph, budget, run.schedule,
+                                          MakeDwtNodeOp(dwt), sources);
+  ASSERT_TRUE(exec.ok) << exec.error;
+  const std::vector<double> expected = DwtReferenceValues(dwt, signal);
+  for (NodeId s : dwt.graph.sinks()) {
+    EXPECT_DOUBLE_EQ(exec.slow_values[s], expected[s]);
+  }
+  // The schedule meets the algorithmic lower bound at this budget.
+  EXPECT_EQ(exec.bits_loaded + exec.bits_stored,
+            AlgorithmicLowerBound(dwt.graph));
+  EXPECT_LE(exec.peak_fast_bits, budget);
+}
+
+TEST(EndToEnd, Mvm96x120At99WordsComputesTheProduct) {
+  const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::Equal());
+  MvmTilingScheduler tiling(mvm);
+  const Weight budget = 1584;  // 99 words
+  const auto run = tiling.Run(budget);
+  ASSERT_TRUE(run.feasible);
+
+  Rng rng(7);
+  std::vector<double> a(96 * 120), x(120);
+  for (auto& v : a) v = rng.UniformDouble() * 2.0 - 1.0;
+  for (auto& v : x) v = rng.UniformDouble() * 2.0 - 1.0;
+  std::vector<double> sources(mvm.graph.num_nodes(), 0.0);
+  for (std::int64_t c = 0; c < 120; ++c) {
+    sources[mvm.x(c)] = x[static_cast<std::size_t>(c)];
+    for (std::int64_t r = 0; r < 96; ++r) {
+      sources[mvm.a(r, c)] = a[static_cast<std::size_t>(r * 120 + c)];
+    }
+  }
+
+  const ExecResult exec = ExecuteSchedule(mvm.graph, budget, run.schedule,
+                                          MakeMvmNodeOp(mvm), sources);
+  ASSERT_TRUE(exec.ok) << exec.error;
+  const std::vector<double> y = MatVec(96, 120, a, x);
+  for (std::int64_t r = 0; r < 96; ++r) {
+    EXPECT_DOUBLE_EQ(exec.slow_values[mvm.output(r)],
+                     y[static_cast<std::size_t>(r)]);
+  }
+  EXPECT_EQ(exec.bits_loaded + exec.bits_stored,
+            AlgorithmicLowerBound(mvm.graph));
+}
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,0 +1,149 @@
+// Cross-cutting invariants of schedules and the simulator, checked over
+// every scheduler on shared workloads. These are the contracts DESIGN.md §4
+// promises for the whole library.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "schedulers/belady.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/layer_by_layer.h"
+#include "schedulers/mvm_tiling.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+// Gather one schedule per scheduler for a shared DWT workload.
+std::vector<std::pair<std::string, Schedule>> DwtSchedules(
+    const DwtGraph& dwt, Weight budget) {
+  std::vector<std::pair<std::string, Schedule>> out;
+  DwtOptimalScheduler optimal(dwt);
+  out.emplace_back("optimal", optimal.Run(budget).schedule);
+  out.emplace_back("layer_by_layer",
+                   LayerByLayerScheduler(dwt.graph, dwt.layers)
+                       .Run(budget)
+                       .schedule);
+  out.emplace_back("belady", BeladyScheduler(dwt.graph).Run(budget).schedule);
+  out.emplace_back("greedy",
+                   GreedyTopoScheduler(dwt.graph).Run(budget).schedule);
+  return out;
+}
+
+// Every prefix of a valid schedule is itself rule-abiding (only the stop
+// condition may be unmet) — the simulator must accept it with the relaxed
+// option and report monotone counters.
+TEST(Invariants, EveryPrefixOfAValidScheduleIsRuleAbiding) {
+  const DwtGraph dwt = BuildDwt(16, 4);
+  const Weight budget = MinValidBudget(dwt.graph) + 32;
+  for (const auto& [name, schedule] : DwtSchedules(dwt, budget)) {
+    ASSERT_FALSE(schedule.empty()) << name;
+    // Probe a spread of prefixes rather than all O(n^2) replays.
+    for (std::size_t len = 0; len <= schedule.size();
+         len += std::max<std::size_t>(1, schedule.size() / 7)) {
+      Schedule prefix(std::vector<Move>(schedule.moves().begin(),
+                                        schedule.moves().begin() +
+                                            static_cast<std::ptrdiff_t>(len)));
+      const SimResult sim = Simulate(dwt.graph, budget, prefix,
+                                     {.require_stop_condition = false});
+      EXPECT_TRUE(sim.valid) << name << " prefix " << len << ": " << sim.error;
+      EXPECT_LE(sim.peak_red_weight, budget);
+    }
+  }
+}
+
+// Move-count accounting: loads+stores weight-sum equals the reported cost,
+// and every delete has a preceding red placement.
+TEST(Invariants, MoveAccountingConsistent) {
+  const DwtGraph dwt = BuildDwt(32, 5, PrecisionConfig::DoubleAccumulator());
+  const Weight budget = MinValidBudget(dwt.graph) + 64;
+  for (const auto& [name, schedule] : DwtSchedules(dwt, budget)) {
+    const SimResult sim = testing::ExpectValid(dwt.graph, budget, schedule);
+    Weight by_hand = 0;
+    std::size_t red_adds = 0, red_removes = 0;
+    for (const Move& m : schedule) {
+      switch (m.type) {
+        case MoveType::kLoad:
+          by_hand += dwt.graph.weight(m.node);
+          ++red_adds;
+          break;
+        case MoveType::kStore:
+          by_hand += dwt.graph.weight(m.node);
+          break;
+        case MoveType::kCompute:
+          ++red_adds;
+          break;
+        case MoveType::kDelete:
+          ++red_removes;
+          break;
+      }
+    }
+    EXPECT_EQ(by_hand, sim.cost) << name;
+    EXPECT_LE(red_removes, red_adds) << name;
+    if (sim.final_red_weight == 0) {
+      EXPECT_EQ(red_adds, red_removes) << name;
+    }
+  }
+}
+
+// All full-game schedulers leave fast memory empty — the contract
+// core/compose.h relies on for stitching.
+TEST(Invariants, SchedulersEndWithEmptyFastMemory) {
+  const DwtGraph dwt = BuildDwt(16, 4);
+  const Weight budget = MinValidBudget(dwt.graph) + 32;
+  for (const auto& [name, schedule] : DwtSchedules(dwt, budget)) {
+    const SimResult sim = testing::ExpectValid(dwt.graph, budget, schedule);
+    EXPECT_EQ(sim.final_red_weight, 0) << name;
+  }
+  const MvmGraph mvm = BuildMvm(6, 5, PrecisionConfig::DoubleAccumulator());
+  MvmTilingScheduler tiling(mvm);
+  const Weight b = tiling.MinMemoryForLowerBound();
+  const SimResult sim =
+      testing::ExpectValid(mvm.graph, b, tiling.Run(b).schedule);
+  EXPECT_EQ(sim.final_red_weight, 0);
+}
+
+// Stores never touch sources and loads never touch values that were not
+// previously stored or initial — a structural audit of every schedule.
+TEST(Invariants, NoRedundantOrDanglingTransfers) {
+  const DwtGraph dwt = BuildDwt(16, 4);
+  const Weight budget = MinValidBudget(dwt.graph) + 16;
+  for (const auto& [name, schedule] : DwtSchedules(dwt, budget)) {
+    std::vector<unsigned char> blue(dwt.graph.num_nodes(), 0);
+    for (NodeId v : dwt.graph.sources()) blue[v] = 1;
+    for (const Move& m : schedule) {
+      if (m.type == MoveType::kStore) {
+        EXPECT_FALSE(dwt.graph.is_source(m.node))
+            << name << ": stored a source";
+        blue[m.node] = 1;
+      } else if (m.type == MoveType::kLoad) {
+        EXPECT_TRUE(blue[m.node]) << name << ": loaded an unstored value";
+      }
+    }
+  }
+}
+
+// Budget monotonicity of the full stack at the workload level: giving any
+// scheduler more memory never costs more I/O on the evaluation graphs.
+TEST(Invariants, MoreMemoryNeverHurtsOnEvaluationWorkloads) {
+  const DwtGraph dwt = BuildDwt(64, 6, PrecisionConfig::DoubleAccumulator());
+  DwtOptimalScheduler optimal(dwt);
+  BeladyScheduler belady(dwt.graph);
+  const Weight lo = MinValidBudget(dwt.graph);
+  Weight prev_opt = kInfiniteCost;
+  for (Weight b = lo; b <= lo + 768; b += 96) {
+    const Weight o = optimal.CostOnly(b);
+    EXPECT_LE(o, prev_opt);
+    prev_opt = o;
+    // Heuristics are not provably monotone; they must stay within the
+    // greedy envelope instead.
+    EXPECT_LE(belady.CostOnly(b),
+              GreedyTopoScheduler(dwt.graph).CostOnly(b));
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

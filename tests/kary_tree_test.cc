@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/graph_builder.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/tree_graph.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/kary_tree.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+
+TEST(KaryTree, ChainIsScheduledAtLowerBound) {
+  const Graph g = MakeChain(6, 2);
+  KaryTreeScheduler sched(g);
+  const auto run = sched.Run(4);  // minimal sliding budget
+  ASSERT_TRUE(run.feasible);
+  EXPECT_EQ(run.cost, AlgorithmicLowerBound(g));
+  testing::ExpectValid(g, 4, run.schedule);
+}
+
+TEST(KaryTree, InfeasibleBelowMinValidBudget) {
+  const TreeGraph t = BuildPerfectTree(2, 2, PrecisionConfig::Equal(1));
+  KaryTreeScheduler sched(t.graph);
+  EXPECT_EQ(sched.CostOnly(MinValidBudget(t.graph) - 1), kInfiniteCost);
+}
+
+TEST(KaryTree, PerfectBinaryTreeAmpleMemoryHitsLowerBound) {
+  const TreeGraph t = BuildPerfectTree(2, 3, PrecisionConfig::Equal(1));
+  KaryTreeScheduler sched(t.graph);
+  const Weight total = t.graph.total_weight();
+  EXPECT_EQ(sched.CostOnly(total), AlgorithmicLowerBound(t.graph));
+  const auto run = sched.Run(total);
+  ASSERT_TRUE(run.feasible);
+  const SimResult sim = testing::ExpectValid(t.graph, total, run.schedule);
+  EXPECT_EQ(sim.cost, run.cost);
+}
+
+// A perfect binary tree with unit weights needs levels + 2 pebbles to pebble
+// without any I/O beyond the leaves and root (one per level plus the pair
+// in flight).
+TEST(KaryTree, BinaryTreeMinMemoryMatchesClassicBound) {
+  for (int levels = 2; levels <= 5; ++levels) {
+    const TreeGraph t =
+        BuildPerfectTree(2, levels, PrecisionConfig::Equal(1));
+    KaryTreeScheduler sched(t.graph);
+    const Weight min_mem =
+        sched.MinMemoryForLowerBound(1, t.graph.total_weight());
+    EXPECT_EQ(min_mem, levels + 2) << "levels " << levels;
+  }
+}
+
+class KaryOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KaryOracleTest, MatchesBruteForceOnRandomTrees) {
+  Rng rng(GetParam());
+  const RandomTreeOptions options{.max_k = 3, .max_internal = 4,
+                                  .min_weight = 1, .max_weight = 4};
+  const TreeGraph t = BuildRandomTree(rng, options);
+  if (t.graph.num_nodes() > 14) GTEST_SKIP() << "oracle too slow";
+
+  KaryTreeScheduler sched(t.graph);
+  BruteForceScheduler oracle(t.graph);
+  const Weight lo = MinValidBudget(t.graph);
+  for (Weight b = lo; b <= lo + 5; ++b) {
+    const Weight expected = oracle.CostOnly(b);
+    EXPECT_EQ(sched.CostOnly(b), expected) << "budget " << b;
+    const auto run = sched.Run(b);
+    ASSERT_TRUE(run.feasible);
+    const SimResult sim = testing::ExpectValid(t.graph, b, run.schedule);
+    EXPECT_EQ(sim.cost, expected) << "budget " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KaryOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+class KaryPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KaryPropertyTest, ValidMonotoneAndAboveLowerBound) {
+  Rng rng(GetParam() + 1000);
+  const RandomTreeOptions options{.max_k = 4, .max_internal = 12,
+                                  .min_weight = 1, .max_weight = 6};
+  const TreeGraph t = BuildRandomTree(rng, options);
+  KaryTreeScheduler sched(t.graph);
+  GreedyTopoScheduler greedy(t.graph);
+
+  const Weight lo = MinValidBudget(t.graph);
+  const Weight lb = AlgorithmicLowerBound(t.graph);
+  Weight previous = kInfiniteCost;
+  for (Weight b = lo; b <= lo + 20; b += 4) {
+    const auto run = sched.Run(b);
+    ASSERT_TRUE(run.feasible);
+    const SimResult sim = testing::ExpectValid(t.graph, b, run.schedule);
+    EXPECT_EQ(sim.cost, run.cost);
+    EXPECT_GE(run.cost, lb);
+    EXPECT_LE(run.cost, previous);
+    EXPECT_LE(run.cost, greedy.CostOnly(b));
+    previous = run.cost;
+  }
+  // Ample memory reaches the lower bound (trees have no re-reads).
+  EXPECT_EQ(sched.CostOnly(t.graph.total_weight()), lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KaryPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// The DWT recursion is the k = 2 instance: on a single-subtree DWT the
+// generic k-ary scheduler must agree with the specialized Algorithm 1 on
+// the pruned tree, and the full-graph costs differ exactly by the pruned
+// coefficients' stores (Lemma 3.4).
+TEST(KaryTree, AgreesWithDwtOptimalOnPrunedTree) {
+  const DwtGraph dwt = BuildDwt(16, 4, PrecisionConfig::DoubleAccumulator());
+  const PrunedDwt pruned = PruneDwt(dwt);
+  KaryTreeScheduler kary(pruned.graph);
+  DwtOptimalScheduler dwt_optimal(dwt);
+
+  Weight coefficient_bits = 0;
+  for (NodeId v = 0; v < dwt.graph.num_nodes(); ++v) {
+    if (dwt.roles[v] == DwtRole::kCoefficient) {
+      coefficient_bits += dwt.graph.weight(v);
+    }
+  }
+
+  const Weight lo = MinValidBudget(dwt.graph);
+  for (Weight b = lo; b <= lo + 320; b += 32) {
+    const Weight kary_cost = kary.CostOnly(b);
+    const Weight dwt_cost = dwt_optimal.CostOnly(b);
+    ASSERT_LT(kary_cost, kInfiniteCost);
+    EXPECT_EQ(dwt_cost, kary_cost + coefficient_bits) << "budget " << b;
+  }
+}
+
+TEST(KaryTree, TernaryPerfectTreeValidSchedules) {
+  const TreeGraph t = BuildPerfectTree(3, 2, PrecisionConfig::Equal(1));
+  KaryTreeScheduler sched(t.graph);
+  const Weight lo = MinValidBudget(t.graph);
+  for (Weight b = lo; b <= lo + 6; ++b) {
+    const auto run = sched.Run(b);
+    ASSERT_TRUE(run.feasible);
+    testing::ExpectValid(t.graph, b, run.schedule);
+  }
+}
+
+TEST(KaryTree, QuaternaryOracleSpotCheck) {
+  // Single node with four leaf parents: k = 4.
+  GraphBuilder b;
+  const NodeId root = b.AddNode(2);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId leaf = b.AddNode(i + 1);
+    b.AddEdge(leaf, root);
+  }
+  const Graph g = b.BuildOrDie();
+  KaryTreeScheduler sched(g);
+  BruteForceScheduler oracle(g);
+  for (Weight budget = MinValidBudget(g); budget <= MinValidBudget(g) + 3;
+       ++budget) {
+    EXPECT_EQ(sched.CostOnly(budget), oracle.CostOnly(budget));
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

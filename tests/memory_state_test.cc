@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/analysis.h"
+#include "core/graph_builder.h"
+#include "dataflows/tree_graph.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/kary_tree.h"
+#include "schedulers/memory_state.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+std::uint64_t Bit0(NodeId v) { return std::uint64_t{1} << v; }
+
+// Builds a random *binary* in-tree (every internal node has exactly two
+// predecessors) small enough for the oracle.
+Graph RandomBinaryTree(Rng& rng, int internal_nodes) {
+  GraphBuilder b;
+  std::vector<NodeId> frontier;
+  frontier.push_back(b.AddNode(rng.UniformInt(1, 3)));
+  int remaining = internal_nodes - 1;
+  std::vector<NodeId> expand = frontier;
+  while (!expand.empty()) {
+    const NodeId v = expand.back();
+    expand.pop_back();
+    for (int c = 0; c < 2; ++c) {
+      const NodeId child = b.AddNode(rng.UniformInt(1, 3));
+      b.AddEdge(child, v);
+      if (remaining > 0 && rng.Bernoulli(0.5)) {
+        --remaining;
+        expand.push_back(child);
+      }
+    }
+  }
+  return b.BuildOrDie();
+}
+
+// Brute-force options realizing the Sec 4.1 semantics for target/I/R.
+BruteForceOptions StateOptions(const Graph& g, NodeId target,
+                               const MemoryState& state) {
+  BruteForceOptions options;
+  options.initial_red = state.initial;
+  std::uint64_t blue = 0;
+  for (NodeId v : g.sources()) blue |= std::uint64_t{1} << v;
+  blue |= state.reuse & ~state.initial;  // R \ I assumed spilled earlier
+  options.initial_blue = blue;
+  options.required_red_at_end =
+      state.reuse | (std::uint64_t{1} << target);
+  options.require_sinks_blue = false;
+  return options;
+}
+
+TEST(MemoryState, EmptyStatesReduceToPlainTreePebbling) {
+  Rng rng(17);
+  const Graph g = RandomBinaryTree(rng, 4);
+  MemoryStateScheduler state_sched(g);
+  KaryTreeScheduler kary(g);
+  const NodeId root = TreeRoot(g).value();
+
+  const Weight lo = MinValidBudget(g);
+  for (Weight b = lo; b <= lo + 6; ++b) {
+    // KaryTreeScheduler's CostOnly includes the final root store; P_t alone
+    // is CostOnly - w_root.
+    const Weight plain = kary.CostOnly(b) - g.weight(root);
+    EXPECT_EQ(state_sched.Cost(root, b, MemoryState{}), plain)
+        << "budget " << b;
+  }
+}
+
+TEST(MemoryState, InitialRootMakesComputationFree) {
+  Rng rng(3);
+  const Graph g = RandomBinaryTree(rng, 3);
+  const NodeId root = TreeRoot(g).value();
+  MemoryStateScheduler sched(g);
+  MemoryState state;
+  state.initial = std::uint64_t{1} << root;
+  EXPECT_EQ(sched.Cost(root, g.total_weight(), state), 0);
+}
+
+TEST(MemoryState, ReuseOfDistantLeafChargesItsLoad) {
+  // Root 0 with parents 1, 2 (leaves). Reuse leaf 1 alongside the root.
+  GraphBuilder b;
+  const NodeId root = b.AddNode(2);
+  const NodeId l1 = b.AddNode(3);
+  const NodeId l2 = b.AddNode(4);
+  b.AddEdge(l1, root);
+  b.AddEdge(l2, root);
+  const Graph g = b.BuildOrDie();
+  MemoryStateScheduler sched(g);
+
+  MemoryState state;
+  state.reuse = std::uint64_t{1} << l1;
+  // Plain cost: load both leaves (3 + 4). The reuse set only constrains the
+  // end state (leaf 1 must stay red), which the schedule satisfies anyway.
+  EXPECT_EQ(sched.Cost(root, 100, state), 7);
+
+  const auto run = sched.Run(root, 100, state);
+  ASSERT_TRUE(run.feasible);
+  SimOptions sim_options;
+  sim_options.require_stop_condition = false;
+  sim_options.required_red_at_end = {l1, root};
+  testing::ExpectValid(g, 100, run.schedule, sim_options);
+}
+
+TEST(MemoryState, ReuseTightensTheBudget) {
+  GraphBuilder b;
+  const NodeId root = b.AddNode(2);
+  const NodeId l1 = b.AddNode(3);
+  const NodeId l2 = b.AddNode(4);
+  b.AddEdge(l1, root);
+  b.AddEdge(l2, root);
+  const Graph g = b.BuildOrDie();
+  MemoryStateScheduler sched(g);
+
+  // Without reuse the root computation fits in 9 bits; requiring both
+  // leaves resident at the end does not change the 9-bit footprint, but a
+  // budget of 8 is infeasible either way.
+  MemoryState both;
+  both.reuse = (std::uint64_t{1} << l1) | (std::uint64_t{1} << l2);
+  EXPECT_EQ(sched.Cost(root, 9, both), 7);
+  EXPECT_EQ(sched.Cost(root, 8, both), kInfiniteCost);
+}
+
+class MemoryStateOracleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryStateOracleTest, MatchesBruteForceWithRandomStates) {
+  Rng rng(GetParam());
+  const Graph g = RandomBinaryTree(rng, 3);
+  if (g.num_nodes() > 13) GTEST_SKIP() << "oracle too slow";
+  const NodeId root = TreeRoot(g).value();
+  MemoryStateScheduler sched(g);
+  BruteForceScheduler oracle(g);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    // Random initial set (proper ancestors unavailable: pick any subset of
+    // non-root nodes) and random reuse subset.
+    MemoryState state;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.Bernoulli(0.2)) state.initial |= std::uint64_t{1} << v;
+      if (rng.Bernoulli(0.2)) state.reuse |= std::uint64_t{1} << v;
+    }
+    state.initial &= ~(std::uint64_t{1} << root);
+
+    const Weight lo = MinValidBudget(g);
+    for (Weight b = lo + 4; b <= lo + 10; b += 3) {
+      const Weight oracle_cost =
+          oracle.CostOnly(b, StateOptions(g, root, state));
+      const Weight ours = sched.Cost(root, b, state);
+      if (ours >= kInfiniteCost) {
+        // Eq. (8)'s budget precondition is conservative (it co-locates the
+        // whole reuse set with the parents); the oracle may still find a
+        // schedule. Never the other way around.
+        continue;
+      }
+      // Eq. (8) restricts the strategy space (reuse values pinned once
+      // computed, fixed parent orderings), so it upper-bounds the game's
+      // true optimum; with empty states the two coincide (tested above).
+      EXPECT_GE(ours, oracle_cost)
+          << "seed " << GetParam() << " trial " << trial << " budget " << b;
+
+      const auto run = sched.Run(root, b, state);
+      ASSERT_TRUE(run.feasible);
+      SimOptions sim_options;
+      sim_options.require_stop_condition = false;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        const std::uint64_t bit = std::uint64_t{1} << v;
+        if (state.initial & bit) sim_options.initial_red.push_back(v);
+        if ((state.reuse & ~state.initial) & bit) {
+          sim_options.initial_blue.push_back(v);
+        }
+        if ((state.reuse | (std::uint64_t{1} << root)) & bit) {
+          sim_options.required_red_at_end.push_back(v);
+        }
+      }
+      const SimResult sim =
+          testing::ExpectValid(g, b, run.schedule, sim_options);
+      EXPECT_EQ(sim.cost, run.cost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryStateOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// ---------------------------------------------------------------------------
+// k > 2: the Eq. (8) derivative on wider trees.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryStateKary, EmptyStatesReduceToKaryTreePebbling) {
+  const TreeGraph t = BuildPerfectTree(3, 2, PrecisionConfig::Equal(1));
+  MemoryStateScheduler state_sched(t.graph);
+  KaryTreeScheduler kary(t.graph);
+  const Weight lo = MinValidBudget(t.graph);
+  for (Weight b = lo; b <= lo + 6; ++b) {
+    const Weight plain = kary.CostOnly(b) - t.graph.weight(t.root);
+    EXPECT_EQ(state_sched.Cost(t.root, b, MemoryState{}), plain)
+        << "budget " << b;
+  }
+}
+
+TEST(MemoryStateKary, TernaryWithReuseStatesIsValidAndOracleBounded) {
+  // Root with three internal parents, each reading two leaves: 10 nodes.
+  GraphBuilder builder;
+  const NodeId root = builder.AddNode(2);
+  std::vector<NodeId> mids;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId mid = builder.AddNode(2);
+    builder.AddEdge(mid, root);
+    mids.push_back(mid);
+    for (int leaf = 0; leaf < 2; ++leaf) {
+      builder.AddEdge(builder.AddNode(1), mid);
+    }
+  }
+  const Graph g = builder.BuildOrDie();
+  MemoryStateScheduler sched(g);
+  BruteForceScheduler oracle(g);
+
+  for (std::uint64_t reuse_mask :
+       {std::uint64_t{0}, Bit0(mids[0]), Bit0(mids[0]) | Bit0(mids[2])}) {
+    MemoryState state;
+    state.reuse = reuse_mask;
+    const Weight lo = MinValidBudget(g);
+    for (Weight b = lo + 2; b <= lo + 8; b += 2) {
+      const Weight ours = sched.Cost(root, b, state);
+      if (ours >= kInfiniteCost) continue;
+
+      BruteForceOptions options;
+      std::uint64_t blue = 0;
+      for (NodeId v : g.sources()) blue |= std::uint64_t{1} << v;
+      options.initial_blue = blue | reuse_mask;
+      options.required_red_at_end = reuse_mask | (std::uint64_t{1} << root);
+      options.require_sinks_blue = false;
+      EXPECT_GE(ours, oracle.CostOnly(b, options)) << "budget " << b;
+
+      const auto run = sched.Run(root, b, state);
+      ASSERT_TRUE(run.feasible);
+      SimOptions sim_options;
+      sim_options.require_stop_condition = false;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        const std::uint64_t bit = std::uint64_t{1} << v;
+        if (reuse_mask & bit) sim_options.initial_blue.push_back(v);
+        if ((reuse_mask | (std::uint64_t{1} << root)) & bit) {
+          sim_options.required_red_at_end.push_back(v);
+        }
+      }
+      const SimResult sim =
+          testing::ExpectValid(g, b, run.schedule, sim_options);
+      EXPECT_EQ(sim.cost, run.cost) << "budget " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

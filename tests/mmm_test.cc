@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analysis.h"
+#include "dataflows/mmm_graph.h"
+#include "exec/executor.h"
+#include "exec/extended_kernels.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/mmm_tiling.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+class MmmStructureTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(MmmStructureTest, ChainsAndCounts) {
+  const auto [m, k, n] = GetParam();
+  const MmmGraph mmm = BuildMmm(m, k, n);
+  const Graph& g = mmm.graph;
+  EXPECT_EQ(g.num_nodes(), static_cast<std::size_t>(m * k + k * n + m * n * k +
+                                                    m * n * (k - 1)));
+  EXPECT_EQ(g.sources().size(), static_cast<std::size_t>(m * k + k * n));
+  EXPECT_EQ(g.sinks().size(), static_cast<std::size_t>(m * n));
+
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      EXPECT_TRUE(g.is_sink(mmm.output(r, c)));
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const auto parents = g.parents(mmm.product(r, c, kk));
+        ASSERT_EQ(parents.size(), 2u);
+        EXPECT_TRUE(parents[0] == mmm.a(r, kk) || parents[1] == mmm.a(r, kk));
+        EXPECT_TRUE(parents[0] == mmm.b(kk, c) || parents[1] == mmm.b(kk, c));
+      }
+    }
+  }
+  // A entries feed n products each; B entries feed m products each.
+  EXPECT_EQ(g.out_degree(mmm.a(0, 0)), static_cast<std::size_t>(n));
+  EXPECT_EQ(g.out_degree(mmm.b(0, 0)), static_cast<std::size_t>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MmmStructureTest,
+                         ::testing::Values(std::tuple{2, 2, 2},
+                                           std::tuple{3, 2, 4},
+                                           std::tuple{4, 1, 3},
+                                           std::tuple{2, 5, 2},
+                                           std::tuple{8, 8, 8}));
+
+TEST(MmmTiling, CostClosedForms) {
+  const MmmGraph mmm = BuildMmm(8, 8, 8, PrecisionConfig::Equal());
+  MmmTilingScheduler sched(mmm);
+  using R = MmmTilingScheduler::Residency;
+  const Weight lb = AlgorithmicLowerBound(mmm.graph);
+  EXPECT_EQ(sched.TileCost({.residency = R::kAResident}), lb);
+  EXPECT_EQ(sched.TileCost({.residency = R::kBResident}), lb);
+  EXPECT_EQ(sched.TileCost({.residency = R::kBlock, .bi = 8, .bj = 8}), lb);
+  // 2x2 blocks: A re-read 4 times, B re-read 4 times.
+  EXPECT_EQ(sched.TileCost({.residency = R::kBlock, .bi = 2, .bj = 2}),
+            16 * (64 * 4 + 64 * 4) + 16 * 64);
+}
+
+class MmmScheduleTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t, bool>> {};
+
+TEST_P(MmmScheduleTest, SimulatorConfirmsCostAndPeak) {
+  const auto [m, k, n, da] = GetParam();
+  const PrecisionConfig config =
+      da ? PrecisionConfig::DoubleAccumulator() : PrecisionConfig::Equal();
+  const MmmGraph mmm = BuildMmm(m, k, n, config);
+  MmmTilingScheduler sched(mmm);
+  const Weight lb = AlgorithmicLowerBound(mmm.graph);
+  const Weight floor =
+      sched.TilePeak({.residency = MmmTilingScheduler::Residency::kBlock,
+                      .bi = 1, .bj = 1});
+
+  Weight previous = kInfiniteCost;
+  for (Weight b = floor; b <= sched.MinMemoryForLowerBound() + 64; b += 32) {
+    const auto tile = sched.BestTile(b);
+    ASSERT_TRUE(tile.has_value()) << "budget " << b;
+    const auto run = sched.Run(b);
+    ASSERT_TRUE(run.feasible);
+    const SimResult sim = testing::ExpectValid(mmm.graph, b, run.schedule);
+    EXPECT_EQ(sim.cost, sched.TileCost(*tile)) << "budget " << b;
+    EXPECT_EQ(sim.peak_red_weight, sched.TilePeak(*tile)) << "budget " << b;
+    EXPECT_GE(sim.cost, lb);
+    EXPECT_LE(sim.cost, previous);
+    previous = sim.cost;
+  }
+  EXPECT_EQ(previous, lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MmmScheduleTest,
+    ::testing::Values(std::tuple{2, 2, 2, false}, std::tuple{3, 4, 2, false},
+                      std::tuple{4, 3, 5, true}, std::tuple{6, 2, 6, false},
+                      std::tuple{5, 5, 5, true}, std::tuple{4, 1, 4, false}));
+
+TEST(MmmTiling, ExecutesMatMulExactly) {
+  const MmmGraph mmm = BuildMmm(5, 4, 6, PrecisionConfig::Equal());
+  MmmTilingScheduler sched(mmm);
+  Rng rng(21);
+  std::vector<double> a(5 * 4), b(4 * 6);
+  for (auto& v : a) v = rng.UniformDouble() * 2.0 - 1.0;
+  for (auto& v : b) v = rng.UniformDouble() * 2.0 - 1.0;
+
+  std::vector<double> sources(mmm.graph.num_nodes(), 0.0);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    for (std::int64_t kk = 0; kk < 4; ++kk) {
+      sources[mmm.a(r, kk)] = a[static_cast<std::size_t>(r * 4 + kk)];
+    }
+  }
+  for (std::int64_t kk = 0; kk < 4; ++kk) {
+    for (std::int64_t c = 0; c < 6; ++c) {
+      sources[mmm.b(kk, c)] = b[static_cast<std::size_t>(kk * 6 + c)];
+    }
+  }
+  const auto expected = MatMul(5, 4, 6, a, b);
+
+  for (const Weight budget :
+       {sched.TilePeak({.residency = MmmTilingScheduler::Residency::kBlock,
+                        .bi = 2, .bj = 2}),
+        sched.MinMemoryForLowerBound()}) {
+    const auto run = sched.Run(budget);
+    ASSERT_TRUE(run.feasible);
+    const ExecResult exec = ExecuteSchedule(mmm.graph, budget, run.schedule,
+                                            MakeMmmNodeOp(mmm), sources);
+    ASSERT_TRUE(exec.ok) << exec.error;
+    for (std::int64_t r = 0; r < 5; ++r) {
+      for (std::int64_t c = 0; c < 6; ++c) {
+        EXPECT_DOUBLE_EQ(exec.slow_values[mmm.output(r, c)],
+                         expected[static_cast<std::size_t>(r * 6 + c)]);
+      }
+    }
+  }
+}
+
+TEST(MmmTiling, DaPrefersInputResidencyLikeMvm) {
+  // The Sec 5.3 effect generalizes: with 32-bit accumulators, pinning an
+  // input matrix is cheaper than pinning the output block.
+  const MmmGraph mmm = BuildMmm(12, 6, 12, PrecisionConfig::DoubleAccumulator());
+  MmmTilingScheduler sched(mmm);
+  const auto tile = sched.BestTile(sched.MinMemoryForLowerBound());
+  ASSERT_TRUE(tile.has_value());
+  EXPECT_NE(tile->residency, MmmTilingScheduler::Residency::kBlock);
+}
+
+TEST(MmmTiling, NeverWorseThanGreedy) {
+  const MmmGraph mmm = BuildMmm(6, 6, 6, PrecisionConfig::Equal());
+  MmmTilingScheduler tiling(mmm);
+  GreedyTopoScheduler greedy(mmm.graph);
+  const Weight floor =
+      tiling.TilePeak({.residency = MmmTilingScheduler::Residency::kBlock,
+                       .bi = 1, .bj = 1});
+  for (Weight b = floor; b <= floor + 1024; b += 128) {
+    EXPECT_LE(tiling.CostOnly(b), greedy.CostOnly(b)) << "budget " << b;
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

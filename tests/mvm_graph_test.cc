@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dataflows/mvm_graph.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+// Figure 4a: MVM(3, 2).
+TEST(MvmGraph, MatchesFigure4a) {
+  const MvmGraph mvm = BuildMvm(3, 2);
+  const Graph& g = mvm.graph;
+  // Inputs: 3*2 matrix + 2 vector = 8; products: 6; accumulators: 3.
+  EXPECT_EQ(g.num_nodes(), 8u + 6u + 3u);
+  EXPECT_EQ(g.sources().size(), 8u);
+  EXPECT_EQ(g.sinks().size(), 3u);
+
+  // Each vector input feeds the m products of its column.
+  EXPECT_EQ(g.out_degree(mvm.x(0)), 3u);
+  EXPECT_EQ(g.out_degree(mvm.x(1)), 3u);
+  // Each matrix input feeds exactly its own product.
+  for (std::int64_t r = 0; r < 3; ++r) {
+    for (std::int64_t c = 0; c < 2; ++c) {
+      ASSERT_EQ(g.out_degree(mvm.a(r, c)), 1u);
+      EXPECT_EQ(g.children(mvm.a(r, c))[0], mvm.product(r, c));
+    }
+  }
+  // Outputs sum the two products of the row.
+  for (std::int64_t r = 0; r < 3; ++r) {
+    const NodeId y = mvm.output(r);
+    ASSERT_EQ(g.in_degree(y), 2u);
+    EXPECT_TRUE(g.is_sink(y));
+  }
+}
+
+// Figure 4b: MVM(2, 3) — three-layer accumulation chain.
+TEST(MvmGraph, MatchesFigure4b) {
+  const MvmGraph mvm = BuildMvm(2, 3);
+  const Graph& g = mvm.graph;
+  EXPECT_EQ(g.num_nodes(), (2u * 3u + 3u) + 6u + 4u);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    // Chain: acc(r,1) reads product(r,0) and product(r,1);
+    //        acc(r,2) reads acc(r,1) and product(r,2).
+    const NodeId first = mvm.accumulator(r, 1);
+    const NodeId second = mvm.accumulator(r, 2);
+    ASSERT_EQ(g.in_degree(first), 2u);
+    EXPECT_EQ(g.parents(first)[0], std::min(mvm.product(r, 0),
+                                            mvm.product(r, 1)));
+    ASSERT_EQ(g.in_degree(second), 2u);
+    const auto parents = g.parents(second);
+    EXPECT_TRUE(parents[0] == first || parents[1] == first);
+    EXPECT_TRUE(parents[0] == mvm.product(r, 2) ||
+                parents[1] == mvm.product(r, 2));
+    EXPECT_EQ(mvm.output(r), second);
+  }
+}
+
+TEST(MvmGraph, SingleColumnHasNoAccumulators) {
+  const MvmGraph mvm = BuildMvm(4, 1);
+  const Graph& g = mvm.graph;
+  EXPECT_EQ(g.num_nodes(), (4u + 1u) + 4u);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(mvm.output(r), mvm.product(r, 0));
+    EXPECT_TRUE(g.is_sink(mvm.product(r, 0)));
+  }
+}
+
+TEST(MvmGraph, WeightsFollowPrecisionConfig) {
+  const MvmGraph mvm = BuildMvm(3, 3, PrecisionConfig::DoubleAccumulator());
+  const Graph& g = mvm.graph;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool input = mvm.roles[v] == MvmRole::kVectorInput ||
+                       mvm.roles[v] == MvmRole::kMatrixInput;
+    EXPECT_EQ(g.weight(v), input ? 16 : 32);
+  }
+}
+
+class MvmStructureTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(MvmStructureTest, SatisfiesDefinition41) {
+  const auto [m, n] = GetParam();
+  const MvmGraph mvm = BuildMvm(m, n);
+  const Graph& g = mvm.graph;
+
+  EXPECT_EQ(g.num_nodes(),
+            static_cast<std::size_t>((m * n + n) + m * n + m * (n - 1)));
+  EXPECT_EQ(g.sources().size(), static_cast<std::size_t>(m * n + n));
+  EXPECT_EQ(g.sinks().size(), static_cast<std::size_t>(m));
+
+  // Rule (1): products read their column's vector entry and matrix entry.
+  for (std::int64_t c = 0; c < n; ++c) {
+    EXPECT_EQ(g.out_degree(mvm.x(c)), static_cast<std::size_t>(m));
+    for (std::int64_t r = 0; r < m; ++r) {
+      const auto parents = g.parents(mvm.product(r, c));
+      ASSERT_EQ(parents.size(), 2u);
+      EXPECT_TRUE(parents[0] == mvm.x(c) || parents[1] == mvm.x(c));
+      EXPECT_TRUE(parents[0] == mvm.a(r, c) || parents[1] == mvm.a(r, c));
+    }
+  }
+  // Rules (2)+(3): per-row accumulation chains ending in the sink.
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t c = 1; c < n; ++c) {
+      const NodeId acc = mvm.accumulator(r, c);
+      const NodeId prev =
+          c == 1 ? mvm.product(r, 0) : mvm.accumulator(r, c - 1);
+      const auto parents = g.parents(acc);
+      ASSERT_EQ(parents.size(), 2u);
+      EXPECT_TRUE(parents[0] == prev || parents[1] == prev);
+      EXPECT_TRUE(parents[0] == mvm.product(r, c) ||
+                  parents[1] == mvm.product(r, c));
+      EXPECT_EQ(g.out_degree(acc), c == n - 1 ? 0u : 1u);
+    }
+    EXPECT_TRUE(g.is_sink(mvm.output(r)));
+  }
+
+  // Role bookkeeping is consistent.
+  std::size_t products = 0, accumulators = 0, vec = 0, mat = 0;
+  for (MvmRole role : mvm.roles) {
+    switch (role) {
+      case MvmRole::kVectorInput: ++vec; break;
+      case MvmRole::kMatrixInput: ++mat; break;
+      case MvmRole::kProduct: ++products; break;
+      case MvmRole::kAccumulator: ++accumulators; break;
+    }
+  }
+  EXPECT_EQ(vec, static_cast<std::size_t>(n));
+  EXPECT_EQ(mat, static_cast<std::size_t>(m * n));
+  EXPECT_EQ(products, static_cast<std::size_t>(m * n));
+  EXPECT_EQ(accumulators, static_cast<std::size_t>(m * (n - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MvmStructureTest,
+    ::testing::Values(std::tuple{2, 1}, std::tuple{2, 2}, std::tuple{3, 2},
+                      std::tuple{2, 3}, std::tuple{4, 4}, std::tuple{5, 3},
+                      std::tuple{8, 2}, std::tuple{3, 8}, std::tuple{96, 120}));
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analysis.h"
+#include "dataflows/mvm_graph.h"
+#include "schedulers/mvm_memory_state.h"
+#include "schedulers/mvm_tiling.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+class MvmMemoryStateTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, bool>> {};
+
+TEST_P(MvmMemoryStateTest, MatchesAnalyticVectorResidentTile) {
+  const auto [m, n, da] = GetParam();
+  const PrecisionConfig config =
+      da ? PrecisionConfig::DoubleAccumulator() : PrecisionConfig::Equal();
+  const MvmGraph mvm = BuildMvm(m, n, config);
+  MvmMemoryStateScheduler eq8(mvm);
+  MvmTilingScheduler analytic(mvm);
+
+  // The Eq. (8) path realizes the (g = n, h = 1) tile: same cost once its
+  // budget precondition holds.
+  const MvmTilingScheduler::Tile tile{.g = n, .h = 1, .spill_running = false};
+  const Weight budget = analytic.TilePeak(tile) + 2 * 16;
+  const auto run = eq8.Run(budget);
+  ASSERT_TRUE(run.feasible);
+  const SimResult sim = testing::ExpectValid(mvm.graph, budget, run.schedule);
+  EXPECT_EQ(sim.cost, run.cost);
+  EXPECT_EQ(run.cost, analytic.TileCost(tile));
+  EXPECT_EQ(run.cost, AlgorithmicLowerBound(mvm.graph));
+  EXPECT_LE(sim.peak_red_weight, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MvmMemoryStateTest,
+    ::testing::Values(std::tuple{2, 2, false}, std::tuple{4, 3, false},
+                      std::tuple{3, 5, true}, std::tuple{6, 8, false},
+                      std::tuple{5, 16, true}, std::tuple{8, 1, false}));
+
+TEST(MvmMemoryState, InfeasibleWhenVectorCannotStayResident) {
+  const MvmGraph mvm = BuildMvm(4, 8, PrecisionConfig::Equal());
+  MvmMemoryStateScheduler eq8(mvm);
+  // Far below the vector-resident working set.
+  EXPECT_EQ(eq8.CostOnly(64), kInfiniteCost);
+}
+
+TEST(MvmMemoryState, VectorLoadedOnceAcrossAllRows) {
+  const MvmGraph mvm = BuildMvm(5, 6, PrecisionConfig::Equal());
+  MvmMemoryStateScheduler eq8(mvm);
+  const auto run = eq8.Run(1 << 12);
+  ASSERT_TRUE(run.feasible);
+  // Count M1 moves touching vector nodes: exactly n despite m rows.
+  std::size_t x_loads = 0;
+  for (const Move& move : run.schedule) {
+    if (move.type == MoveType::kLoad &&
+        mvm.roles[move.node] == MvmRole::kVectorInput) {
+      ++x_loads;
+    }
+  }
+  EXPECT_EQ(x_loads, 6u);
+}
+
+}  // namespace
+}  // namespace wrbpg

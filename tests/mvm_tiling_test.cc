@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analysis.h"
+#include "dataflows/mvm_graph.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/mvm_tiling.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(MvmTiling, TileCostClosedForm) {
+  const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::Equal());
+  MvmTilingScheduler sched(mvm);
+  // Full accumulator residency: A once, x once, outputs once.
+  EXPECT_EQ(sched.TileCost({.g = 0, .h = 96, .spill_running = false}),
+            16 * (96 * 120 + 120 + 96));
+  // Two stripes: x read twice.
+  EXPECT_EQ(sched.TileCost({.g = 0, .h = 48, .spill_running = false}),
+            16 * (96 * 120 + 240 + 96));
+  // Full vector residency with single-row tiles: also the lower bound.
+  EXPECT_EQ(sched.TileCost({.g = 120, .h = 1, .spill_running = false}),
+            16 * (96 * 120 + 120 + 96));
+}
+
+TEST(MvmTiling, TilePeakMatchesTable1) {
+  {
+    const MvmGraph mvm = BuildMvm(96, 120, PrecisionConfig::Equal());
+    MvmTilingScheduler sched(mvm);
+    EXPECT_EQ(sched.TilePeak({.g = 0, .h = 96, .spill_running = false}),
+              1584);  // 99 words (Table 1)
+  }
+  {
+    const MvmGraph mvm =
+        BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+    MvmTilingScheduler sched(mvm);
+    EXPECT_EQ(sched.TilePeak({.g = 120, .h = 1, .spill_running = false}),
+              2016);  // 126 words (Table 1)
+  }
+}
+
+TEST(MvmTiling, Table1MinimumMemory) {
+  const MvmGraph equal = BuildMvm(96, 120, PrecisionConfig::Equal());
+  EXPECT_EQ(MvmTilingScheduler(equal).MinMemoryForLowerBound(), 1584);
+
+  const MvmGraph da = BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+  EXPECT_EQ(MvmTilingScheduler(da).MinMemoryForLowerBound(), 2016);
+}
+
+// ---------------------------------------------------------------------------
+// Generated schedules match the closed forms exactly.
+// ---------------------------------------------------------------------------
+
+class MvmTilingSimTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, bool>> {};
+
+TEST_P(MvmTilingSimTest, SimulatorConfirmsCostAndPeakAcrossBudgets) {
+  const auto [m, n, double_acc] = GetParam();
+  const PrecisionConfig config = double_acc
+                                     ? PrecisionConfig::DoubleAccumulator()
+                                     : PrecisionConfig::Equal();
+  const MvmGraph mvm = BuildMvm(m, n, config);
+  MvmTilingScheduler sched(mvm);
+  const Weight lo = MinValidBudget(mvm.graph);
+  const Weight lb = AlgorithmicLowerBound(mvm.graph);
+
+  Weight previous = kInfiniteCost;
+  for (Weight b = lo; b <= sched.MinMemoryForLowerBound() + 64; b += 16) {
+    const auto tile = sched.BestTile(b);
+    ASSERT_TRUE(tile.has_value()) << "budget " << b;
+    const auto run = sched.Run(b);
+    ASSERT_TRUE(run.feasible);
+    const SimResult sim = testing::ExpectValid(mvm.graph, b, run.schedule);
+    EXPECT_EQ(sim.cost, sched.TileCost(*tile)) << "budget " << b;
+    EXPECT_EQ(sim.peak_red_weight, sched.TilePeak(*tile)) << "budget " << b;
+    EXPECT_GE(sim.cost, lb);
+    EXPECT_LE(sim.cost, previous);
+    previous = sim.cost;
+  }
+  EXPECT_EQ(previous, lb);  // the sweep ends past the min-memory point
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MvmTilingSimTest,
+    ::testing::Values(std::tuple{2, 2, false}, std::tuple{3, 2, false},
+                      std::tuple{2, 3, false}, std::tuple{5, 4, false},
+                      std::tuple{4, 6, true}, std::tuple{7, 3, true},
+                      std::tuple{12, 9, false}, std::tuple{12, 9, true},
+                      std::tuple{16, 20, true}));
+
+TEST(MvmTiling, FeasibleAtExactlyMinValidBudget) {
+  for (const auto config : {PrecisionConfig::Equal(),
+                            PrecisionConfig::DoubleAccumulator()}) {
+    const MvmGraph mvm = BuildMvm(5, 4, config);
+    MvmTilingScheduler sched(mvm);
+    const Weight lo = MinValidBudget(mvm.graph);
+    EXPECT_EQ(sched.CostOnly(lo - 1), kInfiniteCost);
+    const auto run = sched.Run(lo);
+    ASSERT_TRUE(run.feasible);
+    testing::ExpectValid(mvm.graph, lo, run.schedule);
+  }
+}
+
+TEST(MvmTiling, MatchesBruteForceOnTinyInstance) {
+  // MVM(2, 2): 6 inputs + 4 products + 2 accumulators = 12 nodes.
+  const MvmGraph mvm = BuildMvm(2, 2, PrecisionConfig::Equal(1));
+  MvmTilingScheduler sched(mvm);
+  BruteForceScheduler oracle(mvm.graph);
+  const Weight lo = MinValidBudget(mvm.graph);
+  for (Weight b = lo; b <= lo + 5; ++b) {
+    // The tiling family is a restricted schedule space: it upper-bounds the
+    // optimum, and meets it once the accumulators (or x) fit.
+    EXPECT_GE(sched.CostOnly(b), oracle.CostOnly(b)) << "budget " << b;
+  }
+  EXPECT_EQ(sched.CostOnly(lo + 5), oracle.CostOnly(lo + 5));
+}
+
+TEST(MvmTiling, NeverWorseThanGreedyTopo) {
+  const MvmGraph mvm = BuildMvm(8, 6, PrecisionConfig::DoubleAccumulator());
+  MvmTilingScheduler tiling(mvm);
+  GreedyTopoScheduler greedy(mvm.graph);
+  for (Weight b = MinValidBudget(mvm.graph);
+       b <= MinValidBudget(mvm.graph) + 512; b += 64) {
+    EXPECT_LE(tiling.CostOnly(b), greedy.CostOnly(b)) << "budget " << b;
+  }
+}
+
+TEST(MvmTiling, SingleColumnEdgeCase) {
+  const MvmGraph mvm = BuildMvm(4, 1, PrecisionConfig::Equal());
+  MvmTilingScheduler sched(mvm);
+  const Weight lo = MinValidBudget(mvm.graph);
+  const auto run = sched.Run(lo);
+  ASSERT_TRUE(run.feasible);
+  const SimResult sim = testing::ExpectValid(mvm.graph, lo, run.schedule);
+  // n = 1: every input read once, every product written once.
+  EXPECT_EQ(sim.cost, AlgorithmicLowerBound(mvm.graph));
+}
+
+TEST(MvmTiling, DoubleAccumulatorPrefersVectorResidency) {
+  // The paper's Sec 5.3 observation: with 32-bit accumulators the tiling
+  // equalizes capacity by keeping x resident instead of the accumulators.
+  const MvmGraph da = BuildMvm(96, 120, PrecisionConfig::DoubleAccumulator());
+  MvmTilingScheduler sched(da);
+  const Weight min_mem = sched.MinMemoryForLowerBound();
+  const auto tile = sched.BestTile(min_mem);
+  ASSERT_TRUE(tile.has_value());
+  EXPECT_EQ(tile->g, 120);
+  EXPECT_EQ(tile->h, 1);
+}
+
+TEST(MvmTiling, EqualPrefersAccumulatorResidency) {
+  const MvmGraph equal = BuildMvm(96, 120, PrecisionConfig::Equal());
+  MvmTilingScheduler sched(equal);
+  const auto tile = sched.BestTile(sched.MinMemoryForLowerBound());
+  ASSERT_TRUE(tile.has_value());
+  EXPECT_EQ(tile->h, 96);
+  EXPECT_EQ(tile->g, 0);
+}
+
+TEST(MvmTiling, SpillRunningKicksInAtTheFloor) {
+  const MvmGraph mvm = BuildMvm(6, 5, PrecisionConfig::DoubleAccumulator());
+  MvmTilingScheduler sched(mvm);
+  const auto tile = sched.BestTile(MinValidBudget(mvm.graph));
+  ASSERT_TRUE(tile.has_value());
+  EXPECT_TRUE(tile->spill_running);
+}
+
+}  // namespace
+}  // namespace wrbpg

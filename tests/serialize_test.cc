@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeDiamond;
+
+TEST(Serialize, GraphRoundTrip) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  const std::string text = ToText(g);
+  const auto parsed = ParseGraphText(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const Graph& h = parsed.graph;
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.weight(v), g.weight(v));
+    ASSERT_EQ(h.parents(v).size(), g.parents(v).size());
+    for (std::size_t i = 0; i < g.parents(v).size(); ++i) {
+      EXPECT_EQ(h.parents(v)[i], g.parents(v)[i]);
+    }
+  }
+}
+
+TEST(Serialize, GraphTextPreservesNames) {
+  GraphBuilder b;
+  b.AddNode(16, "x[1]");
+  b.AddNode(32, "a1[1]");
+  b.AddEdge(0, 1);
+  const Graph g = b.BuildOrDie();
+  const auto parsed = ParseGraphText(ToText(g));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.graph.name(0), "x[1]");
+  EXPECT_EQ(parsed.graph.name(1), "a1[1]");
+}
+
+TEST(Serialize, ParseRejectsMissingHeader) {
+  const auto r = ParseGraphText("node 0 1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("header"), std::string::npos);
+}
+
+TEST(Serialize, ParseRejectsSparseIds) {
+  const auto r = ParseGraphText("wrbpg-graph v1\nnode 1 5\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("dense"), std::string::npos);
+}
+
+TEST(Serialize, ParseRejectsUndeclaredEdgeEndpoint) {
+  const auto r = ParseGraphText("wrbpg-graph v1\nnode 0 5\nedge 0 3\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("undeclared"), std::string::npos);
+}
+
+TEST(Serialize, ParseRejectsUnknownDirective) {
+  const auto r = ParseGraphText("wrbpg-graph v1\nvertex 0 5\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown directive"), std::string::npos);
+}
+
+TEST(Serialize, ParseSkipsCommentsAndBlankLines) {
+  const auto r = ParseGraphText(
+      "wrbpg-graph v1\n"
+      "# a comment\n"
+      "\n"
+      "node 0 2\n"
+      "node 1 3  # trailing comment\n"
+      "edge 0 1\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.graph.num_nodes(), 2u);
+  EXPECT_EQ(r.graph.weight(1), 3);
+}
+
+TEST(Serialize, ParsePropagatesBuilderValidation) {
+  const auto r = ParseGraphText(
+      "wrbpg-graph v1\nnode 0 1\nnode 1 1\nedge 0 1\nedge 0 1\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate edge"), std::string::npos);
+}
+
+TEST(Serialize, DotOutputContainsNodesAndEdges) {
+  const Graph g = MakeDiamond();
+  const std::string dot = ToDot(g, "diamond");
+  EXPECT_NE(dot.find("digraph \"diamond\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -> n4"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);           // sources
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);  // sinks
+}
+
+TEST(Serialize, ScheduleRoundTrip) {
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  s.Append(Delete(0));
+  const auto parsed = ParseScheduleText(ToText(s));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.schedule, s);
+}
+
+TEST(Serialize, ScheduleParseRejectsGarbage) {
+  EXPECT_FALSE(ParseScheduleText("M9 3\n").ok);
+  EXPECT_FALSE(ParseScheduleText("M1\n").ok);
+  EXPECT_FALSE(ParseScheduleText("M1 x\n").ok);
+}
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/simulator.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+// A complete valid pebbling of the diamond under budget 3 (unit weights).
+Schedule DiamondSchedule() {
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(1));
+  s.Append(Compute(2));
+  s.Append(Delete(0));
+  s.Append(Store(2));
+  s.Append(Delete(2));
+  s.Append(Compute(3));
+  s.Append(Delete(1));
+  s.Append(Load(2));
+  s.Append(Compute(4));
+  s.Append(Store(4));
+  return s;
+}
+
+TEST(Simulator, AcceptsValidSchedule) {
+  const Graph g = MakeDiamond();
+  const SimResult r = testing::ExpectValid(g, 3, DiamondSchedule());
+  EXPECT_TRUE(r.stop_condition_met);
+  EXPECT_EQ(r.loads, 3u);
+  EXPECT_EQ(r.stores, 2u);
+  EXPECT_EQ(r.computes, 3u);
+  EXPECT_EQ(r.deletes, 3u);
+  // Cost: M1(0), M1(1), M2(2), M1(2), M2(4) = 5 unit transfers.
+  EXPECT_EQ(r.cost, 5);
+  EXPECT_EQ(r.peak_red_weight, 3);
+  EXPECT_EQ(r.final_red_weight, 3);  // 2, 3 and 4 still red
+}
+
+TEST(Simulator, WeightedCostUsesNodeWeights) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  const SimResult r = testing::ExpectValid(g, 100, DiamondSchedule());
+  // M1(0)+M1(1)+M2(2)+M1(2)+M2(4) = 3+5+7+7+13
+  EXPECT_EQ(r.cost, 35);
+}
+
+TEST(Simulator, RejectsLoadWithoutBlue) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Load(2));  // node 2 has no blue pebble initially
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.error_index, 0u);
+  EXPECT_NE(r.error.find("no blue pebble"), std::string::npos);
+}
+
+TEST(Simulator, RejectsDoubleLoad) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(0));
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.error_index, 1u);
+}
+
+TEST(Simulator, RejectsStoreWithoutRed) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Store(2));
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("no red pebble"), std::string::npos);
+}
+
+TEST(Simulator, RejectsStoreOntoExistingBlue) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Store(0));  // sources already hold blue
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("already holds a blue pebble"), std::string::npos);
+}
+
+TEST(Simulator, RejectsComputeWithUnpebbledParent) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(2));  // parent 1 not red
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("parent v1"), std::string::npos);
+}
+
+TEST(Simulator, RejectsComputeOnSource) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Compute(0));
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("source"), std::string::npos);
+}
+
+TEST(Simulator, RejectsDeleteWithoutRed) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Delete(0));
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Simulator, RejectsOutOfRangeNode) {
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Load(99));
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST(Simulator, EnforcesWeightedBudget) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(1));  // 3 + 5 = 8 > 7
+  const SimResult r = Simulate(g, 7, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.error_index, 1u);
+  EXPECT_NE(r.error.find("constraint violated"), std::string::npos);
+}
+
+TEST(Simulator, BudgetBoundaryIsInclusive) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(1));
+  const SimResult r = Simulate(g, 8, s, {.require_stop_condition = false});
+  EXPECT_TRUE(r.valid) << r.error;
+  EXPECT_EQ(r.peak_red_weight, 8);
+}
+
+TEST(Simulator, RequiresStopCondition) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Compute(2));
+  // sink 2 is red but never stored
+  const SimResult r = Simulate(g, 10, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("stopping condition"), std::string::npos);
+  const SimResult relaxed =
+      Simulate(g, 10, s, {.require_stop_condition = false});
+  EXPECT_TRUE(relaxed.valid);
+  EXPECT_FALSE(relaxed.stop_condition_met);
+}
+
+TEST(Simulator, RecomputationAfterDeleteIsLegal) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Delete(1));
+  s.Append(Compute(1));  // parents still red: recompute allowed
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  testing::ExpectValid(g, 10, s);
+}
+
+TEST(Simulator, InitialRedPebblesHonored) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Compute(2));  // legal only because node 1 starts red
+  s.Append(Store(2));
+  SimOptions options;
+  options.initial_red = {1};
+  testing::ExpectValid(g, 10, s, options);
+}
+
+TEST(Simulator, InitialRedCountsAgainstBudget) {
+  const Graph g = MakeDiamond({3, 5, 7, 11, 13});
+  SimOptions options;
+  options.initial_red = {2, 3};  // 7 + 11 = 18
+  const SimResult r = Simulate(g, 17, Schedule{}, options);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("initial red"), std::string::npos);
+}
+
+TEST(Simulator, InitialBlueEnablesLoad) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(1));  // node 1 is not a source, needs the extra blue
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  SimOptions options;
+  options.initial_blue = {1};
+  testing::ExpectValid(g, 10, s, options);
+}
+
+TEST(Simulator, RequiredRedAtEndEnforced) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  SimOptions options;
+  options.required_red_at_end = {1};
+  testing::ExpectValid(g, 10, s, options);  // node 1 still red
+
+  Schedule dropped = s;
+  dropped.Append(Delete(1));
+  const SimResult r = Simulate(g, 10, dropped, options);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("reuse condition"), std::string::npos);
+}
+
+TEST(Simulator, ObserverSeesEveryMoveAndRedWeight) {
+  const Graph g = MakeDiamond();
+  std::vector<Weight> red_weights;
+  std::vector<std::size_t> indices;
+  const Schedule s = DiamondSchedule();
+  const SimResult r = Simulate(
+      g, 3, s, {},
+      [&](std::size_t i, const Move&, Weight w) {
+        indices.push_back(i);
+        red_weights.push_back(w);
+      });
+  ASSERT_TRUE(r.valid);
+  ASSERT_EQ(indices.size(), s.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+  EXPECT_EQ(*std::max_element(red_weights.begin(), red_weights.end()),
+            r.peak_red_weight);
+}
+
+TEST(Simulator, EmptyScheduleFailsStopCondition) {
+  const Graph g = MakeChain(2);
+  const SimResult r = Simulate(g, 10, Schedule{});
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Move, ToStringFormatsLikeThePaper) {
+  EXPECT_EQ(ToString(Load(3)), "M1(v3)");
+  EXPECT_EQ(ToString(Store(0)), "M2(v0)");
+  EXPECT_EQ(ToString(Compute(12)), "M3(v12)");
+  EXPECT_EQ(ToString(Delete(7)), "M4(v7)");
+}
+
+TEST(Schedule, CountTypeAndConcat) {
+  Schedule a;
+  a.Append(Load(0));
+  a.Append(Compute(1));
+  Schedule b;
+  b.Append(Store(1));
+  a.Append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.CountType(MoveType::kLoad), 1u);
+  EXPECT_EQ(a.CountType(MoveType::kStore), 1u);
+  EXPECT_EQ(a.CountType(MoveType::kDelete), 0u);
+  EXPECT_EQ(a.ToString(), "M1(v0)\nM3(v1)\nM2(v1)\n");
+}
+
+}  // namespace
+}  // namespace wrbpg

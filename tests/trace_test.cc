@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/trace.h"
+#include "dataflows/dwt_graph.h"
+#include "schedulers/dwt_optimal.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+
+TEST(Trace, RecordsOccupancyPerMove) {
+  const Graph g = MakeChain(3, 4);
+  Schedule s;
+  s.Append(Load(0));     // 4
+  s.Append(Compute(1));  // 8
+  s.Append(Delete(0));   // 4
+  s.Append(Compute(2));  // 8
+  s.Append(Store(2));    // 8
+  const OccupancyTrace trace = TraceOccupancy(g, 8, s);
+  ASSERT_TRUE(trace.ok) << trace.error;
+  EXPECT_EQ(trace.occupancy_bits, (std::vector<Weight>{4, 8, 4, 8, 8}));
+  EXPECT_EQ(trace.peak_bits, 8);
+  EXPECT_EQ(trace.peak_index, 1u);
+}
+
+TEST(Trace, PropagatesSimulatorErrors) {
+  const Graph g = MakeChain(3, 4);
+  Schedule s;
+  s.Append(Compute(2));  // parent not red
+  const OccupancyTrace trace = TraceOccupancy(g, 8, s);
+  EXPECT_FALSE(trace.ok);
+  EXPECT_FALSE(trace.error.empty());
+  EXPECT_TRUE(trace.occupancy_bits.empty());
+}
+
+TEST(Trace, PeakMatchesSimulatorOnRealSchedule) {
+  const DwtGraph dwt = BuildDwt(32, 5);
+  DwtOptimalScheduler sched(dwt);
+  const Weight budget = 200;
+  const auto run = sched.Run(budget);
+  ASSERT_TRUE(run.feasible);
+  const OccupancyTrace trace = TraceOccupancy(dwt.graph, budget, run.schedule);
+  ASSERT_TRUE(trace.ok);
+  const SimResult sim = testing::ExpectValid(dwt.graph, budget, run.schedule);
+  EXPECT_EQ(trace.peak_bits, sim.peak_red_weight);
+  EXPECT_EQ(trace.occupancy_bits.size(), run.schedule.size());
+}
+
+TEST(Trace, RenderShowsPeakAndScale) {
+  const DwtGraph dwt = BuildDwt(32, 5);
+  DwtOptimalScheduler sched(dwt);
+  const auto run = sched.Run(200);
+  const OccupancyTrace trace = TraceOccupancy(dwt.graph, 200, run.schedule);
+  const std::string art = RenderOccupancy(trace, 200, 40, 8);
+  EXPECT_NE(art.find("peak"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("budget |"), std::string::npos);
+  // 8 chart rows + header + floor line.
+  EXPECT_EQ(static_cast<int>(std::count(art.begin(), art.end(), '\n')), 10);
+}
+
+TEST(Trace, RenderHandlesEmptyTrace) {
+  OccupancyTrace empty;
+  EXPECT_NE(RenderOccupancy(empty, 100).find("no occupancy data"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrbpg

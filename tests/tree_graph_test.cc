@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "dataflows/dwt_graph.h"
+#include "dataflows/tree_graph.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+TEST(TreeRoot, DetectsChainRoot) {
+  const Graph g = MakeChain(5);
+  const auto root = TreeRoot(g);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(*root, 4u);
+}
+
+TEST(TreeRoot, RejectsDiamond) {
+  // Node 1 has two children -> not an in-tree.
+  EXPECT_FALSE(TreeRoot(MakeDiamond()).has_value());
+}
+
+TEST(TreeRoot, RejectsForest) {
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddNode(1);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);  // second component -> two sinks
+  EXPECT_FALSE(TreeRoot(b.BuildOrDie()).has_value());
+}
+
+TEST(TreeRoot, AcceptsPrunedSingleTreeDwt) {
+  const DwtGraph dwt = BuildDwt(8, 3);  // single subtree when n = 2^d
+  const PrunedDwt pruned = PruneDwt(dwt);
+  const auto root = TreeRoot(pruned.graph);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(pruned.graph.is_sink(*root));
+}
+
+TEST(PerfectTree, BinaryTwoLevels) {
+  const TreeGraph t = BuildPerfectTree(2, 2);
+  EXPECT_EQ(t.graph.num_nodes(), 7u);  // 1 + 2 + 4
+  EXPECT_EQ(t.max_in_degree, 2);
+  EXPECT_EQ(t.graph.sources().size(), 4u);
+  EXPECT_EQ(t.graph.sinks().size(), 1u);
+  EXPECT_EQ(TreeRoot(t.graph).value(), t.root);
+  for (NodeId v = 0; v < t.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(t.graph.in_degree(v) == 0 || t.graph.in_degree(v) == 2);
+  }
+}
+
+TEST(PerfectTree, TernaryNodeCount) {
+  const TreeGraph t = BuildPerfectTree(3, 3);
+  EXPECT_EQ(t.graph.num_nodes(), 1u + 3u + 9u + 27u);
+  EXPECT_EQ(t.graph.sources().size(), 27u);
+}
+
+TEST(PerfectTree, UnaryIsChain) {
+  const TreeGraph t = BuildPerfectTree(1, 4);
+  EXPECT_EQ(t.graph.num_nodes(), 5u);
+  EXPECT_EQ(t.graph.sources().size(), 1u);
+}
+
+TEST(PerfectTree, WeightsFollowConfig) {
+  const TreeGraph t =
+      BuildPerfectTree(2, 2, PrecisionConfig::DoubleAccumulator());
+  for (NodeId v = 0; v < t.graph.num_nodes(); ++v) {
+    EXPECT_EQ(t.graph.weight(v), t.graph.is_source(v) ? 16 : 32);
+  }
+}
+
+class RandomTreeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeTest, GeneratesValidInTrees) {
+  Rng rng(GetParam());
+  const RandomTreeOptions options{.max_k = 4, .max_internal = 8,
+                                  .min_weight = 1, .max_weight = 9};
+  const TreeGraph t = BuildRandomTree(rng, options);
+  const auto root = TreeRoot(t.graph);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(*root, t.root);
+  int max_k = 0;
+  for (NodeId v = 0; v < t.graph.num_nodes(); ++v) {
+    max_k = std::max(max_k, static_cast<int>(t.graph.in_degree(v)));
+    EXPECT_GE(t.graph.weight(v), options.min_weight);
+    EXPECT_LE(t.graph.weight(v), options.max_weight);
+  }
+  EXPECT_LE(max_k, options.max_k);
+  EXPECT_EQ(max_k, t.max_in_degree);
+}
+
+TEST_P(RandomTreeTest, DeterministicForSeed) {
+  Rng rng1(GetParam()), rng2(GetParam());
+  const TreeGraph a = BuildRandomTree(rng1);
+  const TreeGraph b = BuildRandomTree(rng2);
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    EXPECT_EQ(a.graph.weight(v), b.graph.weight(v));
+    ASSERT_EQ(a.graph.parents(v).size(), b.graph.parents(v).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 3), 0);
+  EXPECT_EQ(CeilDiv(1, 3), 1);
+  EXPECT_EQ(CeilDiv(3, 3), 1);
+  EXPECT_EQ(CeilDiv(4, 3), 2);
+  EXPECT_EQ(CeilDiv(96, 96), 1);
+  EXPECT_EQ(CeilDiv(97, 96), 2);
+}
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(-4));
+  EXPECT_FALSE(IsPowerOfTwo(4095));
+}
+
+TEST(MathUtil, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(160), 256);   // Table 1: DWT Equal optimum
+  EXPECT_EQ(NextPowerOfTwo(288), 512);   // Table 1: DWT DA optimum
+  EXPECT_EQ(NextPowerOfTwo(1584), 2048); // Table 1: MVM Equal tiling
+  EXPECT_EQ(NextPowerOfTwo(4624), 8192); // Table 1: MVM DA IOOpt
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(256), 8);
+  EXPECT_EQ(FloorLog2(257), 8);
+}
+
+TEST(MathUtil, TwoAdicValuation) {
+  EXPECT_EQ(TwoAdicValuation(1), 0);
+  EXPECT_EQ(TwoAdicValuation(2), 1);
+  EXPECT_EQ(TwoAdicValuation(12), 2);
+  EXPECT_EQ(TwoAdicValuation(256), 8);
+  EXPECT_EQ(TwoAdicValuation(96), 5);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  std::vector<std::uint64_t> va, vb, vc;
+  for (int i = 0; i < 100; ++i) {
+    va.push_back(a.Next());
+    vb.push_back(b.Next());
+    vc.push_back(c.Next());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, 1000,
+              [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 5, 5, [&](std::int64_t) { count.fetch_add(1); });
+  ParallelFor(pool, 7, 3, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, NumericFields) {
+  EXPECT_EQ(CsvWriter::Field(std::int64_t{-42}), "-42");
+  EXPECT_EQ(CsvWriter::Field(2.5), "2.5");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.AddRow({"x", "10"});
+  t.AddRow({"longer", "7"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 7  |"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Note: a bare `--flag` followed by a non-flag token consumes it as the
+  // flag's value, so boolean flags go last or use `--flag=true`.
+  const char* argv[] = {"prog", "--alpha=3", "--name", "dwt",
+                        "pos1", "--verbose"};
+  CliArgs args(6, argv);
+  EXPECT_TRUE(args.error().empty());
+  EXPECT_EQ(args.GetInt("alpha", 0), 3);
+  EXPECT_EQ(args.GetString("name", ""), "dwt");
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_EQ(args.GetInt("missing", 99), 99);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, DoubleAndBoolParsing) {
+  const char* argv[] = {"prog", "--ratio=0.5", "--flag=no"};
+  CliArgs args(3, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("ratio", 0.0), 0.5);
+  EXPECT_FALSE(args.GetBool("flag", true));
+}
+
+}  // namespace
+}  // namespace wrbpg
