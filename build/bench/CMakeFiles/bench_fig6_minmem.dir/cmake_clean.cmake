@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_minmem.dir/bench_fig6_minmem.cc.o"
+  "CMakeFiles/bench_fig6_minmem.dir/bench_fig6_minmem.cc.o.d"
+  "bench_fig6_minmem"
+  "bench_fig6_minmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_minmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_synthesis.dir/bench_fig7_synthesis.cc.o"
+  "CMakeFiles/bench_fig7_synthesis.dir/bench_fig7_synthesis.cc.o.d"
+  "bench_fig7_synthesis"
+  "bench_fig7_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

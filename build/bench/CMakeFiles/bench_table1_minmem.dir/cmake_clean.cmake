@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_minmem.dir/bench_table1_minmem.cc.o"
+  "CMakeFiles/bench_table1_minmem.dir/bench_table1_minmem.cc.o.d"
+  "bench_table1_minmem"
+  "bench_table1_minmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_minmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bci_decode_mvm.dir/bci_decode_mvm.cpp.o"
+  "CMakeFiles/bci_decode_mvm.dir/bci_decode_mvm.cpp.o.d"
+  "bci_decode_mvm"
+  "bci_decode_mvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bci_decode_mvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

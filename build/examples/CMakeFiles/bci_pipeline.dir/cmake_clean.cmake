@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bci_pipeline.dir/bci_pipeline.cpp.o"
+  "CMakeFiles/bci_pipeline.dir/bci_pipeline.cpp.o.d"
+  "bci_pipeline"
+  "bci_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

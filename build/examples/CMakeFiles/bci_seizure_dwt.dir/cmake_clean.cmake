@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bci_seizure_dwt.dir/bci_seizure_dwt.cpp.o"
+  "CMakeFiles/bci_seizure_dwt.dir/bci_seizure_dwt.cpp.o.d"
+  "bci_seizure_dwt"
+  "bci_seizure_dwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bci_seizure_dwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bci_seizure_dwt.
+# This may be replaced when dependencies are built.

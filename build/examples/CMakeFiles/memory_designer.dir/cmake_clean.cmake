@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_designer.dir/memory_designer.cpp.o"
+  "CMakeFiles/memory_designer.dir/memory_designer.cpp.o.d"
+  "memory_designer"
+  "memory_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_cli.dir/wrbpg_cli.cpp.o"
+  "CMakeFiles/wrbpg_cli.dir/wrbpg_cli.cpp.o.d"
+  "wrbpg_cli"
+  "wrbpg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/wrbpg_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/compose.cc" "src/core/CMakeFiles/wrbpg_core.dir/compose.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/compose.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/core/CMakeFiles/wrbpg_core.dir/graph_builder.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/graph_builder.cc.o.d"
+  "/root/repo/src/core/move.cc" "src/core/CMakeFiles/wrbpg_core.dir/move.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/move.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/wrbpg_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/wrbpg_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/core/CMakeFiles/wrbpg_core.dir/simulator.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/simulator.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/wrbpg_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/wrbpg_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wrbpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

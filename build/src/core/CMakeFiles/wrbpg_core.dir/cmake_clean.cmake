@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_core.dir/analysis.cc.o"
+  "CMakeFiles/wrbpg_core.dir/analysis.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/compose.cc.o"
+  "CMakeFiles/wrbpg_core.dir/compose.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/graph_builder.cc.o"
+  "CMakeFiles/wrbpg_core.dir/graph_builder.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/move.cc.o"
+  "CMakeFiles/wrbpg_core.dir/move.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/schedule.cc.o"
+  "CMakeFiles/wrbpg_core.dir/schedule.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/serialize.cc.o"
+  "CMakeFiles/wrbpg_core.dir/serialize.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/simulator.cc.o"
+  "CMakeFiles/wrbpg_core.dir/simulator.cc.o.d"
+  "CMakeFiles/wrbpg_core.dir/trace.cc.o"
+  "CMakeFiles/wrbpg_core.dir/trace.cc.o.d"
+  "libwrbpg_core.a"
+  "libwrbpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflows/banded_mvm_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/banded_mvm_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/banded_mvm_graph.cc.o.d"
+  "/root/repo/src/dataflows/butterfly_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/butterfly_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/butterfly_graph.cc.o.d"
+  "/root/repo/src/dataflows/dwt_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/dwt_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/dwt_graph.cc.o.d"
+  "/root/repo/src/dataflows/mmm_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/mmm_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/mmm_graph.cc.o.d"
+  "/root/repo/src/dataflows/mvm_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/mvm_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/mvm_graph.cc.o.d"
+  "/root/repo/src/dataflows/random_dag.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/random_dag.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/random_dag.cc.o.d"
+  "/root/repo/src/dataflows/tree_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/tree_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/tree_graph.cc.o.d"
+  "/root/repo/src/dataflows/wavelet_graph.cc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/wavelet_graph.cc.o" "gcc" "src/dataflows/CMakeFiles/wrbpg_dataflows.dir/wavelet_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wrbpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wrbpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

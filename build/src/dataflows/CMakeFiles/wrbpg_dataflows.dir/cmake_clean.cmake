@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_dataflows.dir/banded_mvm_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/banded_mvm_graph.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/butterfly_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/butterfly_graph.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/dwt_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/dwt_graph.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/mmm_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/mmm_graph.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/mvm_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/mvm_graph.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/random_dag.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/random_dag.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/tree_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/tree_graph.cc.o.d"
+  "CMakeFiles/wrbpg_dataflows.dir/wavelet_graph.cc.o"
+  "CMakeFiles/wrbpg_dataflows.dir/wavelet_graph.cc.o.d"
+  "libwrbpg_dataflows.a"
+  "libwrbpg_dataflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_dataflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/wrbpg_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/wrbpg_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/extended_kernels.cc" "src/exec/CMakeFiles/wrbpg_exec.dir/extended_kernels.cc.o" "gcc" "src/exec/CMakeFiles/wrbpg_exec.dir/extended_kernels.cc.o.d"
+  "/root/repo/src/exec/reference_kernels.cc" "src/exec/CMakeFiles/wrbpg_exec.dir/reference_kernels.cc.o" "gcc" "src/exec/CMakeFiles/wrbpg_exec.dir/reference_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wrbpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflows/CMakeFiles/wrbpg_dataflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wrbpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_exec.dir/executor.cc.o"
+  "CMakeFiles/wrbpg_exec.dir/executor.cc.o.d"
+  "CMakeFiles/wrbpg_exec.dir/extended_kernels.cc.o"
+  "CMakeFiles/wrbpg_exec.dir/extended_kernels.cc.o.d"
+  "CMakeFiles/wrbpg_exec.dir/reference_kernels.cc.o"
+  "CMakeFiles/wrbpg_exec.dir/reference_kernels.cc.o.d"
+  "libwrbpg_exec.a"
+  "libwrbpg_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hardware/energy_model.cc" "src/hardware/CMakeFiles/wrbpg_hardware.dir/energy_model.cc.o" "gcc" "src/hardware/CMakeFiles/wrbpg_hardware.dir/energy_model.cc.o.d"
+  "/root/repo/src/hardware/sram_model.cc" "src/hardware/CMakeFiles/wrbpg_hardware.dir/sram_model.cc.o" "gcc" "src/hardware/CMakeFiles/wrbpg_hardware.dir/sram_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wrbpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wrbpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

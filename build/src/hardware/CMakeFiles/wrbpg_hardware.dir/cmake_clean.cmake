@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_hardware.dir/energy_model.cc.o"
+  "CMakeFiles/wrbpg_hardware.dir/energy_model.cc.o.d"
+  "CMakeFiles/wrbpg_hardware.dir/sram_model.cc.o"
+  "CMakeFiles/wrbpg_hardware.dir/sram_model.cc.o.d"
+  "libwrbpg_hardware.a"
+  "libwrbpg_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

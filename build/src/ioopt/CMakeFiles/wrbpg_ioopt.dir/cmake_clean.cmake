@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_ioopt.dir/ioopt_bounds.cc.o"
+  "CMakeFiles/wrbpg_ioopt.dir/ioopt_bounds.cc.o.d"
+  "libwrbpg_ioopt.a"
+  "libwrbpg_ioopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_ioopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

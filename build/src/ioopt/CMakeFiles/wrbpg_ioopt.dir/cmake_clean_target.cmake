@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwrbpg_ioopt.a"
+)

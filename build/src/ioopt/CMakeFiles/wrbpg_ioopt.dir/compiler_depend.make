@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wrbpg_ioopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/banded_mvm.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/banded_mvm.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/banded_mvm.cc.o.d"
+  "/root/repo/src/schedulers/belady.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/belady.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/belady.cc.o.d"
+  "/root/repo/src/schedulers/brute_force.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/brute_force.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/brute_force.cc.o.d"
+  "/root/repo/src/schedulers/dwt_optimal.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/dwt_optimal.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/dwt_optimal.cc.o.d"
+  "/root/repo/src/schedulers/greedy_topo.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/greedy_topo.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/greedy_topo.cc.o.d"
+  "/root/repo/src/schedulers/kary_tree.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/kary_tree.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/kary_tree.cc.o.d"
+  "/root/repo/src/schedulers/layer_by_layer.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/layer_by_layer.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/layer_by_layer.cc.o.d"
+  "/root/repo/src/schedulers/memory_state.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/memory_state.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/memory_state.cc.o.d"
+  "/root/repo/src/schedulers/mmm_tiling.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/mmm_tiling.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/mmm_tiling.cc.o.d"
+  "/root/repo/src/schedulers/mvm_memory_state.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/mvm_memory_state.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/mvm_memory_state.cc.o.d"
+  "/root/repo/src/schedulers/mvm_tiling.cc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/mvm_tiling.cc.o" "gcc" "src/schedulers/CMakeFiles/wrbpg_schedulers.dir/mvm_tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wrbpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflows/CMakeFiles/wrbpg_dataflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wrbpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_schedulers.dir/banded_mvm.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/banded_mvm.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/belady.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/belady.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/brute_force.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/brute_force.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/dwt_optimal.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/dwt_optimal.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/greedy_topo.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/greedy_topo.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/kary_tree.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/kary_tree.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/layer_by_layer.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/layer_by_layer.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/memory_state.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/memory_state.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/mmm_tiling.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/mmm_tiling.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/mvm_memory_state.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/mvm_memory_state.cc.o.d"
+  "CMakeFiles/wrbpg_schedulers.dir/mvm_tiling.cc.o"
+  "CMakeFiles/wrbpg_schedulers.dir/mvm_tiling.cc.o.d"
+  "libwrbpg_schedulers.a"
+  "libwrbpg_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrbpg_util.dir/cli.cc.o"
+  "CMakeFiles/wrbpg_util.dir/cli.cc.o.d"
+  "CMakeFiles/wrbpg_util.dir/csv.cc.o"
+  "CMakeFiles/wrbpg_util.dir/csv.cc.o.d"
+  "CMakeFiles/wrbpg_util.dir/rng.cc.o"
+  "CMakeFiles/wrbpg_util.dir/rng.cc.o.d"
+  "CMakeFiles/wrbpg_util.dir/table.cc.o"
+  "CMakeFiles/wrbpg_util.dir/table.cc.o.d"
+  "CMakeFiles/wrbpg_util.dir/thread_pool.cc.o"
+  "CMakeFiles/wrbpg_util.dir/thread_pool.cc.o.d"
+  "libwrbpg_util.a"
+  "libwrbpg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrbpg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

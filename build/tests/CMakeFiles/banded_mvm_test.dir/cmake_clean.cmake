@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banded_mvm_test.dir/banded_mvm_test.cc.o"
+  "CMakeFiles/banded_mvm_test.dir/banded_mvm_test.cc.o.d"
+  "banded_mvm_test"
+  "banded_mvm_test.pdb"
+  "banded_mvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banded_mvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

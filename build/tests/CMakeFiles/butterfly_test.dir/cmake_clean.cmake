@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_test.dir/butterfly_test.cc.o"
+  "CMakeFiles/butterfly_test.dir/butterfly_test.cc.o.d"
+  "butterfly_test"
+  "butterfly_test.pdb"
+  "butterfly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt_graph_test.dir/dwt_graph_test.cc.o"
+  "CMakeFiles/dwt_graph_test.dir/dwt_graph_test.cc.o.d"
+  "dwt_graph_test"
+  "dwt_graph_test.pdb"
+  "dwt_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt_optimal_test.dir/dwt_optimal_test.cc.o"
+  "CMakeFiles/dwt_optimal_test.dir/dwt_optimal_test.cc.o.d"
+  "dwt_optimal_test"
+  "dwt_optimal_test.pdb"
+  "dwt_optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_topo_test.dir/greedy_topo_test.cc.o"
+  "CMakeFiles/greedy_topo_test.dir/greedy_topo_test.cc.o.d"
+  "greedy_topo_test"
+  "greedy_topo_test.pdb"
+  "greedy_topo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioopt_test.dir/ioopt_test.cc.o"
+  "CMakeFiles/ioopt_test.dir/ioopt_test.cc.o.d"
+  "ioopt_test"
+  "ioopt_test.pdb"
+  "ioopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

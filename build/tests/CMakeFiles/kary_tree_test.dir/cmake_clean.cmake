@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kary_tree_test.dir/kary_tree_test.cc.o"
+  "CMakeFiles/kary_tree_test.dir/kary_tree_test.cc.o.d"
+  "kary_tree_test"
+  "kary_tree_test.pdb"
+  "kary_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kary_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

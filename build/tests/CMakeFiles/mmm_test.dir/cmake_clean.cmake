@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_test.dir/mmm_test.cc.o"
+  "CMakeFiles/mmm_test.dir/mmm_test.cc.o.d"
+  "mmm_test"
+  "mmm_test.pdb"
+  "mmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvm_graph_test.dir/mvm_graph_test.cc.o"
+  "CMakeFiles/mvm_graph_test.dir/mvm_graph_test.cc.o.d"
+  "mvm_graph_test"
+  "mvm_graph_test.pdb"
+  "mvm_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvm_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

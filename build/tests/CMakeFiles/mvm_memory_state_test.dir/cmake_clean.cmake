@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvm_memory_state_test.dir/mvm_memory_state_test.cc.o"
+  "CMakeFiles/mvm_memory_state_test.dir/mvm_memory_state_test.cc.o.d"
+  "mvm_memory_state_test"
+  "mvm_memory_state_test.pdb"
+  "mvm_memory_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvm_memory_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvm_tiling_test.dir/mvm_tiling_test.cc.o"
+  "CMakeFiles/mvm_tiling_test.dir/mvm_tiling_test.cc.o.d"
+  "mvm_tiling_test"
+  "mvm_tiling_test.pdb"
+  "mvm_tiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvm_tiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_graph_test.dir/tree_graph_test.cc.o"
+  "CMakeFiles/tree_graph_test.dir/tree_graph_test.cc.o.d"
+  "tree_graph_test"
+  "tree_graph_test.pdb"
+  "tree_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_graph_test.dir/wavelet_graph_test.cc.o"
+  "CMakeFiles/wavelet_graph_test.dir/wavelet_graph_test.cc.o.d"
+  "wavelet_graph_test"
+  "wavelet_graph_test.pdb"
+  "wavelet_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
