@@ -1,0 +1,104 @@
+// Robustness-layer microbenchmarks (google-benchmark).
+//
+// Two questions matter for the robust layer to be usable inline in a
+// compiler or runtime:
+//   1. Repair throughput — patching a mutated schedule must cost about as
+//      much as simulating it, not as much as rescheduling from scratch.
+//   2. Fallback latency — when the exact stage is skipped or times out,
+//      the chain's overhead on top of the winning heuristic must be small.
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/random_dag.h"
+#include "robust/fault_injector.h"
+#include "robust/repair.h"
+#include "robust/robust_scheduler.h"
+#include "schedulers/belady.h"
+#include "schedulers/dwt_optimal.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+void BM_RepairMutatedDwt(benchmark::State& state) {
+  const auto n = state.range(0);
+  const DwtGraph dwt = BuildDwt(n, MaxDwtLevel(n));
+  const Weight budget = MinValidBudget(dwt.graph) + 64;
+  DwtOptimalScheduler sched(dwt);
+  const Schedule valid = sched.Run(budget).schedule;
+
+  FaultInjector injector(dwt.graph, budget, valid);
+  Rng rng(0xbe7c11u);
+  const auto corpus = injector.Corpus(rng, 4);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FaultCase& fault = corpus[i++ % corpus.size()];
+    benchmark::DoNotOptimize(
+        RepairSchedule(dwt.graph, fault.budget, fault.schedule));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RepairMutatedDwt)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_RepairVsSimulateBaseline(benchmark::State& state) {
+  // The floor: replaying the same schedule through the simulator alone.
+  const DwtGraph dwt = BuildDwt(64, MaxDwtLevel(64));
+  const Weight budget = MinValidBudget(dwt.graph) + 64;
+  DwtOptimalScheduler sched(dwt);
+  const Schedule valid = sched.Run(budget).schedule;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Simulate(dwt.graph, budget, valid));
+  }
+}
+BENCHMARK(BM_RepairVsSimulateBaseline);
+
+void BM_RobustChainHeuristicOnly(benchmark::State& state) {
+  // Chain overhead when exact is skipped: RobustScheduler vs bare belady.
+  Rng rng(0xc4a1u);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
+                                         .nodes_per_layer = 6,
+                                         .max_in_degree = 3});
+  const Weight budget = MinValidBudget(dag) + 64;
+  RobustOptions options;
+  options.exact_max_nodes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RobustScheduler(dag).Run(budget, options));
+  }
+}
+BENCHMARK(BM_RobustChainHeuristicOnly);
+
+void BM_BeladyBaseline(benchmark::State& state) {
+  Rng rng(0xc4a1u);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
+                                         .nodes_per_layer = 6,
+                                         .max_in_degree = 3});
+  const Weight budget = MinValidBudget(dag) + 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BeladyScheduler(dag).Run(budget));
+  }
+}
+BENCHMARK(BM_BeladyBaseline);
+
+void BM_RobustChainWithDeadline(benchmark::State& state) {
+  // End-to-end fallback latency with a deadline that cancels the exact
+  // stage mid-flight (the acceptance scenario of the robust layer).
+  Rng rng(0xdead11u);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
+                                         .nodes_per_layer = 4,
+                                         .max_in_degree = 3});
+  const Weight budget = MinValidBudget(dag) + 32;
+  RobustOptions options;
+  options.deadline_ms = static_cast<double>(state.range(0));
+  options.exact_max_nodes = 26;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RobustScheduler(dag).Run(budget, options));
+  }
+}
+BENCHMARK(BM_RobustChainWithDeadline)->Arg(5)->Arg(20)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wrbpg

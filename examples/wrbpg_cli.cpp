@@ -5,10 +5,16 @@
 //
 //   wrbpg_cli info <graph.txt>
 //       model properties: nodes, edges, min valid budget, lower bound.
-//   wrbpg_cli schedule <graph.txt> --budget <bits> [--algo greedy|belady|brute]
+//   wrbpg_cli schedule <graph.txt> --budget <bits>
+//                      [--algo greedy|belady|brute|robust] [--deadline-ms N]
 //       emit a validated schedule (move per line) on stdout; stats on stderr.
+//       --deadline-ms (or --algo robust) runs the deadline-aware fallback
+//       chain (exact -> belady -> greedy) and reports per-stage provenance.
 //   wrbpg_cli validate <graph.txt> <schedule.txt> --budget <bits>
 //       replay a schedule through the simulator and report cost/peak.
+//   wrbpg_cli repair <graph.txt> <schedule.txt> --budget <bits>
+//       patch a broken schedule into a simulator-valid one (repaired moves
+//       on stdout) or print a structured diagnostic and exit nonzero.
 //   wrbpg_cli trace <graph.txt> <schedule.txt> --budget <bits>
 //       render the schedule's fast-memory occupancy timeline.
 //   wrbpg_cli dot <graph.txt>
@@ -32,6 +38,8 @@
 #include "core/serialize.h"
 #include "core/simulator.h"
 #include "core/trace.h"
+#include "robust/repair.h"
+#include "robust/robust_scheduler.h"
 #include "schedulers/belady.h"
 #include "schedulers/brute_force.h"
 #include "schedulers/greedy_topo.h"
@@ -42,9 +50,9 @@ using namespace wrbpg;
 namespace {
 
 int Usage() {
-  std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|dot> "
+  std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|repair|dot> "
                "<graph.txt> [schedule.txt] [--budget N] "
-               "[--algo greedy|belady|brute]\n";
+               "[--algo greedy|belady|brute|robust] [--deadline-ms N]\n";
   return 2;
 }
 
@@ -99,13 +107,53 @@ int main(int argc, char** argv) {
   }
 
   const Weight budget = args.GetInt("budget", 0);
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
   if (budget <= 0) {
     std::cerr << "error: --budget <bits> is required\n";
     return 2;
   }
 
   if (command == "schedule") {
-    const std::string algo = args.GetString("algo", "belady");
+    const double deadline_ms = args.GetDouble("deadline-ms", 0);
+    std::string algo = args.GetString("algo", "belady");
+    if (deadline_ms > 0) algo = "robust";
+    if (!args.error().empty()) {
+      std::cerr << "error: " << args.error() << "\n";
+      return 2;
+    }
+    if (algo == "robust") {
+      RobustOptions options;
+      options.deadline_ms = deadline_ms;
+      const RobustResult robust = RobustScheduler(graph).Run(budget, options);
+      for (const StageReport& stage : robust.stages) {
+        std::cerr << "stage " << stage.name << ": "
+                  << ToString(stage.outcome);
+        if (stage.cost < kInfiniteCost) {
+          std::cerr << " cost=" << stage.cost << " bits";
+        }
+        if (stage.outcome != StageOutcome::kNotRun &&
+            stage.outcome != StageOutcome::kSkipped) {
+          std::cerr << " elapsed=" << stage.elapsed_ms << " ms";
+        }
+        if (!stage.detail.empty()) std::cerr << " (" << stage.detail << ")";
+        std::cerr << "\n";
+      }
+      if (!robust.result.feasible) {
+        std::cerr << "infeasible: no stage produced a valid schedule under "
+                  << budget << " bits (need >= " << MinValidBudget(graph)
+                  << ")\n";
+        return 1;
+      }
+      std::cout << ToText(robust.result.schedule);
+      std::cerr << "winner=" << robust.winner
+                << " moves=" << robust.result.schedule.size()
+                << " cost=" << robust.result.cost << " bits, lb="
+                << AlgorithmicLowerBound(graph) << " bits\n";
+      return 0;
+    }
     ScheduleResult result;
     if (algo == "greedy") {
       result = GreedyTopoScheduler(graph).Run(budget);
@@ -159,6 +207,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "repair") {
+    if (args.positional().size() < 3) return Usage();
+    std::string schedule_text;
+    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
+    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    if (!sched.ok) {
+      std::cerr << "error: " << args.positional()[2] << ": " << sched.error
+                << "\n";
+      return 1;
+    }
+    const RepairResult repair = RepairSchedule(graph, budget, sched.schedule);
+    if (repair.status == RepairStatus::kIrreparable) {
+      std::cerr << "irreparable: " << ToString(repair.code) << " (v"
+                << repair.node << " at input move " << repair.input_index
+                << "): " << repair.message << "\n";
+      return 1;
+    }
+    std::cout << ToText(repair.schedule);
+    std::cerr << ToString(repair.status) << ": cost="
+              << repair.verification.cost << " bits, peak="
+              << repair.verification.peak_red_weight << "/" << budget
+              << " bits, kept=" << repair.moves_kept << ", dropped="
+              << repair.moves_dropped << ", inserted="
+              << repair.moves_inserted << "\n";
+    return 0;
+  }
+
   if (command == "validate") {
     if (args.positional().size() < 3) return Usage();
     std::string schedule_text;
@@ -171,8 +246,8 @@ int main(int argc, char** argv) {
     }
     const SimResult sim = Simulate(graph, budget, sched.schedule);
     if (!sim.valid) {
-      std::cerr << "INVALID at move " << sim.error_index << ": " << sim.error
-                << "\n";
+      std::cerr << "INVALID at move " << sim.error_index << " ["
+                << ToString(sim.code) << "]: " << sim.error << "\n";
       return 1;
     }
     std::cout << "valid: cost=" << sim.cost

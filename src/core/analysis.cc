@@ -38,15 +38,19 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
   const Weight steps = (options.hi - options.lo) / options.step;
 
   auto budget_at = [&](Weight k) { return options.lo + k * options.step; };
+  auto expired = [&] {
+    return options.cancel != nullptr && options.cancel->cancelled();
+  };
   auto achieves = [&](Weight k) {
     return cost_fn(budget_at(k)) <= target_cost;
   };
 
   if (options.monotone) {
     // Invariant: achieving budgets form a suffix of the scanned grid.
-    if (!achieves(steps)) return std::nullopt;
+    if (expired() || !achieves(steps)) return std::nullopt;
     Weight lo = 0, hi = steps;  // hi always achieves
     while (lo < hi) {
+      if (expired()) return std::nullopt;
       const Weight mid = lo + (hi - lo) / 2;
       if (achieves(mid)) {
         hi = mid;
@@ -58,6 +62,7 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
   }
 
   for (Weight k = 0; k <= steps; ++k) {
+    if (expired()) return std::nullopt;
     if (achieves(k)) return budget_at(k);
   }
   return std::nullopt;

@@ -6,6 +6,7 @@
 
 #include "core/graph.h"
 #include "core/types.h"
+#include "util/cancel.h"
 
 namespace wrbpg {
 
@@ -35,6 +36,11 @@ struct MinMemoryOptions {
   // (true for the optimal DP schedulers), binary search is used; otherwise
   // a linear scan from lo upward finds the first achieving budget.
   bool monotone = false;
+  // Cooperative cancellation, polled before every cost_fn probe. When the
+  // token fires mid-search the result is nullopt (indistinguishable from
+  // "no scanned budget achieves the target" — callers that care should
+  // check the token afterwards).
+  const CancelToken* cancel = nullptr;
 };
 
 // Definition 2.6: the smallest scanned budget whose schedule cost equals

@@ -1,10 +1,12 @@
 #include "core/serialize.h"
 
 #include <charconv>
+#include <set>
 #include <sstream>
 #include <vector>
 
 #include "core/graph_builder.h"
+#include "core/types.h"
 
 namespace wrbpg {
 namespace {
@@ -73,12 +75,16 @@ GraphParseResult ParseGraphText(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   GraphBuilder builder;
+  std::set<std::pair<std::int64_t, std::int64_t>> seen_edges;
   bool header_seen = false;
   std::size_t lineno = 0;
   auto fail = [&](const std::string& message) {
     result.error = "line " + std::to_string(lineno) + ": " + message;
     return result;
   };
+  // Dense ids are capped well below NodeId's range; anything larger is a
+  // corrupt or hostile input, reported before it can wrap on a cast.
+  constexpr std::int64_t kMaxNodeId = kInvalidNode - 1;
   while (std::getline(in, line)) {
     ++lineno;
     const auto tokens = Tokenize(line);
@@ -99,6 +105,12 @@ GraphParseResult ParseGraphText(const std::string& text) {
       if (!ParseI64(tokens[1], id) || !ParseI64(tokens[2], weight)) {
         return fail("malformed node id or weight");
       }
+      if (id < 0 || id > kMaxNodeId) {
+        return fail("node id " + tokens[1] + " out of range");
+      }
+      if (weight <= 0) {
+        return fail("node weight must be positive, got " + tokens[2]);
+      }
       if (id != builder.num_nodes()) {
         return fail("node ids must be dense and in order (expected " +
                     std::to_string(builder.num_nodes()) + ")");
@@ -110,9 +122,17 @@ GraphParseResult ParseGraphText(const std::string& text) {
       if (!ParseI64(tokens[1], u) || !ParseI64(tokens[2], v)) {
         return fail("malformed edge endpoints");
       }
-      if (u < 0 || v < 0 || u >= builder.num_nodes() ||
-          v >= builder.num_nodes()) {
+      if (u < 0 || u > kMaxNodeId || v < 0 || v > kMaxNodeId) {
+        return fail("edge endpoint out of range");
+      }
+      if (u >= builder.num_nodes() || v >= builder.num_nodes()) {
         return fail("edge references undeclared node");
+      }
+      if (u == v) {
+        return fail("self-loop on node " + tokens[1]);
+      }
+      if (!seen_edges.emplace(u, v).second) {
+        return fail("duplicate edge (" + tokens[1] + "," + tokens[2] + ")");
       }
       builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
     } else {
@@ -121,6 +141,10 @@ GraphParseResult ParseGraphText(const std::string& text) {
   }
   if (!header_seen) {
     result.error = "empty input: missing 'wrbpg-graph v1' header";
+    return result;
+  }
+  if (builder.num_nodes() == 0) {
+    result.error = "truncated input: header present but no node directives";
     return result;
   }
   auto built = builder.Build();
@@ -172,6 +196,11 @@ ScheduleParseResult ParseScheduleText(const std::string& text) {
     std::int64_t node = 0;
     if (!ParseI64(tokens[1], node) || node < 0) {
       result.error = "line " + std::to_string(lineno) + ": malformed node id";
+      return result;
+    }
+    if (node > static_cast<std::int64_t>(kInvalidNode) - 1) {
+      result.error =
+          "line " + std::to_string(lineno) + ": node id out of range";
       return result;
     }
     result.schedule.Append({type, static_cast<NodeId>(node)});

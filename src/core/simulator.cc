@@ -9,6 +9,26 @@ std::string NodeStr(NodeId v) { return "v" + std::to_string(v); }
 
 }  // namespace
 
+const char* ToString(SimErrorCode code) {
+  switch (code) {
+    case SimErrorCode::kNone: return "none";
+    case SimErrorCode::kNodeOutOfRange: return "node-out-of-range";
+    case SimErrorCode::kLoadNoBlue: return "load-no-blue";
+    case SimErrorCode::kLoadAlreadyRed: return "load-already-red";
+    case SimErrorCode::kStoreNoRed: return "store-no-red";
+    case SimErrorCode::kStoreAlreadyBlue: return "store-already-blue";
+    case SimErrorCode::kComputeSource: return "compute-source";
+    case SimErrorCode::kComputeAlreadyRed: return "compute-already-red";
+    case SimErrorCode::kComputeParentNotRed: return "compute-parent-not-red";
+    case SimErrorCode::kDeleteNoRed: return "delete-no-red";
+    case SimErrorCode::kBudgetExceeded: return "budget-exceeded";
+    case SimErrorCode::kInitialRedOverBudget: return "initial-red-over-budget";
+    case SimErrorCode::kStopConditionUnmet: return "stop-condition-unmet";
+    case SimErrorCode::kReuseConditionUnmet: return "reuse-condition-unmet";
+  }
+  return "unknown";
+}
+
 SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
                    const SimOptions& options, const SimObserver& observer) {
   SimResult result;
@@ -21,10 +41,13 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
 
   Weight red_weight = 0;
 
-  auto fail = [&](std::size_t index, std::string message) {
+  auto fail = [&](std::size_t index, SimErrorCode code, NodeId node,
+                  std::string message) {
     result.valid = false;
     result.error = std::move(message);
     result.error_index = index;
+    result.code = code;
+    result.error_node = node;
     return result;
   };
 
@@ -35,7 +58,8 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
     }
   }
   if (red_weight > budget) {
-    return fail(0, "initial red pebbles already exceed the budget");
+    return fail(0, SimErrorCode::kInitialRedOverBudget, kInvalidNode,
+                "initial red pebbles already exceed the budget");
   }
   result.peak_red_weight = red_weight;
 
@@ -43,16 +67,19 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
     const Move& m = schedule[i];
     const NodeId v = m.node;
     if (v >= n) {
-      return fail(i, ToString(m) + ": node out of range");
+      return fail(i, SimErrorCode::kNodeOutOfRange, v,
+                  ToString(m) + ": node out of range");
     }
     const Weight w = graph.weight(v);
     switch (m.type) {
       case MoveType::kLoad:  // M1: blue -> both
         if (!blue[v]) {
-          return fail(i, ToString(m) + ": no blue pebble to copy from");
+          return fail(i, SimErrorCode::kLoadNoBlue, v,
+                      ToString(m) + ": no blue pebble to copy from");
         }
         if (red[v]) {
-          return fail(i, ToString(m) + ": node already holds a red pebble");
+          return fail(i, SimErrorCode::kLoadAlreadyRed, v,
+                      ToString(m) + ": node already holds a red pebble");
         }
         red[v] = 1;
         red_weight += w;
@@ -61,10 +88,12 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
       case MoveType::kStore:  // M2: red -> both
         if (!red[v]) {
-          return fail(i, ToString(m) + ": no red pebble to copy from");
+          return fail(i, SimErrorCode::kStoreNoRed, v,
+                      ToString(m) + ": no red pebble to copy from");
         }
         if (blue[v]) {
-          return fail(i, ToString(m) + ": node already holds a blue pebble");
+          return fail(i, SimErrorCode::kStoreAlreadyBlue, v,
+                      ToString(m) + ": node already holds a blue pebble");
         }
         blue[v] = 1;
         result.cost += w;
@@ -72,17 +101,20 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
       case MoveType::kCompute: {  // M3: all parents red -> add red
         if (graph.is_source(v)) {
-          return fail(i, ToString(m) +
-                             ": source nodes are inputs and cannot be "
-                             "computed; use M1");
+          return fail(i, SimErrorCode::kComputeSource, v,
+                      ToString(m) +
+                          ": source nodes are inputs and cannot be "
+                          "computed; use M1");
         }
         if (red[v]) {
-          return fail(i, ToString(m) + ": node already holds a red pebble");
+          return fail(i, SimErrorCode::kComputeAlreadyRed, v,
+                      ToString(m) + ": node already holds a red pebble");
         }
         for (NodeId p : graph.parents(v)) {
           if (!red[p]) {
-            return fail(i, ToString(m) + ": parent " + NodeStr(p) +
-                               " holds no red pebble");
+            return fail(i, SimErrorCode::kComputeParentNotRed, p,
+                        ToString(m) + ": parent " + NodeStr(p) +
+                            " holds no red pebble");
           }
         }
         red[v] = 1;
@@ -92,7 +124,8 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
       }
       case MoveType::kDelete:  // M4: remove red
         if (!red[v]) {
-          return fail(i, ToString(m) + ": no red pebble to delete");
+          return fail(i, SimErrorCode::kDeleteNoRed, v,
+                      ToString(m) + ": no red pebble to delete");
         }
         red[v] = 0;
         red_weight -= w;
@@ -100,10 +133,11 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
     }
     if (red_weight > budget) {
-      return fail(i, ToString(m) + ": weighted red pebble constraint violated"
-                                   " (" +
-                         std::to_string(red_weight) + " > budget " +
-                         std::to_string(budget) + ")");
+      return fail(i, SimErrorCode::kBudgetExceeded, v,
+                  ToString(m) + ": weighted red pebble constraint violated"
+                                " (" +
+                      std::to_string(red_weight) + " > budget " +
+                      std::to_string(budget) + ")");
     }
     result.peak_red_weight = std::max(result.peak_red_weight, red_weight);
     if (observer) observer(i, m, red_weight);
@@ -113,14 +147,17 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
       std::all_of(graph.sinks().begin(), graph.sinks().end(),
                   [&](NodeId s) { return blue[s] != 0; });
   if (options.require_stop_condition && !result.stop_condition_met) {
-    return fail(schedule.size(),
+    const auto unmet =
+        std::find_if(graph.sinks().begin(), graph.sinks().end(),
+                     [&](NodeId s) { return blue[s] == 0; });
+    return fail(schedule.size(), SimErrorCode::kStopConditionUnmet, *unmet,
                 "stopping condition unmet: some sink holds no blue pebble");
   }
   for (NodeId v : options.required_red_at_end) {
     if (!red[v]) {
-      return fail(schedule.size(), "reuse condition unmet: v" +
-                                       std::to_string(v) +
-                                       " holds no red pebble at the end");
+      return fail(schedule.size(), SimErrorCode::kReuseConditionUnmet, v,
+                  "reuse condition unmet: v" + std::to_string(v) +
+                      " holds no red pebble at the end");
     }
   }
 

@@ -35,10 +35,38 @@ struct SimOptions {
   std::vector<NodeId> required_red_at_end = {};
 };
 
+// Typed taxonomy of rule violations, one code per simulator failure mode.
+// Machine-readable counterpart of SimResult::error; the repairer in
+// src/robust/ dispatches on it, and tests pin it exactly.
+enum class SimErrorCode : std::uint8_t {
+  kNone = 0,                 // valid schedule
+  kNodeOutOfRange,           // move names a node >= num_nodes()
+  kLoadNoBlue,               // M1 with no blue pebble to copy from
+  kLoadAlreadyRed,           // M1 onto a node already red
+  kStoreNoRed,               // M2 with no red pebble to copy from
+  kStoreAlreadyBlue,         // M2 onto a node already blue
+  kComputeSource,            // M3 on a source (inputs use M1)
+  kComputeAlreadyRed,        // M3 onto a node already red
+  kComputeParentNotRed,      // M3 with some parent not red
+  kDeleteNoRed,              // M4 with no red pebble to delete
+  kBudgetExceeded,           // weighted red constraint violated (Def 2.1)
+  kInitialRedOverBudget,     // SimOptions::initial_red alone exceeds budget
+  kStopConditionUnmet,       // some sink never received a blue pebble
+  kReuseConditionUnmet,      // required_red_at_end node not red at the end
+};
+
+// Short stable identifier, e.g. "load-no-blue" (for CLI and logs).
+const char* ToString(SimErrorCode code);
+
 struct SimResult {
   bool valid = false;
   std::string error;            // human-readable reason when !valid
   std::size_t error_index = 0;  // move index of the first violation
+  SimErrorCode code = SimErrorCode::kNone;  // typed reason when !valid
+  // Node the violation is about: the move's node, the missing parent for
+  // kComputeParentNotRed, or the unsatisfied sink/reuse node for the
+  // end-condition codes. kInvalidNode when no single node applies.
+  NodeId error_node = kInvalidNode;
 
   Weight cost = 0;             // Definition 2.2: sum of M1/M2 weights
   Weight peak_red_weight = 0;  // max over snapshots of total red weight

@@ -1,0 +1,136 @@
+#include "robust/fault_injector.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulator.h"
+
+namespace wrbpg {
+namespace {
+
+Schedule WithMoves(std::vector<Move> moves) { return Schedule(std::move(moves)); }
+
+}  // namespace
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropMove: return "drop-move";
+    case FaultKind::kDuplicateMove: return "duplicate-move";
+    case FaultKind::kSwapAdjacent: return "swap-adjacent";
+    case FaultKind::kDeleteStore: return "delete-store";
+    case FaultKind::kTightenBudget: return "tighten-budget";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const Graph& graph, Weight budget,
+                             Schedule schedule)
+    : graph_(graph), budget_(budget), schedule_(std::move(schedule)) {
+  const SimResult sim = Simulate(graph_, budget_, schedule_);
+  if (!sim.valid) {
+    std::fprintf(stderr,
+                 "FaultInjector: seed schedule invalid at move %zu: %s\n",
+                 sim.error_index, sim.error.c_str());
+    std::abort();
+  }
+  peak_red_weight_ = sim.peak_red_weight;
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    if (schedule_[i].type == MoveType::kStore) store_positions_.push_back(i);
+  }
+}
+
+std::optional<FaultCase> FaultInjector::Inject(FaultKind kind,
+                                               Rng& rng) const {
+  const auto& moves = schedule_.moves();
+  const std::size_t n = moves.size();
+
+  FaultCase out;
+  out.kind = kind;
+  out.budget = budget_;
+
+  switch (kind) {
+    case FaultKind::kDropMove: {
+      if (n == 0) return std::nullopt;
+      const auto i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+      std::vector<Move> mutated = moves;
+      mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(i));
+      out.position = i;
+      out.schedule = WithMoves(std::move(mutated));
+      break;
+    }
+    case FaultKind::kDuplicateMove: {
+      if (n == 0) return std::nullopt;
+      const auto i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(n) - 1));
+      std::vector<Move> mutated = moves;
+      mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(i),
+                     moves[i]);
+      out.position = i;
+      out.schedule = WithMoves(std::move(mutated));
+      break;
+    }
+    case FaultKind::kSwapAdjacent: {
+      // Swapping identical moves is a no-op; retry a few sites before
+      // declaring the schedule swap-free.
+      if (n < 2) return std::nullopt;
+      std::size_t i = n;  // sentinel: no distinct pair found
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto j = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(n) - 2));
+        if (!(moves[j] == moves[j + 1])) {
+          i = j;
+          break;
+        }
+      }
+      if (i == n) return std::nullopt;
+      std::vector<Move> mutated = moves;
+      std::swap(mutated[i], mutated[i + 1]);
+      out.position = i;
+      out.schedule = WithMoves(std::move(mutated));
+      break;
+    }
+    case FaultKind::kDeleteStore: {
+      if (store_positions_.empty()) return std::nullopt;
+      const auto pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(store_positions_.size()) - 1));
+      const std::size_t i = store_positions_[pick];
+      std::vector<Move> mutated = moves;
+      mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(i));
+      out.position = i;
+      out.schedule = WithMoves(std::move(mutated));
+      break;
+    }
+    case FaultKind::kTightenBudget: {
+      // One unit below the observed peak: the mildest budget that breaks
+      // the schedule, so a competent repair needs few evictions.
+      if (peak_red_weight_ <= 1) return std::nullopt;
+      out.schedule = schedule_;
+      out.budget = peak_red_weight_ - 1;
+      break;
+    }
+  }
+
+  out.label = std::string(ToString(kind)) + "@" +
+              (kind == FaultKind::kTightenBudget
+                   ? "b" + std::to_string(out.budget)
+                   : std::to_string(out.position));
+  return out;
+}
+
+std::vector<FaultCase> FaultInjector::Corpus(Rng& rng, int per_kind) const {
+  std::vector<FaultCase> corpus;
+  for (const FaultKind kind : kAllFaultKinds) {
+    for (int i = 0; i < per_kind; ++i) {
+      if (auto fault = Inject(kind, rng)) {
+        corpus.push_back(std::move(*fault));
+      } else {
+        break;  // kind has no site in this schedule; more draws won't help
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace wrbpg

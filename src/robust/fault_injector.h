@@ -1,0 +1,77 @@
+// Fault injection for WRBPG schedules.
+//
+// Given a schedule that Simulate() accepts, produce labeled near-valid
+// mutants: single parameterized perturbations that model the ways real
+// schedules break in practice — a move lost in transport (drop), applied
+// twice (duplicate), reordered (adjacent swap), a spill elided (store
+// deletion), or the schedule deployed on a smaller memory than it was
+// planned for (budget tightening). The mutants feed two consumers: the
+// repairer in robust/repair.h (can it recover?) and the simulator's
+// diagnostics tests (does the error taxonomy point at the right move?).
+//
+// Mutations are deterministic functions of the Rng state, so corpora are
+// reproducible from a seed alone.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+
+enum class FaultKind : std::uint8_t {
+  kDropMove = 0,    // remove one move
+  kDuplicateMove,   // repeat one move immediately
+  kSwapAdjacent,    // exchange two neighboring distinct moves
+  kDeleteStore,     // remove one M2 specifically (loses a blue pebble)
+  kTightenBudget,   // keep the moves, shrink the budget below the peak
+};
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kDropMove, FaultKind::kDuplicateMove, FaultKind::kSwapAdjacent,
+    FaultKind::kDeleteStore, FaultKind::kTightenBudget};
+
+const char* ToString(FaultKind kind);
+
+// One labeled mutant: the perturbed schedule/budget plus where the fault
+// was planted, so tests can assert the diagnostics point near it.
+struct FaultCase {
+  FaultKind kind;
+  std::size_t position = 0;  // index of the mutated move (0 for budget faults)
+  Schedule schedule;
+  Weight budget = 0;   // tightened for kTightenBudget, original otherwise
+  std::string label;   // e.g. "drop-move@17"
+};
+
+class FaultInjector {
+ public:
+  // `schedule` must be valid for (graph, budget); the constructor replays
+  // it once to record the peak red weight used by budget faults.
+  FaultInjector(const Graph& graph, Weight budget, Schedule schedule);
+
+  // One mutant of the given kind, or nullopt when the schedule has no
+  // site for it (e.g. kDeleteStore on a schedule with no M2 moves, or
+  // kTightenBudget when even the minimum valid budget reaches the peak).
+  std::optional<FaultCase> Inject(FaultKind kind, Rng& rng) const;
+
+  // Up to per_kind mutants of every kind (kinds without sites contribute
+  // fewer). Distinct draws may collide on the same site; corpora are about
+  // coverage in aggregate, not site uniqueness.
+  std::vector<FaultCase> Corpus(Rng& rng, int per_kind) const;
+
+  const Schedule& schedule() const { return schedule_; }
+  Weight budget() const { return budget_; }
+  Weight peak_red_weight() const { return peak_red_weight_; }
+
+ private:
+  const Graph& graph_;
+  Weight budget_;
+  Schedule schedule_;
+  Weight peak_red_weight_ = 0;
+  std::vector<std::size_t> store_positions_;  // indices of M2 moves
+};
+
+}  // namespace wrbpg

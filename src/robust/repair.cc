@@ -1,0 +1,298 @@
+#include "robust/repair.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace wrbpg {
+namespace {
+
+// Replays the input with edits. One instance per RepairSchedule call.
+class Repairer {
+ public:
+  Repairer(const Graph& graph, Weight budget, const Schedule& input,
+           const RepairOptions& options)
+      : graph_(graph),
+        budget_(budget),
+        input_(input),
+        options_(options),
+        red_(graph.num_nodes(), 0),
+        blue_(graph.num_nodes(), 0),
+        pinned_(graph.num_nodes(), 0),
+        remaining_refs_(graph.num_nodes(), 0) {
+    for (NodeId v : graph_.sources()) blue_[v] = 1;
+    // remaining_refs_[v] counts how often the rest of the input still
+    // mentions v — as a move's own node or as a parent of a computed node.
+    // Eviction prefers values the input never touches again.
+    for (const Move& m : input_) {
+      if (m.node >= graph_.num_nodes()) continue;
+      ++remaining_refs_[m.node];
+      if (m.type == MoveType::kCompute && !graph_.is_source(m.node)) {
+        for (NodeId p : graph_.parents(m.node)) ++remaining_refs_[p];
+      }
+    }
+  }
+
+  RepairResult Run() {
+    RepairResult result;
+    for (std::size_t i = 0; i < input_.size() && !failed_; ++i) {
+      input_index_ = i;
+      const Move m = input_[i];
+      ConsumeRefs(m);
+      const std::size_t before = out_.size();
+      const bool kept = Apply(m);
+      if (failed_) break;
+      if (kept) {
+        ++result.moves_kept;
+        result.moves_inserted += out_.size() - before - 1;
+      } else {
+        ++result.moves_dropped;
+        result.moves_inserted += out_.size() - before;
+      }
+    }
+    if (!failed_) {
+      input_index_ = input_.size();
+      const std::size_t before = out_.size();
+      FinishStopCondition();
+      result.moves_inserted += out_.size() - before;
+    }
+
+    if (failed_) {
+      result.status = RepairStatus::kIrreparable;
+      result.code = fail_code_;
+      result.node = fail_node_;
+      result.input_index = input_index_;
+      result.message = fail_message_;
+      return result;
+    }
+    result.schedule = Schedule(std::move(out_));
+    result.verification = Simulate(graph_, budget_, result.schedule);
+    result.status = RepairStatus::kRepaired;
+    return result;
+  }
+
+ private:
+  void Fail(SimErrorCode code, NodeId node, std::string message) {
+    if (failed_) return;
+    failed_ = true;
+    fail_code_ = code;
+    fail_node_ = node;
+    fail_message_ = std::move(message);
+  }
+
+  // The input move at the current index is no longer "future"; update the
+  // next-reference counts before deciding how to translate it.
+  void ConsumeRefs(const Move& m) {
+    if (m.node >= graph_.num_nodes()) return;
+    --remaining_refs_[m.node];
+    if (m.type == MoveType::kCompute && !graph_.is_source(m.node)) {
+      for (NodeId p : graph_.parents(m.node)) --remaining_refs_[p];
+    }
+  }
+
+  bool Emit(Move m) {
+    if (out_.size() >= options_.max_output_moves) {
+      Fail(SimErrorCode::kNone, m.node,
+           "repair exceeded max_output_moves (" +
+               std::to_string(options_.max_output_moves) + ")");
+      return false;
+    }
+    out_.push_back(m);
+    return true;
+  }
+
+  // Frees room for `need` more bits of red weight. Victims are unpinned
+  // resident reds: first those the input never references again (lightest
+  // first), then lightest overall. Victims that may still be needed — a
+  // future reference or an unfinished sink — are stored before deletion so
+  // the value survives in slow memory.
+  bool EvictUntil(Weight need, NodeId for_node) {
+    while (red_weight_ + need > budget_) {
+      NodeId victim = kInvalidNode;
+      bool victim_dead = false;
+      for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+        if (!red_[v] || pinned_[v] != 0) continue;
+        const bool dead = remaining_refs_[v] == 0 &&
+                          (blue_[v] != 0 || !graph_.is_sink(v));
+        if (victim == kInvalidNode || (dead && !victim_dead) ||
+            (dead == victim_dead && graph_.weight(v) < graph_.weight(victim))) {
+          victim = v;
+          victim_dead = dead;
+        }
+      }
+      if (victim == kInvalidNode) {
+        Fail(SimErrorCode::kBudgetExceeded, for_node,
+             "working set for v" + std::to_string(for_node) +
+                 " cannot fit: " + std::to_string(red_weight_ + need) +
+                 " > budget " + std::to_string(budget_) +
+                 " with no evictable resident value");
+        return false;
+      }
+      if (!victim_dead && blue_[victim] == 0) {
+        if (!Emit(Store(victim))) return false;
+        blue_[victim] = 1;
+      }
+      if (!Emit(Delete(victim))) return false;
+      red_[victim] = 0;
+      red_weight_ -= graph_.weight(victim);
+    }
+    return true;
+  }
+
+  // Places a red pebble on v via `move` (M1 or M3), evicting to fit.
+  bool Place(NodeId v, Move move) {
+    if (!EvictUntil(graph_.weight(v), v)) return false;
+    if (!Emit(move)) return false;
+    red_[v] = 1;
+    red_weight_ += graph_.weight(v);
+    return true;
+  }
+
+  bool AllParentsRed(NodeId v) const {
+    const auto parents = graph_.parents(v);
+    return std::all_of(parents.begin(), parents.end(),
+                       [&](NodeId p) { return red_[p] != 0; });
+  }
+
+  // Computes v with its (already red) parents pinned, so the eviction that
+  // makes room for v cannot break the M3 precondition.
+  bool ComputePinned(NodeId v) {
+    const auto parents = graph_.parents(v);
+    for (NodeId p : parents) ++pinned_[p];
+    const bool ok = Place(v, Compute(v));
+    for (NodeId p : parents) --pinned_[p];
+    return ok;
+  }
+
+  // Makes v red by the cheapest legal preparation: a free M3 when the
+  // parents are resident, an M1 when a blue copy exists, else recursive
+  // materialization of the parents. Parents are pinned while a compute is
+  // in flight so eviction cannot break the precondition.
+  bool EnsureRed(NodeId v) {
+    if (red_[v]) return true;
+    // Prefer the free compute whenever it is immediately legal (M3 costs
+    // nothing, M1 costs w_v).
+    if (!graph_.is_source(v) && AllParentsRed(v)) return ComputePinned(v);
+    if (blue_[v]) return Place(v, Load(v));
+    // Not red, not blue: v is a non-source (sources are always blue).
+    // Rebuild the parents, keeping each resident until v is computed.
+    const auto parents = graph_.parents(v);
+    std::size_t pinned_count = 0;
+    bool ok = true;
+    for (NodeId p : parents) {
+      if (!EnsureRed(p)) {
+        ok = false;
+        break;
+      }
+      ++pinned_[p];
+      ++pinned_count;
+    }
+    if (ok) ok = Place(v, Compute(v));
+    for (std::size_t i = 0; i < pinned_count; ++i) --pinned_[parents[i]];
+    return ok;
+  }
+
+  // Translates one input move; returns true when the move itself survived
+  // into the output (possibly with preparation inserted before it).
+  bool Apply(const Move& m) {
+    const NodeId v = m.node;
+    if (v >= graph_.num_nodes()) return false;  // drop unmappable moves
+    switch (m.type) {
+      case MoveType::kLoad:
+      case MoveType::kCompute: {
+        if (red_[v]) return false;  // effect already holds; drop
+        if (m.type == MoveType::kCompute && graph_.is_source(v)) {
+          return false;  // sources cannot be computed; drop
+        }
+        const std::size_t before = out_.size();
+        if (!EnsureRed(v)) return false;
+        // Kept iff the final placement is literally this move.
+        return out_.size() > before && out_.back() == m;
+      }
+      case MoveType::kStore: {
+        if (blue_[v]) return false;  // already stored; drop
+        if (!red_[v] && !EnsureRed(v)) return false;
+        if (!Emit(Store(v))) return false;
+        blue_[v] = 1;
+        return true;
+      }
+      case MoveType::kDelete: {
+        if (!red_[v]) return false;  // nothing to delete; drop
+        if (!Emit(Delete(v))) return false;
+        red_[v] = 0;
+        red_weight_ -= graph_.weight(v);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Restores the stopping condition: every sink ends with a blue pebble.
+  void FinishStopCondition() {
+    for (NodeId s : graph_.sinks()) {
+      if (failed_ || blue_[s]) continue;
+      if (!EnsureRed(s)) return;
+      if (!Emit(Store(s))) return;
+      blue_[s] = 1;
+    }
+  }
+
+  const Graph& graph_;
+  const Weight budget_;
+  const Schedule& input_;
+  const RepairOptions& options_;
+
+  std::vector<unsigned char> red_;
+  std::vector<unsigned char> blue_;
+  std::vector<int> pinned_;  // >0: excluded from eviction
+  std::vector<std::int64_t> remaining_refs_;
+  Weight red_weight_ = 0;
+  std::vector<Move> out_;
+  std::size_t input_index_ = 0;
+
+  bool failed_ = false;
+  SimErrorCode fail_code_ = SimErrorCode::kNone;
+  NodeId fail_node_ = kInvalidNode;
+  std::string fail_message_;
+};
+
+}  // namespace
+
+const char* ToString(RepairStatus status) {
+  switch (status) {
+    case RepairStatus::kAlreadyValid: return "already-valid";
+    case RepairStatus::kRepaired: return "repaired";
+    case RepairStatus::kIrreparable: return "irreparable";
+  }
+  return "unknown";
+}
+
+RepairResult RepairSchedule(const Graph& graph, Weight budget,
+                            const Schedule& input,
+                            const RepairOptions& options) {
+  SimResult sim = Simulate(graph, budget, input);
+  if (sim.valid) {
+    RepairResult result;
+    result.status = RepairStatus::kAlreadyValid;
+    result.schedule = input;
+    result.verification = std::move(sim);
+    result.moves_kept = input.size();
+    return result;
+  }
+
+  RepairResult result = Repairer(graph, budget, input, options).Run();
+  if (result.status == RepairStatus::kRepaired &&
+      !result.verification.valid) {
+    // Defense in depth: a repair that fails re-simulation is reported as a
+    // structured failure, never returned as a schedule.
+    result.status = RepairStatus::kIrreparable;
+    result.code = result.verification.code;
+    result.node = result.verification.error_node;
+    result.input_index = result.verification.error_index;
+    result.message = "internal: repaired schedule failed verification: " +
+                     result.verification.error;
+    result.schedule = Schedule();
+  }
+  return result;
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,159 @@
+#include "robust/robust_scheduler.h"
+
+#include <chrono>
+#include <functional>
+#include <utility>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "schedulers/belady.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+
+namespace wrbpg {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* ToString(StageOutcome outcome) {
+  switch (outcome) {
+    case StageOutcome::kNotRun: return "not-run";
+    case StageOutcome::kSkipped: return "skipped";
+    case StageOutcome::kTimedOut: return "timed-out";
+    case StageOutcome::kInfeasible: return "infeasible";
+    case StageOutcome::kInvalid: return "invalid";
+    case StageOutcome::kCandidate: return "candidate";
+    case StageOutcome::kWinner: return "winner";
+  }
+  return "unknown";
+}
+
+RobustResult RobustScheduler::Run(Weight budget,
+                                  const RobustOptions& options) const {
+  const Clock::time_point chain_start = Clock::now();
+  const bool deadlined = options.deadline_ms > 0;
+
+  RobustResult out;
+  ScheduleResult best;
+  std::size_t best_stage = 0;
+  bool exact_won = false;  // an exact answer is optimal; stop the chain
+
+  auto remaining_ms = [&] {
+    return options.deadline_ms - MsSince(chain_start);
+  };
+
+  // Runs one engine, verifies its schedule, and folds it into `best`.
+  auto run_stage = [&](const std::string& name, bool is_exact,
+                       const std::function<ScheduleResult(
+                           const CancelToken*)>& engine) {
+    StageReport report;
+    report.name = name;
+    if (exact_won) {
+      report.detail = "earlier stage answered optimally";
+      out.stages.push_back(std::move(report));
+      return;
+    }
+
+    const CancelToken* cancel = nullptr;
+    CancelToken token;
+    if (deadlined && is_exact) {
+      const double slice = remaining_ms() * options.exact_fraction;
+      if (slice <= 0) {
+        report.outcome = StageOutcome::kSkipped;
+        report.detail = "deadline already exhausted";
+        out.stages.push_back(std::move(report));
+        return;
+      }
+      token = CancelToken::WithDeadlineMs(slice);
+      cancel = &token;
+    }
+
+    const Clock::time_point stage_start = Clock::now();
+    ScheduleResult result = engine(cancel);
+    report.elapsed_ms = MsSince(stage_start);
+
+    if (result.timed_out) {
+      report.outcome = StageOutcome::kTimedOut;
+      report.detail = "cancelled after " +
+                      std::to_string(report.elapsed_ms) + " ms";
+    } else if (!result.feasible) {
+      report.outcome = StageOutcome::kInfeasible;
+    } else {
+      const SimResult sim = Simulate(graph_, budget, result.schedule);
+      if (!sim.valid) {
+        report.outcome = StageOutcome::kInvalid;
+        report.detail = "schedule rejected at move " +
+                        std::to_string(sim.error_index) + ": " + sim.error;
+      } else {
+        report.cost = sim.cost;
+        result.cost = sim.cost;
+        if (!best.feasible || sim.cost < best.cost) {
+          if (best.feasible) {
+            out.stages[best_stage].outcome = StageOutcome::kCandidate;
+          }
+          best = std::move(result);
+          best_stage = out.stages.size();
+          report.outcome = StageOutcome::kWinner;
+          if (is_exact) exact_won = true;
+        } else {
+          report.outcome = StageOutcome::kCandidate;
+        }
+      }
+    }
+    out.stages.push_back(std::move(report));
+  };
+
+  // Stage 1: exact search, the only stage that can hang.
+  if (graph_.num_nodes() > options.exact_max_nodes) {
+    StageReport report;
+    report.name = "exact";
+    report.outcome = StageOutcome::kSkipped;
+    report.detail = "graph has " + std::to_string(graph_.num_nodes()) +
+                    " nodes > exact_max_nodes " +
+                    std::to_string(options.exact_max_nodes);
+    out.stages.push_back(std::move(report));
+  } else {
+    run_stage("exact", /*is_exact=*/true, [&](const CancelToken* cancel) {
+      BruteForceOptions bf;
+      bf.max_states = options.exact_max_states;
+      bf.cancel = cancel;
+      return BruteForceScheduler(graph_).Run(budget, bf);
+    });
+  }
+
+  // Stage 2: Algorithm 1, optimal in polynomial time for DWT graphs.
+  if (dwt_ != nullptr) {
+    run_stage("dwt-optimal", /*is_exact=*/true,
+              [&](const CancelToken* cancel) {
+                return DwtOptimalScheduler(*dwt_).Run(budget, cancel);
+              });
+  }
+
+  // Stages 3-4: polynomial heuristics; always run so a deadline overrun
+  // upstream still yields an answer.
+  run_stage("belady", /*is_exact=*/false, [&](const CancelToken*) {
+    return BeladyScheduler(graph_).Run(budget);
+  });
+  run_stage("greedy-topo", /*is_exact=*/false, [&](const CancelToken*) {
+    return GreedyTopoScheduler(graph_).Run(budget);
+  });
+
+  if (best.feasible) {
+    out.result = std::move(best);
+    out.winner = out.stages[best_stage].name;
+  } else {
+    out.result = ScheduleResult::Infeasible();
+    out.result.timed_out = deadlined && remaining_ms() <= 0;
+  }
+  return out;
+}
+
+}  // namespace wrbpg

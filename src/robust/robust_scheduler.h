@@ -1,0 +1,97 @@
+// Deadline-aware fallback scheduling.
+//
+// Exact WRBPG solvers are exponential (the red-blue pebble game is
+// PSPACE-hard in general), so a production scheduler cannot simply call
+// them: it needs an answer by a deadline, preferably the best one any of
+// its engines can produce in the time available. RobustScheduler runs a
+// ranked chain of engines
+//
+//   exact (brute-force Dijkstra, small graphs only)
+//   -> dwt-optimal (Algorithm 1, when the graph is a DWT instance)
+//   -> belady (furthest-next-use heuristic, any CDAG)
+//   -> greedy-topo (Prop 2.3 constructive fallback, always feasible)
+//
+// under a shared deadline: the exact stage gets a configurable slice of
+// the remaining time via a cooperative CancelToken, the polynomial stages
+// run to completion (they are micro- to milliseconds). Every produced
+// schedule is re-verified through Simulate before it can win. The result
+// carries full provenance — which stage answered, and for every other
+// stage whether it timed out, was infeasible, produced a worse schedule,
+// or was skipped and why.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "dataflows/dwt_graph.h"
+#include "schedulers/scheduler.h"
+#include "util/cancel.h"
+
+namespace wrbpg {
+
+enum class StageOutcome : std::uint8_t {
+  kNotRun = 0,   // an earlier stage already settled the question
+  kSkipped,      // preconditions unmet (see detail), never started
+  kTimedOut,     // started, cancelled by its deadline slice
+  kInfeasible,   // completed: no schedule under this budget
+  kInvalid,      // produced a schedule Simulate rejected (engine bug)
+  kCandidate,    // produced a valid schedule, but a better one won
+  kWinner,       // produced the returned schedule
+};
+
+const char* ToString(StageOutcome outcome);
+
+struct StageReport {
+  std::string name;
+  StageOutcome outcome = StageOutcome::kNotRun;
+  double elapsed_ms = 0;
+  Weight cost = kInfiniteCost;  // of this stage's schedule, when produced
+  std::string detail;           // human-readable skip/timeout reason
+};
+
+struct RobustOptions {
+  // Total wall-clock deadline for the whole chain; <= 0 disables it. The
+  // polynomial fallbacks always run, so a result is produced even if the
+  // deadline expired during earlier stages.
+  double deadline_ms = 0;
+  // Fraction of the remaining deadline granted to the exact stage (it is
+  // the stage that can actually hang). With no deadline the exact stage
+  // is bounded only by exact_max_states.
+  double exact_fraction = 0.5;
+  // The exact stage is skipped outright beyond this many nodes (the
+  // Dijkstra state space is 4^n; 32 is the representation's hard limit).
+  NodeId exact_max_nodes = 22;
+  // State-count safety valve for the exact stage (see BruteForceOptions).
+  std::size_t exact_max_states = 20'000'000;
+};
+
+struct RobustResult {
+  ScheduleResult result;            // best valid schedule found
+  std::string winner;               // name of the answering stage
+  std::vector<StageReport> stages;  // provenance, in chain order
+
+  const StageReport* stage(const std::string& name) const {
+    for (const auto& s : stages) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+class RobustScheduler {
+ public:
+  explicit RobustScheduler(const Graph& graph) : graph_(graph) {}
+  // DWT-aware chain: additionally tries Algorithm 1 (optimal for DWT
+  // graphs in polynomial time) between the exact and heuristic stages.
+  explicit RobustScheduler(const DwtGraph& dwt)
+      : graph_(dwt.graph), dwt_(&dwt) {}
+
+  RobustResult Run(Weight budget, const RobustOptions& options = {}) const;
+
+ private:
+  const Graph& graph_;
+  const DwtGraph* dwt_ = nullptr;
+};
+
+}  // namespace wrbpg

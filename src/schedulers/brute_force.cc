@@ -91,6 +91,12 @@ ScheduleResult BruteForceScheduler::Search(Weight budget,
   dist[start] = 0;
   pq.push({0, start});
 
+  // Honor tokens that are already expired before any state settles (the
+  // in-loop poll is throttled and would miss them on small graphs).
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return ScheduleResult::TimedOut();
+  }
+
   std::size_t settled = 0;
   State goal_state = 0;
   bool found = false;
@@ -109,7 +115,11 @@ ScheduleResult BruteForceScheduler::Search(Weight budget,
       std::fprintf(stderr,
                    "BruteForceScheduler: state limit exceeded (%zu states)\n",
                    options.max_states);
-      std::abort();
+      return ScheduleResult::TimedOut();
+    }
+    if (options.cancel != nullptr && (settled & 0xff) == 0 &&
+        options.cancel->cancelled()) {
+      return ScheduleResult::TimedOut();
     }
 
     const std::uint32_t red = RedOf(state);

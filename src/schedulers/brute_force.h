@@ -15,6 +15,7 @@
 
 #include "core/graph.h"
 #include "schedulers/scheduler.h"
+#include "util/cancel.h"
 
 namespace wrbpg {
 
@@ -26,8 +27,12 @@ struct BruteForceOptions {
   std::uint64_t required_red_at_end = 0;
   // Goal: all sinks must hold blue pebbles (the game's stopping condition).
   bool require_sinks_blue = true;
-  // Safety valve: give up (abort) past this many settled states.
+  // Safety valve: give up past this many settled states; the result comes
+  // back with timed_out set instead of aborting the process.
   std::size_t max_states = 20'000'000;
+  // Cooperative cancellation: polled every few hundred settled states.
+  // On expiry the search unwinds with a timed_out result.
+  const CancelToken* cancel = nullptr;
 };
 
 class BruteForceScheduler {

@@ -69,6 +69,12 @@ DwtOptimalScheduler::Entry DwtOptimalScheduler::P(NodeId v, Weight b) {
   const Weight w2 = g.weight(p2);
 
   Entry best;
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    // Unwind without memoizing: entries derived from cancelled children
+    // would record spurious infinite costs. Cancellation is monotone, so
+    // nothing computed after this point is cached either.
+    return best;
+  }
   if (g.weight(v) + w1 + w2 <= b) {
     struct Candidate {
       Strategy strategy;
@@ -91,6 +97,9 @@ DwtOptimalScheduler::Entry DwtOptimalScheduler::P(NodeId v, Weight b) {
       }
     }
   }
+  // A child evaluated above may have unwound on cancellation and reported
+  // a spurious infinite cost; re-check before caching.
+  if (cancel_ != nullptr && cancel_->cancelled()) return best;
   node_memo.emplace(b, best);
   return best;
 }
@@ -151,18 +160,28 @@ void DwtOptimalScheduler::Generate(NodeId v, Weight b, Schedule& out) const {
   out.Append(Delete(p2));
 }
 
-Weight DwtOptimalScheduler::CostOnly(Weight budget) {
+Weight DwtOptimalScheduler::CostOnly(Weight budget,
+                                     const CancelToken* cancel) {
+  cancel_ = cancel;
   Weight total = coefficient_weight_total_;
   for (NodeId root : roots_) {
     const Entry e = P(root, budget);
-    if (e.cost >= kInfiniteCost) return kInfiniteCost;
+    if (e.cost >= kInfiniteCost) {
+      cancel_ = nullptr;
+      return kInfiniteCost;
+    }
     total += e.cost + dwt_.graph.weight(root);
   }
+  cancel_ = nullptr;
   return total;
 }
 
-ScheduleResult DwtOptimalScheduler::Run(Weight budget) {
-  const Weight cost = CostOnly(budget);
+ScheduleResult DwtOptimalScheduler::Run(Weight budget,
+                                        const CancelToken* cancel) {
+  const Weight cost = CostOnly(budget, cancel);
+  if (cancel != nullptr && cancel->cancelled()) {
+    return ScheduleResult::TimedOut();
+  }
   if (cost >= kInfiniteCost) return ScheduleResult::Infeasible();
 
   ScheduleResult result;

@@ -18,6 +18,7 @@
 
 #include "dataflows/dwt_graph.h"
 #include "schedulers/scheduler.h"
+#include "util/cancel.h"
 
 namespace wrbpg {
 
@@ -25,8 +26,11 @@ class DwtOptimalScheduler {
  public:
   explicit DwtOptimalScheduler(const DwtGraph& dwt);
 
-  ScheduleResult Run(Weight budget);
-  Weight CostOnly(Weight budget);
+  // `cancel`, when given, is polled inside the DP recursion; an expired
+  // token makes Run return a timed_out result (CostOnly: kInfiniteCost)
+  // without polluting the memo with partial entries.
+  ScheduleResult Run(Weight budget, const CancelToken* cancel = nullptr);
+  Weight CostOnly(Weight budget, const CancelToken* cancel = nullptr);
 
   // Smallest budget at which CostOnly equals the algorithmic lower bound
   // (Definition 2.6), found by binary search on the monotone DP. Searches
@@ -52,6 +56,7 @@ class DwtOptimalScheduler {
   void Generate(NodeId v, Weight b, Schedule& out) const;
 
   const DwtGraph& dwt_;
+  const CancelToken* cancel_ = nullptr;  // active only during Run/CostOnly
   std::vector<NodeId> sibling_;  // average -> its coefficient sibling
   std::vector<NodeId> roots_;    // final averages, the pruned trees' sinks
   Weight coefficient_weight_total_ = 0;  // sum over all coefficient nodes

@@ -16,8 +16,16 @@ struct ScheduleResult {
   bool feasible = false;
   Weight cost = kInfiniteCost;  // Definition 2.2 weighted cost
   Schedule schedule;            // empty when infeasible
+  // The search was cancelled (deadline/stop token or state-limit safety
+  // valve) before it could decide feasibility. Always false when feasible.
+  bool timed_out = false;
 
   static ScheduleResult Infeasible() { return {}; }
+  static ScheduleResult TimedOut() {
+    ScheduleResult r;
+    r.timed_out = true;
+    return r;
+  }
 };
 
 }  // namespace wrbpg

@@ -1,0 +1,62 @@
+// Cooperative cancellation for long-running searches.
+//
+// A CancelToken carries an optional wall-clock deadline and a manual stop
+// flag. Exponential code paths (brute_force, the analysis budget search,
+// the DWT DP) poll cancelled() at safe points and unwind gracefully —
+// returning a timed-out/absent result instead of running unboundedly.
+// Copies share the stop flag, so a token handed to a worker can be
+// cancelled from the owner. Polling is cheap (an atomic load; the clock is
+// read only when a deadline is set), but callers in tight loops should
+// still throttle checks to every few hundred iterations.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+namespace wrbpg {
+
+class CancelToken {
+ public:
+  CancelToken() : stop_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  static CancelToken WithDeadline(std::chrono::nanoseconds budget) {
+    CancelToken token;
+    token.has_deadline_ = true;
+    token.deadline_ = std::chrono::steady_clock::now() + budget;
+    return token;
+  }
+  static CancelToken WithDeadlineMs(double ms) {
+    return WithDeadline(std::chrono::nanoseconds(
+        static_cast<std::chrono::nanoseconds::rep>(ms * 1e6)));
+  }
+
+  // Requests cancellation; every copy of this token observes it.
+  void Cancel() const { stop_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    if (stop_->load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      stop_->store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Time left before the deadline (never negative); nullopt when the token
+  // has no deadline. Used to size per-stage budgets in fallback chains.
+  std::optional<std::chrono::nanoseconds> remaining() const {
+    if (!has_deadline_) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return std::chrono::nanoseconds{0};
+    return deadline_ - now;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> stop_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace wrbpg

@@ -1,5 +1,7 @@
 #include "util/cli.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <string_view>
 
@@ -14,21 +16,35 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     }
     arg.remove_prefix(2);
     if (arg.empty()) {
-      error_ = "bare '--' is not a valid flag";
+      RecordError("bare '--' is not a valid flag");
       return;
     }
+    std::string name;
+    std::string value;
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
-      continue;
-    }
-    // `--name value` when the next token is not itself a flag; else boolean.
-    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[std::string(arg)] = argv[++i];
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc &&
+               std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      // `--name value` when the next token is not itself a flag.
+      name = std::string(arg);
+      value = argv[++i];
     } else {
-      flags_[std::string(arg)] = "true";
+      name = std::string(arg);
+      value = "true";
+    }
+    const auto [it, inserted] = flags_.emplace(name, std::move(value));
+    (void)it;
+    if (!inserted) {
+      RecordError("duplicate flag '--" + name + "'");
+      return;
     }
   }
+}
+
+void CliArgs::RecordError(const std::string& message) const {
+  if (error_.empty()) error_ = message;
 }
 
 bool CliArgs::has(const std::string& name) const {
@@ -45,13 +61,38 @@ std::int64_t CliArgs::GetInt(const std::string& name,
                              std::int64_t fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& s = it->second;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    RecordError("flag '--" + name + "': value '" + s +
+                "' overflows a 64-bit integer");
+    return fallback;
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    RecordError("flag '--" + name + "': expected an integer, got '" + s +
+                "'");
+    return fallback;
+  }
+  return value;
 }
 
 double CliArgs::GetDouble(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& s = it->second;
+  if (s.empty()) {
+    RecordError("flag '--" + name + "': expected a number, got empty value");
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    RecordError("flag '--" + name + "': expected a number, got '" + s + "'");
+    return fallback;
+  }
+  return value;
 }
 
 bool CliArgs::GetBool(const std::string& name, bool fallback) const {

@@ -2,6 +2,13 @@
 //
 // Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
 // flags are reported; positional arguments are collected in order.
+//
+// Malformed input is never silently coerced: duplicate flags are rejected
+// at parse time, and the typed getters record an error (retrievable via
+// error()) when a value is empty, non-numeric, has trailing junk, or
+// overflows the target type — returning the fallback in that case.
+// Callers should check error() after the getters they care about (or once
+// after all of them; errors accumulate, first one wins).
 #pragma once
 
 #include <cstdint>
@@ -27,9 +34,12 @@ class CliArgs {
   const std::string& error() const { return error_; }
 
  private:
+  void RecordError(const std::string& message) const;
+
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
-  std::string error_;
+  // Getters are logically const but must be able to report bad values.
+  mutable std::string error_;
 };
 
 }  // namespace wrbpg

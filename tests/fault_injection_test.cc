@@ -1,0 +1,221 @@
+// Fault injector corpora + exhaustive simulator diagnostics.
+//
+// The central claim tested here: on every single-mutation corpus, over
+// every mutation class and every graph family builder, the simulator's
+// typed diagnostics are *exact* — SimErrorCode is set and consistent with
+// the message, error_index is the first violation (the prefix before it
+// replays cleanly, and the prefix through it reproduces the same code at
+// the same index), and error_node names a node the failing move is about.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/random_dag.h"
+#include "dataflows/tree_graph.h"
+#include "robust/fault_injector.h"
+#include "schedulers/belady.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/kary_tree.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+struct SeedCase {
+  std::string name;
+  Graph graph;
+  Weight budget = 0;
+  Schedule schedule;
+};
+
+// One valid (graph, budget, schedule) seed per family builder, scheduled
+// by the family's own algorithm where one exists.
+std::vector<SeedCase> FamilySeeds() {
+  std::vector<SeedCase> seeds;
+
+  {
+    const DwtGraph dwt = BuildDwt(16, 2);
+    const Weight budget = MinValidBudget(dwt.graph) + 8;
+    DwtOptimalScheduler sched(dwt);
+    seeds.push_back(
+        {"dwt", dwt.graph, budget, sched.Run(budget).schedule});
+  }
+  {
+    const TreeGraph tree = BuildPerfectTree(3, 2);
+    const Weight budget = MinValidBudget(tree.graph) + 4;
+    KaryTreeScheduler sched(tree.graph);
+    seeds.push_back(
+        {"kary-tree", tree.graph, budget, sched.Run(budget).schedule});
+  }
+  {
+    const MvmGraph mvm = BuildMvm(3, 3);
+    const Weight budget = MinValidBudget(mvm.graph) + 32;
+    seeds.push_back({"mvm", mvm.graph, budget,
+                     BeladyScheduler(mvm.graph).Run(budget).schedule});
+  }
+  {
+    Rng rng(0xfa1711u);
+    const Graph dag = BuildRandomDag(rng, {.num_layers = 4,
+                                           .nodes_per_layer = 4,
+                                           .max_in_degree = 3});
+    const Weight budget = MinValidBudget(dag) + 16;
+    seeds.push_back(
+        {"random-dag", dag, budget, BeladyScheduler(dag).Run(budget).schedule});
+  }
+  return seeds;
+}
+
+const char* ExpectedSubstring(SimErrorCode code) {
+  switch (code) {
+    case SimErrorCode::kNone: return "";
+    case SimErrorCode::kNodeOutOfRange: return "out of range";
+    case SimErrorCode::kLoadNoBlue: return "no blue pebble";
+    case SimErrorCode::kLoadAlreadyRed: return "already holds a red";
+    case SimErrorCode::kStoreNoRed: return "no red pebble";
+    case SimErrorCode::kStoreAlreadyBlue: return "already holds a blue";
+    case SimErrorCode::kComputeSource: return "source";
+    case SimErrorCode::kComputeAlreadyRed: return "already holds a red";
+    case SimErrorCode::kComputeParentNotRed: return "holds no red pebble";
+    case SimErrorCode::kDeleteNoRed: return "no red pebble to delete";
+    case SimErrorCode::kBudgetExceeded: return "constraint violated";
+    case SimErrorCode::kInitialRedOverBudget: return "initial red";
+    case SimErrorCode::kStopConditionUnmet: return "stopping condition";
+    case SimErrorCode::kReuseConditionUnmet: return "reuse condition";
+  }
+  return "";
+}
+
+Schedule Prefix(const Schedule& s, std::size_t len) {
+  return Schedule(std::vector<Move>(
+      s.moves().begin(),
+      s.moves().begin() + static_cast<std::ptrdiff_t>(len)));
+}
+
+TEST(FaultInjector, DiagnosticsAreExactOnEveryMutationClassAndFamily) {
+  std::size_t invalid_seen = 0;
+  for (const SeedCase& seed : FamilySeeds()) {
+    FaultInjector injector(seed.graph, seed.budget, seed.schedule);
+    Rng rng(0xd1a6u);
+    const auto corpus = injector.Corpus(rng, 25);
+    ASSERT_FALSE(corpus.empty()) << seed.name;
+    for (const FaultCase& fault : corpus) {
+      SCOPED_TRACE(seed.name + "/" + fault.label);
+      const SimResult sim =
+          Simulate(seed.graph, fault.budget, fault.schedule);
+      if (sim.valid) {
+        // Some mutations are benign (e.g. swapping independent moves);
+        // validity must then come with a clean taxonomy.
+        EXPECT_EQ(sim.code, SimErrorCode::kNone);
+        continue;
+      }
+      ++invalid_seen;
+
+      // The code is typed and its message matches its class.
+      EXPECT_NE(sim.code, SimErrorCode::kNone);
+      EXPECT_NE(sim.error.find(ExpectedSubstring(sim.code)),
+                std::string::npos)
+          << ToString(sim.code) << " vs '" << sim.error << "'";
+
+      // error_index is exactly the first violation: everything before it
+      // replays cleanly under the same budget...
+      ASSERT_LE(sim.error_index, fault.schedule.size());
+      const SimResult before =
+          Simulate(seed.graph, fault.budget,
+                   Prefix(fault.schedule, sim.error_index),
+                   {.require_stop_condition = false});
+      EXPECT_TRUE(before.valid)
+          << "prefix before the reported violation does not replay: "
+          << before.error;
+
+      // ...and including the failing move reproduces the identical
+      // diagnostic (end-of-schedule codes have no move to include).
+      if (sim.error_index < fault.schedule.size()) {
+        const SimResult at =
+            Simulate(seed.graph, fault.budget,
+                     Prefix(fault.schedule, sim.error_index + 1),
+                     {.require_stop_condition = false});
+        EXPECT_FALSE(at.valid);
+        EXPECT_EQ(at.code, sim.code);
+        EXPECT_EQ(at.error_index, sim.error_index);
+        EXPECT_EQ(at.error_node, sim.error_node);
+      } else {
+        EXPECT_EQ(sim.code, SimErrorCode::kStopConditionUnmet);
+      }
+
+      // error_node is real and relevant.
+      if (sim.code != SimErrorCode::kNodeOutOfRange) {
+        ASSERT_LT(sim.error_node, seed.graph.num_nodes());
+      }
+      if (sim.error_index < fault.schedule.size()) {
+        const Move& failing = fault.schedule[sim.error_index];
+        if (sim.code == SimErrorCode::kComputeParentNotRed) {
+          const auto parents = seed.graph.parents(failing.node);
+          EXPECT_NE(std::find(parents.begin(), parents.end(), sim.error_node),
+                    parents.end());
+        } else if (sim.code != SimErrorCode::kNodeOutOfRange) {
+          EXPECT_EQ(sim.error_node, failing.node);
+        }
+      }
+    }
+  }
+  // The corpora must actually exercise the taxonomy, not accidentally
+  // produce only benign mutants.
+  EXPECT_GE(invalid_seen, 100u);
+}
+
+TEST(FaultInjector, CorpusIsDeterministicInTheSeed) {
+  const SeedCase seed = FamilySeeds()[0];
+  FaultInjector injector(seed.graph, seed.budget, seed.schedule);
+  Rng rng_a(42), rng_b(42);
+  const auto a = injector.Corpus(rng_a, 5);
+  const auto b = injector.Corpus(rng_b, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_EQ(a[i].budget, b[i].budget);
+    EXPECT_EQ(a[i].schedule, b[i].schedule);
+  }
+}
+
+TEST(FaultInjector, EveryKindProducesItsDocumentedShape) {
+  const SeedCase seed = FamilySeeds()[0];
+  FaultInjector injector(seed.graph, seed.budget, seed.schedule);
+  Rng rng(7);
+
+  const auto drop = injector.Inject(FaultKind::kDropMove, rng);
+  ASSERT_TRUE(drop.has_value());
+  EXPECT_EQ(drop->schedule.size(), seed.schedule.size() - 1);
+
+  const auto dup = injector.Inject(FaultKind::kDuplicateMove, rng);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->schedule.size(), seed.schedule.size() + 1);
+  EXPECT_EQ(dup->schedule[dup->position], dup->schedule[dup->position + 1]);
+
+  const auto swap = injector.Inject(FaultKind::kSwapAdjacent, rng);
+  ASSERT_TRUE(swap.has_value());
+  EXPECT_EQ(swap->schedule.size(), seed.schedule.size());
+  EXPECT_EQ(swap->schedule[swap->position], seed.schedule[swap->position + 1]);
+  EXPECT_EQ(swap->schedule[swap->position + 1], seed.schedule[swap->position]);
+
+  const auto nostore = injector.Inject(FaultKind::kDeleteStore, rng);
+  ASSERT_TRUE(nostore.has_value());
+  EXPECT_EQ(seed.schedule[nostore->position].type, MoveType::kStore);
+
+  const auto tight = injector.Inject(FaultKind::kTightenBudget, rng);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_LT(tight->budget, injector.peak_red_weight());
+  EXPECT_EQ(tight->schedule, seed.schedule);
+  const SimResult sim = Simulate(seed.graph, tight->budget, tight->schedule);
+  EXPECT_FALSE(sim.valid);
+  EXPECT_EQ(sim.code, SimErrorCode::kBudgetExceeded);
+}
+
+}  // namespace
+}  // namespace wrbpg

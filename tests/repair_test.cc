@@ -1,0 +1,244 @@
+// Schedule repair: targeted unit cases plus the bulk robustness contract —
+// across >= 500 mutants spanning the DWT, k-ary tree, MVM and random-DAG
+// families, RepairSchedule returns either a schedule Simulate accepts (at
+// cost within 2x of the unmutated schedule) or a structured diagnostic;
+// never a crash, never a silently-accepted invalid schedule.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/graph_builder.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/random_dag.h"
+#include "dataflows/tree_graph.h"
+#include "robust/fault_injector.h"
+#include "robust/repair.h"
+#include "schedulers/belady.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/kary_tree.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(Repair, ValidInputComesBackUntouched) {
+  const Graph g = testing::MakeDiamond();
+  const Weight budget = MinValidBudget(g) + 2;
+  const Schedule s = GreedyTopoScheduler(g).Run(budget).schedule;
+  const RepairResult r = RepairSchedule(g, budget, s);
+  EXPECT_EQ(r.status, RepairStatus::kAlreadyValid);
+  EXPECT_EQ(r.schedule, s);
+  EXPECT_EQ(r.moves_kept, s.size());
+  EXPECT_EQ(r.moves_dropped, 0u);
+  EXPECT_EQ(r.moves_inserted, 0u);
+}
+
+TEST(Repair, ReinsertsAMissingLoad) {
+  // Diamond: drop the load of source 0 before computing node 2.
+  const Graph g = testing::MakeDiamond();
+  const Weight budget = MinValidBudget(g) + 2;
+  const Schedule valid = GreedyTopoScheduler(g).Run(budget).schedule;
+  std::vector<Move> moves = valid.moves();
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    if (moves[i] == Load(0)) {
+      moves.erase(moves.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  const Schedule broken{std::move(moves)};
+  ASSERT_FALSE(Simulate(g, budget, broken).valid);
+
+  const RepairResult r = RepairSchedule(g, budget, broken);
+  ASSERT_EQ(r.status, RepairStatus::kRepaired) << r.message;
+  EXPECT_TRUE(r.verification.valid);
+  EXPECT_GE(r.moves_inserted, 1u);
+}
+
+TEST(Repair, DropsRedundantDuplicates) {
+  const Graph g = testing::MakeChain(4);
+  const Weight budget = MinValidBudget(g) + 1;
+  const Schedule valid = GreedyTopoScheduler(g).Run(budget).schedule;
+  std::vector<Move> moves = valid.moves();
+  moves.insert(moves.begin(), moves.front());  // duplicate the first load
+  const Schedule broken{std::move(moves)};
+  ASSERT_FALSE(Simulate(g, budget, broken).valid);
+
+  const RepairResult r = RepairSchedule(g, budget, broken);
+  ASSERT_EQ(r.status, RepairStatus::kRepaired) << r.message;
+  EXPECT_EQ(r.moves_dropped, 1u);
+  EXPECT_EQ(r.schedule, valid);
+}
+
+TEST(Repair, EvictsToSurviveATightenedBudget) {
+  const DwtGraph dwt = BuildDwt(8, 2);
+  const Weight budget = MinValidBudget(dwt.graph) + 16;
+  DwtOptimalScheduler sched(dwt);
+  const Schedule valid = sched.Run(budget).schedule;
+  const SimResult base = testing::ExpectValid(dwt.graph, budget, valid);
+
+  const Weight tight = base.peak_red_weight - 1;
+  ASSERT_FALSE(Simulate(dwt.graph, tight, valid).valid);
+  const RepairResult r = RepairSchedule(dwt.graph, tight, valid);
+  ASSERT_EQ(r.status, RepairStatus::kRepaired) << r.message;
+  EXPECT_LE(r.verification.peak_red_weight, tight);
+  EXPECT_LE(r.verification.cost, 2 * base.cost);
+}
+
+TEST(Repair, RestoresTheStoppingCondition) {
+  const Graph g = testing::MakeDiamond();
+  const Weight budget = MinValidBudget(g) + 2;
+  const Schedule valid = GreedyTopoScheduler(g).Run(budget).schedule;
+  std::vector<Move> moves = valid.moves();
+  // Drop the final store of the sink.
+  for (std::size_t i = moves.size(); i-- > 0;) {
+    if (moves[i] == Store(4)) {
+      moves.erase(moves.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  const Schedule broken{std::move(moves)};
+  const SimResult sim = Simulate(g, budget, broken);
+  ASSERT_FALSE(sim.valid);
+
+  const RepairResult r = RepairSchedule(g, budget, broken);
+  ASSERT_EQ(r.status, RepairStatus::kRepaired) << r.message;
+  EXPECT_TRUE(r.verification.stop_condition_met);
+}
+
+TEST(Repair, ReportsAStructuredDiagnosticWhenTheBudgetCannotFit) {
+  // A node plus its parents outweigh the budget: Prop 2.3 says no valid
+  // schedule exists, so repair must refuse with the typed obstruction.
+  GraphBuilder b;
+  const NodeId s0 = b.AddNode(8);
+  const NodeId s1 = b.AddNode(8);
+  const NodeId sink = b.AddNode(8);
+  b.AddEdge(s0, sink);
+  b.AddEdge(s1, sink);
+  const Graph g = b.BuildOrDie();
+  const Weight budget = MinValidBudget(g) - 1;  // 23: three 8s cannot coexist
+
+  Schedule attempt;
+  attempt.Append(Load(s0));
+  attempt.Append(Load(s1));
+  attempt.Append(Compute(sink));
+  attempt.Append(Store(sink));
+
+  const RepairResult r = RepairSchedule(g, budget, attempt);
+  EXPECT_EQ(r.status, RepairStatus::kIrreparable);
+  EXPECT_EQ(r.code, SimErrorCode::kBudgetExceeded);
+  EXPECT_EQ(r.node, sink);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Repair, DropsOutOfRangeMoves) {
+  const Graph g = testing::MakeChain(3);
+  const Weight budget = MinValidBudget(g) + 1;
+  const Schedule valid = GreedyTopoScheduler(g).Run(budget).schedule;
+  std::vector<Move> moves = valid.moves();
+  moves.insert(moves.begin(), Load(99));
+  const RepairResult r = RepairSchedule(g, budget, Schedule{std::move(moves)});
+  ASSERT_EQ(r.status, RepairStatus::kRepaired) << r.message;
+  EXPECT_GE(r.moves_dropped, 1u);
+}
+
+// --- Bulk contract over labeled corpora -----------------------------------
+
+struct BulkSeed {
+  std::string name;
+  Graph graph;
+  Weight budget = 0;
+  Schedule schedule;
+};
+
+std::vector<BulkSeed> BulkSeeds() {
+  std::vector<BulkSeed> seeds;
+  const Weight slacks[] = {0, 8, 64};
+
+  for (const Weight slack : slacks) {
+    const DwtGraph dwt = BuildDwt(16, 3);
+    const Weight budget = MinValidBudget(dwt.graph) + slack;
+    DwtOptimalScheduler sched(dwt);
+    seeds.push_back({"dwt+" + std::to_string(slack), dwt.graph, budget,
+                     sched.Run(budget).schedule});
+  }
+  for (const Weight slack : slacks) {
+    const TreeGraph tree = BuildPerfectTree(2, 3);
+    const Weight budget = MinValidBudget(tree.graph) + slack;
+    KaryTreeScheduler sched(tree.graph);
+    seeds.push_back({"kary+" + std::to_string(slack), tree.graph, budget,
+                     sched.Run(budget).schedule});
+  }
+  for (const Weight slack : slacks) {
+    const MvmGraph mvm = BuildMvm(4, 3);
+    const Weight budget = MinValidBudget(mvm.graph) + slack;
+    seeds.push_back({"mvm+" + std::to_string(slack), mvm.graph, budget,
+                     BeladyScheduler(mvm.graph).Run(budget).schedule});
+  }
+  for (const Weight slack : slacks) {
+    Rng rng(0xbeef00u + static_cast<std::uint64_t>(slack));
+    const Graph dag = BuildRandomDag(rng, {.num_layers = 4,
+                                           .nodes_per_layer = 5,
+                                           .max_in_degree = 3});
+    const Weight budget = MinValidBudget(dag) + slack;
+    seeds.push_back({"dag+" + std::to_string(slack), dag, budget,
+                     BeladyScheduler(dag).Run(budget).schedule});
+  }
+  return seeds;
+}
+
+TEST(RepairBulk, FiveHundredMutantsRepairOrDiagnoseNeverCrashOrLie) {
+  std::size_t total = 0, repaired = 0, already_valid = 0, diagnosed = 0;
+  for (const BulkSeed& seed : BulkSeeds()) {
+    ASSERT_FALSE(seed.schedule.empty()) << seed.name;
+    const SimResult base = Simulate(seed.graph, seed.budget, seed.schedule);
+    ASSERT_TRUE(base.valid) << seed.name << ": " << base.error;
+
+    FaultInjector injector(seed.graph, seed.budget, seed.schedule);
+    Rng rng(0x5eed0u);
+    for (const FaultCase& fault : injector.Corpus(rng, 12)) {
+      SCOPED_TRACE(seed.name + "/" + fault.label);
+      ++total;
+      const RepairResult r =
+          RepairSchedule(seed.graph, fault.budget, fault.schedule);
+      switch (r.status) {
+        case RepairStatus::kAlreadyValid:
+          ++already_valid;
+          EXPECT_TRUE(r.verification.valid);
+          break;
+        case RepairStatus::kRepaired: {
+          ++repaired;
+          // The repairer's own verification must concur with a fresh
+          // replay, and the repair must not blow the cost bound.
+          EXPECT_TRUE(r.verification.valid) << r.verification.error;
+          const SimResult fresh =
+              Simulate(seed.graph, fault.budget, r.schedule);
+          EXPECT_TRUE(fresh.valid) << fresh.error;
+          EXPECT_LE(fresh.cost, 2 * base.cost)
+              << "repair cost " << fresh.cost << " vs base " << base.cost;
+          EXPECT_LE(fresh.peak_red_weight, fault.budget);
+          break;
+        }
+        case RepairStatus::kIrreparable:
+          ++diagnosed;
+          // A refusal must carry a typed, located diagnostic.
+          EXPECT_NE(r.code, SimErrorCode::kNone);
+          EXPECT_FALSE(r.message.empty());
+          EXPECT_TRUE(r.schedule.empty());
+          break;
+      }
+    }
+  }
+  EXPECT_GE(total, 500u) << "corpus too small to mean anything";
+  EXPECT_GE(repaired + already_valid, total / 2)
+      << "repairer gave up on most mutants (repaired=" << repaired
+      << ", diagnosed=" << diagnosed << ")";
+}
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,0 +1,217 @@
+// Deadline-aware fallback chain + cooperative cancellation.
+//
+// Acceptance claim (ISSUE): on a random DAG too large for brute force,
+// RobustScheduler returns a valid fallback schedule within a 100 ms
+// deadline, with provenance recording the timed-out stage.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/random_dag.h"
+#include "robust/robust_scheduler.h"
+#include "schedulers/brute_force.h"
+#include "schedulers/dwt_optimal.h"
+#include "tests/test_helpers.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(CancelToken, ManualCancelIsSharedAcrossCopies) {
+  CancelToken token;
+  const CancelToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelToken, DeadlineExpiryLatches) {
+  const CancelToken token = CancelToken::WithDeadlineMs(0.0);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.remaining()->count(), 0);
+}
+
+TEST(CancelToken, UncancelledTokenReportsRemainingTime) {
+  const CancelToken token = CancelToken::WithDeadlineMs(60'000);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_GT(token.remaining()->count(), 0);
+  const CancelToken unbounded;
+  EXPECT_FALSE(unbounded.remaining().has_value());
+}
+
+TEST(CancelToken, BruteForceUnwindsWithTimedOut) {
+  const Graph g = testing::MakeDiamond();
+  CancelToken token;
+  token.Cancel();
+  BruteForceOptions options;
+  options.cancel = &token;
+  const ScheduleResult r =
+      BruteForceScheduler(g).Run(MinValidBudget(g) + 2, options);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CancelToken, MaxStatesValveReturnsTimedOutInsteadOfAborting) {
+  Rng rng(0xabcdu);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 4,
+                                         .nodes_per_layer = 4,
+                                         .max_in_degree = 3});
+  BruteForceOptions options;
+  options.max_states = 100;  // far too few for a 16-node search
+  const ScheduleResult r =
+      BruteForceScheduler(dag).Run(MinValidBudget(dag) + 8, options);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(CancelToken, BudgetSearchReturnsNulloptWhenCancelled) {
+  const Graph g = testing::MakeChain(6);
+  BruteForceScheduler sched(g);
+  const CostFn cost_fn = [&](Weight b) { return sched.CostOnly(b); };
+  CancelToken token;
+  token.Cancel();
+  MinMemoryOptions options;
+  options.hi = 16;
+  options.cancel = &token;
+  EXPECT_FALSE(
+      FindMinimumFastMemory(cost_fn, AlgorithmicLowerBound(g), options)
+          .has_value());
+}
+
+TEST(CancelToken, DwtDpUnwindsAndStaysCorrectAfterCancellation) {
+  const DwtGraph dwt = BuildDwt(32, 3);
+  const Weight budget = MinValidBudget(dwt.graph) + 8;
+  const Weight honest = DwtOptimalScheduler(dwt).CostOnly(budget);
+  ASSERT_LT(honest, kInfiniteCost);
+
+  // Cancel against a FRESH instance so the memo tables are cold; warm
+  // memo entries are honest results and may legitimately answer anyway.
+  DwtOptimalScheduler sched(dwt);
+  CancelToken token;
+  token.Cancel();
+  EXPECT_EQ(sched.CostOnly(budget, &token), kInfiniteCost);
+  EXPECT_TRUE(sched.Run(budget, &token).timed_out);
+
+  // A cancelled run must not have polluted the memo tables: the same
+  // scheduler instance still produces the honest answer afterwards.
+  EXPECT_EQ(sched.CostOnly(budget), honest);
+}
+
+TEST(RobustScheduler, ExactStageWinsOnSmallGraphs) {
+  const Graph g = testing::MakeDiamond({3, 5, 7, 11, 13});
+  const Weight budget = MinValidBudget(g) + 4;
+  const RobustResult r = RobustScheduler(g).Run(budget);
+  ASSERT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.winner, "exact");
+  EXPECT_EQ(r.stage("exact")->outcome, StageOutcome::kWinner);
+  EXPECT_EQ(r.result.cost, BruteForceScheduler(g).CostOnly(budget));
+  testing::ExpectValid(g, budget, r.result.schedule);
+  // The heuristics never ran: an optimal answer settles the chain.
+  EXPECT_EQ(r.stage("belady")->outcome, StageOutcome::kNotRun);
+  EXPECT_EQ(r.stage("greedy-topo")->outcome, StageOutcome::kNotRun);
+}
+
+TEST(RobustScheduler, OversizedGraphSkipsExactWithAReason) {
+  Rng rng(0x9e1u);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
+                                         .nodes_per_layer = 6,
+                                         .max_in_degree = 3});
+  ASSERT_GT(dag.num_nodes(), RobustOptions{}.exact_max_nodes);
+  const Weight budget = MinValidBudget(dag) + 16;
+  const RobustResult r = RobustScheduler(dag).Run(budget);
+  ASSERT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.stage("exact")->outcome, StageOutcome::kSkipped);
+  EXPECT_FALSE(r.stage("exact")->detail.empty());
+  EXPECT_TRUE(r.winner == "belady" || r.winner == "greedy-topo") << r.winner;
+  testing::ExpectValid(dag, budget, r.result.schedule);
+}
+
+// The acceptance scenario: a DAG big enough that the exact Dijkstra cannot
+// finish, a 100 ms total deadline, exact_max_nodes raised so the exact
+// stage genuinely starts (and must be cancelled by its slice). A valid
+// fallback comes back anyway, and the provenance shows the timeout.
+TEST(RobustScheduler, DeadlineTimesOutExactAndFallsBackWithin100Ms) {
+  Rng rng(0xdead11u);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
+                                         .nodes_per_layer = 4,
+                                         .max_in_degree = 3});
+  ASSERT_EQ(dag.num_nodes(), 24u);  // 4^24 states: unreachable in 50 ms
+  const Weight budget = MinValidBudget(dag) + 32;
+
+  RobustOptions options;
+  options.deadline_ms = 100;
+  options.exact_max_nodes = 26;  // force the exact stage to actually start
+
+  const auto start = std::chrono::steady_clock::now();
+  const RobustResult r = RobustScheduler(dag).Run(budget, options);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_TRUE(r.result.feasible);
+  testing::ExpectValid(dag, budget, r.result.schedule);
+  EXPECT_EQ(r.stage("exact")->outcome, StageOutcome::kTimedOut);
+  EXPECT_TRUE(r.winner == "belady" || r.winner == "greedy-topo") << r.winner;
+  // Generous multiple of the deadline to stay robust on loaded CI
+  // machines; the point is "milliseconds, not the heat death of 4^24".
+  EXPECT_LT(elapsed_ms, 2000.0);
+}
+
+TEST(RobustScheduler, DwtChainLetsAlgorithmOneWin) {
+  const DwtGraph dwt = BuildDwt(64, 2);
+  const Weight budget = MinValidBudget(dwt.graph) + 8;
+  RobustOptions options;
+  options.exact_max_nodes = 0;  // skip brute force; DWT DP should win
+  const RobustResult r = RobustScheduler(dwt).Run(budget, options);
+  ASSERT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.stage("exact")->outcome, StageOutcome::kSkipped);
+  EXPECT_EQ(r.winner, "dwt-optimal");
+  EXPECT_EQ(r.result.cost,
+            DwtOptimalScheduler(dwt).CostOnly(budget));
+  testing::ExpectValid(dwt.graph, budget, r.result.schedule);
+}
+
+TEST(RobustScheduler, HeuristicsBeatNothingButStillReportCandidates) {
+  // With slack, belady and greedy both succeed; the cheaper one wins and
+  // the other is recorded as a candidate (or both tie on cost).
+  Rng rng(0x70b0u);
+  const Graph dag = BuildRandomDag(rng, {.num_layers = 5,
+                                         .nodes_per_layer = 5,
+                                         .max_in_degree = 2});
+  const Weight budget = MinValidBudget(dag) + 64;
+  RobustOptions options;
+  options.exact_max_nodes = 0;
+  const RobustResult r = RobustScheduler(dag).Run(budget, options);
+  ASSERT_TRUE(r.result.feasible);
+  const StageReport* belady = r.stage("belady");
+  const StageReport* greedy = r.stage("greedy-topo");
+  ASSERT_NE(belady, nullptr);
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_TRUE(belady->outcome == StageOutcome::kWinner ||
+              belady->outcome == StageOutcome::kCandidate);
+  EXPECT_TRUE(greedy->outcome == StageOutcome::kWinner ||
+              greedy->outcome == StageOutcome::kCandidate);
+  const Weight winning_cost = r.result.cost;
+  EXPECT_LE(winning_cost, belady->cost);
+  EXPECT_LE(winning_cost, greedy->cost);
+}
+
+TEST(RobustScheduler, InfeasibleBudgetReportsEveryStageInfeasible) {
+  const Graph g = testing::MakeDiamond({8, 8, 8, 8, 8});
+  const Weight budget = MinValidBudget(g) - 1;
+  const RobustResult r = RobustScheduler(g).Run(budget);
+  EXPECT_FALSE(r.result.feasible);
+  EXPECT_TRUE(r.winner.empty());
+  for (const StageReport& stage : r.stages) {
+    EXPECT_TRUE(stage.outcome == StageOutcome::kInfeasible ||
+                stage.outcome == StageOutcome::kSkipped)
+        << stage.name << ": " << ToString(stage.outcome);
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

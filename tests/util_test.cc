@@ -211,5 +211,62 @@ TEST(Cli, DoubleAndBoolParsing) {
   EXPECT_FALSE(args.GetBool("flag", true));
 }
 
+TEST(Cli, RejectsEmptyNumericValues) {
+  // `--budget=` is a typo for `--budget=N`; coercing it to the fallback
+  // would silently schedule under the wrong memory size.
+  const char* argv[] = {"prog", "--budget="};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.GetInt("budget", 64), 64);  // fallback returned...
+  EXPECT_FALSE(args.error().empty());        // ...but the error is recorded
+  EXPECT_NE(args.error().find("budget"), std::string::npos);
+}
+
+TEST(Cli, RejectsEmptyDoubleValues) {
+  const char* argv[] = {"prog", "--deadline-ms="};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("deadline-ms", 1.5), 1.5);
+  EXPECT_FALSE(args.error().empty());
+}
+
+TEST(Cli, DetectsDuplicateFlags) {
+  const char* argv[] = {"prog", "--budget=3", "--budget=7"};
+  CliArgs args(3, argv);
+  EXPECT_FALSE(args.error().empty());
+  EXPECT_NE(args.error().find("duplicate"), std::string::npos);
+  EXPECT_NE(args.error().find("budget"), std::string::npos);
+}
+
+TEST(Cli, DetectsDuplicateAcrossSyntaxes) {
+  const char* argv[] = {"prog", "--algo=belady", "--algo", "greedy"};
+  CliArgs args(4, argv);
+  EXPECT_FALSE(args.error().empty());
+  EXPECT_NE(args.error().find("duplicate"), std::string::npos);
+}
+
+TEST(Cli, ReportsIntOverflow) {
+  const char* argv[] = {"prog", "--budget=99999999999999999999"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.GetInt("budget", -1), -1);
+  EXPECT_FALSE(args.error().empty());
+  EXPECT_NE(args.error().find("overflow"), std::string::npos);
+}
+
+TEST(Cli, ReportsTrailingJunkOnNumbers) {
+  const char* argv[] = {"prog", "--budget=64kb"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.GetInt("budget", -1), -1);
+  EXPECT_FALSE(args.error().empty());
+}
+
+TEST(Cli, FirstErrorWins) {
+  const char* argv[] = {"prog", "--a=x", "--b=y"};
+  CliArgs args(3, argv);
+  args.GetInt("a", 0);
+  const std::string first = args.error();
+  args.GetInt("b", 0);
+  EXPECT_EQ(args.error(), first);
+  EXPECT_NE(first.find("a"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wrbpg

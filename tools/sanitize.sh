@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full ctest suite under sanitizers.
+#
+# Usage:
+#   tools/sanitize.sh                    # address,undefined (the default)
+#   tools/sanitize.sh thread            # any -fsanitize= list works
+#   tools/sanitize.sh address,undefined -R repair   # extra args go to ctest
+#
+# The sanitized tree lives in build-san-<list>/ next to the normal build/,
+# so switching between instrumented and plain builds never reconfigures.
+set -euo pipefail
+
+SANITIZERS="${1:-address,undefined}"
+shift || true
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-san-${SANITIZERS//,/+}"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWRBPG_SANITIZE="${SANITIZERS}" \
+  -DWRBPG_BUILD_BENCH=OFF
+cmake --build "${BUILD}" -j"$(nproc)"
+
+# Abort on the first finding and keep symbolized stacks readable.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)" "$@"
