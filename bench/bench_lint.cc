@@ -1,0 +1,165 @@
+// Lint-based waste audit of the baseline schedulers.
+//
+// For each graph family and budget, runs greedy-topo, belady, and
+// layer-by-layer, lints every schedule, and reports the wasted I/O bits
+// each rule attributes (dead loads/stores, spill churn, recompute thrash)
+// plus the cost after applying the safe fix-its. This turns the gap
+// between a heuristic and the lower bound from one opaque number into a
+// per-cause breakdown: where exactly does each baseline leak its I/O?
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/random_dag.h"
+#include "lint/fixes.h"
+#include "lint/lint.h"
+#include "schedulers/belady.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/layer_by_layer.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace wrbpg {
+namespace {
+
+// Generic layering for layer-by-layer on non-DWT graphs: depth(v) =
+// 1 + max parent depth, so layer 0 is exactly the sources.
+std::vector<std::vector<NodeId>> DepthLayers(const Graph& graph) {
+  std::vector<std::size_t> depth(graph.num_nodes(), 0);
+  std::size_t max_depth = 0;
+  for (NodeId v : graph.topological_order()) {
+    for (NodeId p : graph.parents(v)) {
+      depth[v] = std::max(depth[v], depth[p] + 1);
+    }
+    max_depth = std::max(max_depth, depth[v]);
+  }
+  std::vector<std::vector<NodeId>> layers(max_depth + 1);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    layers[depth[v]].push_back(v);
+  }
+  return layers;
+}
+
+struct AuditRow {
+  std::string scheduler;
+  Weight cost = 0;
+  Weight dead_load = 0;
+  Weight dead_store = 0;
+  Weight spill_churn = 0;
+  Weight recompute = 0;
+  Weight total_waste = 0;
+  Weight fixed_cost = 0;
+};
+
+AuditRow Audit(const std::string& name, const Graph& graph, Weight budget,
+               const Schedule& schedule) {
+  AuditRow row;
+  row.scheduler = name;
+  const SimResult sim = Simulate(graph, budget, schedule);
+  if (!sim.valid) {
+    std::cerr << "warning: " << name << " produced an invalid schedule: "
+              << sim.error << "\n";
+    return row;
+  }
+  row.cost = sim.cost;
+
+  const LintResult lint = LintSchedule(graph, budget, schedule);
+  std::map<std::string_view, Weight> by_rule;
+  for (const LintDiagnostic& d : lint.diagnostics) {
+    by_rule[d.rule_id] += d.wasted_bits;
+  }
+  row.dead_load = by_rule["dead-load"];
+  row.dead_store = by_rule["dead-store"];
+  row.spill_churn = by_rule["spill-churn"];
+  row.recompute = by_rule["redundant-recompute"];
+  row.total_waste = lint.wasted_bits_total;
+
+  const LintFixResult fixed = ApplyLintFixes(graph, budget, schedule);
+  row.fixed_cost = fixed.ok ? fixed.cost_after : row.cost;
+  return row;
+}
+
+void Family(const std::string& title, const Graph& graph,
+            const std::vector<std::vector<NodeId>>& layers,
+            const std::string& csv_dir, const std::string& csv_name) {
+  const Weight min_budget = MinValidBudget(graph);
+  const Weight lb = AlgorithmicLowerBound(graph);
+  std::cout << "\n== " << title << " ==\n"
+            << "nodes=" << graph.num_nodes() << " min-budget=" << min_budget
+            << " bits, algorithmic LB=" << lb << " bits of I/O\n";
+
+  TextTable table({"budget", "scheduler", "cost", "dead-load", "dead-store",
+                   "spill-churn", "recompute", "waste", "after-fixes"});
+  std::vector<std::vector<std::string>> csv = {
+      {"budget_bits", "scheduler", "cost", "dead_load", "dead_store",
+       "spill_churn", "recompute", "total_waste", "fixed_cost"}};
+
+  for (const Weight budget : {min_budget, 2 * min_budget}) {
+    std::vector<AuditRow> rows;
+    rows.push_back(Audit("greedy-topo", graph, budget,
+                         GreedyTopoScheduler(graph).Run(budget).schedule));
+    rows.push_back(Audit("belady", graph, budget,
+                         BeladyScheduler(graph).Run(budget).schedule));
+    LayerByLayerScheduler layered(graph, layers);
+    rows.push_back(Audit("layer-by-layer", graph, budget,
+                         layered.Run(budget).schedule));
+    for (const AuditRow& r : rows) {
+      table.AddRow({std::to_string(budget), r.scheduler,
+                    std::to_string(r.cost), std::to_string(r.dead_load),
+                    std::to_string(r.dead_store),
+                    std::to_string(r.spill_churn),
+                    std::to_string(r.recompute),
+                    std::to_string(r.total_waste),
+                    std::to_string(r.fixed_cost)});
+      csv.push_back({std::to_string(budget), r.scheduler,
+                     std::to_string(r.cost), std::to_string(r.dead_load),
+                     std::to_string(r.dead_store),
+                     std::to_string(r.spill_churn),
+                     std::to_string(r.recompute),
+                     std::to_string(r.total_waste),
+                     std::to_string(r.fixed_cost)});
+    }
+  }
+  table.Print(std::cout);
+  bench::DumpCsv(csv_dir, csv_name, csv);
+}
+
+}  // namespace
+}  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  using namespace wrbpg;
+  const CliArgs args(argc, argv);
+  const std::string csv_dir = args.GetString("csv", "");
+
+  std::cout << "Lint audit: wasted I/O bits per rule per baseline "
+               "scheduler (all schedules simulator-verified)\n";
+
+  {
+    const DwtGraph dwt = BuildDwt(64, MaxDwtLevel(64));
+    Family("DWT(64, " + std::to_string(MaxDwtLevel(64)) + ")", dwt.graph,
+           dwt.layers, csv_dir, "lint_dwt");
+  }
+  {
+    const MvmGraph mvm = BuildMvm(8, 10);
+    Family("MVM(8x10)", mvm.graph, DepthLayers(mvm.graph), csv_dir,
+           "lint_mvm");
+  }
+  {
+    Rng rng(0x11171u);
+    const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
+                                           .nodes_per_layer = 6,
+                                           .max_in_degree = 3});
+    Family("random-DAG(6x6)", dag, DepthLayers(dag), csv_dir, "lint_dag");
+  }
+
+  std::cout << "\n'after-fixes' re-verifies every fixed schedule through "
+               "the simulator; cost never increases.\n";
+  return 0;
+}

@@ -17,6 +17,15 @@
 //       on stdout) or print a structured diagnostic and exit nonzero.
 //   wrbpg_cli trace <graph.txt> <schedule.txt> --budget <bits>
 //       render the schedule's fast-memory occupancy timeline.
+//   wrbpg_cli lint <graph.txt> [<schedule.txt> --budget <bits>]
+//                  [--json] [--fix]
+//       static analysis without running the simulator: with only a graph,
+//       the graph-level rules; with a schedule, the full pass (validity
+//       errors mirroring the simulator's taxonomy, plus wasted-I/O
+//       warnings with machine-readable fix-its). --fix applies the safe
+//       fix-its (re-verified, cost never increases) and prints the fixed
+//       schedule on stdout with diagnostics on stderr. Exits 1 when any
+//       error-severity diagnostic fires.
 //   wrbpg_cli dot <graph.txt>
 //       Graphviz rendering of the dataflow.
 //
@@ -38,6 +47,8 @@
 #include "core/serialize.h"
 #include "core/simulator.h"
 #include "core/trace.h"
+#include "lint/fixes.h"
+#include "lint/lint.h"
 #include "robust/repair.h"
 #include "robust/robust_scheduler.h"
 #include "schedulers/belady.h"
@@ -50,9 +61,10 @@ using namespace wrbpg;
 namespace {
 
 int Usage() {
-  std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|repair|dot> "
-               "<graph.txt> [schedule.txt] [--budget N] "
-               "[--algo greedy|belady|brute|robust] [--deadline-ms N]\n";
+  std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
+               "dot> <graph.txt> [schedule.txt] [--budget N] "
+               "[--algo greedy|belady|brute|robust] [--deadline-ms N] "
+               "[--json] [--fix]\n";
   return 2;
 }
 
@@ -104,6 +116,58 @@ int main(int argc, char** argv) {
   if (command == "dot") {
     std::cout << ToDot(graph, args.positional()[1]);
     return 0;
+  }
+
+  if (command == "lint") {
+    const bool json = args.GetBool("json", false);
+    const bool fix = args.GetBool("fix", false);
+    if (args.positional().size() < 3) {
+      // Graph-only mode: structural rules, no schedule or budget needed.
+      LintResult result;
+      result.diagnostics = LintGraph(graph);
+      std::cout << (json ? LintResultToJson(result)
+                         : RenderLintResult(result));
+      return 0;
+    }
+    const Weight lint_budget = args.GetInt("budget", 0);
+    if (!args.error().empty()) {
+      std::cerr << "error: " << args.error() << "\n";
+      return 2;
+    }
+    if (lint_budget <= 0) {
+      std::cerr << "error: --budget <bits> is required to lint a schedule\n";
+      return 2;
+    }
+    std::string schedule_text;
+    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
+    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    if (!sched.ok) {
+      std::cerr << "error: " << args.positional()[2] << ": " << sched.error
+                << "\n";
+      return 1;
+    }
+    const LintResult result = LintSchedule(graph, lint_budget, sched.schedule);
+    if (fix) {
+      std::cerr << RenderLintResult(result);
+      if (result.has_errors()) {
+        std::cerr << "cannot fix: schedule has errors; run repair first\n";
+        return 1;
+      }
+      const LintFixResult fixed =
+          ApplyLintFixes(graph, lint_budget, sched.schedule);
+      if (!fixed.ok) {
+        std::cerr << "fix failed: " << fixed.message << "\n";
+        return 1;
+      }
+      std::cout << ToText(fixed.schedule);
+      std::cerr << "applied " << fixed.fixes_applied << " fix(es) over "
+                << fixed.iterations << " iteration(s): cost "
+                << fixed.cost_before << " -> " << fixed.cost_after
+                << " bits\n";
+      return 0;
+    }
+    std::cout << (json ? LintResultToJson(result) : RenderLintResult(result));
+    return result.has_errors() ? 1 : 0;
   }
 
   const Weight budget = args.GetInt("budget", 0);

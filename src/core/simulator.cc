@@ -29,6 +29,13 @@ const char* ToString(SimErrorCode code) {
   return "unknown";
 }
 
+std::optional<SimErrorCode> SimErrorCodeFromString(std::string_view name) {
+  for (const SimErrorCode code : kAllSimErrorCodes) {
+    if (name == ToString(code)) return code;
+  }
+  return std::nullopt;
+}
+
 SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
                    const SimOptions& options, const SimObserver& observer) {
   SimResult result;

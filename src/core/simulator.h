@@ -14,7 +14,9 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/graph.h"
@@ -55,8 +57,35 @@ enum class SimErrorCode : std::uint8_t {
   kReuseConditionUnmet,      // required_red_at_end node not red at the end
 };
 
-// Short stable identifier, e.g. "load-no-blue" (for CLI and logs).
+// Every code, for exhaustive iteration in tests and tools. Must list each
+// enumerator exactly once; the ToString round-trip test enforces it.
+inline constexpr SimErrorCode kAllSimErrorCodes[] = {
+    SimErrorCode::kNone,
+    SimErrorCode::kNodeOutOfRange,
+    SimErrorCode::kLoadNoBlue,
+    SimErrorCode::kLoadAlreadyRed,
+    SimErrorCode::kStoreNoRed,
+    SimErrorCode::kStoreAlreadyBlue,
+    SimErrorCode::kComputeSource,
+    SimErrorCode::kComputeAlreadyRed,
+    SimErrorCode::kComputeParentNotRed,
+    SimErrorCode::kDeleteNoRed,
+    SimErrorCode::kBudgetExceeded,
+    SimErrorCode::kInitialRedOverBudget,
+    SimErrorCode::kStopConditionUnmet,
+    SimErrorCode::kReuseConditionUnmet,
+};
+
+// Short stable identifier, e.g. "load-no-blue" (for CLI and logs). The
+// switch has no default case, so adding an enumerator without extending
+// this mapping fails the -Werror=switch build rather than silently
+// rendering as "unknown".
 const char* ToString(SimErrorCode code);
+
+// Inverse of ToString over the stable identifiers: "load-no-blue" ->
+// kLoadNoBlue; nullopt for anything else. Lets CLI/JSON consumers parse
+// error codes back without a second, drift-prone table.
+std::optional<SimErrorCode> SimErrorCodeFromString(std::string_view name);
 
 struct SimResult {
   bool valid = false;

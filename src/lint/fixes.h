@@ -1,0 +1,45 @@
+// Verified application of lint fix-its.
+//
+// ApplyLintFixes runs the linter, applies every kWarning fix-it (each a
+// set of moves to drop), and iterates to a fixpoint: removing a dead store
+// can turn the load that fed it into a dead load, and so on. Every
+// iteration is re-verified through the simulator — the returned schedule
+// is guaranteed valid with cost <= the input's cost, or the input is
+// returned unchanged with a diagnostic. Inputs the linter flags as
+// erroneous are refused (use robust/repair.h to make them valid first).
+#pragma once
+
+#include <string>
+
+#include "core/graph.h"
+#include "core/schedule.h"
+#include "core/simulator.h"
+#include "core/types.h"
+#include "lint/lint.h"
+
+namespace wrbpg {
+
+struct LintFixResult {
+  // False when the input was invalid or erroneous; `message` says why and
+  // `schedule` echoes the input.
+  bool ok = false;
+  bool changed = false;
+  std::string message;
+  Schedule schedule;
+  Weight cost_before = 0;
+  Weight cost_after = 0;
+  std::size_t fixes_applied = 0;
+  std::size_t iterations = 0;
+  SimResult verification;  // of the returned schedule
+};
+
+struct LintFixOptions {
+  // Fixpoint iteration cap; each iteration re-lints and re-verifies.
+  std::size_t max_iterations = 32;
+};
+
+LintFixResult ApplyLintFixes(const Graph& graph, Weight budget,
+                             const Schedule& schedule,
+                             const LintFixOptions& options = {});
+
+}  // namespace wrbpg

@@ -1,0 +1,549 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+#include <memory>
+#include <sstream>
+
+namespace wrbpg {
+namespace {
+
+// Schedule-level rules first, then graph-level; ids are stable API.
+constexpr LintRule kRules[] = {
+    {"node-out-of-range", LintSeverity::kError,
+     "move names a node outside the graph"},
+    {"invalid-load", LintSeverity::kError,
+     "M1 without a blue pebble to copy, or onto a node already red"},
+    {"invalid-store", LintSeverity::kError,
+     "M2 without a red pebble to copy, or onto a node already blue"},
+    {"invalid-compute", LintSeverity::kError,
+     "M3 on a source, onto a node already red, or with a non-red parent"},
+    {"invalid-delete", LintSeverity::kError,
+     "M4 with no red pebble to delete"},
+    {"budget-exceeded", LintSeverity::kError,
+     "weighted red pebble constraint violated (Definition 2.1)"},
+    {"budget-infeasible", LintSeverity::kError,
+     "a single compute's working set exceeds the budget (Proposition 2.3)"},
+    {"non-topological-compute", LintSeverity::kError,
+     "node computed before one of its parents was ever computed"},
+    {"stop-condition-unmet", LintSeverity::kError,
+     "a sink never receives a blue pebble"},
+    {"dead-load", LintSeverity::kWarning,
+     "loaded value never read before its delete or the end of the schedule"},
+    {"dead-compute", LintSeverity::kWarning,
+     "computed value never read and never stored"},
+    {"dead-store", LintSeverity::kWarning,
+     "stored value never reloaded and not a sink"},
+    {"spill-churn", LintSeverity::kWarning,
+     "value deleted then reloaded (load-after-delete thrash)"},
+    {"redundant-recompute", LintSeverity::kInfo,
+     "value recomputed after an earlier residency was dropped"},
+    {"graph-irrelevant-node", LintSeverity::kInfo,
+     "node has no path to any sink; every move on it is wasted"},
+    {"graph-nonpositive-weight", LintSeverity::kInfo,
+     "node weight is not positive, violating the Sec 2.1 model"},
+    {"graph-isolated-node", LintSeverity::kInfo,
+     "node is both a source and a sink"},
+};
+
+std::string NodeStr(NodeId v) { return "v" + std::to_string(v); }
+
+// Range-maximum queries over the post-move occupancy series, built lazily:
+// only spill-churn fix feasibility needs them.
+class OccupancyRmq {
+ public:
+  explicit OccupancyRmq(const std::vector<Weight>& series) {
+    const std::size_t n = series.size();
+    const std::size_t levels =
+        n == 0 ? 1 : static_cast<std::size_t>(std::bit_width(n));
+    table_.assign(levels, series);
+    for (std::size_t k = 1; k < table_.size(); ++k) {
+      const std::size_t half = std::size_t{1} << (k - 1);
+      for (std::size_t i = 0; i + (half << 1) <= n; ++i) {
+        table_[k][i] = std::max(table_[k - 1][i], table_[k - 1][i + half]);
+      }
+    }
+  }
+
+  // Max over [lo, hi); requires lo < hi <= series size.
+  Weight MaxIn(std::size_t lo, std::size_t hi) const {
+    const std::size_t k =
+        static_cast<std::size_t>(std::bit_width(hi - lo) - 1);
+    return std::max(table_[k][lo], table_[k][hi - (std::size_t{1} << k)]);
+  }
+
+ private:
+  std::vector<std::vector<Weight>> table_;
+};
+
+}  // namespace
+
+const char* ToString(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo: return "info";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::span<const LintRule> AllLintRules() { return kRules; }
+
+const LintRule* FindLintRule(std::string_view id) {
+  for (const LintRule& rule : kRules) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+bool LintResult::has_errors() const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const LintDiagnostic& d) {
+                       return d.severity == LintSeverity::kError;
+                     });
+}
+
+std::size_t LintResult::count(LintSeverity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const LintDiagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+const LintDiagnostic* LintResult::first_error() const {
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.severity == LintSeverity::kError) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<LintDiagnostic> LintGraph(const Graph& graph) {
+  return LintGraph(graph, graph.sinks());
+}
+
+std::vector<LintDiagnostic> LintGraph(const Graph& graph,
+                                      std::span<const NodeId> outputs) {
+  std::vector<LintDiagnostic> diags;
+  const NodeId n = graph.num_nodes();
+
+  // Reverse reachability from the outputs: a node that cannot reach any of
+  // them contributes nothing to the stopping condition.
+  std::vector<unsigned char> relevant(n, 0);
+  std::vector<NodeId> stack;
+  for (NodeId s : outputs) {
+    if (s < n && !relevant[s]) {
+      relevant[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId p : graph.parents(v)) {
+      if (!relevant[p]) {
+        relevant[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!relevant[v]) {
+      diags.push_back({.rule_id = "graph-irrelevant-node",
+                       .severity = LintSeverity::kInfo,
+                       .node = v,
+                       .message = NodeStr(v) +
+                                  " has no path to any output; schedules "
+                                  "never need it"});
+    }
+    if (graph.weight(v) <= 0) {
+      diags.push_back({.rule_id = "graph-nonpositive-weight",
+                       .severity = LintSeverity::kInfo,
+                       .node = v,
+                       .message = NodeStr(v) + " has non-positive weight " +
+                                  std::to_string(graph.weight(v))});
+    }
+    if (graph.is_source(v) && graph.is_sink(v)) {
+      diags.push_back({.rule_id = "graph-isolated-node",
+                       .severity = LintSeverity::kInfo,
+                       .node = v,
+                       .message = NodeStr(v) +
+                                  " is both a source and a sink (isolated)"});
+    }
+  }
+  return diags;
+}
+
+LintResult LintSchedule(const Graph& graph, Weight budget,
+                        const Schedule& schedule, const LintOptions& options) {
+  LintResult result;
+  if (options.graph_rules) result.diagnostics = LintGraph(graph);
+
+  const NodeId n = graph.num_nodes();
+  const std::size_t t = schedule.size();
+
+  // --- Pass 1: abstract replay, mirroring the simulator's per-move checks
+  // (same check order, same error node) but continuing past violations by
+  // force-applying each move's nominal effect.
+  std::vector<LintDiagnostic> replay_diags;
+  auto error = [&](std::string_view rule, SimErrorCode code, std::size_t index,
+                   NodeId node, std::string message) {
+    replay_diags.push_back({.rule_id = rule,
+                            .severity = LintSeverity::kError,
+                            .move_index = index,
+                            .node = node,
+                            .sim_code = code,
+                            .message = std::move(message)});
+  };
+
+  std::vector<unsigned char> red(n, 0);
+  std::vector<unsigned char> blue(n, 0);
+  std::vector<unsigned char> computed(n, 0);
+  for (NodeId v : graph.sources()) blue[v] = 1;
+  Weight red_weight = 0;
+  bool over_budget = false;
+  std::vector<Weight> occupancy(t, 0);  // after each move
+  // In-range stores seen, for the dead-store rule.
+  std::vector<std::pair<std::size_t, NodeId>> stores;
+
+  for (std::size_t i = 0; i < t; ++i) {
+    const Move& m = schedule[i];
+    const NodeId v = m.node;
+    if (v >= n) {
+      error("node-out-of-range", SimErrorCode::kNodeOutOfRange, i, v,
+            ToString(m) + ": node out of range");
+      occupancy[i] = red_weight;
+      continue;
+    }
+    const Weight w = graph.weight(v);
+    switch (m.type) {
+      case MoveType::kLoad:
+        if (!blue[v]) {
+          error("invalid-load", SimErrorCode::kLoadNoBlue, i, v,
+                ToString(m) + ": no blue pebble to copy from");
+        } else if (red[v]) {
+          error("invalid-load", SimErrorCode::kLoadAlreadyRed, i, v,
+                ToString(m) + ": node already holds a red pebble");
+        }
+        if (!red[v]) {
+          red[v] = 1;
+          red_weight += w;
+        }
+        break;
+      case MoveType::kStore:
+        if (!red[v]) {
+          error("invalid-store", SimErrorCode::kStoreNoRed, i, v,
+                ToString(m) + ": no red pebble to copy from");
+        } else if (blue[v]) {
+          error("invalid-store", SimErrorCode::kStoreAlreadyBlue, i, v,
+                ToString(m) + ": node already holds a blue pebble");
+        }
+        blue[v] = 1;
+        break;
+      case MoveType::kCompute: {
+        if (graph.is_source(v)) {
+          error("invalid-compute", SimErrorCode::kComputeSource, i, v,
+                ToString(m) +
+                    ": source nodes are inputs and cannot be computed; "
+                    "use M1");
+        } else if (red[v]) {
+          error("invalid-compute", SimErrorCode::kComputeAlreadyRed, i, v,
+                ToString(m) + ": node already holds a red pebble");
+        } else {
+          for (NodeId p : graph.parents(v)) {
+            if (!red[p]) {
+              error("invalid-compute", SimErrorCode::kComputeParentNotRed, i,
+                    p,
+                    ToString(m) + ": parent " + NodeStr(p) +
+                        " holds no red pebble");
+              break;
+            }
+          }
+        }
+        if (!graph.is_source(v)) {
+          // Derived rules, emitted after the replay mirror so the first
+          // kError always matches the simulator's report exactly.
+          for (NodeId p : graph.parents(v)) {
+            if (!graph.is_source(p) && !computed[p]) {
+              error("non-topological-compute",
+                    SimErrorCode::kComputeParentNotRed, i, p,
+                    ToString(m) + ": computed before its parent " +
+                        NodeStr(p) + "; the compute order is not topological");
+              break;
+            }
+          }
+          Weight working = w;
+          for (NodeId p : graph.parents(v)) working += graph.weight(p);
+          if (working > budget) {
+            error("budget-infeasible", SimErrorCode::kBudgetExceeded, i, v,
+                  ToString(m) + ": working set " + std::to_string(working) +
+                      " bits exceeds budget " + std::to_string(budget) +
+                      "; by Proposition 2.3 no valid schedule contains this "
+                      "compute");
+          }
+          computed[v] = 1;
+        }
+        if (!red[v]) {
+          red[v] = 1;
+          red_weight += w;
+        }
+        break;
+      }
+      case MoveType::kDelete:
+        if (!red[v]) {
+          error("invalid-delete", SimErrorCode::kDeleteNoRed, i, v,
+                ToString(m) + ": no red pebble to delete");
+        } else {
+          red[v] = 0;
+          red_weight -= w;
+        }
+        break;
+    }
+    if (m.type == MoveType::kStore && !graph.is_sink(v) &&
+        !graph.is_source(v)) {
+      stores.emplace_back(i, v);
+    }
+    if (red_weight > budget && !over_budget) {
+      error("budget-exceeded", SimErrorCode::kBudgetExceeded, i, v,
+            ToString(m) + ": weighted red pebble constraint violated (" +
+                std::to_string(red_weight) + " > budget " +
+                std::to_string(budget) + ")");
+    }
+    over_budget = red_weight > budget;
+    occupancy[i] = red_weight;
+  }
+
+  // --- Pass 2: liveness-based waste rules over the def/use chains.
+  const MoveLiveness live(graph, schedule);
+  std::vector<LintDiagnostic> waste_diags;
+  auto waste = [&](std::string_view rule, LintSeverity severity,
+                   std::size_t index, NodeId node, Weight bits,
+                   std::string message, LintFixIt fixit = {}) {
+    waste_diags.push_back({.rule_id = rule,
+                           .severity = severity,
+                           .move_index = index,
+                           .node = node,
+                           .wasted_bits = bits,
+                           .message = std::move(message),
+                           .fixit = std::move(fixit)});
+  };
+  // Built on first demand; only spill-churn feasibility needs range maxima.
+  std::unique_ptr<OccupancyRmq> rmq;
+
+  // Load-def positions per node, for the dead-store reload query.
+  std::vector<std::vector<std::size_t>> load_defs(n);
+  for (const LiveRange& r : live.ranges()) {
+    if (r.def_type == MoveType::kLoad) load_defs[r.node].push_back(r.def);
+  }
+
+  for (const LiveRange& r : live.ranges()) {
+    const Weight w = graph.weight(r.node);
+    if (r.use_count == 0) {
+      LintFixIt fix{{r.def}};
+      if (r.kill != kNoMove) fix.drop_moves.push_back(r.kill);
+      if (r.def_type == MoveType::kLoad) {
+        waste("dead-load", LintSeverity::kWarning, r.def, r.node, w,
+              NodeStr(r.node) + " loaded but never read before " +
+                  (r.kill == kNoMove ? std::string("the end of the schedule")
+                                     : "its delete at move " +
+                                           std::to_string(r.kill)) +
+                  "; " + std::to_string(w) + " bits of I/O wasted",
+              std::move(fix));
+      } else {
+        waste("dead-compute", LintSeverity::kWarning, r.def, r.node, 0,
+              NodeStr(r.node) +
+                  " computed but never read and never stored",
+              std::move(fix));
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto range_ids = live.ranges_of(v);
+    for (std::size_t k = 1; k < range_ids.size(); ++k) {
+      const LiveRange& prev = live.ranges()[range_ids[k - 1]];
+      const LiveRange& r = live.ranges()[range_ids[k]];
+      if (r.use_count == 0) continue;  // dead-load/dead-compute dominates
+      const Weight w = graph.weight(v);
+      if (r.def_type == MoveType::kLoad) {
+        // Spill churn: the value was resident, dropped at prev.kill, and
+        // fetched again. Keeping it resident is safe exactly when every
+        // snapshot in between still has w bits of headroom.
+        LintFixIt fix;
+        bool fixable = false;
+        if (prev.kill != kNoMove && prev.kill < r.def) {
+          if (!rmq) rmq = std::make_unique<OccupancyRmq>(occupancy);
+          fixable = rmq->MaxIn(prev.kill, r.def) + w <= budget;
+          if (fixable) fix.drop_moves = {prev.kill, r.def};
+        }
+        waste("spill-churn",
+              fixable ? LintSeverity::kWarning : LintSeverity::kInfo, r.def,
+              v, w,
+              NodeStr(v) + " deleted at move " + std::to_string(prev.kill) +
+                  " and reloaded at move " + std::to_string(r.def) + "; " +
+                  std::to_string(w) + " bits of I/O wasted" +
+                  (fixable ? "" : " (no headroom to keep it resident)"),
+              std::move(fix));
+      } else {
+        // Redundant recompute: attribute the loads that exist solely to
+        // rebuild this value's parents.
+        Weight reload_bits = 0;
+        for (NodeId p : graph.parents(v)) {
+          const LiveRange* pr = live.RangeAt(p, r.def);
+          if (pr != nullptr && pr->def_type == MoveType::kLoad &&
+              pr->use_count == 1) {
+            reload_bits += graph.weight(p);
+          }
+        }
+        waste("redundant-recompute", LintSeverity::kInfo, r.def, v,
+              reload_bits,
+              NodeStr(v) + " recomputed at move " + std::to_string(r.def) +
+                  (reload_bits > 0
+                       ? "; parent loads serving only this recompute waste " +
+                             std::to_string(reload_bits) + " bits"
+                       : ""));
+      }
+    }
+  }
+
+  for (const auto& [index, v] : stores) {
+    const auto& defs = load_defs[v];
+    const bool reloaded =
+        std::upper_bound(defs.begin(), defs.end(), index) != defs.end();
+    if (reloaded) continue;
+    waste("dead-store", LintSeverity::kWarning, index, v, graph.weight(v),
+          NodeStr(v) + " stored but never reloaded (and not a sink); " +
+              std::to_string(graph.weight(v)) + " bits of I/O wasted",
+          LintFixIt{{index}});
+  }
+
+  // --- Merge: replay diagnostics already move-ordered; waste diagnostics
+  // sorted and appended so errors precede derived rules at equal indices.
+  std::stable_sort(waste_diags.begin(), waste_diags.end(),
+                   [](const LintDiagnostic& a, const LintDiagnostic& b) {
+                     return a.move_index < b.move_index;
+                   });
+  std::vector<LintDiagnostic> merged;
+  merged.reserve(replay_diags.size() + waste_diags.size());
+  std::merge(std::make_move_iterator(replay_diags.begin()),
+             std::make_move_iterator(replay_diags.end()),
+             std::make_move_iterator(waste_diags.begin()),
+             std::make_move_iterator(waste_diags.end()),
+             std::back_inserter(merged),
+             [](const LintDiagnostic& a, const LintDiagnostic& b) {
+               return a.move_index < b.move_index;
+             });
+  for (LintDiagnostic& d : merged) {
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  // --- End-of-schedule: the stopping condition, in the simulator's sink
+  // order so the first report matches Simulate() exactly.
+  for (NodeId s : graph.sinks()) {
+    if (!blue[s]) {
+      result.diagnostics.push_back(
+          {.rule_id = "stop-condition-unmet",
+           .severity = LintSeverity::kError,
+           .move_index = t,
+           .node = s,
+           .sim_code = SimErrorCode::kStopConditionUnmet,
+           .message = "stopping condition unmet: sink " + NodeStr(s) +
+                      " holds no blue pebble"});
+    }
+  }
+
+  for (const LintDiagnostic& d : result.diagnostics) {
+    result.wasted_bits_total += d.wasted_bits;
+  }
+  return result;
+}
+
+std::string RenderLintResult(const LintResult& result) {
+  std::ostringstream out;
+  for (const LintDiagnostic& d : result.diagnostics) {
+    out << ToString(d.severity) << "[" << d.rule_id << "]";
+    if (d.move_index != kNoMove) out << " move " << d.move_index;
+    if (d.node != kInvalidNode) out << " (v" << d.node << ")";
+    out << ": " << d.message;
+    if (!d.fixit.empty()) {
+      out << " [fix: drop " << d.fixit.drop_moves.size() << " move"
+          << (d.fixit.drop_moves.size() == 1 ? "" : "s") << "]";
+    }
+    out << "\n";
+  }
+  out << result.count(LintSeverity::kError) << " error(s), "
+      << result.count(LintSeverity::kWarning) << " warning(s), "
+      << result.count(LintSeverity::kInfo) << " info(s); "
+      << result.wasted_bits_total << " wasted I/O bits\n";
+  return out.str();
+}
+
+namespace {
+
+void JsonEscape(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string LintResultToJson(const LintResult& result) {
+  std::ostringstream out;
+  out << "{\"errors\":" << result.count(LintSeverity::kError)
+      << ",\"warnings\":" << result.count(LintSeverity::kWarning)
+      << ",\"infos\":" << result.count(LintSeverity::kInfo)
+      << ",\"wasted_bits\":" << result.wasted_bits_total
+      << ",\"diagnostics\":[";
+  bool first = true;
+  for (const LintDiagnostic& d : result.diagnostics) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"rule\":";
+    JsonEscape(out, d.rule_id);
+    out << ",\"severity\":";
+    JsonEscape(out, ToString(d.severity));
+    out << ",\"move\":";
+    if (d.move_index == kNoMove) {
+      out << "null";
+    } else {
+      out << d.move_index;
+    }
+    out << ",\"node\":";
+    if (d.node == kInvalidNode) {
+      out << "null";
+    } else {
+      out << d.node;
+    }
+    out << ",\"wasted_bits\":" << d.wasted_bits << ",\"sim_code\":";
+    JsonEscape(out, ToString(d.sim_code));
+    out << ",\"message\":";
+    JsonEscape(out, d.message);
+    out << ",\"fix_drop_moves\":[";
+    for (std::size_t i = 0; i < d.fixit.drop_moves.size(); ++i) {
+      if (i > 0) out << ",";
+      out << d.fixit.drop_moves[i];
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace wrbpg

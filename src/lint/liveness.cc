@@ -1,0 +1,115 @@
+#include "lint/liveness.h"
+
+#include <algorithm>
+
+namespace wrbpg {
+
+UseTimeline UseTimeline::OverComputeOrder(const Graph& graph,
+                                          std::span<const NodeId> order) {
+  UseTimeline timeline;
+  timeline.uses_.resize(graph.num_nodes());
+  timeline.cursor_.assign(graph.num_nodes(), 0);
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    const NodeId v = order[t];
+    if (v >= graph.num_nodes()) continue;
+    for (NodeId p : graph.parents(v)) timeline.uses_[p].push_back(t);
+  }
+  // Positions are visited in order, so each per-node list is already sorted.
+  return timeline;
+}
+
+UseTimeline UseTimeline::OverMoves(const Graph& graph,
+                                   const Schedule& schedule) {
+  UseTimeline timeline;
+  timeline.uses_.resize(graph.num_nodes());
+  timeline.cursor_.assign(graph.num_nodes(), 0);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Move& m = schedule[i];
+    if (m.node >= graph.num_nodes()) continue;
+    if (m.type == MoveType::kStore) {
+      timeline.uses_[m.node].push_back(i);
+    } else if (m.type == MoveType::kCompute && !graph.is_source(m.node)) {
+      for (NodeId p : graph.parents(m.node)) timeline.uses_[p].push_back(i);
+    }
+  }
+  return timeline;
+}
+
+std::size_t UseTimeline::NextUseAt(NodeId v, std::size_t t) const {
+  auto& c = cursor_[v];
+  const auto& uses = uses_[v];
+  while (c < uses.size() && uses[c] < t) ++c;
+  return c < uses.size() ? uses[c] : kNoUse;
+}
+
+MoveRefCounts::MoveRefCounts(const Graph& graph, const Schedule& schedule)
+    : graph_(graph), counts_(graph.num_nodes(), 0) {
+  for (const Move& m : schedule) Count(m, +1);
+}
+
+void MoveRefCounts::Consume(const Move& move) { Count(move, -1); }
+
+void MoveRefCounts::Count(const Move& move, std::int64_t delta) {
+  if (move.node >= graph_.num_nodes()) return;
+  counts_[move.node] += delta;
+  if (move.type == MoveType::kCompute && !graph_.is_source(move.node)) {
+    for (NodeId p : graph_.parents(move.node)) counts_[p] += delta;
+  }
+}
+
+MoveLiveness::MoveLiveness(const Graph& graph, const Schedule& schedule) {
+  const NodeId n = graph.num_nodes();
+  by_node_.resize(n);
+  // open[v]: index into ranges_ of v's currently live range, or kNoMove.
+  std::vector<std::size_t> open(n, kNoMove);
+
+  auto use = [&](NodeId v, std::size_t i) {
+    if (open[v] == kNoMove) return;  // read of a value that is not red
+    LiveRange& r = ranges_[open[v]];
+    if (r.use_count == 0) r.first_use = i;
+    r.last_use = i;
+    ++r.use_count;
+  };
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Move& m = schedule[i];
+    const NodeId v = m.node;
+    if (v >= n) continue;
+    switch (m.type) {
+      case MoveType::kLoad:
+      case MoveType::kCompute:
+        if (m.type == MoveType::kCompute && !graph.is_source(v)) {
+          for (NodeId p : graph.parents(v)) use(p, i);
+        }
+        if (open[v] != kNoMove) break;  // redundant def: keep current range
+        open[v] = ranges_.size();
+        by_node_[v].push_back(ranges_.size());
+        ranges_.push_back({.node = v, .def = i, .def_type = m.type});
+        break;
+      case MoveType::kStore:
+        use(v, i);  // M2 reads the red pebble
+        break;
+      case MoveType::kDelete:
+        if (open[v] != kNoMove) {
+          ranges_[open[v]].kill = i;
+          open[v] = kNoMove;
+        }
+        break;
+    }
+  }
+  // Ranges still open run to the end of the schedule (kill == kNoMove).
+}
+
+const LiveRange* MoveLiveness::RangeAt(NodeId v, std::size_t i) const {
+  const auto& ids = by_node_[v];
+  // Last range with def <= i.
+  auto it = std::upper_bound(ids.begin(), ids.end(), i,
+                             [&](std::size_t idx, std::size_t range_id) {
+                               return idx < ranges_[range_id].def;
+                             });
+  if (it == ids.begin()) return nullptr;
+  const LiveRange& r = ranges_[*std::prev(it)];
+  return i <= r.kill ? &r : nullptr;  // kill == kNoMove covers live-out
+}
+
+}  // namespace wrbpg

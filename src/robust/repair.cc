@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "lint/liveness.h"
+
 namespace wrbpg {
 namespace {
 
@@ -18,18 +20,11 @@ class Repairer {
         red_(graph.num_nodes(), 0),
         blue_(graph.num_nodes(), 0),
         pinned_(graph.num_nodes(), 0),
-        remaining_refs_(graph.num_nodes(), 0) {
+        // refs_.remaining(v) counts how often the rest of the input still
+        // mentions v — as a move's own node or as a parent of a computed
+        // node. Eviction prefers values the input never touches again.
+        refs_(graph, input) {
     for (NodeId v : graph_.sources()) blue_[v] = 1;
-    // remaining_refs_[v] counts how often the rest of the input still
-    // mentions v — as a move's own node or as a parent of a computed node.
-    // Eviction prefers values the input never touches again.
-    for (const Move& m : input_) {
-      if (m.node >= graph_.num_nodes()) continue;
-      ++remaining_refs_[m.node];
-      if (m.type == MoveType::kCompute && !graph_.is_source(m.node)) {
-        for (NodeId p : graph_.parents(m.node)) ++remaining_refs_[p];
-      }
-    }
   }
 
   RepairResult Run() {
@@ -81,13 +76,7 @@ class Repairer {
 
   // The input move at the current index is no longer "future"; update the
   // next-reference counts before deciding how to translate it.
-  void ConsumeRefs(const Move& m) {
-    if (m.node >= graph_.num_nodes()) return;
-    --remaining_refs_[m.node];
-    if (m.type == MoveType::kCompute && !graph_.is_source(m.node)) {
-      for (NodeId p : graph_.parents(m.node)) --remaining_refs_[p];
-    }
-  }
+  void ConsumeRefs(const Move& m) { refs_.Consume(m); }
 
   bool Emit(Move m) {
     if (out_.size() >= options_.max_output_moves) {
@@ -111,7 +100,7 @@ class Repairer {
       bool victim_dead = false;
       for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
         if (!red_[v] || pinned_[v] != 0) continue;
-        const bool dead = remaining_refs_[v] == 0 &&
+        const bool dead = refs_.remaining(v) == 0 &&
                           (blue_[v] != 0 || !graph_.is_sink(v));
         if (victim == kInvalidNode || (dead && !victim_dead) ||
             (dead == victim_dead && graph_.weight(v) < graph_.weight(victim))) {
@@ -244,7 +233,7 @@ class Repairer {
   std::vector<unsigned char> red_;
   std::vector<unsigned char> blue_;
   std::vector<int> pinned_;  // >0: excluded from eviction
-  std::vector<std::int64_t> remaining_refs_;
+  MoveRefCounts refs_;
   Weight red_weight_ = 0;
   std::vector<Move> out_;
   std::size_t input_index_ = 0;

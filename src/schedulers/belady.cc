@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 #include "core/analysis.h"
+#include "lint/liveness.h"
 
 namespace wrbpg {
 namespace {
 
-constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+// "Value is never consumed again" — the shared liveness sentinel.
+constexpr std::size_t kNever = kNoUse;
 
 }  // namespace
 
@@ -38,19 +39,10 @@ BeladyScheduler::BeladyScheduler(const Graph& graph, std::vector<NodeId> order)
 ScheduleResult BeladyScheduler::Run(Weight budget) const {
   const NodeId n = graph_.num_nodes();
 
-  // use_times[p]: the positions in the compute sequence that consume p.
-  std::vector<std::vector<std::size_t>> use_times(n);
-  for (std::size_t t = 0; t < order_.size(); ++t) {
-    for (NodeId p : graph_.parents(order_[t])) use_times[p].push_back(t);
-  }
-  for (auto& uses : use_times) std::sort(uses.begin(), uses.end());
-  std::vector<std::size_t> cursor(n, 0);
-  // First consumption of p at or after time t (kNever when exhausted).
+  // Next-use oracle over the compute sequence (shared liveness module).
+  const UseTimeline timeline = UseTimeline::OverComputeOrder(graph_, order_);
   auto next_use = [&](NodeId p, std::size_t t) {
-    auto& c = cursor[p];
-    const auto& uses = use_times[p];
-    while (c < uses.size() && uses[c] < t) ++c;
-    return c < uses.size() ? uses[c] : kNever;
+    return timeline.NextUseAt(p, t);
   };
 
   ScheduleResult result;

@@ -10,7 +10,7 @@ namespace wrbpg {
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
-    if (arg.rfind("--", 0) != 0) {
+    if (!arg.starts_with("--")) {
       positional_.emplace_back(arg);
       continue;
     }
@@ -26,7 +26,7 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       name = std::string(arg.substr(0, eq));
       value = std::string(arg.substr(eq + 1));
     } else if (i + 1 < argc &&
-               std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+               !std::string_view(argv[i + 1]).starts_with("--")) {
       // `--name value` when the next token is not itself a flag.
       name = std::string(arg);
       value = argv[++i];
@@ -48,7 +48,7 @@ void CliArgs::RecordError(const std::string& message) const {
 }
 
 bool CliArgs::has(const std::string& name) const {
-  return flags_.count(name) != 0;
+  return flags_.contains(name);
 }
 
 std::string CliArgs::GetString(const std::string& name,

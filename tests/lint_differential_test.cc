@@ -1,0 +1,193 @@
+// Differential tests pinning the lint engine's soundness contract against
+// the simulator, which is the single source of truth for validity:
+//
+//   * kError contract: over every schedule — heuristic outputs, >= 500
+//     FaultInjector mutants spanning four graph families, and random move
+//     fuzz — lint.has_errors() iff Simulate() rejects, and the first
+//     kError diagnostic carries the simulator's exact (code, move index,
+//     node) triple. The lint path never calls Simulate().
+//   * kWarning contract: applying the fix-its of a valid schedule keeps
+//     it valid and never increases its cost, and the fixpoint leaves no
+//     fixable warning behind.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/random_dag.h"
+#include "dataflows/tree_graph.h"
+#include "lint/fixes.h"
+#include "lint/lint.h"
+#include "robust/fault_injector.h"
+#include "schedulers/belady.h"
+#include "schedulers/dwt_optimal.h"
+#include "schedulers/greedy_topo.h"
+#include "schedulers/kary_tree.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+struct DiffSeed {
+  std::string name;
+  Graph graph;
+  Weight budget = 0;
+  Schedule schedule;
+};
+
+std::vector<DiffSeed> DiffSeeds() {
+  std::vector<DiffSeed> seeds;
+  const Weight slacks[] = {0, 8, 64};
+
+  for (const Weight slack : slacks) {
+    const DwtGraph dwt = BuildDwt(16, 3);
+    const Weight budget = MinValidBudget(dwt.graph) + slack;
+    DwtOptimalScheduler sched(dwt);
+    seeds.push_back({"dwt+" + std::to_string(slack), dwt.graph, budget,
+                     sched.Run(budget).schedule});
+  }
+  for (const Weight slack : slacks) {
+    const TreeGraph tree = BuildPerfectTree(2, 3);
+    const Weight budget = MinValidBudget(tree.graph) + slack;
+    KaryTreeScheduler sched(tree.graph);
+    seeds.push_back({"kary+" + std::to_string(slack), tree.graph, budget,
+                     sched.Run(budget).schedule});
+  }
+  for (const Weight slack : slacks) {
+    const MvmGraph mvm = BuildMvm(4, 3);
+    const Weight budget = MinValidBudget(mvm.graph) + slack;
+    seeds.push_back({"mvm+" + std::to_string(slack), mvm.graph, budget,
+                     BeladyScheduler(mvm.graph).Run(budget).schedule});
+  }
+  for (const Weight slack : slacks) {
+    Rng rng(0xbadc0deu + static_cast<std::uint64_t>(slack));
+    const Graph dag = BuildRandomDag(rng, {.num_layers = 4,
+                                           .nodes_per_layer = 5,
+                                           .max_in_degree = 3});
+    const Weight budget = MinValidBudget(dag) + slack;
+    seeds.push_back({"dag+" + std::to_string(slack), dag, budget,
+                     GreedyTopoScheduler(dag).Run(budget).schedule});
+  }
+  return seeds;
+}
+
+// The core assertion: lint agrees with the simulator on validity, and on
+// an invalid schedule the first kError mirrors the simulator's report.
+void ExpectAgreesWithSimulator(const Graph& graph, Weight budget,
+                               const Schedule& schedule) {
+  const SimResult sim = Simulate(graph, budget, schedule);
+  const LintResult lint = LintSchedule(graph, budget, schedule);
+  ASSERT_EQ(lint.has_errors(), !sim.valid)
+      << "lint/simulator validity disagreement; sim says: " << sim.error
+      << "\n"
+      << RenderLintResult(lint);
+  if (sim.valid) return;
+  const LintDiagnostic* first = lint.first_error();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->sim_code, sim.code)
+      << "sim: " << sim.error << "\nlint: " << first->message;
+  EXPECT_EQ(first->move_index, sim.error_index)
+      << "sim: " << sim.error << "\nlint: " << first->message;
+  EXPECT_EQ(first->node, sim.error_node)
+      << "sim: " << sim.error << "\nlint: " << first->message;
+}
+
+TEST(LintDifferential, ErrorContractOverFaultInjectorCorpora) {
+  std::size_t total = 0;
+  std::size_t invalid = 0;
+  for (const DiffSeed& seed : DiffSeeds()) {
+    ASSERT_FALSE(seed.schedule.empty()) << seed.name;
+    ASSERT_TRUE(Simulate(seed.graph, seed.budget, seed.schedule).valid)
+        << seed.name;
+
+    FaultInjector injector(seed.graph, seed.budget, seed.schedule);
+    Rng rng(0x11117u);
+    for (const FaultCase& fault : injector.Corpus(rng, 12)) {
+      SCOPED_TRACE(seed.name + "/" + fault.label);
+      ++total;
+      if (!Simulate(seed.graph, fault.budget, fault.schedule).valid) {
+        ++invalid;
+      }
+      ExpectAgreesWithSimulator(seed.graph, fault.budget, fault.schedule);
+    }
+  }
+  EXPECT_GE(total, 500u) << "corpus too small to mean anything";
+  // The corpus must actually exercise the error side of the contract.
+  EXPECT_GE(invalid, total / 4) << "too few invalid mutants";
+}
+
+TEST(LintDifferential, ErrorContractOverRandomMoveFuzz) {
+  // Unstructured move soup over a random DAG: nearly every sequence is
+  // invalid, covering error codes the structured mutants rarely hit
+  // (out-of-range nodes, computes of sources, deletes of nothing).
+  Rng graph_rng(0xf00du);
+  const Graph dag = BuildRandomDag(graph_rng, {.num_layers = 3,
+                                               .nodes_per_layer = 4,
+                                               .max_in_degree = 2});
+  const Weight budget = MinValidBudget(dag) + 4;
+  Rng rng(0xf1122u);
+  for (int round = 0; round < 300; ++round) {
+    Schedule s;
+    const int len = static_cast<int>(rng.UniformInt(0, 24));
+    for (int i = 0; i < len; ++i) {
+      const auto type =
+          static_cast<MoveType>(rng.UniformInt(0, 3));
+      // Mostly in-range nodes, occasionally out of range.
+      const NodeId v = static_cast<NodeId>(
+          rng.UniformInt(0, static_cast<std::int64_t>(dag.num_nodes()) + 1));
+      s.Append({type, v});
+    }
+    SCOPED_TRACE("round " + std::to_string(round));
+    ExpectAgreesWithSimulator(dag, budget, s);
+  }
+}
+
+TEST(LintDifferential, FixItContractOverValidSchedulesAndMutants) {
+  std::size_t fixed_schedules = 0;
+  for (const DiffSeed& seed : DiffSeeds()) {
+    FaultInjector injector(seed.graph, seed.budget, seed.schedule);
+    Rng rng(0x22227u);
+    std::vector<FaultCase> cases = injector.Corpus(rng, 6);
+    // The unmutated seed participates too.
+    cases.push_back({FaultKind::kDropMove, 0, seed.schedule, seed.budget,
+                     "unmutated"});
+    for (const FaultCase& fault : cases) {
+      const SimResult sim = Simulate(seed.graph, fault.budget, fault.schedule);
+      if (!sim.valid) continue;  // warning contract is about valid inputs
+      SCOPED_TRACE(seed.name + "/" + fault.label);
+
+      const LintFixResult fixed =
+          ApplyLintFixes(seed.graph, fault.budget, fault.schedule);
+      ASSERT_TRUE(fixed.ok) << fixed.message;
+      EXPECT_TRUE(fixed.verification.valid) << fixed.verification.error;
+      EXPECT_EQ(fixed.cost_before, sim.cost);
+      EXPECT_LE(fixed.cost_after, fixed.cost_before);
+
+      // Independent re-verification: never trust the fixer's own replay.
+      const SimResult fresh =
+          Simulate(seed.graph, fault.budget, fixed.schedule);
+      ASSERT_TRUE(fresh.valid) << fresh.error;
+      EXPECT_EQ(fresh.cost, fixed.cost_after);
+
+      // Fixpoint: no fixable warnings remain.
+      const LintResult after =
+          LintSchedule(seed.graph, fault.budget, fixed.schedule);
+      EXPECT_FALSE(after.has_errors());
+      for (const LintDiagnostic& d : after.diagnostics) {
+        EXPECT_TRUE(d.severity != LintSeverity::kWarning || d.fixit.empty())
+            << d.rule_id << ": " << d.message;
+      }
+      if (fixed.changed) ++fixed_schedules;
+    }
+  }
+  // Greedy-topo seeds carry real spill churn, so some fixes must fire.
+  EXPECT_GE(fixed_schedules, 1u);
+}
+
+}  // namespace
+}  // namespace wrbpg

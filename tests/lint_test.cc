@@ -1,0 +1,508 @@
+// Unit tests for the schedule lint engine: the liveness primitives, each
+// rule in isolation, fix-it application, and rendering. The bulk
+// soundness contract against the simulator lives in
+// lint_differential_test.cc.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/graph_builder.h"
+#include "core/simulator.h"
+#include "lint/fixes.h"
+#include "lint/lint.h"
+#include "lint/liveness.h"
+#include "schedulers/belady.h"
+#include "schedulers/greedy_topo.h"
+#include "tests/test_helpers.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+std::vector<const LintDiagnostic*> DiagsOfRule(const LintResult& result,
+                                               std::string_view rule) {
+  std::vector<const LintDiagnostic*> out;
+  for (const LintDiagnostic& d : result.diagnostics) {
+    if (d.rule_id == rule) out.push_back(&d);
+  }
+  return out;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(LintRegistry, RuleIdsAreUniqueAndResolvable) {
+  std::set<std::string_view> seen;
+  for (const LintRule& rule : AllLintRules()) {
+    EXPECT_TRUE(seen.insert(rule.id).second) << "duplicate id " << rule.id;
+    EXPECT_FALSE(rule.description.empty());
+    const LintRule* found = FindLintRule(rule.id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id, rule.id);
+  }
+  EXPECT_EQ(FindLintRule("no-such-rule"), nullptr);
+}
+
+TEST(LintRegistry, EveryEmittedRuleIdIsRegistered) {
+  // A schedule crafted to trip many rules at once; every diagnostic's id
+  // must resolve in the registry.
+  const Graph g = MakeDiamond();
+  Schedule s;
+  s.Append(Load(99));     // node-out-of-range
+  s.Append(Compute(4));   // non-topological + parent-not-red
+  s.Append(Load(0));
+  s.Append(Delete(0));    // dead load
+  const LintResult lint = LintSchedule(g, 100, s);
+  EXPECT_TRUE(lint.has_errors());
+  for (const LintDiagnostic& d : lint.diagnostics) {
+    EXPECT_NE(FindLintRule(d.rule_id), nullptr) << d.rule_id;
+  }
+}
+
+// --- Liveness primitives ----------------------------------------------------
+
+TEST(Liveness, UseTimelineOverComputeOrder) {
+  const Graph g = MakeDiamond();  // 2 reads {0,1}; 3 reads {1}; 4 reads {2,3}
+  const std::vector<NodeId> order = {2, 3, 4};
+  const UseTimeline t = UseTimeline::OverComputeOrder(g, order);
+  EXPECT_EQ(t.NextUseAt(0, 0), 0u);  // consumed by slot 0 (compute of 2)
+  EXPECT_EQ(t.NextUseAt(0, 1), kNoUse);
+  EXPECT_EQ(t.NextUseAt(1, 0), 0u);
+  EXPECT_EQ(t.NextUseAt(1, 1), 1u);  // compute of 3
+  EXPECT_EQ(t.NextUseAt(2, 1), 2u);  // compute of 4
+  EXPECT_EQ(t.NextUseAt(4, 2), kNoUse);
+}
+
+TEST(Liveness, UseTimelineOverMovesCountsStoresAndParents) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));      // 0: no use
+  s.Append(Compute(1));   // 1: uses 0
+  s.Append(Store(1));     // 2: uses 1
+  s.Append(Compute(2));   // 3: uses 1
+  const UseTimeline t = UseTimeline::OverMoves(g, s);
+  EXPECT_EQ(t.NextUseAt(0, 0), 1u);
+  EXPECT_EQ(t.NextUseAt(1, 0), 2u);
+  EXPECT_EQ(t.NextUseAt(1, 3), 3u);
+  EXPECT_EQ(t.NextUseAt(2, 0), kNoUse);
+}
+
+TEST(Liveness, MoveRefCountsMatchRepairSemantics) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));  // mentions 1 and parent 0
+  s.Append(Delete(0));
+  MoveRefCounts refs(g, s);
+  EXPECT_EQ(refs.remaining(0), 3);  // load + parent-of-compute + delete
+  EXPECT_EQ(refs.remaining(1), 1);
+  refs.Consume(s[0]);
+  EXPECT_EQ(refs.remaining(0), 2);
+  refs.Consume(s[1]);
+  EXPECT_EQ(refs.remaining(0), 1);
+  EXPECT_EQ(refs.remaining(1), 0);
+}
+
+TEST(Liveness, MoveLivenessBuildsRangesAndAnswersRangeAt) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));     // 0: def 0
+  s.Append(Compute(1));  // 1: def 1, use of 0
+  s.Append(Delete(0));   // 2: kill 0
+  s.Append(Compute(2));  // 3: use of 1
+  s.Append(Store(2));    // 4: use of 2
+  const MoveLiveness live(g, s);
+  ASSERT_EQ(live.ranges_of(0).size(), 1u);
+  const LiveRange& r0 = live.ranges()[live.ranges_of(0)[0]];
+  EXPECT_EQ(r0.def, 0u);
+  EXPECT_EQ(r0.def_type, MoveType::kLoad);
+  EXPECT_EQ(r0.kill, 2u);
+  EXPECT_EQ(r0.use_count, 1u);
+  EXPECT_EQ(r0.last_use, 1u);
+
+  const LiveRange* at = live.RangeAt(0, 1);
+  ASSERT_NE(at, nullptr);
+  EXPECT_EQ(at->def, 0u);
+  EXPECT_EQ(live.RangeAt(0, 3), nullptr);  // killed at 2
+  const LiveRange* r2 = live.RangeAt(2, 4);
+  ASSERT_NE(r2, nullptr);  // live-out: kill == kNoMove covers the tail
+  EXPECT_EQ(r2->use_count, 1u);
+}
+
+// --- Clean schedules --------------------------------------------------------
+
+TEST(Lint, CleanBeladyScheduleHasNoDiagnostics) {
+  const Graph g = MakeDiamond();
+  const Weight budget = MinValidBudget(g) + 8;
+  const Schedule s = BeladyScheduler(g).Run(budget).schedule;
+  ASSERT_TRUE(Simulate(g, budget, s).valid);
+  const LintResult lint = LintSchedule(g, budget, s);
+  EXPECT_FALSE(lint.has_errors());
+  EXPECT_EQ(lint.count(LintSeverity::kWarning), 0u)
+      << RenderLintResult(lint);
+  EXPECT_EQ(lint.wasted_bits_total, 0);
+}
+
+// --- Individual rules -------------------------------------------------------
+
+TEST(Lint, DeadLoadDetectedWithPairedDeleteFix) {
+  const Graph g = MakeDiamond({4, 4, 4, 4, 4});
+  const Weight budget = MinValidBudget(g) + 16;
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(1));
+  s.Append(Compute(2));
+  s.Append(Delete(0));
+  s.Append(Compute(3));
+  s.Append(Delete(1));
+  s.Append(Compute(4));
+  s.Append(Store(4));
+  s.Append(Delete(2));
+  s.Append(Delete(3));
+  s.Append(Delete(4));
+  const Weight base_cost = Simulate(g, budget, s).cost;
+  s.Append(Load(0));    // never read again
+  s.Append(Delete(0));
+  ASSERT_TRUE(Simulate(g, budget, s).valid);
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  const auto dead = DiagsOfRule(lint, "dead-load");
+  ASSERT_EQ(dead.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(dead[0]->severity, LintSeverity::kWarning);
+  EXPECT_EQ(dead[0]->move_index, s.size() - 2);
+  EXPECT_EQ(dead[0]->node, 0u);
+  EXPECT_EQ(dead[0]->wasted_bits, 4);
+  EXPECT_EQ(dead[0]->fixit.drop_moves.size(), 2u);
+
+  const LintFixResult fixed = ApplyLintFixes(g, budget, s);
+  ASSERT_TRUE(fixed.ok) << fixed.message;
+  EXPECT_TRUE(fixed.changed);
+  EXPECT_TRUE(fixed.verification.valid);
+  EXPECT_EQ(fixed.cost_after, base_cost);
+}
+
+TEST(Lint, DeadStoreDetectedAndFixed) {
+  const Graph g = MakeChain(3, 8);
+  const Weight budget = MinValidBudget(g) + 32;
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Store(1));  // 1 is not a sink and never reloaded
+  s.Append(Delete(0));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  s.Append(Delete(1));
+  s.Append(Delete(2));
+  ASSERT_TRUE(Simulate(g, budget, s).valid);
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  const auto dead = DiagsOfRule(lint, "dead-store");
+  ASSERT_EQ(dead.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(dead[0]->move_index, 2u);
+  EXPECT_EQ(dead[0]->node, 1u);
+  EXPECT_EQ(dead[0]->wasted_bits, 8);
+
+  const LintFixResult fixed = ApplyLintFixes(g, budget, s);
+  ASSERT_TRUE(fixed.ok) << fixed.message;
+  EXPECT_EQ(fixed.cost_after, fixed.cost_before - 8);
+  EXPECT_TRUE(fixed.verification.valid);
+}
+
+TEST(Lint, DeadComputeDetected) {
+  // 0 -> {1, 2}, both sinks. Recompute 1 after its store: pure waste.
+  GraphBuilder b;
+  b.AddNode(2);
+  b.AddNode(2);
+  b.AddNode(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  const Graph g = b.BuildOrDie();
+  const Weight budget = 16;
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Store(1));
+  s.Append(Delete(1));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  s.Append(Delete(2));
+  s.Append(Compute(1));  // dead: never read, already blue so never stored
+  s.Append(Delete(1));
+  s.Append(Delete(0));
+  ASSERT_TRUE(Simulate(g, budget, s).valid);
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  const auto dead = DiagsOfRule(lint, "dead-compute");
+  ASSERT_EQ(dead.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(dead[0]->move_index, 7u);
+  EXPECT_EQ(dead[0]->node, 1u);
+  // A compute wastes no I/O itself, but the fix still removes it.
+  EXPECT_EQ(dead[0]->wasted_bits, 0);
+  EXPECT_EQ(dead[0]->fixit.drop_moves.size(), 2u);
+
+  const LintFixResult fixed = ApplyLintFixes(g, budget, s);
+  ASSERT_TRUE(fixed.ok) << fixed.message;
+  EXPECT_TRUE(fixed.changed);
+  EXPECT_LE(fixed.cost_after, fixed.cost_before);
+}
+
+TEST(Lint, SpillChurnFixableWhenHeadroomExists) {
+  const Graph g = MakeDiamond({4, 4, 4, 4, 4});
+  const Weight budget = 100;  // ample headroom: the delete was pointless
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(1));
+  s.Append(Compute(2));
+  s.Append(Delete(1));   // churn: deleted ...
+  s.Append(Load(1));     // ... and reloaded for compute of 3
+  s.Append(Compute(3));
+  s.Append(Delete(0));
+  s.Append(Delete(1));
+  s.Append(Compute(4));
+  s.Append(Store(4));
+  s.Append(Delete(2));
+  s.Append(Delete(3));
+  s.Append(Delete(4));
+  const SimResult base = Simulate(g, budget, s);
+  ASSERT_TRUE(base.valid) << base.error;
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  const auto churn = DiagsOfRule(lint, "spill-churn");
+  ASSERT_EQ(churn.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(churn[0]->severity, LintSeverity::kWarning);
+  EXPECT_EQ(churn[0]->move_index, 4u);
+  EXPECT_EQ(churn[0]->node, 1u);
+  EXPECT_EQ(churn[0]->wasted_bits, 4);
+  EXPECT_EQ(churn[0]->fixit.drop_moves, (std::vector<std::size_t>{3, 4}));
+
+  const LintFixResult fixed = ApplyLintFixes(g, budget, s);
+  ASSERT_TRUE(fixed.ok) << fixed.message;
+  EXPECT_EQ(fixed.cost_after, base.cost - 4);
+  EXPECT_TRUE(fixed.verification.valid);
+}
+
+TEST(Lint, SpillChurnUnfixableAtTightBudgetIsAdvisory) {
+  // Node 3 is spilled and reloaded, but the gap contains a snapshot at the
+  // full budget (the compute of 2 needs all 12 bits), so keeping 3
+  // resident is impossible: advisory only, no fix.
+  const Graph g = MakeDiamond({4, 4, 4, 4, 4});
+  const Weight budget = MinValidBudget(g);  // 12 bits
+  Schedule s;
+  s.Append(Load(1));
+  s.Append(Compute(3));
+  s.Append(Store(3));
+  s.Append(Delete(3));
+  s.Append(Load(0));
+  s.Append(Compute(2));   // occupancy hits the budget here
+  s.Append(Delete(0));
+  s.Append(Delete(1));
+  s.Append(Load(3));      // forced reload
+  s.Append(Compute(4));
+  s.Append(Store(4));
+  s.Append(Delete(2));
+  s.Append(Delete(3));
+  s.Append(Delete(4));
+  const SimResult base = Simulate(g, budget, s);
+  ASSERT_TRUE(base.valid) << base.error;
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  EXPECT_FALSE(lint.has_errors());
+  const auto churn = DiagsOfRule(lint, "spill-churn");
+  ASSERT_EQ(churn.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(churn[0]->severity, LintSeverity::kInfo);
+  EXPECT_TRUE(churn[0]->fixit.empty());
+  EXPECT_EQ(churn[0]->node, 3u);
+  // Advisory diagnostics leave nothing to fix.
+  const LintFixResult fixed = ApplyLintFixes(g, budget, s);
+  ASSERT_TRUE(fixed.ok) << fixed.message;
+  EXPECT_EQ(fixed.cost_after, fixed.cost_before);
+}
+
+TEST(Lint, RedundantRecomputeAttributesSingleUseParentLoads) {
+  const Graph g = MakeChain(3, 8);  // 0 -> 1 -> 2
+  const Weight budget = 64;
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Store(1));
+  s.Append(Delete(0));
+  s.Append(Delete(1));   // 1 dropped ...
+  s.Append(Load(0));     // ... parent refetched only to rebuild it
+  s.Append(Compute(1));  // redundant recompute (a Load(1) would also do)
+  s.Append(Delete(0));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  s.Append(Delete(1));
+  s.Append(Delete(2));
+  ASSERT_TRUE(Simulate(g, budget, s).valid);
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  const auto rec = DiagsOfRule(lint, "redundant-recompute");
+  ASSERT_EQ(rec.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(rec[0]->severity, LintSeverity::kInfo);
+  EXPECT_EQ(rec[0]->move_index, 6u);
+  EXPECT_EQ(rec[0]->node, 1u);
+  EXPECT_EQ(rec[0]->wasted_bits, 8);  // the Load(0) serving only this compute
+}
+
+TEST(Lint, BudgetInfeasibleComputeIsProvableFromOneMove) {
+  // Three 8-bit nodes; the sink's working set is 24 > budget 23 (Prop 2.3).
+  GraphBuilder b;
+  b.AddNode(8);
+  b.AddNode(8);
+  b.AddNode(8);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  const Graph g = b.BuildOrDie();
+  const Weight budget = MinValidBudget(g) - 1;
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Load(1));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+
+  const LintResult lint = LintSchedule(g, budget, s);
+  const auto infeasible = DiagsOfRule(lint, "budget-infeasible");
+  ASSERT_EQ(infeasible.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(infeasible[0]->move_index, 2u);
+  EXPECT_EQ(infeasible[0]->node, 2u);
+  EXPECT_EQ(infeasible[0]->sim_code, SimErrorCode::kBudgetExceeded);
+
+  // The first error still mirrors the simulator's report exactly.
+  const SimResult sim = Simulate(g, budget, s);
+  ASSERT_FALSE(sim.valid);
+  const LintDiagnostic* first = lint.first_error();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->sim_code, sim.code);
+  EXPECT_EQ(first->move_index, sim.error_index);
+  EXPECT_EQ(first->node, sim.error_node);
+}
+
+TEST(Lint, NonTopologicalComputeOrderIsFlagged) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(2));  // before its parent 1 was ever computed
+  const LintResult lint = LintSchedule(g, 8, s);
+  const auto topo = DiagsOfRule(lint, "non-topological-compute");
+  ASSERT_EQ(topo.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(topo[0]->move_index, 1u);
+  EXPECT_EQ(topo[0]->node, 1u);  // the missing parent
+  EXPECT_TRUE(lint.has_errors());
+}
+
+TEST(Lint, StopConditionUnmetAtEndOfSchedule) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Compute(2));  // sink computed but never stored
+  const LintResult lint = LintSchedule(g, 8, s);
+  const auto stop = DiagsOfRule(lint, "stop-condition-unmet");
+  ASSERT_EQ(stop.size(), 1u) << RenderLintResult(lint);
+  EXPECT_EQ(stop[0]->move_index, s.size());
+  EXPECT_EQ(stop[0]->node, 2u);
+}
+
+// --- Graph-level rules ------------------------------------------------------
+
+TEST(LintGraphRules, IsolatedNodeIsFlagged) {
+  GraphBuilder b;
+  b.AddNode(1);
+  const Graph g =
+      b.BuildOrDie({.require_disjoint_sources_sinks = false});
+  const auto diags = LintGraph(g);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule_id, "graph-isolated-node");
+  EXPECT_EQ(diags[0].severity, LintSeverity::kInfo);
+  EXPECT_EQ(diags[0].node, 0u);
+}
+
+TEST(LintGraphRules, IrrelevantToDesignatedOutputs) {
+  // Diamond with outputs restricted to node 2: node 3 feeds only the real
+  // sink 4, so relative to {2} both 3 and 4 are irrelevant.
+  const Graph g = MakeDiamond();
+  const std::vector<NodeId> outputs = {2};
+  const auto diags = LintGraph(g, outputs);
+  std::set<NodeId> flagged;
+  for (const LintDiagnostic& d : diags) {
+    if (d.rule_id == "graph-irrelevant-node") flagged.insert(d.node);
+  }
+  EXPECT_EQ(flagged, (std::set<NodeId>{3, 4}));
+}
+
+TEST(LintGraphRules, WellFormedGraphIsClean) {
+  EXPECT_TRUE(LintGraph(MakeDiamond()).empty());
+}
+
+// --- Fix application --------------------------------------------------------
+
+TEST(LintFixes, CascadeReachesFixpoint) {
+  // A dead load at the tail keeps Store(1) "alive" in round 1; dropping
+  // the load must then expose the store as dead in round 2.
+  const Graph g = MakeChain(3, 8);
+  const Weight budget = 64;
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Delete(0));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  s.Append(Store(1));   // only "used" by the dead reload below
+  s.Append(Delete(1));
+  s.Append(Delete(2));
+  s.Append(Load(1));    // dead load
+  s.Append(Delete(1));
+  const SimResult base = Simulate(g, budget, s);
+  ASSERT_TRUE(base.valid) << base.error;
+
+  const LintFixResult fixed = ApplyLintFixes(g, budget, s);
+  ASSERT_TRUE(fixed.ok) << fixed.message;
+  EXPECT_GE(fixed.iterations, 2u);
+  EXPECT_EQ(fixed.cost_after, base.cost - 16);  // reload + store both gone
+  EXPECT_TRUE(fixed.verification.valid);
+
+  // Fixpoint: nothing fixable remains.
+  const LintResult after = LintSchedule(g, budget, fixed.schedule);
+  for (const LintDiagnostic& d : after.diagnostics) {
+    EXPECT_TRUE(d.severity != LintSeverity::kWarning || d.fixit.empty())
+        << RenderLintResult(after);
+  }
+}
+
+TEST(LintFixes, RefusesInvalidInput) {
+  const Graph g = MakeChain(3);
+  Schedule s;
+  s.Append(Compute(2));
+  const LintFixResult fixed = ApplyLintFixes(g, 8, s);
+  EXPECT_FALSE(fixed.ok);
+  EXPECT_FALSE(fixed.changed);
+  EXPECT_FALSE(fixed.message.empty());
+  EXPECT_EQ(fixed.schedule, s);
+}
+
+// --- Rendering --------------------------------------------------------------
+
+TEST(LintRender, TextAndJsonCarryTheDiagnostics) {
+  const Graph g = MakeDiamond({4, 4, 4, 4, 4});
+  Schedule s = GreedyTopoScheduler(g).Run(100).schedule;
+  s.Append(Load(0));
+  s.Append(Delete(0));
+  const LintResult lint = LintSchedule(g, 100, s);
+  ASSERT_GE(lint.count(LintSeverity::kWarning), 1u);
+
+  const std::string text = RenderLintResult(lint);
+  EXPECT_NE(text.find("dead-load"), std::string::npos);
+  EXPECT_NE(text.find("warning"), std::string::npos);
+
+  const std::string json = LintResultToJson(lint);
+  EXPECT_NE(json.find("\"rule\":\"dead-load\""), std::string::npos);
+  EXPECT_NE(json.find("\"wasted_bits\""), std::string::npos);
+  EXPECT_NE(json.find("\"fix_drop_moves\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrbpg

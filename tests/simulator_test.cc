@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "core/simulator.h"
@@ -244,6 +247,29 @@ TEST(Simulator, EmptyScheduleFailsStopCondition) {
   const Graph g = MakeChain(2);
   const SimResult r = Simulate(g, 10, Schedule{});
   EXPECT_FALSE(r.valid);
+}
+
+TEST(SimErrorCodeStrings, RoundTripOverEveryCode) {
+  // kAllSimErrorCodes must enumerate each enumerator exactly once with a
+  // distinct stable name, and FromString must invert ToString for all of
+  // them. Together with the -Werror=switch build of ToString, this keeps
+  // the taxonomy, the table, and the parser from drifting apart.
+  std::set<std::string> names;
+  for (const SimErrorCode code : kAllSimErrorCodes) {
+    const std::string name = ToString(code);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto parsed = SimErrorCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllSimErrorCodes));
+}
+
+TEST(SimErrorCodeStrings, UnknownNamesParseToNothing) {
+  EXPECT_FALSE(SimErrorCodeFromString("").has_value());
+  EXPECT_FALSE(SimErrorCodeFromString("unknown").has_value());
+  EXPECT_FALSE(SimErrorCodeFromString("load-no-blue ").has_value());
+  EXPECT_FALSE(SimErrorCodeFromString("LOAD-NO-BLUE").has_value());
 }
 
 TEST(Move, ToStringFormatsLikeThePaper) {

@@ -1,9 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
 #include "core/trace.h"
 #include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/random_dag.h"
+#include "dataflows/tree_graph.h"
+#include "schedulers/belady.h"
 #include "schedulers/dwt_optimal.h"
+#include "schedulers/kary_tree.h"
 #include "tests/test_helpers.h"
+#include "util/rng.h"
 
 namespace wrbpg {
 namespace {
@@ -65,6 +76,67 @@ TEST(Trace, RenderHandlesEmptyTrace) {
   OccupancyTrace empty;
   EXPECT_NE(RenderOccupancy(empty, 100).find("no occupancy data"),
             std::string::npos);
+}
+
+// Differential contract: TraceOccupancy and Simulate are two replays of
+// the same rules, so on every valid schedule the trace's series must agree
+// with the simulator's peak/final occupancy, across all graph families and
+// both loose and tight budgets.
+TEST(Trace, OccupancyAgreesWithSimulatorAcrossFamilies) {
+  struct Case {
+    std::string name;
+    Graph graph;
+    Schedule schedule;
+    Weight budget = 0;
+  };
+  std::vector<Case> cases;
+  const Weight slacks[] = {0, 8, 64};
+  for (const Weight slack : slacks) {
+    const DwtGraph dwt = BuildDwt(16, 3);
+    const Weight budget = MinValidBudget(dwt.graph) + slack;
+    DwtOptimalScheduler sched(dwt);
+    cases.push_back({"dwt+" + std::to_string(slack), dwt.graph,
+                     sched.Run(budget).schedule, budget});
+  }
+  for (const Weight slack : slacks) {
+    const TreeGraph tree = BuildPerfectTree(3, 3);
+    const Weight budget = MinValidBudget(tree.graph) + slack;
+    KaryTreeScheduler sched(tree.graph);
+    cases.push_back({"kary+" + std::to_string(slack), tree.graph,
+                     sched.Run(budget).schedule, budget});
+  }
+  for (const Weight slack : slacks) {
+    const MvmGraph mvm = BuildMvm(5, 4);
+    const Weight budget = MinValidBudget(mvm.graph) + slack;
+    cases.push_back({"mvm+" + std::to_string(slack), mvm.graph,
+                     BeladyScheduler(mvm.graph).Run(budget).schedule, budget});
+  }
+  for (const Weight slack : slacks) {
+    Rng rng(0x7ace5u + static_cast<std::uint64_t>(slack));
+    const Graph dag = BuildRandomDag(rng, {.num_layers = 5,
+                                           .nodes_per_layer = 4,
+                                           .max_in_degree = 3});
+    const Weight budget = MinValidBudget(dag) + slack;
+    cases.push_back({"dag+" + std::to_string(slack), dag,
+                     BeladyScheduler(dag).Run(budget).schedule, budget});
+  }
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    ASSERT_FALSE(c.schedule.empty());
+    const SimResult sim =
+        testing::ExpectValid(c.graph, c.budget, c.schedule);
+    const OccupancyTrace trace = TraceOccupancy(c.graph, c.budget, c.schedule);
+    ASSERT_TRUE(trace.ok) << trace.error;
+    ASSERT_EQ(trace.occupancy_bits.size(), c.schedule.size());
+    EXPECT_EQ(trace.peak_bits, sim.peak_red_weight);
+    EXPECT_EQ(*std::max_element(trace.occupancy_bits.begin(),
+                                trace.occupancy_bits.end()),
+              sim.peak_red_weight);
+    EXPECT_EQ(trace.occupancy_bits[trace.peak_index], trace.peak_bits);
+    EXPECT_EQ(trace.occupancy_bits.back(), sim.final_red_weight);
+    EXPECT_LE(trace.peak_bits, c.budget);
+  }
 }
 
 }  // namespace

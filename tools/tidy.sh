@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole tree via a WRBPG_TIDY=ON build.
+#
+# Usage:
+#   tools/tidy.sh                 # analyze src/ + tests/ + examples/
+#   tools/tidy.sh --target wrbpg_core   # extra args go to cmake --build
+#
+# The analysis tree lives in build-tidy/ next to the normal build/, so a
+# tidy run never dirties the incremental build. Benchmarks are skipped
+# (google-benchmark headers are noisy under several bugprone checks).
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments that only carry gcc.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tidy"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping static analysis." >&2
+  echo "tidy.sh: install clang-tidy (LLVM >= 15) to run this locally." >&2
+  exit 0
+fi
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DWRBPG_TIDY=ON \
+  -DWRBPG_BUILD_BENCH=OFF
+
+# clang-tidy findings surface as compiler diagnostics; -k keeps going so a
+# single finding does not hide the rest of the report.
+cmake --build "${BUILD}" -j"$(nproc)" -- -k "$@"
