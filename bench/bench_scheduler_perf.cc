@@ -1,20 +1,40 @@
-// Scheduler runtime microbenchmarks (google-benchmark).
+// Scheduler runtime microbenchmarks (google-benchmark), plus the
+// `--threads-sweep` mode for the DESIGN.md §8 parallel search engine.
 //
-// Supports the polynomial-time claims of Theorems 3.5 and 3.8: DP cost
-// evaluation and schedule generation scale polynomially in |V| (DWT) and
-// stay tractable in k (k-ary trees), and the WRBPG simulator replays
-// hundreds of thousands of moves per millisecond.
+// Default mode supports the polynomial-time claims of Theorems 3.5 and
+// 3.8: DP cost evaluation and schedule generation scale polynomially in
+// |V| (DWT) and stay tractable in k (k-ary trees), and the WRBPG
+// simulator replays hundreds of thousands of moves per millisecond.
+//
+// `bench_scheduler_perf --threads-sweep [--csv <dir>]` instead runs the
+// exact brute-force search and the analysis budget sweep at 1/2/4/8
+// threads on DWT and k-ary instances, printing wall time, speedup over
+// the sequential run, cost, and whether the schedule is bit-identical to
+// `--threads 1` (the determinism contract says it always is).
+// `--dwt-n/--dwt-d/--budget-slack` resize the DWT instance; the default
+// is chosen so the sequential solve takes on the order of a second.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "core/analysis.h"
 #include "core/simulator.h"
 #include "dataflows/dwt_graph.h"
 #include "dataflows/mvm_graph.h"
 #include "dataflows/tree_graph.h"
+#include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
 #include "schedulers/kary_tree.h"
 #include "schedulers/layer_by_layer.h"
 #include "schedulers/mvm_tiling.h"
+#include "util/cli.h"
 
 namespace wrbpg {
 namespace {
@@ -112,5 +132,183 @@ void BM_MinMemorySearchDwt(benchmark::State& state) {
 }
 BENCHMARK(BM_MinMemorySearchDwt);
 
+// ---------------------------------------------------------------------------
+// --threads-sweep: thread-scaling table for the parallel search engine.
+// ---------------------------------------------------------------------------
+
+using SweepClock = std::chrono::steady_clock;
+
+double ElapsedMs(SweepClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SweepClock::now() - start)
+      .count();
+}
+
+struct SweepRow {
+  std::string instance;
+  std::size_t threads = 1;
+  double time_ms = 0;
+  double speedup = 1.0;
+  Weight cost = kInfiniteCost;
+  bool identical = true;  // schedule/costs bit-identical to threads=1
+};
+
+void PrintSweepHeader() {
+  std::cout << std::left << std::setw(26) << "instance" << std::right
+            << std::setw(8) << "threads" << std::setw(12) << "time_ms"
+            << std::setw(9) << "speedup" << std::setw(12) << "cost"
+            << std::setw(11) << "identical" << "\n";
+}
+
+void PrintSweepRow(const SweepRow& row) {
+  std::cout << std::left << std::setw(26) << row.instance << std::right
+            << std::setw(8) << row.threads << std::setw(12) << std::fixed
+            << std::setprecision(1) << row.time_ms << std::setw(9)
+            << std::setprecision(2) << row.speedup << std::setw(12)
+            << row.cost << std::setw(11) << (row.identical ? "yes" : "NO")
+            << "\n";
+}
+
+// Runs the exact search on `graph` at each thread count, checking every
+// parallel schedule bit-for-bit against the sequential one.
+void SweepBruteForce(const std::string& name, const Graph& graph,
+                     Weight budget, const std::vector<std::size_t>& counts,
+                     std::vector<SweepRow>& rows, bool& all_identical) {
+  const BruteForceScheduler scheduler(graph);
+  ScheduleResult baseline;
+  double baseline_ms = 0;
+  for (std::size_t threads : counts) {
+    BruteForceOptions options;
+    options.threads = threads;
+    const SweepClock::time_point start = SweepClock::now();
+    ScheduleResult result = scheduler.Run(budget, options);
+    SweepRow row;
+    row.instance = name;
+    row.threads = threads;
+    row.time_ms = ElapsedMs(start);
+    row.cost = result.feasible ? result.cost : kInfiniteCost;
+    if (threads == 1) {
+      baseline = std::move(result);
+      baseline_ms = row.time_ms;
+    } else {
+      row.speedup = row.time_ms > 0 ? baseline_ms / row.time_ms : 1.0;
+      row.identical = result.feasible == baseline.feasible &&
+                      result.cost == baseline.cost &&
+                      result.schedule == baseline.schedule;
+      all_identical = all_identical && row.identical;
+    }
+    PrintSweepRow(row);
+    rows.push_back(row);
+  }
+}
+
+// Times the analysis-layer budget sweep (EvaluateBudgets over a grid of
+// exact CostOnly probes) at each thread count.
+void SweepBudgetGrid(const std::string& name, const Graph& graph,
+                     const std::vector<Weight>& budgets,
+                     const std::vector<std::size_t>& counts,
+                     std::vector<SweepRow>& rows, bool& all_identical) {
+  const BruteForceScheduler scheduler(graph);
+  const CostFn cost_fn = [&](Weight budget) {
+    return scheduler.CostOnly(budget);
+  };
+  std::vector<Weight> baseline;
+  double baseline_ms = 0;
+  for (std::size_t threads : counts) {
+    BudgetSweepOptions options;
+    options.threads = threads;
+    const SweepClock::time_point start = SweepClock::now();
+    const std::vector<Weight> costs =
+        EvaluateBudgets(cost_fn, budgets, options);
+    SweepRow row;
+    row.instance = name;
+    row.threads = threads;
+    row.time_ms = ElapsedMs(start);
+    row.cost = costs.empty() ? kInfiniteCost : costs.back();
+    if (threads == 1) {
+      baseline = costs;
+      baseline_ms = row.time_ms;
+    } else {
+      row.speedup = row.time_ms > 0 ? baseline_ms / row.time_ms : 1.0;
+      row.identical = costs == baseline;
+      all_identical = all_identical && row.identical;
+    }
+    PrintSweepRow(row);
+    rows.push_back(row);
+  }
+}
+
+int RunThreadsSweep(const CliArgs& args) {
+  const std::int64_t dwt_n = args.GetInt("dwt-n", 8);
+  const std::int64_t dwt_d = args.GetInt("dwt-d", 2);
+  const Weight slack = args.GetInt("budget-slack", 2);
+  const std::string csv_dir = args.GetString("csv", "");
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+  if (!DwtParamsValid(dwt_n, static_cast<int>(dwt_d))) {
+    std::cerr << "error: invalid DWT parameters n=" << dwt_n
+              << " d=" << dwt_d << "\n";
+    return 2;
+  }
+
+  const std::vector<std::size_t> counts = {1, 2, 4, 8};
+  std::vector<SweepRow> rows;
+  bool all_identical = true;
+
+  const DwtGraph dwt =
+      BuildDwt(dwt_n, static_cast<int>(dwt_d), PrecisionConfig::Equal());
+  const Weight dwt_budget = MinValidBudget(dwt.graph) + slack;
+  const TreeGraph tree = BuildPerfectTree(2, 3);
+  const Weight tree_budget = MinValidBudget(tree.graph) + slack;
+
+  std::cout << "thread-scaling sweep (hardware_concurrency="
+            << std::thread::hardware_concurrency() << ")\n";
+  PrintSweepHeader();
+  SweepBruteForce("dwt(" + std::to_string(dwt_n) + "," +
+                      std::to_string(dwt_d) + ")-exact",
+                  dwt.graph, dwt_budget, counts, rows, all_identical);
+  SweepBruteForce("kary(2,3)-exact", tree.graph, tree_budget, counts, rows,
+                  all_identical);
+  SweepBudgetGrid("kary(2,3)-budget-sweep", tree.graph,
+                  bench::BudgetGridBits(MinValidBudget(tree.graph),
+                                        4 * MinValidBudget(tree.graph)),
+                  counts, rows, all_identical);
+
+  std::vector<std::vector<std::string>> csv_rows;
+  csv_rows.push_back(
+      {"instance", "threads", "time_ms", "speedup", "cost", "identical"});
+  for (const SweepRow& row : rows) {
+    csv_rows.push_back({row.instance, std::to_string(row.threads),
+                        std::to_string(row.time_ms),
+                        std::to_string(row.speedup),
+                        std::to_string(row.cost),
+                        row.identical ? "yes" : "no"});
+  }
+  bench::DumpCsv(csv_dir, "threads_sweep", csv_rows);
+
+  if (!all_identical) {
+    std::cerr << "FAIL: a parallel run diverged from the sequential "
+                 "schedule (determinism contract violated)\n";
+    return 1;
+  }
+  std::cout << "all parallel runs bit-identical to --threads 1\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace wrbpg
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads-sweep") {
+      const wrbpg::CliArgs args(argc, argv);
+      return wrbpg::RunThreadsSweep(args);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,6 +29,12 @@
 //   wrbpg_cli dot <graph.txt>
 //       Graphviz rendering of the dataflow.
 //
+// Every verb accepts --threads N to set the worker-thread count for the
+// search engines (brute force, the robust chain). The default is the
+// hardware concurrency (or WRBPG_THREADS when set); --threads 1 forces
+// the fully sequential paths. The schedule emitted is identical at any
+// thread count — see the determinism contract in DESIGN.md §8.
+//
 // Example:
 //   $ cat > add3.txt << 'EOF'
 //   wrbpg-graph v1
@@ -64,7 +70,7 @@ int Usage() {
   std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
                "dot> <graph.txt> [schedule.txt] [--budget N] "
                "[--algo greedy|belady|brute|robust] [--deadline-ms N] "
-               "[--json] [--fix]\n";
+               "[--threads N] [--json] [--fix]\n";
   return 2;
 }
 
@@ -84,6 +90,7 @@ bool ReadFile(const std::string& path, std::string& out) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  args.ApplyThreadsFlag();
   if (!args.error().empty()) {
     std::cerr << "error: " << args.error() << "\n";
     return 2;

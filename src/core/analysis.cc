@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+
+#include "util/thread_pool.h"
 
 namespace wrbpg {
 
@@ -61,11 +64,61 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
     return budget_at(hi);
   }
 
+  const std::size_t threads = ResolveThreadCount(options.threads);
+  if (threads > 1) {
+    // Probe budgets in parallel blocks, ascending. Every budget in a block
+    // is evaluated (no early exit inside a block), and the smallest
+    // achieving budget of the first successful block wins — exactly the
+    // budget the sequential scan below would return, at any thread count.
+    ThreadPool pool(threads);
+    const Weight block = static_cast<Weight>(threads) * 2;
+    std::vector<char> achieved(static_cast<std::size_t>(block));
+    for (Weight base = 0; base <= steps; base += block) {
+      if (expired()) return std::nullopt;
+      const Weight hi = std::min(steps, base + block - 1);
+      std::fill(achieved.begin(), achieved.end(), 0);
+      ParallelFor(pool, base, hi + 1, [&](std::int64_t k) {
+        achieved[static_cast<std::size_t>(k - base)] = achieves(k) ? 1 : 0;
+      });
+      for (Weight k = base; k <= hi; ++k) {
+        if (achieved[static_cast<std::size_t>(k - base)] != 0) {
+          return budget_at(k);
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
   for (Weight k = 0; k <= steps; ++k) {
     if (expired()) return std::nullopt;
     if (achieves(k)) return budget_at(k);
   }
   return std::nullopt;
+}
+
+std::vector<Weight> EvaluateBudgets(const CostFn& cost_fn,
+                                    const std::vector<Weight>& budgets,
+                                    const BudgetSweepOptions& options) {
+  std::vector<Weight> costs(budgets.size(), kInfiniteCost);
+  const auto expired = [&] {
+    return options.cancel != nullptr && options.cancel->cancelled();
+  };
+  const std::size_t threads = ResolveThreadCount(options.threads);
+  if (threads > 1 && budgets.size() > 1) {
+    ThreadPool pool(threads);
+    ParallelFor(pool, 0, static_cast<std::int64_t>(budgets.size()),
+                [&](std::int64_t i) {
+                  if (expired()) return;
+                  const auto idx = static_cast<std::size_t>(i);
+                  costs[idx] = cost_fn(budgets[idx]);
+                });
+    return costs;
+  }
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    if (expired()) break;
+    costs[i] = cost_fn(budgets[i]);
+  }
+  return costs;
 }
 
 }  // namespace wrbpg

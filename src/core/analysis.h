@@ -1,8 +1,10 @@
 // Basic WRBPG properties (Sec 2.2) and the optimization targets of Sec 2.3.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "core/graph.h"
 #include "core/types.h"
@@ -41,6 +43,15 @@ struct MinMemoryOptions {
   // "no scanned budget achieves the target" — callers that care should
   // check the token afterwards).
   const CancelToken* cancel = nullptr;
+  // Worker threads for the non-monotone linear scan: budgets are probed in
+  // parallel blocks and the smallest achieving budget wins, so the answer
+  // is identical to a sequential scan. The monotone binary search stays
+  // sequential — each probe decides the next one, there is nothing to fan
+  // out. cost_fn MUST be safe to call concurrently when threads != 1
+  // (stateless schedulers like the brute-force oracle are; memoized DPs
+  // such as DwtOptimalScheduler are not — keep those at 1). 0 selects
+  // DefaultSearchThreads().
+  std::size_t threads = 1;
 };
 
 // Definition 2.6: the smallest scanned budget whose schedule cost equals
@@ -49,5 +60,22 @@ struct MinMemoryOptions {
 std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
                                             Weight target_cost,
                                             const MinMemoryOptions& options);
+
+struct BudgetSweepOptions {
+  // Worker threads; 0 selects DefaultSearchThreads(). cost_fn must be safe
+  // to call concurrently when the resolved count exceeds 1.
+  std::size_t threads = 0;
+  // Polled between evaluations; budgets not yet evaluated when the token
+  // fires come back as kInfiniteCost.
+  const CancelToken* cancel = nullptr;
+};
+
+// Evaluates the Definition 2.5 MinimumSchedule target at every budget in
+// the grid, fanning the per-budget evaluations across the pool (each entry
+// is independent, so the result vector is identical at any thread count).
+// The workhorse behind the bench sweeps and the --threads-sweep mode.
+std::vector<Weight> EvaluateBudgets(const CostFn& cost_fn,
+                                    const std::vector<Weight>& budgets,
+                                    const BudgetSweepOptions& options = {});
 
 }  // namespace wrbpg

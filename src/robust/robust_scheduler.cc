@@ -1,8 +1,11 @@
 #include "robust/robust_scheduler.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/simulator.h"
@@ -10,6 +13,7 @@
 #include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
 #include "schedulers/greedy_topo.h"
+#include "util/thread_pool.h"
 
 namespace wrbpg {
 namespace {
@@ -20,6 +24,16 @@ double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
+
+// One link of the fallback chain, described before anything runs so the
+// sequential and speculative modes execute the exact same chain.
+struct Stage {
+  std::string name;
+  bool is_exact = false;  // an optimal answer here ends the chain
+  bool skipped = false;   // preconditions unmet; engine never started
+  std::string skip_detail;
+  std::function<ScheduleResult(const CancelToken*)> engine;
+};
 
 }  // namespace
 
@@ -40,50 +54,92 @@ RobustResult RobustScheduler::Run(Weight budget,
                                   const RobustOptions& options) const {
   const Clock::time_point chain_start = Clock::now();
   const bool deadlined = options.deadline_ms > 0;
+  const std::size_t threads = ResolveThreadCount(options.threads);
+
+  auto remaining_ms = [&] {
+    return options.deadline_ms - MsSince(chain_start);
+  };
+
+  std::vector<Stage> stages;
+
+  {
+    Stage exact;
+    exact.name = "exact";
+    exact.is_exact = true;
+    if (graph_.num_nodes() > options.exact_max_nodes) {
+      exact.skipped = true;
+      exact.skip_detail = "graph has " + std::to_string(graph_.num_nodes()) +
+                          " nodes > exact_max_nodes " +
+                          std::to_string(options.exact_max_nodes);
+    } else {
+      exact.engine = [this, budget, &options,
+                      threads](const CancelToken* cancel) {
+        BruteForceOptions bf;
+        bf.max_states = options.exact_max_states;
+        bf.cancel = cancel;
+        bf.threads = threads;
+        return BruteForceScheduler(graph_).Run(budget, bf);
+      };
+    }
+    stages.push_back(std::move(exact));
+  }
+
+  if (dwt_ != nullptr) {
+    Stage dwt;
+    dwt.name = "dwt-optimal";
+    dwt.is_exact = true;
+    dwt.engine = [this, budget](const CancelToken* cancel) {
+      return DwtOptimalScheduler(*dwt_).Run(budget, cancel);
+    };
+    stages.push_back(std::move(dwt));
+  }
+
+  {
+    Stage belady;
+    belady.name = "belady";
+    belady.engine = [this, budget](const CancelToken*) {
+      return BeladyScheduler(graph_).Run(budget);
+    };
+    stages.push_back(std::move(belady));
+  }
+  {
+    Stage greedy;
+    greedy.name = "greedy-topo";
+    greedy.engine = [this, budget](const CancelToken*) {
+      return GreedyTopoScheduler(graph_).Run(budget);
+    };
+    stages.push_back(std::move(greedy));
+  }
 
   RobustResult out;
   ScheduleResult best;
   std::size_t best_stage = 0;
   bool exact_won = false;  // an exact answer is optimal; stop the chain
 
-  auto remaining_ms = [&] {
-    return options.deadline_ms - MsSince(chain_start);
-  };
-
-  // Runs one engine, verifies its schedule, and folds it into `best`.
-  auto run_stage = [&](const std::string& name, bool is_exact,
-                       const std::function<ScheduleResult(
-                           const CancelToken*)>& engine) {
+  // The fold: interprets one stage's run in chain order. Both execution
+  // modes funnel through these, so the decision procedure (winner, cost,
+  // per-stage outcome) cannot drift between them.
+  auto push_not_run = [&](const Stage& stage) {
     StageReport report;
-    report.name = name;
-    if (exact_won) {
-      report.detail = "earlier stage answered optimally";
-      out.stages.push_back(std::move(report));
-      return;
-    }
-
-    const CancelToken* cancel = nullptr;
-    CancelToken token;
-    if (deadlined && is_exact) {
-      const double slice = remaining_ms() * options.exact_fraction;
-      if (slice <= 0) {
-        report.outcome = StageOutcome::kSkipped;
-        report.detail = "deadline already exhausted";
-        out.stages.push_back(std::move(report));
-        return;
-      }
-      token = CancelToken::WithDeadlineMs(slice);
-      cancel = &token;
-    }
-
-    const Clock::time_point stage_start = Clock::now();
-    ScheduleResult result = engine(cancel);
-    report.elapsed_ms = MsSince(stage_start);
-
+    report.name = stage.name;
+    report.detail = "earlier stage answered optimally";
+    out.stages.push_back(std::move(report));
+  };
+  auto push_skipped = [&](const Stage& stage, std::string detail) {
+    StageReport report;
+    report.name = stage.name;
+    report.outcome = StageOutcome::kSkipped;
+    report.detail = std::move(detail);
+    out.stages.push_back(std::move(report));
+  };
+  auto fold_result = [&](const Stage& stage, ScheduleResult result,
+                         double elapsed_ms) {
+    StageReport report;
+    report.name = stage.name;
+    report.elapsed_ms = elapsed_ms;
     if (result.timed_out) {
       report.outcome = StageOutcome::kTimedOut;
-      report.detail = "cancelled after " +
-                      std::to_string(report.elapsed_ms) + " ms";
+      report.detail = "cancelled after " + std::to_string(elapsed_ms) + " ms";
     } else if (!result.feasible) {
       report.outcome = StageOutcome::kInfeasible;
     } else {
@@ -102,7 +158,7 @@ RobustResult RobustScheduler::Run(Weight budget,
           best = std::move(result);
           best_stage = out.stages.size();
           report.outcome = StageOutcome::kWinner;
-          if (is_exact) exact_won = true;
+          if (stage.is_exact) exact_won = true;
         } else {
           report.outcome = StageOutcome::kCandidate;
         }
@@ -111,40 +167,73 @@ RobustResult RobustScheduler::Run(Weight budget,
     out.stages.push_back(std::move(report));
   };
 
-  // Stage 1: exact search, the only stage that can hang.
-  if (graph_.num_nodes() > options.exact_max_nodes) {
-    StageReport report;
-    report.name = "exact";
-    report.outcome = StageOutcome::kSkipped;
-    report.detail = "graph has " + std::to_string(graph_.num_nodes()) +
-                    " nodes > exact_max_nodes " +
-                    std::to_string(options.exact_max_nodes);
-    out.stages.push_back(std::move(report));
+  if (threads > 1) {
+    // Speculative mode: every runnable stage starts now, so the deadline
+    // clock covers the exact search and its fallbacks simultaneously and
+    // the exact stages can use the whole deadline instead of a slice.
+    // Results are folded in chain order after the pool drains; a stage an
+    // exact win obsoletes is reported kNotRun and its result discarded,
+    // matching the sequential chain's provenance.
+    struct StageRun {
+      ScheduleResult result;
+      double elapsed_ms = 0;
+      CancelToken token;
+      bool has_token = false;
+    };
+    std::vector<StageRun> runs(stages.size());
+    ThreadPool pool(std::min(threads, stages.size()));
+    TaskGroup group(pool);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      Stage& stage = stages[i];
+      if (stage.skipped) continue;
+      StageRun& run = runs[i];
+      if (deadlined && stage.is_exact) {
+        run.token = CancelToken::WithDeadlineMs(remaining_ms());
+        run.has_token = true;
+      }
+      group.Submit([&stage, &run] {
+        const Clock::time_point stage_start = Clock::now();
+        run.result = stage.engine(run.has_token ? &run.token : nullptr);
+        run.elapsed_ms = MsSince(stage_start);
+      });
+    }
+    group.Wait();
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const Stage& stage = stages[i];
+      if (exact_won) {
+        push_not_run(stage);
+      } else if (stage.skipped) {
+        push_skipped(stage, stage.skip_detail);
+      } else {
+        fold_result(stage, std::move(runs[i].result), runs[i].elapsed_ms);
+      }
+    }
   } else {
-    run_stage("exact", /*is_exact=*/true, [&](const CancelToken* cancel) {
-      BruteForceOptions bf;
-      bf.max_states = options.exact_max_states;
-      bf.cancel = cancel;
-      return BruteForceScheduler(graph_).Run(budget, bf);
-    });
+    for (const Stage& stage : stages) {
+      if (exact_won) {
+        push_not_run(stage);
+        continue;
+      }
+      if (stage.skipped) {
+        push_skipped(stage, stage.skip_detail);
+        continue;
+      }
+      const CancelToken* cancel = nullptr;
+      CancelToken token;
+      if (deadlined && stage.is_exact) {
+        const double slice = remaining_ms() * options.exact_fraction;
+        if (slice <= 0) {
+          push_skipped(stage, "deadline already exhausted");
+          continue;
+        }
+        token = CancelToken::WithDeadlineMs(slice);
+        cancel = &token;
+      }
+      const Clock::time_point stage_start = Clock::now();
+      ScheduleResult result = stage.engine(cancel);
+      fold_result(stage, std::move(result), MsSince(stage_start));
+    }
   }
-
-  // Stage 2: Algorithm 1, optimal in polynomial time for DWT graphs.
-  if (dwt_ != nullptr) {
-    run_stage("dwt-optimal", /*is_exact=*/true,
-              [&](const CancelToken* cancel) {
-                return DwtOptimalScheduler(*dwt_).Run(budget, cancel);
-              });
-  }
-
-  // Stages 3-4: polynomial heuristics; always run so a deadline overrun
-  // upstream still yields an answer.
-  run_stage("belady", /*is_exact=*/false, [&](const CancelToken*) {
-    return BeladyScheduler(graph_).Run(budget);
-  });
-  run_stage("greedy-topo", /*is_exact=*/false, [&](const CancelToken*) {
-    return GreedyTopoScheduler(graph_).Run(budget);
-  });
 
   if (best.feasible) {
     out.result = std::move(best);

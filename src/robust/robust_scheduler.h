@@ -64,6 +64,21 @@ struct RobustOptions {
   NodeId exact_max_nodes = 22;
   // State-count safety valve for the exact stage (see BruteForceOptions).
   std::size_t exact_max_states = 20'000'000;
+  // Worker threads. 1 runs the chain sequentially (today's behavior);
+  // anything else runs the stages SPECULATIVELY: every stage is submitted
+  // to the pool up front, so the deadline clock overlaps the exact search
+  // with the heuristic fallbacks instead of paying for them back to back.
+  // Because the fallbacks are then computed "for free", the exact stages
+  // get the full deadline rather than an exact_fraction slice. The chain's
+  // decision procedure is unchanged: stages are folded in chain order
+  // after the pool drains, an exact win still reports later stages as
+  // not-run (their speculative results are discarded), and with no
+  // deadline the result is identical to a sequential run. Under a
+  // deadline, which stages finish in time is wall-clock-dependent in
+  // either mode; the CancelToken semantics per stage are unchanged. The
+  // inner brute-force search inherits this thread count. 0 selects
+  // DefaultSearchThreads().
+  std::size_t threads = 0;
 };
 
 struct RobustResult {

@@ -1,13 +1,18 @@
 #include "schedulers/brute_force.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdio>
-#include <cstdlib>
-#include <queue>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace wrbpg {
 namespace {
@@ -24,11 +29,401 @@ constexpr State MakeState(std::uint32_t red, std::uint32_t blue) {
   return static_cast<State>(red) | (static_cast<State>(blue) << 32);
 }
 
-struct QueueEntry {
-  Weight cost;
-  State state;
-  bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+// Search key: Definition 2.2 cost first, then schedule length. The length
+// component makes the order well-founded under the free moves (M3/M4 cost
+// nothing, so cost alone admits zero-cost cycles like compute-then-delete)
+// and is the middle tier of the determinism contract's tie-break.
+struct Key {
+  Weight cost = 0;
+  std::uint32_t len = 0;
+
+  friend bool operator==(const Key&, const Key&) = default;
+  friend bool operator<(const Key& a, const Key& b) {
+    return a.cost != b.cost ? a.cost < b.cost : a.len < b.len;
+  }
 };
+
+// Concurrent State -> Key map, sharded so parallel frontier expansion
+// relaxes edges without a global lock. Shortest-path distances are unique,
+// so the final contents are independent of which thread wins each race —
+// the root of the parallel == sequential guarantee.
+class DistMap {
+ public:
+  // Inserts or lowers the key for `s`; true when this call changed it.
+  bool TryImprove(State s, Key key) {
+    Shard& shard = shards_[ShardIndex(s)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(s, key);
+    if (inserted) return true;
+    if (key < it->second) {
+      it->second = key;
+      return true;
+    }
+    return false;
+  }
+
+  // Lock-free lookup; only legal while no expansion is in flight (between
+  // waves, and during reconstruction).
+  const Key* Find(State s) const {
+    const Shard& shard = shards_[ShardIndex(s)];
+    const auto it = shard.map.find(s);
+    return it == shard.map.end() ? nullptr : &it->second;
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 64;  // power of two
+
+  static std::size_t ShardIndex(State s) {
+    return static_cast<std::size_t>((s * 0x9e3779b97f4a7c15ull) >> 58) &
+           (kShardCount - 1);
+  }
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<State, Key> map;
+  };
+  Shard shards_[kShardCount];
+};
+
+struct LevelUpdate {
+  Key key;
+  State state;
+};
+
+// One exact search: level-synchronous Dijkstra over (cost, len) keys plus
+// canonical reconstruction. Every move's key strictly exceeds its source's
+// (cost is nondecreasing, length always +1), so expanding whole levels in
+// lexicographic key order settles states exactly like a serial Dijkstra —
+// which is what lets a level's states fan out across the pool.
+class Searcher {
+ public:
+  Searcher(const Graph& graph, Weight budget,
+           const BruteForceOptions& options)
+      : graph_(graph), budget_(budget), options_(options) {
+    const NodeId n = graph.num_nodes();
+    parents_mask_.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.is_source(v)) sources_mask_ |= 1u << v;
+      if (graph.is_sink(v)) sinks_mask_ |= 1u << v;
+      for (NodeId p : graph.parents(v)) parents_mask_[v] |= 1u << p;
+    }
+    initial_red_ = static_cast<std::uint32_t>(options.initial_red);
+    initial_blue_ =
+        static_cast<std::uint32_t>(options.initial_blue.value_or(sources_mask_));
+    required_red_ = static_cast<std::uint32_t>(options.required_red_at_end);
+    start_ = MakeState(initial_red_, initial_blue_);
+  }
+
+  ScheduleResult Run(bool want_schedule);
+
+ private:
+  bool IsGoal(State s) const {
+    if ((RedOf(s) & required_red_) != required_red_) return false;
+    if (options_.require_sinks_blue &&
+        (BlueOf(s) & sinks_mask_) != sinks_mask_) {
+      return false;
+    }
+    return true;
+  }
+
+  Weight RedWeight(std::uint32_t red) const {
+    Weight w = 0;
+    while (red != 0) {
+      const int v = std::countr_zero(red);
+      w += graph_.weight(static_cast<NodeId>(v));
+      red &= red - 1;
+    }
+    return w;
+  }
+
+  // Calls fn(next, move_cost, move) for every legal move out of `s`, in
+  // canonical move order (M1 < M2 < M3 < M4, node ascending); fn returns
+  // true to stop early. The reconstruction walk takes the first tight
+  // on-path edge this enumeration offers, which is what makes the
+  // returned sequence the lexicographically-least one.
+  template <typename Fn>
+  void ForEachSuccessor(State s, Fn&& fn) const {
+    const std::uint32_t red = RedOf(s);
+    const std::uint32_t blue = BlueOf(s);
+    const Weight rw = RedWeight(red);
+    const NodeId n = graph_.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {  // M1: load from blue
+      const std::uint32_t bit = 1u << v;
+      const Weight w = graph_.weight(v);
+      if ((red & bit) == 0 && (blue & bit) != 0 && rw + w <= budget_ &&
+          fn(MakeState(red | bit, blue), w, Load(v))) {
+        return;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {  // M2: store to blue
+      const std::uint32_t bit = 1u << v;
+      if ((red & bit) != 0 && (blue & bit) == 0 &&
+          fn(MakeState(red, blue | bit), graph_.weight(v), Store(v))) {
+        return;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {  // M3: compute when all parents red
+      const std::uint32_t bit = 1u << v;
+      if ((red & bit) == 0 && (sources_mask_ & bit) == 0 &&
+          (red & parents_mask_[v]) == parents_mask_[v] &&
+          rw + graph_.weight(v) <= budget_ &&
+          fn(MakeState(red | bit, blue), 0, Compute(v))) {
+        return;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {  // M4: delete red
+      const std::uint32_t bit = 1u << v;
+      if ((red & bit) != 0 &&
+          fn(MakeState(red & ~bit, blue), 0, Delete(v))) {
+        return;
+      }
+    }
+  }
+
+  void ExpandRange(const std::vector<State>& frontier, std::size_t lo,
+                   std::size_t hi, Key level, std::vector<LevelUpdate>& out);
+  Schedule Reconstruct(Key goal_key,
+                       const std::vector<State>& goal_states) const;
+
+  const Graph& graph_;
+  const Weight budget_;
+  const BruteForceOptions& options_;
+
+  std::uint32_t sources_mask_ = 0;
+  std::uint32_t sinks_mask_ = 0;
+  std::vector<std::uint32_t> parents_mask_;
+  std::uint32_t initial_red_ = 0;
+  std::uint32_t initial_blue_ = 0;
+  std::uint32_t required_red_ = 0;
+  State start_ = 0;
+
+  DistMap dist_;
+  // Shared best-known goal cost: relaxations that discover a goal lower it
+  // (atomically, across all workers), and every relaxation prunes targets
+  // strictly costlier. Only strictly-worse states are dropped, so pruning
+  // never disturbs the distance map below the optimum — timing of the
+  // bound updates cannot leak into the result.
+  std::atomic<Weight> best_goal_cost_{kInfiniteCost};
+  std::atomic<bool> cancelled_{false};
+};
+
+void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
+                           std::size_t hi, Key level,
+                           std::vector<LevelUpdate>& out) {
+  const CancelToken* cancel = options_.cancel;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if ((i - lo) % 256 == 0) {
+      if (cancelled_.load(std::memory_order_relaxed)) return;
+      if (cancel != nullptr && cancel->cancelled()) {
+        cancelled_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    const State s = frontier[i];
+    ForEachSuccessor(s, [&](State next, Weight move_cost, Move) {
+      const Key next_key{level.cost + move_cost, level.len + 1};
+      if (next_key.cost > best_goal_cost_.load(std::memory_order_relaxed)) {
+        return false;  // already provably worse than a known solution
+      }
+      if (dist_.TryImprove(next, next_key)) {
+        if (IsGoal(next)) {
+          Weight seen = best_goal_cost_.load(std::memory_order_relaxed);
+          while (next_key.cost < seen &&
+                 !best_goal_cost_.compare_exchange_weak(
+                     seen, next_key.cost, std::memory_order_relaxed)) {
+          }
+        }
+        out.push_back({next_key, next});
+      }
+      return false;
+    });
+  }
+}
+
+ScheduleResult Searcher::Run(bool want_schedule) {
+  if (RedWeight(initial_red_) > budget_) return ScheduleResult::Infeasible();
+  // Honor tokens that are already expired before any state settles (the
+  // in-loop poll is per wave and would miss them on small graphs).
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return ScheduleResult::TimedOut();
+  }
+
+  const std::size_t threads = ResolveThreadCount(options_.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  dist_.TryImprove(start_, Key{0, 0});
+  std::map<Key, std::vector<State>> pending;
+  pending[Key{0, 0}].push_back(start_);
+
+  std::size_t settled = 0;
+  bool found = false;
+  Key goal_key;
+  std::vector<State> goal_states;
+  std::vector<State> live;
+
+  while (!found && !pending.empty()) {
+    auto level_node = pending.extract(pending.begin());
+    const Key level = level_node.key();
+    const std::vector<State>& frontier = level_node.mapped();
+
+    // Drop states this level no longer owns: a later relaxation in an
+    // earlier wave may have improved them into a lower level (which then
+    // already expanded them).
+    live.clear();
+    for (const State s : frontier) {
+      const Key* key = dist_.Find(s);
+      if (key != nullptr && *key == level) live.push_back(s);
+    }
+    if (live.empty()) continue;
+
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return ScheduleResult::TimedOut();
+    }
+    settled += live.size();
+    if (settled > options_.max_states) {
+      std::fprintf(stderr,
+                   "BruteForceScheduler: state limit exceeded (%zu states)\n",
+                   options_.max_states);
+      return ScheduleResult::TimedOut();
+    }
+
+    for (const State s : live) {
+      if (IsGoal(s)) goal_states.push_back(s);
+    }
+    if (!goal_states.empty()) {
+      // Levels settle in ascending (cost, len) order, so the first level
+      // holding a goal is the optimum; its states are never expanded.
+      goal_key = level;
+      found = true;
+      break;
+    }
+
+    if (pool.has_value() && live.size() >= threads * 2) {
+      const std::size_t chunk_count =
+          std::min(live.size(), threads * 4);
+      const std::size_t chunk =
+          (live.size() + chunk_count - 1) / chunk_count;
+      std::vector<std::vector<LevelUpdate>> chunk_updates(
+          (live.size() + chunk - 1) / chunk);
+      TaskGroup group(*pool);
+      for (std::size_t c = 0; c * chunk < live.size(); ++c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(lo + chunk, live.size());
+        group.Submit([this, &live, lo, hi, level, &chunk_updates, c] {
+          ExpandRange(live, lo, hi, level, chunk_updates[c]);
+        });
+      }
+      group.Wait();
+      for (const auto& updates : chunk_updates) {
+        for (const LevelUpdate& u : updates) {
+          pending[u.key].push_back(u.state);
+        }
+      }
+    } else {
+      std::vector<LevelUpdate> updates;
+      ExpandRange(live, 0, live.size(), level, updates);
+      for (const LevelUpdate& u : updates) {
+        pending[u.key].push_back(u.state);
+      }
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return ScheduleResult::TimedOut();
+    }
+  }
+
+  if (!found) return ScheduleResult::Infeasible();
+
+  ScheduleResult result;
+  result.feasible = true;
+  result.cost = goal_key.cost;
+  if (want_schedule) result.schedule = Reconstruct(goal_key, goal_states);
+  return result;
+}
+
+// Rebuilds the canonical optimal schedule from the finished distance map.
+// Two passes over the tight-edge graph (edges where dist[p] + move ==
+// dist[s], the edges shortest paths are made of):
+//   1. mark every state lying on some optimal path, by walking tight
+//      edges backwards from the optimal goal states;
+//   2. walk forwards from the start, always taking the first marked tight
+//      edge in canonical move order.
+// Both passes are pure functions of the distance map, and shortest-path
+// distances are unique — so any execution (1 thread or N) lands on the
+// same move sequence, bit for bit.
+Schedule Searcher::Reconstruct(Key goal_key,
+                               const std::vector<State>& goal_states) const {
+  const NodeId n = graph_.num_nodes();
+
+  std::unordered_set<State> marked;
+  std::vector<State> stack;
+  for (const State g : goal_states) {
+    if (marked.insert(g).second) stack.push_back(g);
+  }
+  while (!stack.empty()) {
+    const State s = stack.back();
+    stack.pop_back();
+    const Key* key_ptr = dist_.Find(s);
+    assert(key_ptr != nullptr);
+    const Key key = *key_ptr;
+    if (key.len == 0) continue;  // the start state has no predecessors
+    const std::uint32_t red = RedOf(s);
+    const std::uint32_t blue = BlueOf(s);
+    const auto visit_if_tight = [&](State p, Weight move_cost) {
+      const Key want{key.cost - move_cost, key.len - 1};
+      const Key* p_key = dist_.Find(p);
+      if (p_key != nullptr && *p_key == want && marked.insert(p).second) {
+        stack.push_back(p);
+      }
+    };
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t bit = 1u << v;
+      const Weight w = graph_.weight(v);
+      // Undo M1: predecessor lacked red v, blue v present throughout.
+      if ((red & bit) != 0 && (blue & bit) != 0) {
+        visit_if_tight(MakeState(red & ~bit, blue), w);
+      }
+      // Undo M3: predecessor lacked red v and held all parents red.
+      if ((red & bit) != 0 && (sources_mask_ & bit) == 0 &&
+          ((red & ~bit) & parents_mask_[v]) == parents_mask_[v]) {
+        visit_if_tight(MakeState(red & ~bit, blue), 0);
+      }
+      // Undo M2: predecessor lacked blue v, red v present throughout.
+      if ((blue & bit) != 0 && (red & bit) != 0) {
+        visit_if_tight(MakeState(red, blue & ~bit), w);
+      }
+      // Undo M4: predecessor held red v.
+      if ((red & bit) == 0) {
+        visit_if_tight(MakeState(red | bit, blue), 0);
+      }
+    }
+  }
+  assert(marked.contains(start_));
+
+  std::vector<Move> moves;
+  moves.reserve(goal_key.len);
+  State s = start_;
+  Key key{0, 0};
+  while (!(key == goal_key && IsGoal(s))) {
+    assert(key.len < goal_key.len);
+    bool advanced = false;
+    ForEachSuccessor(s, [&](State next, Weight move_cost, Move move) {
+      const Key next_key{key.cost + move_cost, key.len + 1};
+      const Key* d = dist_.Find(next);
+      if (d == nullptr || !(*d == next_key) || !marked.contains(next)) {
+        return false;
+      }
+      moves.push_back(move);
+      s = next;
+      key = next_key;
+      advanced = true;
+      return true;
+    });
+    assert(advanced);
+    if (!advanced) break;  // unreachable; avoids a hang in release builds
+  }
+  return Schedule(std::move(moves));
+}
 
 }  // namespace
 
@@ -45,140 +440,7 @@ BruteForceScheduler::BruteForceScheduler(const Graph& graph) : graph_(graph) {
 ScheduleResult BruteForceScheduler::Search(Weight budget,
                                            const BruteForceOptions& options,
                                            bool want_schedule) const {
-  const NodeId n = graph_.num_nodes();
-
-  std::uint32_t sources_mask = 0;
-  std::uint32_t sinks_mask = 0;
-  std::vector<std::uint32_t> parents_mask(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    if (graph_.is_source(v)) sources_mask |= 1u << v;
-    if (graph_.is_sink(v)) sinks_mask |= 1u << v;
-    for (NodeId p : graph_.parents(v)) parents_mask[v] |= 1u << p;
-  }
-
-  auto red_weight = [&](std::uint32_t red) {
-    Weight w = 0;
-    while (red != 0) {
-      const int v = std::countr_zero(red);
-      w += graph_.weight(static_cast<NodeId>(v));
-      red &= red - 1;
-    }
-    return w;
-  };
-
-  const std::uint32_t initial_red =
-      static_cast<std::uint32_t>(options.initial_red);
-  const std::uint32_t initial_blue = static_cast<std::uint32_t>(
-      options.initial_blue.value_or(sources_mask));
-  const std::uint32_t required_red =
-      static_cast<std::uint32_t>(options.required_red_at_end);
-  const State start = MakeState(initial_red, initial_blue);
-
-  if (red_weight(initial_red) > budget) return ScheduleResult::Infeasible();
-
-  auto is_goal = [&](State s) {
-    if ((RedOf(s) & required_red) != required_red) return false;
-    if (options.require_sinks_blue &&
-        (BlueOf(s) & sinks_mask) != sinks_mask) {
-      return false;
-    }
-    return true;
-  };
-
-  std::unordered_map<State, Weight> dist;
-  std::unordered_map<State, std::pair<State, Move>> pred;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
-  dist[start] = 0;
-  pq.push({0, start});
-
-  // Honor tokens that are already expired before any state settles (the
-  // in-loop poll is throttled and would miss them on small graphs).
-  if (options.cancel != nullptr && options.cancel->cancelled()) {
-    return ScheduleResult::TimedOut();
-  }
-
-  std::size_t settled = 0;
-  State goal_state = 0;
-  bool found = false;
-
-  while (!pq.empty()) {
-    const auto [cost, state] = pq.top();
-    pq.pop();
-    const auto it = dist.find(state);
-    if (it == dist.end() || it->second < cost) continue;  // stale entry
-    if (is_goal(state)) {
-      goal_state = state;
-      found = true;
-      break;
-    }
-    if (++settled > options.max_states) {
-      std::fprintf(stderr,
-                   "BruteForceScheduler: state limit exceeded (%zu states)\n",
-                   options.max_states);
-      return ScheduleResult::TimedOut();
-    }
-    if (options.cancel != nullptr && (settled & 0xff) == 0 &&
-        options.cancel->cancelled()) {
-      return ScheduleResult::TimedOut();
-    }
-
-    const std::uint32_t red = RedOf(state);
-    const std::uint32_t blue = BlueOf(state);
-    const Weight rw = red_weight(red);
-
-    auto relax = [&](State next, Weight move_cost, Move move) {
-      const Weight next_cost = cost + move_cost;
-      const auto [dit, inserted] = dist.try_emplace(next, next_cost);
-      if (!inserted && dit->second <= next_cost) return;
-      dit->second = next_cost;
-      if (want_schedule) pred[next] = {state, move};
-      pq.push({next_cost, next});
-    };
-
-    for (NodeId v = 0; v < n; ++v) {
-      const std::uint32_t bit = 1u << v;
-      const Weight w = graph_.weight(v);
-      if ((red & bit) == 0) {
-        // M1: load from blue.
-        if ((blue & bit) != 0 && rw + w <= budget) {
-          relax(MakeState(red | bit, blue), w, Load(v));
-        }
-        // M3: compute when all parents red (non-source only).
-        if ((sources_mask & bit) == 0 &&
-            (red & parents_mask[v]) == parents_mask[v] && rw + w <= budget) {
-          relax(MakeState(red | bit, blue), 0, Compute(v));
-        }
-      } else {
-        // M2: store to blue.
-        if ((blue & bit) == 0) {
-          relax(MakeState(red, blue | bit), w, Store(v));
-        }
-        // M4: delete red.
-        relax(MakeState(red & ~bit, blue), 0, Delete(v));
-      }
-    }
-  }
-
-  if (!found) return ScheduleResult::Infeasible();
-
-  ScheduleResult result;
-  result.feasible = true;
-  result.cost = dist[goal_state];
-  if (want_schedule) {
-    std::vector<Move> moves;
-    State s = goal_state;
-    while (s != start) {
-      const auto& [prev, move] = pred.at(s);
-      moves.push_back(move);
-      s = prev;
-    }
-    std::reverse(moves.begin(), moves.end());
-    // Disambiguate M1 vs M3 where both lead to the same state with the same
-    // cost: the recorded move is whichever relaxed last; both are legal, so
-    // the reconstructed schedule is valid either way.
-    result.schedule = Schedule(std::move(moves));
-  }
-  return result;
+  return Searcher(graph_, budget, options).Run(want_schedule);
 }
 
 ScheduleResult BruteForceScheduler::Run(Weight budget,

@@ -1,13 +1,23 @@
 // Exhaustive optimal WRBPG solver — the test oracle.
 //
-// Dijkstra over pebbling configurations (red mask, blue mask) with move
-// costs from Definition 2.2 (M1/M2 cost w_v, M3/M4 free). Exponential in
-// |V|; intended for graphs of at most ~20 nodes, where it certifies the
-// optimality of the polynomial dataflow-specific schedulers.
+// Shortest-path search over pebbling configurations (red mask, blue mask)
+// with move costs from Definition 2.2 (M1/M2 cost w_v, M3/M4 free).
+// Exponential in |V|; intended for graphs of at most ~20 nodes, where it
+// certifies the optimality of the polynomial dataflow-specific schedulers.
 //
 // Options support the Sec. 4.1 memory-state semantics: arbitrary initial
 // red/blue pebbles and a required final red set, so Eq. (8)'s P_m can be
 // cross-checked as well as the plain game.
+//
+// Determinism contract (DESIGN.md §8): for a given (graph, budget,
+// options) the result is a pure function of the inputs — independent of
+// the thread count. The returned schedule is the canonical optimum:
+// lowest cost, then fewest moves, then the lexicographically-least move
+// sequence under the move order M1 < M2 < M3 < M4, node id ascending.
+// Parallel runs (options.threads != 1) reconstruct the schedule from the
+// same distance map a sequential run computes, so `--threads 1` and
+// `--threads N` agree bit for bit; differential tests at 1/2/8 threads
+// pin this.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +40,16 @@ struct BruteForceOptions {
   // Safety valve: give up past this many settled states; the result comes
   // back with timed_out set instead of aborting the process.
   std::size_t max_states = 20'000'000;
-  // Cooperative cancellation: polled every few hundred settled states.
-  // On expiry the search unwinds with a timed_out result.
+  // Cooperative cancellation: polled between search waves and inside
+  // expansion chunks. On expiry the search unwinds with a timed_out
+  // result. The token is threaded through every pool task, so a parallel
+  // search honors deadlines exactly like a sequential one.
   const CancelToken* cancel = nullptr;
+  // Worker threads for the frontier expansion. 1 = fully sequential
+  // (no pool is created); 0 = DefaultSearchThreads(), the process-wide
+  // default installed by --threads / WRBPG_THREADS. Any value returns the
+  // identical result — see the determinism contract above.
+  std::size_t threads = 0;
 };
 
 class BruteForceScheduler {

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "util/thread_pool.h"
+
 namespace wrbpg {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -93,6 +95,23 @@ double CliArgs::GetDouble(const std::string& name, double fallback) const {
     return fallback;
   }
   return value;
+}
+
+std::size_t CliArgs::ApplyThreadsFlag() const {
+  if (has("threads")) {
+    const std::int64_t n = GetInt("threads", -1);
+    if (n < 0) {
+      RecordError("flag '--threads': expected a count >= 0, got '" +
+                  GetString("threads", "") + "'");
+      return DefaultSearchThreads();
+    }
+    SetDefaultSearchThreads(static_cast<std::size_t>(n));  // 0 -> hardware
+  } else if (std::getenv("WRBPG_THREADS") == nullptr) {
+    // CLI binaries default to the hardware concurrency; the library-level
+    // default stays 1 so embedding code opts in explicitly.
+    SetDefaultSearchThreads(0);
+  }
+  return DefaultSearchThreads();
 }
 
 bool CliArgs::GetBool(const std::string& name, bool fallback) const {

@@ -11,6 +11,7 @@
 // after all of them; errors accumulate, first one wins).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -32,6 +33,14 @@ class CliArgs {
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& error() const { return error_; }
+
+  // Reads `--threads` and installs it as the process-wide search thread
+  // default (SetDefaultSearchThreads), so every engine whose options leave
+  // threads at 0 picks it up. `--threads 0` or an absent flag selects the
+  // hardware concurrency... unless WRBPG_THREADS is set, which seeded the
+  // default at startup and is only overridden by an explicit flag.
+  // Negative values record an error. Returns the installed count.
+  std::size_t ApplyThreadsFlag() const;
 
  private:
   void RecordError(const std::string& message) const;

@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdint>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 
 namespace wrbpg {
 
@@ -21,6 +23,8 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  // Workers only exit once the queue is empty, so this join is the drain:
+  // every task submitted before (or during) destruction still runs.
   for (auto& w : workers_) w.join();
 }
 
@@ -33,9 +37,50 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::RunTask(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  // Waiters sleep whenever the queue is empty, so any completion may be
+  // the one they are waiting for — not just the last.
+  idle_cv_.notify_all();
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  RunTask(task);
+  return true;
+}
+
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  for (;;) {
+    if (TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_flight_ == 0) {
+      if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(error);
+      }
+      return;
+    }
+    if (!queue_.empty()) continue;  // raced with a Submit; go help again
+    idle_cv_.wait(lock,
+                  [this] { return in_flight_ == 0 || !queue_.empty(); });
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,11 +93,62 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
+    RunTask(task);
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // A group abandoned with outstanding tasks (e.g. the submitting scope
+  // unwinding from an exception) must not let them dangle: their wrappers
+  // reference this group's shared state, which shared_ptr keeps alive, but
+  // the caller's captures may die with the scope. Draining here keeps the
+  // contract simple: group tasks never outlive the group.
+  Wait();
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->pending;
+  }
+  pool_.Submit([state = state_, task = std::move(task)]() mutable {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->first_error) state->first_error = std::current_exception();
     }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->pending;
+    }
+    state->done_cv.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->pending == 0) break;
+    }
+    // Lend this thread to the pool. The popped task is not necessarily
+    // ours — running a stranger's task while we wait is still progress,
+    // and running our own is what breaks the nested-wait deadlock.
+    if (pool_.TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->pending == 0) break;
+    // Our tasks are running on other threads and the queue is empty: sleep
+    // briefly rather than spin. The timeout covers the race where a task
+    // of ours submits new pool work after the TryRunOneTask miss.
+    state_->done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                             [this] { return state_->pending == 0; });
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->first_error) {
+    std::exception_ptr error = state_->first_error;
+    state_->first_error = nullptr;
+    std::rethrow_exception(error);
   }
 }
 
@@ -63,13 +159,50 @@ void ParallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   const std::int64_t chunks =
       std::min<std::int64_t>(n, static_cast<std::int64_t>(pool.size()) * 4);
   const std::int64_t chunk = (n + chunks - 1) / chunks;
+  TaskGroup group(pool);
   for (std::int64_t lo = begin; lo < end; lo += chunk) {
     const std::int64_t hi = std::min(lo + chunk, end);
-    pool.Submit([lo, hi, &fn] {
+    group.Submit([lo, hi, &fn] {
       for (std::int64_t i = lo; i < hi; ++i) fn(i);
     });
   }
-  pool.Wait();
+  group.Wait();
+}
+
+namespace {
+
+std::size_t InitialSearchThreads() {
+  if (const char* env = std::getenv("WRBPG_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return 1;
+}
+
+std::atomic<std::size_t>& SearchThreadsVar() {
+  static std::atomic<std::size_t> value{InitialSearchThreads()};
+  return value;
+}
+
+}  // namespace
+
+std::size_t DefaultSearchThreads() {
+  return SearchThreadsVar().load(std::memory_order_relaxed);
+}
+
+void SetDefaultSearchThreads(std::size_t n) {
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  SearchThreadsVar().store(n, std::memory_order_relaxed);
+}
+
+std::size_t ResolveThreadCount(std::size_t requested) {
+  return requested == 0 ? std::max<std::size_t>(1, DefaultSearchThreads())
+                        : requested;
 }
 
 }  // namespace wrbpg

@@ -1,0 +1,207 @@
+// ThreadPool / TaskGroup / ParallelFor contract tests (DESIGN.md §8).
+//
+// The parallel search engine leans on three pool properties that used to
+// be latent bugs: exceptions must reach the waiter instead of
+// std::terminate, the destructor must drain the queue before joining, and
+// tasks must be able to submit (and wait on) tasks without deadlocking —
+// even on a single-thread pool, where the waiter's own thread is the only
+// one available to run the nested work.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsUsableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  EXPECT_NO_THROW(pool.Wait());  // the error was consumed by the first Wait
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(1);
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] { throw std::runtime_error("each task throws"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_NO_THROW(pool.Wait());  // the other four were dropped, not queued
+}
+
+TEST(ThreadPool, DestructorDrainsQueueThenJoins) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): destruction itself must run every queued task.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DestructorDiscardsExceptions) {
+  // A throwing task during the destructor drain has no waiter to report
+  // to; it must be swallowed, not std::terminate the process.
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("no one is listening"); });
+}
+
+TEST(TaskGroup, WaitCoversExactlyItsOwnTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 20; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(TaskGroup, ExceptionPropagatesToGroupWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.Submit([] { throw std::runtime_error("group task failed"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_NO_THROW(pool.Wait());  // group errors never leak into the pool
+}
+
+TEST(TaskGroup, NestedWaitInsideTaskDoesNotDeadlock) {
+  // The pool has ONE thread, and that thread waits on an inner group from
+  // inside a task: Wait must lend the calling thread to the pool or this
+  // hangs forever.
+  ThreadPool pool(1);
+  std::atomic<int> inner_count{0};
+  std::atomic<bool> outer_done{false};
+  TaskGroup outer(pool);
+  outer.Submit([&] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 5; ++i) {
+      inner.Submit([&inner_count] { inner_count.fetch_add(1); });
+    }
+    inner.Wait();
+    outer_done.store(true);
+  });
+  outer.Wait();
+  EXPECT_EQ(inner_count.load(), 5);
+  EXPECT_TRUE(outer_done.load());
+}
+
+TEST(TaskGroup, DeeplyNestedGroupsOnOneThread) {
+  ThreadPool pool(1);
+  std::atomic<int> depth_reached{0};
+  std::function<void(int)> descend = [&](int depth) {
+    if (depth == 0) return;
+    TaskGroup group(pool);
+    group.Submit([&, depth] {
+      depth_reached.fetch_add(1);
+      descend(depth - 1);
+    });
+    group.Wait();
+  };
+  descend(8);
+  EXPECT_EQ(depth_reached.load(), 8);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, 1000,
+              [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 5, 5, [&](std::int64_t) { count.fetch_add(1); });
+  ParallelFor(pool, 7, 3, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelFor, NestedInsideTaskDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 0, 4, [&](std::int64_t) {
+    ParallelFor(pool, 0, 10, [&](std::int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 0, 100,
+                           [](std::int64_t i) {
+                             if (i == 37) throw std::runtime_error("bad i");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadConfig, ResolveAndDefaults) {
+  const std::size_t saved = DefaultSearchThreads();
+  EXPECT_GE(saved, 1u);
+  SetDefaultSearchThreads(3);
+  EXPECT_EQ(DefaultSearchThreads(), 3u);
+  EXPECT_EQ(ResolveThreadCount(0), 3u);   // 0 = use the global default
+  EXPECT_EQ(ResolveThreadCount(1), 1u);   // explicit counts win
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+  SetDefaultSearchThreads(0);             // 0 = hardware concurrency
+  EXPECT_GE(DefaultSearchThreads(), 1u);
+  SetDefaultSearchThreads(saved);
+}
+
+}  // namespace
+}  // namespace wrbpg

@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -10,7 +9,6 @@
 #include "util/mathutil.h"
 #include "util/rng.h"
 #include "util/table.h"
-#include "util/thread_pool.h"
 
 namespace wrbpg {
 namespace {
@@ -110,54 +108,8 @@ TEST(Rng, BernoulliExtremes) {
   }
 }
 
-TEST(ThreadPool, RunsAllTasks) {
-  ThreadPool pool(4);
-  std::atomic<int> count{0};
-  for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
-  }
-  pool.Wait();
-  EXPECT_EQ(count.load(), 100);
-}
-
-TEST(ThreadPool, WaitIsReusable) {
-  ThreadPool pool(2);
-  std::atomic<int> count{0};
-  pool.Submit([&count] { count.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(count.load(), 1);
-  pool.Submit([&count] { count.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(count.load(), 2);
-}
-
-TEST(ThreadPool, TasksMaySubmitTasks) {
-  ThreadPool pool(2);
-  std::atomic<int> count{0};
-  pool.Submit([&] {
-    for (int i = 0; i < 10; ++i) {
-      pool.Submit([&count] { count.fetch_add(1); });
-    }
-  });
-  pool.Wait();
-  EXPECT_EQ(count.load(), 10);
-}
-
-TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(1000);
-  ParallelFor(pool, 0, 1000,
-              [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ParallelFor, EmptyRangeIsNoop) {
-  ThreadPool pool(2);
-  std::atomic<int> count{0};
-  ParallelFor(pool, 5, 5, [&](std::int64_t) { count.fetch_add(1); });
-  ParallelFor(pool, 7, 3, [&](std::int64_t) { count.fetch_add(1); });
-  EXPECT_EQ(count.load(), 0);
-}
+// ThreadPool, TaskGroup, and ParallelFor are covered in
+// thread_pool_test.cc together with the parallel-search contract tests.
 
 TEST(Csv, PlainRow) {
   std::ostringstream out;
