@@ -13,6 +13,16 @@
 // `--threads 1` (the determinism contract says it always is).
 // `--dwt-n/--dwt-d/--budget-slack` resize the DWT instance; the default
 // is chosen so the sequential solve takes on the order of a second.
+//
+// `bench_scheduler_perf --engine-compare [--quick] [--json <path>]` races
+// the three exact engines (dijkstra / astar / astar+dominance, DESIGN.md
+// §9) over DWT, k-ary tree, and butterfly instances at several thread
+// counts. It reports expanded states, waves, and wall time per engine,
+// checks every schedule bit-for-bit against the dijkstra sequential
+// baseline (exit 1 on any divergence), prints the expanded-state
+// reduction of the informed engines, and writes the table as JSON
+// (default BENCH_exact.json). `--quick` shrinks the instances for CI
+// smoke runs.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -296,6 +306,213 @@ int RunThreadsSweep(const CliArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --engine-compare: expanded-state and wall-clock race between the three
+// exact engines, with a built-in identical-schedule check.
+// ---------------------------------------------------------------------------
+
+struct EngineRow {
+  std::string instance;
+  // "schedule" rows time a full Run() (for kAStarDominance that is both
+  // passes) and are identity-checked; "cost" rows time a CostOnly() probe
+  // — the apples-to-apples pruning metric, since every engine runs
+  // exactly one pass there.
+  std::string mode = "schedule";
+  SearchEngine engine = SearchEngine::kDijkstra;
+  std::size_t threads = 1;
+  double time_ms = 0;
+  std::uint64_t expanded = 0;
+  std::uint64_t waves = 0;
+  Weight cost = kInfiniteCost;
+  bool identical = true;  // bit-identical to dijkstra @ 1 thread
+};
+
+void PrintEngineHeader() {
+  std::cout << std::left << std::setw(18) << "instance" << std::setw(10)
+            << "mode" << std::setw(17) << "engine" << std::right
+            << std::setw(8) << "threads" << std::setw(11) << "time_ms"
+            << std::setw(11) << "expanded" << std::setw(7) << "waves"
+            << std::setw(10) << "cost" << std::setw(11) << "identical"
+            << "\n";
+}
+
+void PrintEngineRow(const EngineRow& row) {
+  std::cout << std::left << std::setw(18) << row.instance << std::setw(10)
+            << row.mode << std::setw(17) << ToString(row.engine)
+            << std::right << std::setw(8) << row.threads << std::setw(11)
+            << std::fixed << std::setprecision(1) << row.time_ms
+            << std::setw(11) << row.expanded << std::setw(7) << row.waves
+            << std::setw(10) << row.cost << std::setw(11)
+            << (row.identical ? "yes" : "NO") << "\n";
+}
+
+constexpr SearchEngine kAllEngines[] = {SearchEngine::kDijkstra,
+                                        SearchEngine::kAStar,
+                                        SearchEngine::kAStarDominance};
+
+// Runs every engine at every thread count on one instance, checking each
+// schedule bit-for-bit against the dijkstra sequential baseline, then a
+// sequential cost-only probe per engine for the expanded-state reduction
+// ratios the informed engines exist to deliver.
+void CompareEngines(const std::string& name, const Graph& graph,
+                    Weight budget, const std::vector<std::size_t>& counts,
+                    std::vector<EngineRow>& rows, bool& all_identical) {
+  const BruteForceScheduler scheduler(graph);
+  ScheduleResult baseline;
+  bool have_baseline = false;
+  for (SearchEngine engine : kAllEngines) {
+    for (std::size_t threads : counts) {
+      BruteForceOptions options;
+      options.engine = engine;
+      options.threads = threads;
+      SearchStats stats;
+      options.stats = &stats;
+      const SweepClock::time_point start = SweepClock::now();
+      ScheduleResult result = scheduler.Run(budget, options);
+      EngineRow row;
+      row.instance = name;
+      row.engine = engine;
+      row.threads = threads;
+      row.time_ms = ElapsedMs(start);
+      row.expanded = stats.expanded;
+      row.waves = stats.waves;
+      row.cost = result.feasible ? result.cost : kInfiniteCost;
+      if (!have_baseline) {
+        baseline = std::move(result);
+        have_baseline = true;
+      } else {
+        row.identical = result.feasible == baseline.feasible &&
+                        result.cost == baseline.cost &&
+                        result.schedule == baseline.schedule;
+        all_identical = all_identical && row.identical;
+      }
+      PrintEngineRow(row);
+      rows.push_back(row);
+    }
+  }
+  std::uint64_t cost_baseline_expanded = 0;
+  for (SearchEngine engine : kAllEngines) {
+    BruteForceOptions options;
+    options.engine = engine;
+    options.threads = 1;
+    SearchStats stats;
+    options.stats = &stats;
+    const SweepClock::time_point start = SweepClock::now();
+    const Weight cost = scheduler.CostOnly(budget, options);
+    EngineRow row;
+    row.instance = name;
+    row.mode = "cost";
+    row.engine = engine;
+    row.time_ms = ElapsedMs(start);
+    row.expanded = stats.expanded;
+    row.waves = stats.waves;
+    row.cost = cost;
+    if (engine == SearchEngine::kDijkstra) {
+      cost_baseline_expanded = stats.expanded;
+    } else {
+      row.identical = cost == baseline.cost ||
+                      (cost >= kInfiniteCost && !baseline.feasible);
+      all_identical = all_identical && row.identical;
+    }
+    PrintEngineRow(row);
+    if (engine != SearchEngine::kDijkstra && stats.expanded > 0) {
+      std::cout << "  " << name << ": " << ToString(engine)
+                << " cost probe expands " << std::fixed
+                << std::setprecision(1)
+                << static_cast<double>(cost_baseline_expanded) /
+                       static_cast<double>(stats.expanded)
+                << "x fewer states than dijkstra\n";
+    }
+    rows.push_back(row);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int RunEngineCompare(const CliArgs& args) {
+  const bool quick = args.GetBool("quick", false);
+  const std::string json_path = args.GetString("json", "BENCH_exact.json");
+  const std::int64_t dwt_n = args.GetInt("dwt-n", 8);
+  const std::int64_t dwt_d = args.GetInt("dwt-d", quick ? 2 : 3);
+  const Weight slack = args.GetInt("budget-slack", 2);
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+  if (!DwtParamsValid(dwt_n, static_cast<int>(dwt_d))) {
+    std::cerr << "error: invalid DWT parameters n=" << dwt_n
+              << " d=" << dwt_d << "\n";
+    return 2;
+  }
+
+  const std::vector<std::size_t> counts =
+      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 8};
+  std::vector<EngineRow> rows;
+  bool all_identical = true;
+
+  const DwtGraph dwt =
+      BuildDwt(dwt_n, static_cast<int>(dwt_d), PrecisionConfig::Equal());
+  const TreeGraph tree = BuildPerfectTree(2, 3);
+  const std::string dwt_name =
+      "dwt(" + std::to_string(dwt_n) + "," + std::to_string(dwt_d) + ")";
+  const Weight tree_min = MinValidBudget(tree.graph);
+
+  std::cout << "engine comparison (quick=" << (quick ? "yes" : "no")
+            << ", hardware_concurrency="
+            << std::thread::hardware_concurrency() << ")\n";
+  PrintEngineHeader();
+  CompareEngines(dwt_name, dwt.graph, MinValidBudget(dwt.graph) + slack,
+                 counts, rows, all_identical);
+  // Tight and ample budgets stress different prunes: tight budgets are
+  // dominated by spill exploration (where the heuristic is weakest),
+  // ample budgets let an admissible bound steer almost straight to goal.
+  CompareEngines("kary(2,3)-tight", tree.graph, tree_min + slack, counts,
+                 rows, all_identical);
+  CompareEngines("kary(2,3)-ample", tree.graph, 2 * tree_min, counts, rows,
+                 all_identical);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << "{\n  \"bench\": \"engine-compare\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const EngineRow& row = rows[i];
+      out << "    {\"instance\": \"" << JsonEscape(row.instance)
+          << "\", \"mode\": \"" << row.mode << "\", \"engine\": \""
+          << ToString(row.engine)
+          << "\", \"threads\": " << row.threads << ", \"time_ms\": "
+          << std::fixed << std::setprecision(3) << row.time_ms
+          << ", \"expanded\": " << row.expanded << ", \"waves\": "
+          << row.waves << ", \"cost\": " << row.cost << ", \"identical\": "
+          << (row.identical ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"all_identical\": " << (all_identical ? "true" : "false")
+        << "\n}\n";
+    std::cout << "  [json] " << json_path << "\n";
+  }
+
+  if (!all_identical) {
+    std::cerr << "FAIL: an engine diverged from the dijkstra sequential "
+                 "schedule (determinism contract violated)\n";
+    return 1;
+  }
+  std::cout << "all engines and thread counts bit-identical to "
+               "dijkstra --threads 1\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace wrbpg
 
@@ -304,6 +521,10 @@ int main(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--threads-sweep") {
       const wrbpg::CliArgs args(argc, argv);
       return wrbpg::RunThreadsSweep(args);
+    }
+    if (std::string_view(argv[i]) == "--engine-compare") {
+      const wrbpg::CliArgs args(argc, argv);
+      return wrbpg::RunEngineCompare(args);
     }
   }
   benchmark::Initialize(&argc, argv);

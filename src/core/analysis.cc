@@ -41,6 +41,20 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
   const Weight steps = (options.hi - options.lo) / options.step;
 
   auto budget_at = [&](Weight k) { return options.lo + k * options.step; };
+
+  // Analytic bands (state_bound derivation, DESIGN.md §9): no budget can
+  // push the cost below an admissible lower bound, and no budget below
+  // MinValidBudget admits any schedule at all. Either fact lets us skip
+  // probes without changing the answer.
+  Weight first_k = 0;
+  if (options.graph != nullptr && target_cost < kInfiniteCost) {
+    if (target_cost < AlgorithmicLowerBound(*options.graph)) {
+      return std::nullopt;
+    }
+    const Weight min_budget = MinValidBudget(*options.graph);
+    if (budget_at(steps) < min_budget) return std::nullopt;
+    while (first_k < steps && budget_at(first_k) < min_budget) ++first_k;
+  }
   auto expired = [&] {
     return options.cancel != nullptr && options.cancel->cancelled();
   };
@@ -51,7 +65,7 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
   if (options.monotone) {
     // Invariant: achieving budgets form a suffix of the scanned grid.
     if (expired() || !achieves(steps)) return std::nullopt;
-    Weight lo = 0, hi = steps;  // hi always achieves
+    Weight lo = first_k, hi = steps;  // hi always achieves
     while (lo < hi) {
       if (expired()) return std::nullopt;
       const Weight mid = lo + (hi - lo) / 2;
@@ -73,7 +87,7 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
     ThreadPool pool(threads);
     const Weight block = static_cast<Weight>(threads) * 2;
     std::vector<char> achieved(static_cast<std::size_t>(block));
-    for (Weight base = 0; base <= steps; base += block) {
+    for (Weight base = first_k; base <= steps; base += block) {
       if (expired()) return std::nullopt;
       const Weight hi = std::min(steps, base + block - 1);
       std::fill(achieved.begin(), achieved.end(), 0);
@@ -89,7 +103,7 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
     return std::nullopt;
   }
 
-  for (Weight k = 0; k <= steps; ++k) {
+  for (Weight k = first_k; k <= steps; ++k) {
     if (expired()) return std::nullopt;
     if (achieves(k)) return budget_at(k);
   }
@@ -103,20 +117,26 @@ std::vector<Weight> EvaluateBudgets(const CostFn& cost_fn,
   const auto expired = [&] {
     return options.cancel != nullptr && options.cancel->cancelled();
   };
+  // Infeasibility band (Prop 2.3): below MinValidBudget every scheduler
+  // returns kInfiniteCost, which the vector already holds — skip the probe.
+  const Weight min_budget =
+      options.graph != nullptr ? MinValidBudget(*options.graph) : 0;
+  const auto probe = [&](std::size_t idx) {
+    if (budgets[idx] >= min_budget) costs[idx] = cost_fn(budgets[idx]);
+  };
   const std::size_t threads = ResolveThreadCount(options.threads);
   if (threads > 1 && budgets.size() > 1) {
     ThreadPool pool(threads);
     ParallelFor(pool, 0, static_cast<std::int64_t>(budgets.size()),
                 [&](std::int64_t i) {
                   if (expired()) return;
-                  const auto idx = static_cast<std::size_t>(i);
-                  costs[idx] = cost_fn(budgets[idx]);
+                  probe(static_cast<std::size_t>(i));
                 });
     return costs;
   }
   for (std::size_t i = 0; i < budgets.size(); ++i) {
     if (expired()) break;
-    costs[i] = cost_fn(budgets[i]);
+    probe(i);
   }
   return costs;
 }

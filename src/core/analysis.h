@@ -52,6 +52,14 @@ struct MinMemoryOptions {
   // such as DwtOptimalScheduler are not — keep those at 1). 0 selects
   // DefaultSearchThreads().
   std::size_t threads = 1;
+  // Optional analytic band-tightening (derived from the state_bound /
+  // Prop 2.3-2.4 machinery of the exact engine). When set, budgets below
+  // MinValidBudget(*graph) are skipped without probing — cost_fn is
+  // kInfiniteCost there by the scheduler contract — and a target_cost
+  // below AlgorithmicLowerBound(*graph) short-circuits to nullopt, since
+  // no budget can beat an admissible lower bound. Results are identical
+  // to a graph-less scan, just cheaper.
+  const Graph* graph = nullptr;
 };
 
 // Definition 2.6: the smallest scanned budget whose schedule cost equals
@@ -68,6 +76,11 @@ struct BudgetSweepOptions {
   // Polled between evaluations; budgets not yet evaluated when the token
   // fires come back as kInfiniteCost.
   const CancelToken* cancel = nullptr;
+  // Optional band-tightening: budgets below MinValidBudget(*graph) come
+  // back as kInfiniteCost without invoking cost_fn (by Prop 2.3 no valid
+  // schedule exists there, and every scheduler's contract returns
+  // kInfiniteCost for them anyway). Identical results, fewer probes.
+  const Graph* graph = nullptr;
 };
 
 // Evaluates the Definition 2.5 MinimumSchedule target at every budget in

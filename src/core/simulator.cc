@@ -5,7 +5,25 @@
 namespace wrbpg {
 namespace {
 
-std::string NodeStr(NodeId v) { return "v" + std::to_string(v); }
+std::string NodeStr(NodeId v) {
+  std::string s = "v";
+  s += std::to_string(v);
+  return s;
+}
+
+// True when the diagnostic describes a specific move (and should carry
+// the "M1(v3): " prefix), as opposed to a whole-schedule condition.
+bool IsPerMoveError(SimErrorCode code) {
+  switch (code) {
+    case SimErrorCode::kNone:
+    case SimErrorCode::kInitialRedOverBudget:
+    case SimErrorCode::kStopConditionUnmet:
+    case SimErrorCode::kReuseConditionUnmet:
+      return false;
+    default:
+      return true;
+  }
+}
 
 }  // namespace
 
@@ -48,13 +66,63 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
 
   Weight red_weight = 0;
 
-  auto fail = [&](std::size_t index, SimErrorCode code, NodeId node,
-                  std::string message) {
+  // The single cold path: every diagnostic message is composed here, so
+  // the per-move switch below stays string-free on valid schedules.
+  auto fail = [&](std::size_t index, SimErrorCode code, NodeId node) {
     result.valid = false;
-    result.error = std::move(message);
     result.error_index = index;
     result.code = code;
     result.error_node = node;
+    std::string message;
+    if (IsPerMoveError(code) && index < schedule.size()) {
+      message = ToString(schedule[index]) + ": ";
+    }
+    switch (code) {
+      case SimErrorCode::kNone:
+        break;
+      case SimErrorCode::kNodeOutOfRange:
+        message += "node out of range";
+        break;
+      case SimErrorCode::kLoadNoBlue:
+        message += "no blue pebble to copy from";
+        break;
+      case SimErrorCode::kLoadAlreadyRed:
+      case SimErrorCode::kComputeAlreadyRed:
+        message += "node already holds a red pebble";
+        break;
+      case SimErrorCode::kStoreNoRed:
+        message += "no red pebble to copy from";
+        break;
+      case SimErrorCode::kStoreAlreadyBlue:
+        message += "node already holds a blue pebble";
+        break;
+      case SimErrorCode::kComputeSource:
+        message +=
+            "source nodes are inputs and cannot be computed; use M1";
+        break;
+      case SimErrorCode::kComputeParentNotRed:
+        message += "parent " + NodeStr(node) + " holds no red pebble";
+        break;
+      case SimErrorCode::kDeleteNoRed:
+        message += "no red pebble to delete";
+        break;
+      case SimErrorCode::kBudgetExceeded:
+        message += "weighted red pebble constraint violated (" +
+                   std::to_string(red_weight) + " > budget " +
+                   std::to_string(budget) + ")";
+        break;
+      case SimErrorCode::kInitialRedOverBudget:
+        message += "initial red pebbles already exceed the budget";
+        break;
+      case SimErrorCode::kStopConditionUnmet:
+        message += "stopping condition unmet: some sink holds no blue pebble";
+        break;
+      case SimErrorCode::kReuseConditionUnmet:
+        message += "reuse condition unmet: " + NodeStr(node) +
+                   " holds no red pebble at the end";
+        break;
+    }
+    result.error = std::move(message);
     return result;
   };
 
@@ -65,8 +133,7 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
     }
   }
   if (red_weight > budget) {
-    return fail(0, SimErrorCode::kInitialRedOverBudget, kInvalidNode,
-                "initial red pebbles already exceed the budget");
+    return fail(0, SimErrorCode::kInitialRedOverBudget, kInvalidNode);
   }
   result.peak_red_weight = red_weight;
 
@@ -74,19 +141,16 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
     const Move& m = schedule[i];
     const NodeId v = m.node;
     if (v >= n) {
-      return fail(i, SimErrorCode::kNodeOutOfRange, v,
-                  ToString(m) + ": node out of range");
+      return fail(i, SimErrorCode::kNodeOutOfRange, v);
     }
     const Weight w = graph.weight(v);
     switch (m.type) {
       case MoveType::kLoad:  // M1: blue -> both
         if (!blue[v]) {
-          return fail(i, SimErrorCode::kLoadNoBlue, v,
-                      ToString(m) + ": no blue pebble to copy from");
+          return fail(i, SimErrorCode::kLoadNoBlue, v);
         }
         if (red[v]) {
-          return fail(i, SimErrorCode::kLoadAlreadyRed, v,
-                      ToString(m) + ": node already holds a red pebble");
+          return fail(i, SimErrorCode::kLoadAlreadyRed, v);
         }
         red[v] = 1;
         red_weight += w;
@@ -95,12 +159,10 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
       case MoveType::kStore:  // M2: red -> both
         if (!red[v]) {
-          return fail(i, SimErrorCode::kStoreNoRed, v,
-                      ToString(m) + ": no red pebble to copy from");
+          return fail(i, SimErrorCode::kStoreNoRed, v);
         }
         if (blue[v]) {
-          return fail(i, SimErrorCode::kStoreAlreadyBlue, v,
-                      ToString(m) + ": node already holds a blue pebble");
+          return fail(i, SimErrorCode::kStoreAlreadyBlue, v);
         }
         blue[v] = 1;
         result.cost += w;
@@ -108,20 +170,14 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
       case MoveType::kCompute: {  // M3: all parents red -> add red
         if (graph.is_source(v)) {
-          return fail(i, SimErrorCode::kComputeSource, v,
-                      ToString(m) +
-                          ": source nodes are inputs and cannot be "
-                          "computed; use M1");
+          return fail(i, SimErrorCode::kComputeSource, v);
         }
         if (red[v]) {
-          return fail(i, SimErrorCode::kComputeAlreadyRed, v,
-                      ToString(m) + ": node already holds a red pebble");
+          return fail(i, SimErrorCode::kComputeAlreadyRed, v);
         }
         for (NodeId p : graph.parents(v)) {
           if (!red[p]) {
-            return fail(i, SimErrorCode::kComputeParentNotRed, p,
-                        ToString(m) + ": parent " + NodeStr(p) +
-                            " holds no red pebble");
+            return fail(i, SimErrorCode::kComputeParentNotRed, p);
           }
         }
         red[v] = 1;
@@ -131,8 +187,7 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
       }
       case MoveType::kDelete:  // M4: remove red
         if (!red[v]) {
-          return fail(i, SimErrorCode::kDeleteNoRed, v,
-                      ToString(m) + ": no red pebble to delete");
+          return fail(i, SimErrorCode::kDeleteNoRed, v);
         }
         red[v] = 0;
         red_weight -= w;
@@ -140,31 +195,29 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
     }
     if (red_weight > budget) {
-      return fail(i, SimErrorCode::kBudgetExceeded, v,
-                  ToString(m) + ": weighted red pebble constraint violated"
-                                " (" +
-                      std::to_string(red_weight) + " > budget " +
-                      std::to_string(budget) + ")");
+      return fail(i, SimErrorCode::kBudgetExceeded, v);
     }
     result.peak_red_weight = std::max(result.peak_red_weight, red_weight);
     if (observer) observer(i, m, red_weight);
   }
 
-  result.stop_condition_met =
-      std::all_of(graph.sinks().begin(), graph.sinks().end(),
-                  [&](NodeId s) { return blue[s] != 0; });
+  // One pass over the sinks decides the stop condition and remembers the
+  // first offender for the diagnostic.
+  NodeId first_unmet_sink = kInvalidNode;
+  for (NodeId s : graph.sinks()) {
+    if (blue[s] == 0) {
+      first_unmet_sink = s;
+      break;
+    }
+  }
+  result.stop_condition_met = first_unmet_sink == kInvalidNode;
   if (options.require_stop_condition && !result.stop_condition_met) {
-    const auto unmet =
-        std::find_if(graph.sinks().begin(), graph.sinks().end(),
-                     [&](NodeId s) { return blue[s] == 0; });
-    return fail(schedule.size(), SimErrorCode::kStopConditionUnmet, *unmet,
-                "stopping condition unmet: some sink holds no blue pebble");
+    return fail(schedule.size(), SimErrorCode::kStopConditionUnmet,
+                first_unmet_sink);
   }
   for (NodeId v : options.required_red_at_end) {
     if (!red[v]) {
-      return fail(schedule.size(), SimErrorCode::kReuseConditionUnmet, v,
-                  "reuse condition unmet: v" + std::to_string(v) +
-                      " holds no red pebble at the end");
+      return fail(schedule.size(), SimErrorCode::kReuseConditionUnmet, v);
     }
   }
 

@@ -1,0 +1,75 @@
+#include "core/state_bound.h"
+
+#include <bit>
+#include <cassert>
+
+namespace wrbpg {
+
+StateBound::StateBound(const Graph& graph, Weight budget,
+                       std::uint32_t required_red, bool require_sinks_blue)
+    : graph_(graph),
+      budget_(budget),
+      required_red_(required_red),
+      require_sinks_blue_(require_sinks_blue) {
+  const NodeId n = graph.num_nodes();
+  assert(n <= 32);
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph.is_source(v)) sources_mask_ |= 1u << v;
+    if (graph.is_sink(v)) sinks_mask_ |= 1u << v;
+    Weight footprint = graph.weight(v);
+    for (NodeId p : graph.parents(v)) {
+      parents_mask_[v] |= 1u << p;
+      footprint += graph.weight(p);
+    }
+    compute_footprint_[v] = footprint;
+  }
+}
+
+Weight StateBound::Evaluate(std::uint32_t red, std::uint32_t blue) const {
+  // Store term: sinks still owed their M2.
+  Weight bound = 0;
+  const std::uint32_t unstored =
+      require_sinks_blue_ ? (sinks_mask_ & ~blue) : 0u;
+  for (std::uint32_t m = unstored; m != 0; m &= m - 1) {
+    bound += graph_.weight(static_cast<NodeId>(std::countr_zero(m)));
+  }
+
+  // Need closure: nodes that must become red in every completion. Targets
+  // are the unmet red goals plus the un-red sinks still owed a store (a
+  // store needs its red pebble first). The closure grows upward through
+  // nodes that are neither red nor blue — those can only enter fast
+  // memory via M3, which requires every parent red in turn. Blue non-red
+  // nodes stop the walk (they may be re-loaded instead of recomputed, and
+  // charging them here would not be additive), but a blue *source* in the
+  // need set still pays its load: sources cannot be computed at all.
+  std::uint32_t need = (required_red_ | unstored) & ~red;
+  std::uint32_t frontier = need & ~blue;
+  while (frontier != 0) {
+    std::uint32_t next = 0;
+    for (std::uint32_t m = frontier; m != 0; m &= m - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      // A needed node with no pebble of either color must be computed.
+      // Sources cannot be; and a compute whose Prop 2.3 footprint exceeds
+      // the budget can never fire — either way no completion exists.
+      if ((sources_mask_ & (1u << v)) != 0) return kInfiniteCost;
+      if (compute_footprint_[v] > budget_) return kInfiniteCost;
+      next |= parents_mask_[v];
+    }
+    next &= ~red & ~need;
+    need |= next;
+    frontier = next & ~blue;
+  }
+
+  // Load term: needed sources (all !red by construction; all blue, since a
+  // needed blue-less source already returned infinity above).
+  for (std::uint32_t m = need & sources_mask_; m != 0; m &= m - 1) {
+    bound += graph_.weight(static_cast<NodeId>(std::countr_zero(m)));
+  }
+  return bound;
+}
+
+Weight StateBound::StartBound() const {
+  return Evaluate(0, sources_mask_);
+}
+
+}  // namespace wrbpg

@@ -1,0 +1,75 @@
+// Admissible per-state lower bounds on remaining weighted I/O — the A*
+// heuristic of the exact search engine (DESIGN.md §9).
+//
+// For a pebbling configuration (red, blue) and a goal (all sinks blue
+// and/or a required final red set), h(red, blue) lower-bounds the
+// weighted cost every valid completion must still pay:
+//
+//   store term  — every sink not yet blue needs one M2, costing w_v
+//                 (blue pebbles are never removed, so the store is still
+//                 owed no matter what else happens);
+//   load term   — every source in the *need closure* that is not red must
+//                 be (re-)loaded at least once: the closure walks upward
+//                 from must-become-red targets through nodes that are
+//                 neither red nor blue (such nodes can only be computed,
+//                 which forces their parents red in turn). Sources cannot
+//                 be computed, so a closure source pays its M1.
+//
+// At the start state (no red, sources blue) the two terms are exactly
+// Proposition 2.4's algorithmic lower bound — h generalizes it to every
+// intermediate state, which is what makes it an A* heuristic rather than
+// a one-shot estimate. The closure also detects dead states: a needed
+// source with no blue pebble can never be loaded, and a needed compute
+// whose own Prop 2.3 footprint (w_v + sum of parent weights) exceeds the
+// budget can never fire — both return kInfiniteCost, turning the bound
+// into a pruning oracle as well.
+//
+// Admissibility (h <= true remaining optimal cost) is pinned exhaustively
+// in tests/state_bound_test.cc over every (red, blue) mask pair of small
+// graphs. h is NOT consistent — a single store can discharge both its own
+// store term and an upstream load term — so the searcher reopens states
+// (see brute_force.cc); admissibility alone keeps the optimum exact.
+//
+// Supports graphs of at most 32 nodes (the exact engine's mask width).
+// All precomputation is per graph; Evaluate is allocation-free and
+// iterates only over set bits of the masks involved.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace wrbpg {
+
+class StateBound {
+ public:
+  // `required_red` are nodes that must hold red pebbles at the end;
+  // `require_sinks_blue` adds the game's normal stopping condition.
+  StateBound(const Graph& graph, Weight budget, std::uint32_t required_red,
+             bool require_sinks_blue);
+
+  // Admissible lower bound on the remaining weighted I/O from (red, blue);
+  // kInfiniteCost when no valid completion exists from this state.
+  Weight Evaluate(std::uint32_t red, std::uint32_t blue) const;
+
+  // Evaluate at the canonical start state (no red, sources blue): the
+  // budget-aware generalization of AlgorithmicLowerBound. Used by the
+  // analysis layer to tighten budget-scan bands.
+  Weight StartBound() const;
+
+ private:
+  const Graph& graph_;
+  Weight budget_;
+  std::uint32_t required_red_;
+  bool require_sinks_blue_;
+
+  std::uint32_t sources_mask_ = 0;
+  std::uint32_t sinks_mask_ = 0;
+  // parents_mask_[v]: bitmask of H(v).
+  std::uint32_t parents_mask_[32] = {};
+  // Prop 2.3 footprint w_v + sum_{p in H(v)} w_p of each compute.
+  Weight compute_footprint_[32] = {};
+};
+
+}  // namespace wrbpg

@@ -140,6 +140,12 @@ RobustResult RobustScheduler::Run(Weight budget,
     if (result.timed_out) {
       report.outcome = StageOutcome::kTimedOut;
       report.detail = "cancelled after " + std::to_string(elapsed_ms) + " ms";
+    } else if (result.unsupported) {
+      // The engine refused the instance outright (e.g. the exact search's
+      // 32-node mask width). Not a verdict on feasibility — report it as
+      // skipped so a fallback's answer still wins.
+      report.outcome = StageOutcome::kSkipped;
+      report.detail = "instance outside the engine's representable domain";
     } else if (!result.feasible) {
       report.outcome = StageOutcome::kInfeasible;
     } else {

@@ -6,18 +6,18 @@
 #include <cassert>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/state_bound.h"
+#include "schedulers/search_frontier.h"
 #include "util/thread_pool.h"
 
 namespace wrbpg {
 namespace {
 
-using State = std::uint64_t;  // red mask | (blue mask << 32)
+using State = SearchState;  // red mask | (blue mask << 32)
 
 constexpr std::uint32_t RedOf(State s) {
   return static_cast<std::uint32_t>(s & 0xffffffffu);
@@ -29,60 +29,24 @@ constexpr State MakeState(std::uint32_t red, std::uint32_t blue) {
   return static_cast<State>(red) | (static_cast<State>(blue) << 32);
 }
 
-// Search key: Definition 2.2 cost first, then schedule length. The length
-// component makes the order well-founded under the free moves (M3/M4 cost
-// nothing, so cost alone admits zero-cost cycles like compute-then-delete)
-// and is the middle tier of the determinism contract's tie-break.
+// Wave key: f = g + h first (Dijkstra runs with h == 0, so f == g), then
+// the Definition 2.2 cost g, then schedule length. The length component
+// makes the order well-founded under the free moves (M3/M4 cost nothing,
+// so cost alone admits zero-cost cycles like compute-then-delete) and is
+// the middle tier of the determinism contract's tie-break; the cost-only
+// pass of the dominance engine zeroes it out so a zero-cost closure is
+// one wave, not a cascade of length-stratified ones.
 struct Key {
-  Weight cost = 0;
+  Weight f = 0;
+  Weight g = 0;
   std::uint32_t len = 0;
 
   friend bool operator==(const Key&, const Key&) = default;
   friend bool operator<(const Key& a, const Key& b) {
-    return a.cost != b.cost ? a.cost < b.cost : a.len < b.len;
+    if (a.f != b.f) return a.f < b.f;
+    if (a.g != b.g) return a.g < b.g;
+    return a.len < b.len;
   }
-};
-
-// Concurrent State -> Key map, sharded so parallel frontier expansion
-// relaxes edges without a global lock. Shortest-path distances are unique,
-// so the final contents are independent of which thread wins each race —
-// the root of the parallel == sequential guarantee.
-class DistMap {
- public:
-  // Inserts or lowers the key for `s`; true when this call changed it.
-  bool TryImprove(State s, Key key) {
-    Shard& shard = shards_[ShardIndex(s)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, inserted] = shard.map.try_emplace(s, key);
-    if (inserted) return true;
-    if (key < it->second) {
-      it->second = key;
-      return true;
-    }
-    return false;
-  }
-
-  // Lock-free lookup; only legal while no expansion is in flight (between
-  // waves, and during reconstruction).
-  const Key* Find(State s) const {
-    const Shard& shard = shards_[ShardIndex(s)];
-    const auto it = shard.map.find(s);
-    return it == shard.map.end() ? nullptr : &it->second;
-  }
-
- private:
-  static constexpr std::size_t kShardCount = 64;  // power of two
-
-  static std::size_t ShardIndex(State s) {
-    return static_cast<std::size_t>((s * 0x9e3779b97f4a7c15ull) >> 58) &
-           (kShardCount - 1);
-  }
-
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<State, Key> map;
-  };
-  Shard shards_[kShardCount];
 };
 
 struct LevelUpdate {
@@ -90,11 +54,28 @@ struct LevelUpdate {
   State state;
 };
 
-// One exact search: level-synchronous Dijkstra over (cost, len) keys plus
-// canonical reconstruction. Every move's key strictly exceeds its source's
-// (cost is nondecreasing, length always +1), so expanding whole levels in
-// lexicographic key order settles states exactly like a serial Dijkstra —
-// which is what lets a level's states fan out across the pool.
+// How one search pass runs. The engines are compositions of these flags:
+// Dijkstra = {false, true, false}, A* = {true, true, false}, and the
+// dominance engine's cost pass = {true, false, true} (a schedule-wanting
+// dominance run follows up with an A* pass primed at the found optimum).
+struct PhaseConfig {
+  bool use_heuristic = false;
+  bool use_len = true;
+  bool use_dominance = false;
+  Weight prime_bound = kInfiniteCost;  // known upper bound on the optimum
+};
+
+enum class PhaseStatus { kFound, kInfeasible, kTimedOut };
+
+// One exact search: level-synchronous best-first waves over (f, g, len)
+// keys plus canonical reconstruction. Waves settle in ascending key
+// order; because the state_bound heuristic is admissible but not
+// consistent, a settled state whose g later improves is simply re-queued
+// at its better key and re-expanded (reopening), which the
+// dist-map-ownership check already implements. The first wave holding a
+// goal is still the optimum: any cheaper goal would keep an open
+// optimal-path state at a strictly smaller key (h admissible along that
+// path), contradicting the wave order.
 class Searcher {
  public:
   Searcher(const Graph& graph, Weight budget,
@@ -112,6 +93,10 @@ class Searcher {
         static_cast<std::uint32_t>(options.initial_blue.value_or(sources_mask_));
     required_red_ = static_cast<std::uint32_t>(options.required_red_at_end);
     start_ = MakeState(initial_red_, initial_blue_);
+    if (options.engine != SearchEngine::kDijkstra) {
+      bound_.emplace(graph, budget, required_red_,
+                     options.require_sinks_blue);
+    }
   }
 
   ScheduleResult Run(bool want_schedule);
@@ -124,6 +109,10 @@ class Searcher {
       return false;
     }
     return true;
+  }
+
+  Weight Heuristic(State s) const {
+    return bound_->Evaluate(RedOf(s), BlueOf(s));
   }
 
   Weight RedWeight(std::uint32_t red) const {
@@ -180,10 +169,13 @@ class Searcher {
     }
   }
 
+  PhaseStatus RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
+                       std::size_t threads);
   void ExpandRange(const std::vector<State>& frontier, std::size_t lo,
-                   std::size_t hi, Key level, std::vector<LevelUpdate>& out);
-  Schedule Reconstruct(Key goal_key,
-                       const std::vector<State>& goal_states) const;
+                   std::size_t hi, Key level, const PhaseConfig& cfg,
+                   std::vector<LevelUpdate>& out, SearchStats& stats);
+  void PruneDominated(std::vector<State>& live);
+  Schedule Reconstruct() const;
 
   const Graph& graph_;
   const Weight budget_;
@@ -196,20 +188,32 @@ class Searcher {
   std::uint32_t initial_blue_ = 0;
   std::uint32_t required_red_ = 0;
   State start_ = 0;
+  std::optional<StateBound> bound_;
 
-  DistMap dist_;
+  FlatDistMap dist_;
+  std::map<Key, std::vector<State>> pending_;
+  LevelPool level_pool_;
+  std::vector<std::vector<LevelUpdate>> chunk_updates_;
+
   // Shared best-known goal cost: relaxations that discover a goal lower it
   // (atomically, across all workers), and every relaxation prunes targets
-  // strictly costlier. Only strictly-worse states are dropped, so pruning
-  // never disturbs the distance map below the optimum — timing of the
-  // bound updates cannot leak into the result.
+  // whose f strictly exceeds it. h is admissible, so f > bound proves the
+  // successor cannot sit on a solution of cost <= bound; only strictly-
+  // worse states are dropped, and the distance map below the optimum is
+  // undisturbed — timing of the bound updates cannot leak into the result.
   std::atomic<Weight> best_goal_cost_{kInfiniteCost};
   std::atomic<bool> cancelled_{false};
+
+  std::size_t settled_ = 0;  // cumulative across phases (max_states valve)
+  SearchStats stats_;        // aggregated across phases
+  Key goal_key_;
+  std::vector<State> goal_states_;
 };
 
 void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
-                           std::size_t hi, Key level,
-                           std::vector<LevelUpdate>& out) {
+                           std::size_t hi, Key level, const PhaseConfig& cfg,
+                           std::vector<LevelUpdate>& out,
+                           SearchStats& stats) {
   const CancelToken* cancel = options_.cancel;
   for (std::size_t i = lo; i < hi; ++i) {
     if ((i - lo) % 256 == 0) {
@@ -221,26 +225,194 @@ void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
     }
     const State s = frontier[i];
     ForEachSuccessor(s, [&](State next, Weight move_cost, Move) {
-      const Key next_key{level.cost + move_cost, level.len + 1};
-      if (next_key.cost > best_goal_cost_.load(std::memory_order_relaxed)) {
-        return false;  // already provably worse than a known solution
+      ++stats.generated;
+      const Weight g = level.g + move_cost;
+      Weight h = 0;
+      if (cfg.use_heuristic) {
+        h = Heuristic(next);
+        if (h >= kInfiniteCost) {
+          ++stats.pruned_heuristic;  // no completion exists from `next`
+          return false;
+        }
       }
-      if (dist_.TryImprove(next, next_key)) {
+      const Weight f = g + h;
+      if (f > best_goal_cost_.load(std::memory_order_relaxed)) {
+        ++stats.pruned_bound;  // already provably worse than a solution
+        return false;
+      }
+      const std::uint32_t len = cfg.use_len ? level.len + 1 : 0;
+      if (dist_.TryImprove(next, g, len)) {
+        ++stats.improved;
         if (IsGoal(next)) {
+          // h(goal) == 0, so f == g here.
           Weight seen = best_goal_cost_.load(std::memory_order_relaxed);
-          while (next_key.cost < seen &&
-                 !best_goal_cost_.compare_exchange_weak(
-                     seen, next_key.cost, std::memory_order_relaxed)) {
+          while (g < seen && !best_goal_cost_.compare_exchange_weak(
+                                 seen, g, std::memory_order_relaxed)) {
           }
         }
-        out.push_back({next_key, next});
+        out.push_back({Key{f, g, len}, next});
       }
       return false;
     });
   }
 }
 
+// Drops wave states that a same-wave sibling renders redundant: equal red
+// mask (with positive weights, "superset red at no greater red weight"
+// collapses to equality) and strictly-superset blue mask. Any completion
+// from the dominated state either never stores into the extra blue nodes —
+// then it is verbatim legal from the dominator at identical cost — or it
+// does, and the dominator skips those stores for a strictly cheaper
+// finish. Either way the optimal cost survives the drop. The lex-least
+// tie-break does NOT necessarily survive, which is why this filter only
+// runs in the cost pass (PhaseConfig::use_dominance) and never in a pass
+// that reconstructs a schedule.
+void Searcher::PruneDominated(std::vector<State>& live) {
+  if (live.size() < 2) return;
+  // Sort so that, within a red group, supersets precede subsets: blue
+  // popcount descending, then blue ascending for determinism.
+  std::sort(live.begin(), live.end(), [](State a, State b) {
+    if (RedOf(a) != RedOf(b)) return RedOf(a) < RedOf(b);
+    const int pa = std::popcount(BlueOf(a));
+    const int pb = std::popcount(BlueOf(b));
+    if (pa != pb) return pa > pb;
+    return BlueOf(a) < BlueOf(b);
+  });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const State s = live[i];
+    bool dominated = false;
+    for (std::size_t j = kept;
+         j > 0 && RedOf(live[j - 1]) == RedOf(s); --j) {
+      const std::uint32_t blue = BlueOf(s);
+      if ((blue & BlueOf(live[j - 1])) == blue) {
+        dominated = true;  // kept sibling holds every blue pebble we do
+        break;
+      }
+    }
+    if (!dominated) live[kept++] = s;
+  }
+  stats_.pruned_dominated += live.size() - kept;
+  live.resize(kept);
+}
+
+PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
+                               std::size_t threads) {
+  dist_.Reset();
+  pending_.clear();
+  best_goal_cost_.store(cfg.prime_bound, std::memory_order_relaxed);
+  goal_states_.clear();
+
+  const Weight h0 = cfg.use_heuristic ? Heuristic(start_) : 0;
+  if (h0 >= kInfiniteCost) return PhaseStatus::kInfeasible;
+  dist_.TryImprove(start_, 0, 0);
+  pending_[Key{h0, 0, 0}].push_back(start_);
+
+  bool found = false;
+  std::vector<State> live;
+
+  while (!found && !pending_.empty()) {
+    auto level_node = pending_.extract(pending_.begin());
+    const Key level = level_node.key();
+    std::vector<State>& frontier = level_node.mapped();
+
+    // Drop states this level no longer owns: a later relaxation in an
+    // earlier wave may have improved them into a lower level (which then
+    // already expanded them), and reopening re-queues improved states
+    // under their better key.
+    live.clear();
+    for (const State s : frontier) {
+      const FlatDistMap::Entry* e = dist_.Find(s);
+      if (e != nullptr && e->g == level.g && e->len == level.len) {
+        live.push_back(s);
+      }
+    }
+    level_pool_.Release(std::move(frontier));
+    if (live.empty()) continue;
+    ++stats_.waves;
+
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return PhaseStatus::kTimedOut;
+    }
+
+    for (const State s : live) {
+      if (IsGoal(s)) goal_states_.push_back(s);
+    }
+    if (!goal_states_.empty()) {
+      // Waves settle in ascending (f, g, len) order, so the first wave
+      // holding a goal is the optimum; its states are never expanded.
+      goal_key_ = level;
+      found = true;
+      break;
+    }
+
+    if (cfg.use_dominance) PruneDominated(live);
+    settled_ += live.size();
+    stats_.expanded += live.size();
+    if (settled_ > options_.max_states) {
+      std::fprintf(stderr,
+                   "BruteForceScheduler: state limit exceeded (%zu states)\n",
+                   options_.max_states);
+      return PhaseStatus::kTimedOut;
+    }
+
+    if (pool != nullptr && live.size() >= threads * 2) {
+      const std::size_t chunk_count = std::min(live.size(), threads * 4);
+      const std::size_t chunk =
+          (live.size() + chunk_count - 1) / chunk_count;
+      const std::size_t num_chunks = (live.size() + chunk - 1) / chunk;
+      if (chunk_updates_.size() < num_chunks) {
+        chunk_updates_.resize(num_chunks);
+      }
+      std::vector<SearchStats> chunk_stats(num_chunks);
+      TaskGroup group(*pool);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        chunk_updates_[c].clear();
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(lo + chunk, live.size());
+        group.Submit([this, &live, lo, hi, level, &cfg, &chunk_stats, c] {
+          ExpandRange(live, lo, hi, level, cfg, chunk_updates_[c],
+                      chunk_stats[c]);
+        });
+      }
+      group.Wait();
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        stats_.Accumulate(chunk_stats[c]);
+        for (const LevelUpdate& u : chunk_updates_[c]) {
+          auto [it, inserted] = pending_.try_emplace(u.key);
+          if (inserted) it->second = level_pool_.Acquire();
+          it->second.push_back(u.state);
+        }
+      }
+    } else {
+      if (chunk_updates_.empty()) chunk_updates_.resize(1);
+      chunk_updates_[0].clear();
+      ExpandRange(live, 0, live.size(), level, cfg, chunk_updates_[0],
+                  stats_);
+      for (const LevelUpdate& u : chunk_updates_[0]) {
+        auto [it, inserted] = pending_.try_emplace(u.key);
+        if (inserted) it->second = level_pool_.Acquire();
+        it->second.push_back(u.state);
+      }
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return PhaseStatus::kTimedOut;
+    }
+  }
+
+  return found ? PhaseStatus::kFound : PhaseStatus::kInfeasible;
+}
+
 ScheduleResult Searcher::Run(bool want_schedule) {
+  struct StatsFlush {
+    const Searcher* self;
+    ~StatsFlush() {
+      if (self->options_.stats != nullptr) {
+        *self->options_.stats = self->stats_;
+      }
+    }
+  } flush{this};
+
   if (RedWeight(initial_red_) > budget_) return ScheduleResult::Infeasible();
   // Honor tokens that are already expired before any state settles (the
   // in-loop poll is per wave and would miss them on small graphs).
@@ -251,93 +423,43 @@ ScheduleResult Searcher::Run(bool want_schedule) {
   const std::size_t threads = ResolveThreadCount(options_.threads);
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
 
-  dist_.TryImprove(start_, Key{0, 0});
-  std::map<Key, std::vector<State>> pending;
-  pending[Key{0, 0}].push_back(start_);
-
-  std::size_t settled = 0;
-  bool found = false;
-  Key goal_key;
-  std::vector<State> goal_states;
-  std::vector<State> live;
-
-  while (!found && !pending.empty()) {
-    auto level_node = pending.extract(pending.begin());
-    const Key level = level_node.key();
-    const std::vector<State>& frontier = level_node.mapped();
-
-    // Drop states this level no longer owns: a later relaxation in an
-    // earlier wave may have improved them into a lower level (which then
-    // already expanded them).
-    live.clear();
-    for (const State s : frontier) {
-      const Key* key = dist_.Find(s);
-      if (key != nullptr && *key == level) live.push_back(s);
-    }
-    if (live.empty()) continue;
-
-    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
-      return ScheduleResult::TimedOut();
-    }
-    settled += live.size();
-    if (settled > options_.max_states) {
-      std::fprintf(stderr,
-                   "BruteForceScheduler: state limit exceeded (%zu states)\n",
-                   options_.max_states);
-      return ScheduleResult::TimedOut();
-    }
-
-    for (const State s : live) {
-      if (IsGoal(s)) goal_states.push_back(s);
-    }
-    if (!goal_states.empty()) {
-      // Levels settle in ascending (cost, len) order, so the first level
-      // holding a goal is the optimum; its states are never expanded.
-      goal_key = level;
-      found = true;
-      break;
-    }
-
-    if (pool.has_value() && live.size() >= threads * 2) {
-      const std::size_t chunk_count =
-          std::min(live.size(), threads * 4);
-      const std::size_t chunk =
-          (live.size() + chunk_count - 1) / chunk_count;
-      std::vector<std::vector<LevelUpdate>> chunk_updates(
-          (live.size() + chunk - 1) / chunk);
-      TaskGroup group(*pool);
-      for (std::size_t c = 0; c * chunk < live.size(); ++c) {
-        const std::size_t lo = c * chunk;
-        const std::size_t hi = std::min(lo + chunk, live.size());
-        group.Submit([this, &live, lo, hi, level, &chunk_updates, c] {
-          ExpandRange(live, lo, hi, level, chunk_updates[c]);
-        });
-      }
-      group.Wait();
-      for (const auto& updates : chunk_updates) {
-        for (const LevelUpdate& u : updates) {
-          pending[u.key].push_back(u.state);
-        }
-      }
-    } else {
-      std::vector<LevelUpdate> updates;
-      ExpandRange(live, 0, live.size(), level, updates);
-      for (const LevelUpdate& u : updates) {
-        pending[u.key].push_back(u.state);
-      }
-    }
-    if (cancelled_.load(std::memory_order_relaxed)) {
-      return ScheduleResult::TimedOut();
-    }
+  PhaseConfig cfg;
+  cfg.use_heuristic = options_.engine != SearchEngine::kDijkstra;
+  const bool two_phase =
+      options_.engine == SearchEngine::kAStarDominance;
+  if (two_phase) {
+    cfg.use_len = false;
+    cfg.use_dominance = true;
   }
 
-  if (!found) return ScheduleResult::Infeasible();
+  PhaseStatus status = RunPhase(cfg, pool_ptr, threads);
+  if (status == PhaseStatus::kTimedOut) return ScheduleResult::TimedOut();
+  if (status == PhaseStatus::kInfeasible) return ScheduleResult::Infeasible();
 
   ScheduleResult result;
   result.feasible = true;
-  result.cost = goal_key.cost;
-  if (want_schedule) result.schedule = Reconstruct(goal_key, goal_states);
+  result.cost = goal_key_.g;
+  if (!want_schedule) return result;
+
+  if (two_phase) {
+    // The cost pass ran without the length tier and with dominance drops,
+    // so its distance map cannot drive the canonical reconstruction.
+    // Re-run A* with the optimum as the pruning bound from move zero: it
+    // settles exactly the f <= C* states whose optimal-path entries the
+    // plain A* map would hold, so the reconstruction below is bit-for-bit
+    // the same schedule every engine returns.
+    PhaseConfig exact;
+    exact.use_heuristic = true;
+    exact.prime_bound = result.cost;
+    status = RunPhase(exact, pool_ptr, threads);
+    if (status == PhaseStatus::kTimedOut) return ScheduleResult::TimedOut();
+    assert(status == PhaseStatus::kFound);
+    if (status != PhaseStatus::kFound) return ScheduleResult::Infeasible();
+    assert(goal_key_.g == result.cost);
+  }
+  result.schedule = Reconstruct();
   return result;
 }
 
@@ -348,31 +470,36 @@ ScheduleResult Searcher::Run(bool want_schedule) {
 //      edges backwards from the optimal goal states;
 //   2. walk forwards from the start, always taking the first marked tight
 //      edge in canonical move order.
-// Both passes are pure functions of the distance map, and shortest-path
-// distances are unique — so any execution (1 thread or N) lands on the
-// same move sequence, bit for bit.
-Schedule Searcher::Reconstruct(Key goal_key,
-                               const std::vector<State>& goal_states) const {
+// Both passes are pure functions of the distance map restricted to
+// optimal-path states, and those entries are identical for every engine
+// and thread count (DESIGN.md §9): a state is marked iff it is genuinely
+// reachable at exactly the tight (g, len) — any such state lies on a
+// cost-C* path, every prefix of which has f <= C* by admissibility, so
+// no engine's pruning can have missed it.
+Schedule Searcher::Reconstruct() const {
   const NodeId n = graph_.num_nodes();
+  const Weight goal_g = goal_key_.g;
+  const std::uint32_t goal_len = goal_key_.len;
 
   std::unordered_set<State> marked;
   std::vector<State> stack;
-  for (const State g : goal_states) {
+  for (const State g : goal_states_) {
     if (marked.insert(g).second) stack.push_back(g);
   }
   while (!stack.empty()) {
     const State s = stack.back();
     stack.pop_back();
-    const Key* key_ptr = dist_.Find(s);
-    assert(key_ptr != nullptr);
-    const Key key = *key_ptr;
-    if (key.len == 0) continue;  // the start state has no predecessors
+    const FlatDistMap::Entry* entry = dist_.Find(s);
+    assert(entry != nullptr);
+    if (entry->len == 0) continue;  // the start state has no predecessors
+    const Weight s_g = entry->g;
+    const std::uint32_t s_len = entry->len;
     const std::uint32_t red = RedOf(s);
     const std::uint32_t blue = BlueOf(s);
     const auto visit_if_tight = [&](State p, Weight move_cost) {
-      const Key want{key.cost - move_cost, key.len - 1};
-      const Key* p_key = dist_.Find(p);
-      if (p_key != nullptr && *p_key == want && marked.insert(p).second) {
+      const FlatDistMap::Entry* pe = dist_.Find(p);
+      if (pe != nullptr && pe->g == s_g - move_cost &&
+          pe->len == s_len - 1 && marked.insert(p).second) {
         stack.push_back(p);
       }
     };
@@ -401,21 +528,23 @@ Schedule Searcher::Reconstruct(Key goal_key,
   assert(marked.contains(start_));
 
   std::vector<Move> moves;
-  moves.reserve(goal_key.len);
+  moves.reserve(goal_len);
   State s = start_;
-  Key key{0, 0};
-  while (!(key == goal_key && IsGoal(s))) {
-    assert(key.len < goal_key.len);
+  Weight g = 0;
+  std::uint32_t len = 0;
+  while (!(g == goal_g && len == goal_len && IsGoal(s))) {
+    assert(len < goal_len);
     bool advanced = false;
     ForEachSuccessor(s, [&](State next, Weight move_cost, Move move) {
-      const Key next_key{key.cost + move_cost, key.len + 1};
-      const Key* d = dist_.Find(next);
-      if (d == nullptr || !(*d == next_key) || !marked.contains(next)) {
+      const FlatDistMap::Entry* d = dist_.Find(next);
+      if (d == nullptr || d->g != g + move_cost || d->len != len + 1 ||
+          !marked.contains(next)) {
         return false;
       }
       moves.push_back(move);
       s = next;
-      key = next_key;
+      g += move_cost;
+      ++len;
       advanced = true;
       return true;
     });
@@ -427,19 +556,26 @@ Schedule Searcher::Reconstruct(Key goal_key,
 
 }  // namespace
 
-BruteForceScheduler::BruteForceScheduler(const Graph& graph) : graph_(graph) {
-  if (graph.num_nodes() > 32) {
-    std::fprintf(stderr,
-                 "BruteForceScheduler: graph has %u nodes; the oracle "
-                 "supports at most 32\n",
-                 graph.num_nodes());
-    std::abort();
+const char* ToString(SearchEngine engine) {
+  switch (engine) {
+    case SearchEngine::kDijkstra: return "dijkstra";
+    case SearchEngine::kAStar: return "astar";
+    case SearchEngine::kAStarDominance: return "astar+dominance";
   }
+  return "unknown";
 }
+
+BruteForceScheduler::BruteForceScheduler(const Graph& graph) : graph_(graph) {}
 
 ScheduleResult BruteForceScheduler::Search(Weight budget,
                                            const BruteForceOptions& options,
                                            bool want_schedule) const {
+  if (graph_.num_nodes() > 32) {
+    // The engine packs red/blue pebbles into 32-bit masks; wider graphs
+    // are a typed refusal, not UB.
+    if (options.stats != nullptr) *options.stats = SearchStats{};
+    return ScheduleResult::Unsupported();
+  }
   return Searcher(graph_, budget, options).Run(want_schedule);
 }
 

@@ -1,23 +1,49 @@
-// Exhaustive optimal WRBPG solver — the test oracle.
+// Exhaustive optimal WRBPG solver — the test oracle and the hot exact
+// path of the RobustScheduler chain.
 //
 // Shortest-path search over pebbling configurations (red mask, blue mask)
 // with move costs from Definition 2.2 (M1/M2 cost w_v, M3/M4 free).
 // Exponential in |V|; intended for graphs of at most ~20 nodes, where it
 // certifies the optimality of the polynomial dataflow-specific schedulers.
 //
+// Three engines share one searcher (DESIGN.md §9):
+//
+//   kDijkstra        — the PR 3 uninformed level-synchronous search, kept
+//                      as the audited baseline for differential tests and
+//                      the --engine-compare benchmark.
+//   kAStar           — A* ordered by (g + h, g, len) where h is the
+//                      core/state_bound admissible remaining-I/O bound
+//                      (Prop 2.4 generalized per state). h is admissible
+//                      but not consistent, so states reopen when their g
+//                      improves; the first settled goal is still optimal.
+//   kAStarDominance  — the default. Cost is found by an A* pass that
+//                      additionally (a) coalesces zero-cost M3/M4
+//                      closures by dropping the length tier from the
+//                      wave key — all interleavings of a free-move
+//                      closure collapse into one wave — and (b) drops a
+//                      wave state when a same-wave state with equal red
+//                      mask and superset blue mask dominates it. When a
+//                      schedule is wanted, a second A* pass primed with
+//                      the now-known optimal cost rebuilds the canonical
+//                      distance map (dominance off, so the lex-least
+//                      tie-break is undisturbed).
+//
 // Options support the Sec. 4.1 memory-state semantics: arbitrary initial
 // red/blue pebbles and a required final red set, so Eq. (8)'s P_m can be
 // cross-checked as well as the plain game.
 //
-// Determinism contract (DESIGN.md §8): for a given (graph, budget,
+// Determinism contract (DESIGN.md §8/§9): for a given (graph, budget,
 // options) the result is a pure function of the inputs — independent of
-// the thread count. The returned schedule is the canonical optimum:
-// lowest cost, then fewest moves, then the lexicographically-least move
-// sequence under the move order M1 < M2 < M3 < M4, node id ascending.
-// Parallel runs (options.threads != 1) reconstruct the schedule from the
-// same distance map a sequential run computes, so `--threads 1` and
-// `--threads N` agree bit for bit; differential tests at 1/2/8 threads
-// pin this.
+// the thread count AND of the engine. The returned schedule is the
+// canonical optimum: lowest cost, then fewest moves, then the
+// lexicographically-least move sequence under the move order
+// M1 < M2 < M3 < M4, node id ascending. All engines reconstruct from a
+// distance map whose optimal-path entries provably coincide, so
+// `--threads 1` vs `--threads N` and dijkstra vs A* vs A*+dominance all
+// agree bit for bit; differential tests at 1/2/8 threads pin this.
+//
+// Graphs beyond 32 nodes exceed the pebble-mask width and come back as a
+// typed ScheduleResult::Unsupported() — never UB, never an abort.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +55,40 @@
 
 namespace wrbpg {
 
+enum class SearchEngine : std::uint8_t {
+  kDijkstra = 0,
+  kAStar,
+  kAStarDominance,
+};
+
+const char* ToString(SearchEngine engine);
+
+// Counters filled by a search when BruteForceOptions::stats is set.
+// `expanded` and `waves` are pure functions of (graph, budget, options) —
+// identical at any thread count — and are what --engine-compare reports.
+// The relaxation-level counters (generated, improved, pruned_*) can vary
+// slightly across parallel runs (transient races decide which thread's
+// relaxation "improves" an entry) and are informational only.
+struct SearchStats {
+  std::uint64_t expanded = 0;          // states settled and fanned out
+  std::uint64_t waves = 0;             // level-synchronous waves run
+  std::uint64_t generated = 0;         // successor relaxations attempted
+  std::uint64_t improved = 0;          // relaxations that changed the map
+  std::uint64_t pruned_bound = 0;      // cut by f > best known goal cost
+  std::uint64_t pruned_heuristic = 0;  // cut by h == infinity (dead state)
+  std::uint64_t pruned_dominated = 0;  // wave states dropped by dominance
+
+  void Accumulate(const SearchStats& other) {
+    expanded += other.expanded;
+    waves += other.waves;
+    generated += other.generated;
+    improved += other.improved;
+    pruned_bound += other.pruned_bound;
+    pruned_heuristic += other.pruned_heuristic;
+    pruned_dominated += other.pruned_dominated;
+  }
+};
+
 struct BruteForceOptions {
   std::uint64_t initial_red = 0;  // bitmask over NodeId
   // Blue pebbles at the start; defaults to the sources A(G).
@@ -38,7 +98,8 @@ struct BruteForceOptions {
   // Goal: all sinks must hold blue pebbles (the game's stopping condition).
   bool require_sinks_blue = true;
   // Safety valve: give up past this many settled states; the result comes
-  // back with timed_out set instead of aborting the process.
+  // back with timed_out set instead of aborting the process. Counted
+  // cumulatively across both passes of a two-phase kAStarDominance run.
   std::size_t max_states = 20'000'000;
   // Cooperative cancellation: polled between search waves and inside
   // expansion chunks. On expiry the search unwinds with a timed_out
@@ -50,6 +111,14 @@ struct BruteForceOptions {
   // default installed by --threads / WRBPG_THREADS. Any value returns the
   // identical result — see the determinism contract above.
   std::size_t threads = 0;
+  // Which search engine to run. All three return identical results; they
+  // differ only in how many states they touch on the way (see the
+  // --engine-compare benchmark). The informed engines are never slower
+  // than Dijkstra by more than the O(popcount) heuristic evaluation.
+  SearchEngine engine = SearchEngine::kAStarDominance;
+  // When non-null, filled with the search's counters on return
+  // (aggregated over both passes of a two-phase run).
+  SearchStats* stats = nullptr;
 };
 
 class BruteForceScheduler {

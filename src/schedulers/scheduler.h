@@ -19,11 +19,21 @@ struct ScheduleResult {
   // The search was cancelled (deadline/stop token or state-limit safety
   // valve) before it could decide feasibility. Always false when feasible.
   bool timed_out = false;
+  // The instance is outside the engine's representable domain (e.g. more
+  // nodes than the exact search's 32-bit pebble masks). Distinct from
+  // infeasible: the game may well have a solution, this engine just
+  // cannot look for it. Always false when feasible.
+  bool unsupported = false;
 
   static ScheduleResult Infeasible() { return {}; }
   static ScheduleResult TimedOut() {
     ScheduleResult r;
     r.timed_out = true;
+    return r;
+  }
+  static ScheduleResult Unsupported() {
+    ScheduleResult r;
+    r.unsupported = true;
     return r;
   }
 };

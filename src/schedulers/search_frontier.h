@@ -1,0 +1,156 @@
+// Allocation-lean frontier mechanics for the exact search engine
+// (DESIGN.md §9): an open-addressing flat distance map plus pooled wave
+// buffers. The PR 3 engine kept distances in 64 sharded
+// std::unordered_map shards and allocated a fresh std::vector per
+// (key, level) of the pending map — node-by-node heap traffic on the
+// hottest loop in the repo. Here every shard is a flat linear-probe
+// table (one contiguous slab, grown by doubling, never freed mid-search)
+// and level vectors are recycled through a pool, so steady-state waves
+// allocate nothing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace wrbpg {
+
+// Packed pebbling configuration: red mask | (blue mask << 32).
+using SearchState = std::uint64_t;
+
+// Concurrent SearchState -> best-known (g, len) map. Sharded so parallel
+// frontier expansion relaxes edges without a global lock; shortest-path
+// distances are unique, so the final contents are independent of which
+// thread wins each race — the root of the parallel == sequential
+// guarantee. Within a shard, open addressing with linear probing: inserts
+// touch one cache line in the common case instead of an allocator.
+class FlatDistMap {
+ public:
+  struct Entry {
+    SearchState state = 0;
+    Weight g = 0;
+    std::uint32_t len = 0;
+    bool used = false;
+  };
+
+  // Inserts or lexicographically lowers (g, len) for `s`; true when this
+  // call changed the stored value.
+  bool TryImprove(SearchState s, Weight g, std::uint32_t len) {
+    Shard& shard = shards_[ShardIndex(s)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.slots.empty()) shard.Rehash(kInitialCapacity);
+    Entry* e = shard.Probe(s);
+    if (!e->used) {
+      if ((shard.size + 1) * 4 > shard.slots.size() * 3) {
+        shard.Rehash(shard.slots.size() * 2);
+        e = shard.Probe(s);
+      }
+      e->state = s;
+      e->g = g;
+      e->len = len;
+      e->used = true;
+      ++shard.size;
+      return true;
+    }
+    if (g < e->g || (g == e->g && len < e->len)) {
+      e->g = g;
+      e->len = len;
+      return true;
+    }
+    return false;
+  }
+
+  // Lock-free lookup; only legal while no expansion is in flight (between
+  // waves, and during reconstruction).
+  const Entry* Find(SearchState s) const {
+    const Shard& shard = shards_[ShardIndex(s)];
+    if (shard.slots.empty()) return nullptr;
+    const Entry* e = shard.ProbeConst(s);
+    return e->used ? e : nullptr;
+  }
+
+  // Empties every shard but keeps the slabs — the next phase of a
+  // two-phase search reuses the capacity the first phase grew into.
+  void Reset() {
+    for (Shard& shard : shards_) {
+      for (Entry& e : shard.slots) e.used = false;
+      shard.size = 0;
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 64;  // power of two
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  static std::uint64_t Mix(SearchState s) {
+    return s * 0x9e3779b97f4a7c15ull;
+  }
+  static std::size_t ShardIndex(SearchState s) {
+    return static_cast<std::size_t>(Mix(s) >> 58) & (kShardCount - 1);
+  }
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<Entry> slots;  // power-of-two capacity
+    std::size_t size = 0;
+
+    std::size_t SlotIndex(SearchState s) const {
+      const std::uint64_t h = Mix(s);
+      return static_cast<std::size_t>(h ^ (h >> 29)) & (slots.size() - 1);
+    }
+    Entry* Probe(SearchState s) {
+      std::size_t i = SlotIndex(s);
+      while (slots[i].used && slots[i].state != s) {
+        i = (i + 1) & (slots.size() - 1);
+      }
+      return &slots[i];
+    }
+    const Entry* ProbeConst(SearchState s) const {
+      std::size_t i = SlotIndex(s);
+      while (slots[i].used && slots[i].state != s) {
+        i = (i + 1) & (slots.size() - 1);
+      }
+      return &slots[i];
+    }
+    void Rehash(std::size_t capacity) {
+      std::vector<Entry> old = std::exchange(slots, {});
+      slots.resize(capacity);
+      for (const Entry& e : old) {
+        if (e.used) *Probe(e.state) = e;
+      }
+    }
+  };
+  Shard shards_[kShardCount];
+};
+
+// Recycles the per-level state vectors of the pending map. Extracted
+// levels hand their storage back; new levels pull it out again, so after
+// the first few waves the frontier runs allocation-free regardless of how
+// many levels come and go ("bulk-freed between levels").
+class LevelPool {
+ public:
+  std::vector<SearchState> Acquire() {
+    if (pool_.empty()) return {};
+    std::vector<SearchState> v = std::move(pool_.back());
+    pool_.pop_back();
+    return v;
+  }
+  void Release(std::vector<SearchState>&& v) {
+    v.clear();
+    pool_.push_back(std::move(v));
+  }
+
+ private:
+  std::vector<std::vector<SearchState>> pool_;
+};
+
+}  // namespace wrbpg

@@ -159,5 +159,31 @@ TEST(BruteForce, InitialRedBeyondBudgetInfeasible) {
   EXPECT_FALSE(sched.Run(3, options).feasible);
 }
 
+// Graphs beyond the 32-node pebble-mask width come back as a typed
+// `unsupported` result — distinct from infeasibility, never UB or an
+// abort — and CostOnly mirrors it as an infinite cost with zeroed stats.
+TEST(BruteForce, GraphBeyond32NodesIsTypedUnsupported) {
+  const Graph g = MakeChain(33, 1);
+  BruteForceScheduler sched(g);
+  SearchStats stats;
+  stats.expanded = 123;  // must be overwritten, not left stale
+  BruteForceOptions options;
+  options.stats = &stats;
+  const ScheduleResult result = sched.Run(1'000'000, options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.unsupported);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(stats.expanded, 0u);
+  EXPECT_GE(sched.CostOnly(1'000'000), kInfiniteCost);
+}
+
+TEST(BruteForce, SupportedInstancesAreNotMarkedUnsupported) {
+  const Graph g = MakeChain(5, 2);
+  EXPECT_FALSE(BruteForceScheduler(g).Run(100).unsupported);
+  // Infeasibility is a verdict about the instance, not a refusal.
+  EXPECT_FALSE(BruteForceScheduler(g).Run(1).unsupported);
+}
+
 }  // namespace
 }  // namespace wrbpg

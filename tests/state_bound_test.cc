@@ -1,0 +1,176 @@
+// Exhaustive admissibility proof-by-enumeration for core/state_bound —
+// the A* heuristic of the exact engine (DESIGN.md §9).
+//
+// For every (red, blue) pebbling configuration of several small graphs,
+// the bound must never exceed the true remaining optimal cost computed by
+// the uninformed Dijkstra engine started from that configuration, and an
+// infinite bound must coincide with genuine infeasibility. Graphs small
+// enough are swept over ALL 4^n mask pairs; larger ones over a
+// deterministic random sample.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/state_bound.h"
+#include "dataflows/butterfly_graph.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/tree_graph.h"
+#include "schedulers/brute_force.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeDiamond;
+
+Weight RedWeight(const Graph& graph, std::uint32_t red) {
+  Weight sum = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if ((red >> v) & 1u) sum += graph.weight(v);
+  }
+  return sum;
+}
+
+// The ground truth h must stay below: remaining optimal cost from
+// (red, blue), by the engine that uses no heuristic at all.
+Weight TrueRemainingCost(const BruteForceScheduler& scheduler, Weight budget,
+                         std::uint32_t red, std::uint32_t blue) {
+  BruteForceOptions options;
+  options.engine = SearchEngine::kDijkstra;
+  options.initial_red = red;
+  options.initial_blue = blue;
+  options.threads = 1;
+  return scheduler.CostOnly(budget, options);
+}
+
+void CheckPair(const Graph& graph, const BruteForceScheduler& scheduler,
+               const StateBound& bound, Weight budget, std::uint32_t red,
+               std::uint32_t blue, const std::string& label) {
+  if (RedWeight(graph, red) > budget) return;  // not a reachable state
+  const Weight h = bound.Evaluate(red, blue);
+  const Weight truth = TrueRemainingCost(scheduler, budget, red, blue);
+  if (h >= kInfiniteCost) {
+    EXPECT_GE(truth, kInfiniteCost)
+        << label << ": h claims dead state at red=" << red
+        << " blue=" << blue << " but optimal completion costs " << truth;
+  } else {
+    EXPECT_LE(h, truth) << label << ": inadmissible bound at red=" << red
+                        << " blue=" << blue;
+  }
+}
+
+void CheckGraph(const Graph& graph, Weight budget,
+                const std::string& label) {
+  ASSERT_LE(graph.num_nodes(), 32u) << label;
+  const BruteForceScheduler scheduler(graph);
+  const StateBound bound(graph, budget, /*required_red=*/0,
+                         /*require_sinks_blue=*/true);
+  const NodeId n = graph.num_nodes();
+  if (n <= 6) {
+    const std::uint32_t limit = 1u << n;
+    for (std::uint32_t red = 0; red < limit; ++red) {
+      for (std::uint32_t blue = 0; blue < limit; ++blue) {
+        CheckPair(graph, scheduler, bound, budget, red, blue, label);
+      }
+    }
+  } else {
+    Rng rng(2026);
+    const std::uint32_t mask = (n >= 32 ? ~0u : (1u << n) - 1u);
+    for (int i = 0; i < 1500; ++i) {
+      const std::uint32_t red = static_cast<std::uint32_t>(rng.Next()) & mask;
+      const std::uint32_t blue =
+          static_cast<std::uint32_t>(rng.Next()) & mask;
+      CheckPair(graph, scheduler, bound, budget, red, blue, label);
+    }
+  }
+}
+
+TEST(StateBound, AdmissibleOnDiamondExhaustive) {
+  const Graph graph = MakeDiamond({2, 3, 1, 2, 4});
+  const Weight lo = MinValidBudget(graph);
+  for (const Weight budget : {lo, lo + 2, 2 * lo}) {
+    CheckGraph(graph, budget, "diamond budget=" + std::to_string(budget));
+  }
+}
+
+TEST(StateBound, AdmissibleOnChainExhaustive) {
+  const Graph graph = MakeChain(5, 2);
+  const Weight lo = MinValidBudget(graph);
+  for (const Weight budget : {lo, lo + 1}) {
+    CheckGraph(graph, budget, "chain5 budget=" + std::to_string(budget));
+  }
+}
+
+TEST(StateBound, AdmissibleOnKaryTreeExhaustive) {
+  const TreeGraph tree = BuildPerfectTree(2, 2);
+  const Weight lo = MinValidBudget(tree.graph);
+  CheckGraph(tree.graph, lo + 2, "kary(2,2)");
+}
+
+TEST(StateBound, AdmissibleOnDwtSampled) {
+  const DwtGraph dwt = BuildDwt(4, 2);
+  const Weight lo = MinValidBudget(dwt.graph);
+  CheckGraph(dwt.graph, lo + 2, "dwt(4,2)");
+}
+
+TEST(StateBound, AdmissibleOnButterflySampled) {
+  const ButterflyGraph fly = BuildButterfly(4);
+  const Weight lo = MinValidBudget(fly.graph);
+  CheckGraph(fly.graph, lo + 1, "butterfly(4)");
+}
+
+// At the canonical start state the bound reproduces Proposition 2.4.
+TEST(StateBound, StartBoundIsAlgorithmicLowerBound) {
+  const Graph graph = MakeDiamond({2, 3, 1, 2, 4});
+  const StateBound bound(graph, MinValidBudget(graph) + 4, 0, true);
+  EXPECT_EQ(bound.StartBound(), AlgorithmicLowerBound(graph));
+}
+
+// Once every sink is blue nothing more is owed, whatever else happened.
+TEST(StateBound, GoalStatesCostZero) {
+  const Graph graph = MakeDiamond();
+  const StateBound bound(graph, MinValidBudget(graph), 0, true);
+  std::uint32_t sinks = 0;
+  for (const NodeId s : graph.sinks()) sinks |= 1u << s;
+  for (std::uint32_t red = 0; red < (1u << graph.num_nodes()); ++red) {
+    EXPECT_EQ(bound.Evaluate(red, sinks | 0x3u), 0u) << "red=" << red;
+  }
+}
+
+// A needed source that is neither red nor blue can never be loaded: the
+// bound must flag the state as dead rather than underestimate it.
+TEST(StateBound, DetectsUnloadableSourceAsDead) {
+  const Graph graph = MakeChain(3);
+  const StateBound bound(graph, MinValidBudget(graph) + 2, 0, true);
+  // Nothing red, nothing blue: source 0 is required but unreachable.
+  EXPECT_GE(bound.Evaluate(0, 0), kInfiniteCost);
+}
+
+// A needed compute whose Prop 2.3 footprint exceeds the budget can never
+// fire; the state is dead even though every source is available.
+TEST(StateBound, DetectsOverweightComputeAsDead) {
+  const Graph graph = MakeDiamond({1, 1, 1, 1, 10});
+  std::uint32_t sources = 0;
+  for (const NodeId s : graph.sources()) sources |= 1u << s;
+  // Budget below w4 + w2 + w3 = 12: the sink's compute can never fire.
+  const StateBound bound(graph, 11, 0, true);
+  EXPECT_GE(bound.Evaluate(0, sources), kInfiniteCost);
+}
+
+// required_red feeds the need closure even when every sink is stored.
+TEST(StateBound, RequiredRedChargesLoads) {
+  const Graph graph = MakeChain(3, 2);
+  std::uint32_t all = (1u << graph.num_nodes()) - 1u;
+  const StateBound bound(graph, MinValidBudget(graph) + 2,
+                         /*required_red=*/1u << 0,
+                         /*require_sinks_blue=*/false);
+  // All blue, nothing red: node 0 (a source) must be re-loaded, cost 2.
+  EXPECT_EQ(bound.Evaluate(0, all), 2u);
+}
+
+}  // namespace
+}  // namespace wrbpg
