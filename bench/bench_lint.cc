@@ -19,6 +19,7 @@
 #include "dataflows/random_dag.h"
 #include "lint/fixes.h"
 #include "lint/lint.h"
+#include "obs/report.h"
 #include "schedulers/belady.h"
 #include "schedulers/greedy_topo.h"
 #include "schedulers/layer_by_layer.h"
@@ -87,7 +88,8 @@ AuditRow Audit(const std::string& name, const Graph& graph, Weight budget,
 
 void Family(const std::string& title, const Graph& graph,
             const std::vector<std::vector<NodeId>>& layers,
-            const std::string& csv_dir, const std::string& csv_name) {
+            const std::string& csv_dir, const std::string& csv_name,
+            obs::Json& json_rows) {
   const Weight min_budget = MinValidBudget(graph);
   const Weight lb = AlgorithmicLowerBound(graph);
   std::cout << "\n== " << title << " ==\n"
@@ -124,6 +126,18 @@ void Family(const std::string& title, const Graph& graph,
                      std::to_string(r.recompute),
                      std::to_string(r.total_waste),
                      std::to_string(r.fixed_cost)});
+      obs::Json jr = obs::Json::Object();
+      jr.Set("family", title);
+      jr.Set("budget_bits", budget);
+      jr.Set("scheduler", r.scheduler);
+      jr.Set("cost", r.cost);
+      jr.Set("dead_load", r.dead_load);
+      jr.Set("dead_store", r.dead_store);
+      jr.Set("spill_churn", r.spill_churn);
+      jr.Set("recompute", r.recompute);
+      jr.Set("total_waste", r.total_waste);
+      jr.Set("fixed_cost", r.fixed_cost);
+      json_rows.Push(std::move(jr));
     }
   }
   table.Print(std::cout);
@@ -137,26 +151,40 @@ int main(int argc, char** argv) {
   using namespace wrbpg;
   const CliArgs args(argc, argv);
   const std::string csv_dir = args.GetString("csv", "");
+  const std::string json_path = args.GetString("json", "");
 
   std::cout << "Lint audit: wasted I/O bits per rule per baseline "
                "scheduler (all schedules simulator-verified)\n";
 
+  obs::Json json_rows = obs::Json::Array();
   {
     const DwtGraph dwt = BuildDwt(64, MaxDwtLevel(64));
     Family("DWT(64, " + std::to_string(MaxDwtLevel(64)) + ")", dwt.graph,
-           dwt.layers, csv_dir, "lint_dwt");
+           dwt.layers, csv_dir, "lint_dwt", json_rows);
   }
   {
     const MvmGraph mvm = BuildMvm(8, 10);
     Family("MVM(8x10)", mvm.graph, DepthLayers(mvm.graph), csv_dir,
-           "lint_mvm");
+           "lint_mvm", json_rows);
   }
   {
     Rng rng(0x11171u);
     const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
                                            .nodes_per_layer = 6,
                                            .max_in_degree = 3});
-    Family("random-DAG(6x6)", dag, DepthLayers(dag), csv_dir, "lint_dag");
+    Family("random-DAG(6x6)", dag, DepthLayers(dag), csv_dir, "lint_dag",
+           json_rows);
+  }
+
+  if (!json_path.empty()) {
+    obs::Json doc = obs::ObsDocument("lint-audit");
+    doc.Set("rows", std::move(json_rows));
+    std::string error;
+    if (!obs::WriteJsonFile(json_path, doc, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    std::cout << "\n[json] " << json_path << "\n";
   }
 
   std::cout << "\n'after-fixes' re-verifies every fixed schedule through "

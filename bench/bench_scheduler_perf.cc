@@ -39,6 +39,7 @@
 #include "dataflows/dwt_graph.h"
 #include "dataflows/mvm_graph.h"
 #include "dataflows/tree_graph.h"
+#include "obs/report.h"
 #include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
 #include "schedulers/kary_tree.h"
@@ -427,15 +428,6 @@ void CompareEngines(const std::string& name, const Graph& graph,
   }
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 int RunEngineCompare(const CliArgs& args) {
   const bool quick = args.GetBool("quick", false);
   const std::string json_path = args.GetString("json", "BENCH_exact.json");
@@ -479,27 +471,31 @@ int RunEngineCompare(const CliArgs& args) {
                  all_identical);
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      std::cerr << "error: cannot write " << json_path << "\n";
+    // One wrbpg-obs-v1 document: the table under "rows" plus the full
+    // counters/gauges/spans snapshot the instrumented engines populated.
+    obs::Json doc = obs::ObsDocument("engine-compare");
+    doc.Set("quick", quick);
+    obs::Json json_rows = obs::Json::Array();
+    for (const EngineRow& row : rows) {
+      obs::Json r = obs::Json::Object();
+      r.Set("instance", row.instance);
+      r.Set("mode", row.mode);
+      r.Set("engine", ToString(row.engine));
+      r.Set("threads", static_cast<std::uint64_t>(row.threads));
+      r.Set("time_ms", row.time_ms);
+      r.Set("expanded", row.expanded);
+      r.Set("waves", row.waves);
+      r.Set("cost", row.cost);
+      r.Set("identical", row.identical);
+      json_rows.Push(std::move(r));
+    }
+    doc.Set("rows", std::move(json_rows));
+    doc.Set("all_identical", all_identical);
+    std::string error;
+    if (!obs::WriteJsonFile(json_path, doc, &error)) {
+      std::cerr << "error: " << error << "\n";
       return 2;
     }
-    out << "{\n  \"bench\": \"engine-compare\",\n  \"quick\": "
-        << (quick ? "true" : "false") << ",\n  \"rows\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const EngineRow& row = rows[i];
-      out << "    {\"instance\": \"" << JsonEscape(row.instance)
-          << "\", \"mode\": \"" << row.mode << "\", \"engine\": \""
-          << ToString(row.engine)
-          << "\", \"threads\": " << row.threads << ", \"time_ms\": "
-          << std::fixed << std::setprecision(3) << row.time_ms
-          << ", \"expanded\": " << row.expanded << ", \"waves\": "
-          << row.waves << ", \"cost\": " << row.cost << ", \"identical\": "
-          << (row.identical ? "true" : "false") << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n  \"all_identical\": " << (all_identical ? "true" : "false")
-        << "\n}\n";
     std::cout << "  [json] " << json_path << "\n";
   }
 

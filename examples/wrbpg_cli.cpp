@@ -3,21 +3,21 @@
 // Works on the text graph format of core/serialize.h, so downstream users
 // can drive the library without writing C++:
 //
-//   wrbpg_cli info <graph.txt>
+//   wrbpg_cli info <graph>
 //       model properties: nodes, edges, min valid budget, lower bound.
-//   wrbpg_cli schedule <graph.txt> --budget <bits>
+//   wrbpg_cli schedule <graph> --budget <bits>
 //                      [--algo greedy|belady|brute|robust] [--deadline-ms N]
 //       emit a validated schedule (move per line) on stdout; stats on stderr.
 //       --deadline-ms (or --algo robust) runs the deadline-aware fallback
 //       chain (exact -> belady -> greedy) and reports per-stage provenance.
-//   wrbpg_cli validate <graph.txt> <schedule.txt> --budget <bits>
+//   wrbpg_cli validate <graph> <schedule.txt> --budget <bits>
 //       replay a schedule through the simulator and report cost/peak.
-//   wrbpg_cli repair <graph.txt> <schedule.txt> --budget <bits>
+//   wrbpg_cli repair <graph> <schedule.txt> --budget <bits>
 //       patch a broken schedule into a simulator-valid one (repaired moves
 //       on stdout) or print a structured diagnostic and exit nonzero.
-//   wrbpg_cli trace <graph.txt> <schedule.txt> --budget <bits>
+//   wrbpg_cli trace <graph> <schedule.txt> --budget <bits>
 //       render the schedule's fast-memory occupancy timeline.
-//   wrbpg_cli lint <graph.txt> [<schedule.txt> --budget <bits>]
+//   wrbpg_cli lint <graph> [<schedule.txt> --budget <bits>]
 //                  [--json] [--fix]
 //       static analysis without running the simulator: with only a graph,
 //       the graph-level rules; with a schedule, the full pass (validity
@@ -26,14 +26,29 @@
 //       fix-its (re-verified, cost never increases) and prints the fixed
 //       schedule on stdout with diagnostics on stderr. Exits 1 when any
 //       error-severity diagnostic fires.
-//   wrbpg_cli dot <graph.txt>
+//   wrbpg_cli profile <graph> [--budget <bits>]
+//       run a representative workload (budget sweep, structure-specific DP
+//       when the graph is a builtin, the robust fallback chain) and print
+//       the observability report: timing-span tree, counters, gauges.
+//       Defaults the budget to MinValidBudget + 2 so every stage has work.
+//   wrbpg_cli dot <graph>
 //       Graphviz rendering of the dataflow.
+//
+// <graph> is either a path to a core/serialize.h text file or a builtin
+// generator spec — "dwt:N,D" for DWT(N, D) (Definition 3.1) or
+// "kary:K,LEVELS" for the perfect k-ary tree (Definition 3.6) — so CI and
+// quick experiments need no graph files on disk.
 //
 // Every verb accepts --threads N to set the worker-thread count for the
 // search engines (brute force, the robust chain). The default is the
 // hardware concurrency (or WRBPG_THREADS when set); --threads 1 forces
 // the fully sequential paths. The schedule emitted is identical at any
 // thread count — see the determinism contract in DESIGN.md §8.
+//
+// Every verb also accepts --metrics-json <path>: after the verb runs, the
+// process-wide observability snapshot (wrbpg-obs-v1, DESIGN.md §10) is
+// written there. Metrics are purely observational — the emitted schedule
+// is bit-identical with or without the flag.
 //
 // Example:
 //   $ cat > add3.txt << 'EOF'
@@ -45,21 +60,31 @@
 //   edge 1 2
 //   EOF
 //   $ wrbpg_cli schedule add3.txt --budget 64 --algo belady
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/serialize.h"
 #include "core/simulator.h"
 #include "core/trace.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/tree_graph.h"
 #include "lint/fixes.h"
 #include "lint/lint.h"
+#include "obs/report.h"
 #include "robust/repair.h"
 #include "robust/robust_scheduler.h"
 #include "schedulers/belady.h"
 #include "schedulers/brute_force.h"
+#include "schedulers/dwt_optimal.h"
 #include "schedulers/greedy_topo.h"
+#include "schedulers/kary_tree.h"
 #include "util/cli.h"
 
 using namespace wrbpg;
@@ -68,9 +93,10 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
-               "dot> <graph.txt> [schedule.txt] [--budget N] "
-               "[--algo greedy|belady|brute|robust] [--deadline-ms N] "
-               "[--threads N] [--json] [--fix]\n";
+               "profile|dot> <graph.txt|dwt:N,D|kary:K,L> [schedule.txt] "
+               "[--budget N] [--algo greedy|belady|brute|robust] "
+               "[--deadline-ms N] [--threads N] [--metrics-json path] "
+               "[--json] [--fix]\n";
   return 2;
 }
 
@@ -86,27 +112,170 @@ bool ReadFile(const std::string& path, std::string& out) {
   return true;
 }
 
-}  // namespace
+// A graph argument resolved from either a text file or a builtin generator
+// spec. The builders return their structure wrapper by value, so the graph
+// lives inside the optional that built it; graph() picks the live one.
+struct LoadedGraph {
+  bool ok = false;
+  std::optional<DwtGraph> dwt;
+  std::optional<TreeGraph> tree;
+  Graph parsed;
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.ApplyThreadsFlag();
-  if (!args.error().empty()) {
-    std::cerr << "error: " << args.error() << "\n";
-    return 2;
+  const Graph& graph() const {
+    if (dwt) return dwt->graph;
+    if (tree) return tree->graph;
+    return parsed;
   }
+};
+
+// Parses the "N,D" payload of a builtin spec. Rejects junk and overflow.
+bool ParseSpecPair(std::string_view payload, std::int64_t& a,
+                   std::int64_t& b) {
+  const std::size_t comma = payload.find(',');
+  if (comma == std::string_view::npos) return false;
+  const std::string first(payload.substr(0, comma));
+  const std::string second(payload.substr(comma + 1));
+  try {
+    std::size_t used = 0;
+    a = std::stoll(first, &used);
+    if (used != first.size()) return false;
+    b = std::stoll(second, &used);
+    if (used != second.size()) return false;
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+LoadedGraph LoadGraphArg(const std::string& spec) {
+  LoadedGraph out;
+  if (spec.rfind("dwt:", 0) == 0) {
+    std::int64_t n = 0, d = 0;
+    if (!ParseSpecPair(std::string_view(spec).substr(4), n, d)) {
+      std::cerr << "error: bad builtin spec '" << spec
+                << "' (expected dwt:N,D)\n";
+      return out;
+    }
+    if (d < 1 || d > 62 || !DwtParamsValid(n, static_cast<int>(d))) {
+      std::cerr << "error: invalid DWT parameters n=" << n << " d=" << d
+                << " (need n >= 2, d >= 1, and 2^d | n)\n";
+      return out;
+    }
+    out.dwt = BuildDwt(n, static_cast<int>(d));
+    out.ok = true;
+    return out;
+  }
+  if (spec.rfind("kary:", 0) == 0) {
+    std::int64_t k = 0, levels = 0;
+    if (!ParseSpecPair(std::string_view(spec).substr(5), k, levels)) {
+      std::cerr << "error: bad builtin spec '" << spec
+                << "' (expected kary:K,LEVELS)\n";
+      return out;
+    }
+    if (k < 1 || k > 8 || levels < 1 || levels > 16) {
+      std::cerr << "error: invalid k-ary tree parameters k=" << k
+                << " levels=" << levels
+                << " (need 1 <= k <= 8, 1 <= levels <= 16)\n";
+      return out;
+    }
+    out.tree =
+        BuildPerfectTree(static_cast<int>(k), static_cast<int>(levels));
+    out.ok = true;
+    return out;
+  }
+  std::string graph_text;
+  if (!ReadFile(spec, graph_text)) return out;
+  GraphParseResult parsed = ParseGraphText(graph_text);
+  if (!parsed.ok) {
+    std::cerr << "error: " << spec << ": " << parsed.error << "\n";
+    return out;
+  }
+  out.parsed = std::move(parsed.graph);
+  out.ok = true;
+  return out;
+}
+
+// The `profile` verb: exercise every instrumented layer once — a budget
+// sweep through the infeasible band (analysis counters), the
+// structure-specific DP when the graph is a builtin (memo counters), and
+// the robust fallback chain (exact search + simulator verification +
+// per-stage spans) — then print the observability report.
+int RunProfile(const CliArgs& args, const LoadedGraph& loaded,
+               Weight budget) {
+  const Graph& graph = loaded.graph();
+  const Weight min_budget = MinValidBudget(graph);
+  if (budget <= 0) budget = min_budget + 2;
+
+  const CostFn belady_cost = [&](Weight b) {
+    const ScheduleResult r = BeladyScheduler(graph).Run(b);
+    if (!r.feasible) return kInfiniteCost;
+    const SimResult sim = Simulate(graph, b, r.schedule);
+    return sim.valid ? sim.cost : kInfiniteCost;
+  };
+  // A short grid straddling MinValidBudget: the sub-minimum entries are
+  // skipped analytically (probes_skipped), the rest evaluated.
+  std::vector<Weight> grid = {min_budget - 2, min_budget - 1, min_budget,
+                              (min_budget + budget) / 2, budget};
+  grid.erase(std::remove_if(grid.begin(), grid.end(),
+                            [](Weight b) { return b < 1; }),
+             grid.end());
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  BudgetSweepOptions sweep;
+  sweep.graph = &graph;
+  const std::vector<Weight> costs = EvaluateBudgets(belady_cost, grid, sweep);
+
+  if (loaded.dwt) {
+    const ScheduleResult dp = DwtOptimalScheduler(*loaded.dwt).Run(budget);
+    std::cerr << "dwt-optimal: "
+              << (dp.feasible ? "cost=" + std::to_string(dp.cost) + " bits"
+                              : std::string("infeasible"))
+              << "\n";
+  }
+  if (loaded.tree) {
+    const ScheduleResult dp = KaryTreeScheduler(graph).Run(budget);
+    std::cerr << "kary-dp: "
+              << (dp.feasible ? "cost=" + std::to_string(dp.cost) + " bits"
+                              : std::string("infeasible"))
+              << "\n";
+  }
+
+  const double deadline_ms = args.GetDouble("deadline-ms", 0);
+  RobustOptions options;
+  options.deadline_ms = deadline_ms;
+  const RobustResult robust = loaded.dwt
+                                  ? RobustScheduler(*loaded.dwt).Run(budget,
+                                                                     options)
+                                  : RobustScheduler(graph).Run(budget,
+                                                               options);
+  std::cerr << "robust chain: "
+            << (robust.result.feasible
+                    ? "winner=" + robust.winner + " cost=" +
+                          std::to_string(robust.result.cost) + " bits"
+                    : std::string("infeasible"))
+            << " (budget " << budget << ", min valid " << min_budget
+            << ")\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::cerr << "sweep budget=" << grid[i] << ": "
+              << (costs[i] >= kInfiniteCost ? std::string("infeasible")
+                                            : std::to_string(costs[i]) +
+                                                  " bits")
+              << "\n";
+  }
+
+  std::cout << obs::RenderReport();
+  return robust.result.feasible ? 0 : 1;
+}
+
+// Runs the selected verb; main() handles the --metrics-json dump so every
+// exit path below is covered by one snapshot.
+int RunVerb(const CliArgs& args) {
   if (args.positional().size() < 2) return Usage();
   const std::string& command = args.positional()[0];
 
-  std::string graph_text;
-  if (!ReadFile(args.positional()[1], graph_text)) return 1;
-  const GraphParseResult parsed = ParseGraphText(graph_text);
-  if (!parsed.ok) {
-    std::cerr << "error: " << args.positional()[1] << ": " << parsed.error
-              << "\n";
-    return 1;
-  }
-  const Graph& graph = parsed.graph;
+  const LoadedGraph loaded = LoadGraphArg(args.positional()[1]);
+  if (!loaded.ok) return 1;
+  const Graph& graph = loaded.graph();
 
   if (command == "info") {
     std::cout << "nodes:            " << graph.num_nodes() << "\n"
@@ -182,6 +351,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << args.error() << "\n";
     return 2;
   }
+  if (command == "profile") {
+    // profile defaults its budget; every other verb requires one.
+    return RunProfile(args, loaded, budget);
+  }
   if (budget <= 0) {
     std::cerr << "error: --budget <bits> is required\n";
     return 2;
@@ -198,7 +371,9 @@ int main(int argc, char** argv) {
     if (algo == "robust") {
       RobustOptions options;
       options.deadline_ms = deadline_ms;
-      const RobustResult robust = RobustScheduler(graph).Run(budget, options);
+      const RobustResult robust =
+          loaded.dwt ? RobustScheduler(*loaded.dwt).Run(budget, options)
+                     : RobustScheduler(graph).Run(budget, options);
       for (const StageReport& stage : robust.stages) {
         std::cerr << "stage " << stage.name << ": "
                   << ToString(stage.outcome);
@@ -317,7 +492,7 @@ int main(int argc, char** argv) {
     }
     const SimResult sim = Simulate(graph, budget, sched.schedule);
     if (!sim.valid) {
-      std::cerr << "INVALID at move " << sim.error_index << " ["
+      std::cerr << "INVALID at move " << sim.error_index + 1 << " ["
                 << ToString(sim.code) << "]: " << sim.error << "\n";
       return 1;
     }
@@ -329,4 +504,33 @@ int main(int argc, char** argv) {
   }
 
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  args.ApplyThreadsFlag();
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+
+  const int status = RunVerb(args);
+
+  // One dump point after the verb, so every exit path (including error
+  // paths) still produces the artifact when requested.
+  const std::string metrics_path = args.GetString("metrics-json", "");
+  if (!metrics_path.empty()) {
+    const std::string tool =
+        args.positional().empty() ? "wrbpg_cli" : args.positional()[0];
+    obs::Json doc = obs::ObsDocument(tool);
+    doc.Set("exit_status", status);
+    std::string error;
+    if (!obs::WriteJsonFile(metrics_path, doc, &error)) {
+      std::cerr << "error: --metrics-json: " << error << "\n";
+      return status != 0 ? status : 1;
+    }
+  }
+  return status;
 }

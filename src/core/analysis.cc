@@ -4,9 +4,26 @@
 #include <cassert>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/thread_pool.h"
 
 namespace wrbpg {
+namespace {
+
+// Sweep-level observability: how many cost probes actually ran vs. how
+// many the analytic bands (Prop 2.3 / state_bound) let us skip. Both
+// counters are write-only — the sweeps never read them back.
+const obs::Counter& ProbesEvaluated() {
+  static const obs::Counter c("analysis.probes_evaluated");
+  return c;
+}
+const obs::Counter& ProbesSkipped() {
+  static const obs::Counter c("analysis.probes_skipped");
+  return c;
+}
+
+}  // namespace
 
 Weight AlgorithmicLowerBound(const Graph& graph) {
   Weight sum = 0;
@@ -38,6 +55,7 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
                                             const MinMemoryOptions& options) {
   assert(options.step > 0);
   if (options.hi < options.lo) return std::nullopt;
+  const obs::ScopedSpan span("analysis.min_memory");
   const Weight steps = (options.hi - options.lo) / options.step;
 
   auto budget_at = [&](Weight k) { return options.lo + k * options.step; };
@@ -55,10 +73,12 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
     if (budget_at(steps) < min_budget) return std::nullopt;
     while (first_k < steps && budget_at(first_k) < min_budget) ++first_k;
   }
+  ProbesSkipped().Add(static_cast<std::uint64_t>(first_k));
   auto expired = [&] {
     return options.cancel != nullptr && options.cancel->cancelled();
   };
   auto achieves = [&](Weight k) {
+    ProbesEvaluated().Add(1);
     return cost_fn(budget_at(k)) <= target_cost;
   };
 
@@ -113,6 +133,7 @@ std::optional<Weight> FindMinimumFastMemory(const CostFn& cost_fn,
 std::vector<Weight> EvaluateBudgets(const CostFn& cost_fn,
                                     const std::vector<Weight>& budgets,
                                     const BudgetSweepOptions& options) {
+  const obs::ScopedSpan span("analysis.budget_sweep");
   std::vector<Weight> costs(budgets.size(), kInfiniteCost);
   const auto expired = [&] {
     return options.cancel != nullptr && options.cancel->cancelled();
@@ -122,7 +143,12 @@ std::vector<Weight> EvaluateBudgets(const CostFn& cost_fn,
   const Weight min_budget =
       options.graph != nullptr ? MinValidBudget(*options.graph) : 0;
   const auto probe = [&](std::size_t idx) {
-    if (budgets[idx] >= min_budget) costs[idx] = cost_fn(budgets[idx]);
+    if (budgets[idx] >= min_budget) {
+      ProbesEvaluated().Add(1);
+      costs[idx] = cost_fn(budgets[idx]);
+    } else {
+      ProbesSkipped().Add(1);
+    }
   };
   const std::size_t threads = ResolveThreadCount(options.threads);
   if (threads > 1 && budgets.size() > 1) {

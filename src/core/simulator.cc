@@ -1,9 +1,52 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <array>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace wrbpg {
 namespace {
+
+// One counter per rule-violation code ("sim.rule.load-no-blue", ...),
+// registered once and indexed by the enum value.
+obs::MetricId RuleCounter(SimErrorCode code) {
+  static const auto ids = [] {
+    std::array<obs::MetricId, std::size(kAllSimErrorCodes)> out{};
+    for (const SimErrorCode c : kAllSimErrorCodes) {
+      out[static_cast<std::size_t>(c)] =
+          obs::RegisterCounter(std::string("sim.rule.") + ToString(c));
+    }
+    return out;
+  }();
+  return ids[static_cast<std::size_t>(code)];
+}
+
+// Observability totals, recorded once per Simulate() call (never inside
+// the per-move loop, so the replay path's throughput is untouched).
+void RecordSimMetrics(const SimResult& result, std::size_t moves_applied) {
+  static const obs::Counter runs("sim.runs");
+  static const obs::Counter moves("sim.moves");
+  static const obs::Counter loads("sim.loads");
+  static const obs::Counter stores("sim.stores");
+  static const obs::Counter computes("sim.computes");
+  static const obs::Counter deletes("sim.deletes");
+  static const obs::Counter invalid("sim.invalid");
+  static const obs::Gauge peak("sim.peak_red_weight");
+  runs.Add(1);
+  moves.Add(moves_applied);
+  loads.Add(result.loads);
+  stores.Add(result.stores);
+  computes.Add(result.computes);
+  deletes.Add(result.deletes);
+  if (!result.valid) {
+    invalid.Add(1);
+    obs::Add(RuleCounter(result.code), 1);
+  }
+  peak.Max(static_cast<std::uint64_t>(
+      std::max<Weight>(result.peak_red_weight, 0)));
+}
 
 std::string NodeStr(NodeId v) {
   std::string s = "v";
@@ -56,6 +99,7 @@ std::optional<SimErrorCode> SimErrorCodeFromString(std::string_view name) {
 
 SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
                    const SimOptions& options, const SimObserver& observer) {
+  const obs::ScopedSpan span("simulate");
   SimResult result;
   const NodeId n = graph.num_nodes();
 
@@ -123,6 +167,7 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
         break;
     }
     result.error = std::move(message);
+    RecordSimMetrics(result, std::min(index, schedule.size()));
     return result;
   };
 
@@ -223,6 +268,7 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
 
   result.final_red_weight = red_weight;
   result.valid = true;
+  RecordSimMetrics(result, schedule.size());
   return result;
 }
 

@@ -48,14 +48,25 @@ std::string RenderOccupancy(const OccupancyTrace& trace, Weight budget,
     const std::size_t c = i * cols / t;
     column_peaks[c] = std::max(column_peaks[c], trace.occupancy_bits[i]);
   }
+  // Peak position is reported 1-based, consistent with "of <move count>"
+  // (peak_index itself stays a 0-based array index).
   out << "fast-memory occupancy, peak " << trace.peak_bits << "/" << budget
-      << " bits at move " << trace.peak_index << " of " << t << "\n";
-  for (int row = height; row >= 1; --row) {
-    const Weight threshold =
-        budget * row / height;
-    out << (row == height ? "budget |" : "       |");
+      << " bits at move " << trace.peak_index + 1 << " of " << t << "\n";
+  const int rows = std::max(1, height);
+  // Row thresholds use ceiling division, decomposed so budget * row can
+  // never overflow Weight (budget may approach kInfiniteCost): the bottom
+  // row's threshold is >= 1 whenever the budget is positive, so a column
+  // only earns '#' for occupancy it actually has. Truncating division put
+  // threshold 0 on every row with budget * row < height, painting '#'
+  // over zero-occupancy columns (an all-'#' chart at budget 0).
+  const Weight div = budget / rows;
+  const Weight rem = budget % rows;
+  for (int row = rows; row >= 1; --row) {
+    const Weight threshold = div * row + (rem * row + rows - 1) / rows;
+    out << (row == rows ? "budget |" : "       |");
     for (std::size_t c = 0; c < cols; ++c) {
-      out << (column_peaks[c] >= threshold ? '#' : ' ');
+      const bool filled = column_peaks[c] > 0 && column_peaks[c] >= threshold;
+      out << (filled ? '#' : ' ');
     }
     out << "|\n";
   }

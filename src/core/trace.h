@@ -20,7 +20,10 @@ struct OccupancyTrace {
   std::string error;
   std::vector<Weight> occupancy_bits;  // after each move, schedule.size() long
   Weight peak_bits = 0;
-  std::size_t peak_index = 0;  // first move attaining the peak
+  // First move attaining the peak, as a 0-based index into occupancy_bits.
+  // Human-facing output (RenderOccupancy's header, the CLI trace verb)
+  // reports it 1-based, consistent with the "of <move count>" total.
+  std::size_t peak_index = 0;
 };
 
 // Replays the schedule (enforcing all rules) and records occupancy.

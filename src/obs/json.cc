@@ -1,0 +1,136 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+
+namespace wrbpg::obs {
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  (void)ec;
+  out.append(buf, ptr);
+  // to_chars emits integral doubles without a decimal point; keep the
+  // type visible to schema validators ("1" -> "1.0", but not "1e+30").
+  std::string_view written(buf, static_cast<std::size_t>(ptr - buf));
+  if (written.find_first_of(".eE") == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+void Indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+std::string Json::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::Set(std::string_view key, Json value) {
+  assert(is_object());
+  Members& members = std::get<Members>(value_);
+  for (auto& [k, v] : members) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  assert(is_array());
+  std::get<Elements>(value_).push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* sv = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*sv);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    AppendDouble(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out.push_back('"');
+    out += Escape(*s);
+    out.push_back('"');
+  } else if (const auto* arr = std::get_if<Elements>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      if (i > 0) out.push_back(',');
+      Indent(out, indent, depth + 1);
+      (*arr)[i].DumpTo(out, indent, depth + 1);
+    }
+    Indent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const Members& members = std::get<Members>(value_);
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      Indent(out, indent, depth + 1);
+      out.push_back('"');
+      out += Escape(members[i].first);
+      out += indent > 0 ? "\": " : "\":";
+      members[i].second.DumpTo(out, indent, depth + 1);
+    }
+    Indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace wrbpg::obs

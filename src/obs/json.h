@@ -1,0 +1,79 @@
+// Minimal ordered JSON document builder for the observability sinks.
+//
+// Just enough JSON to emit the stable wrbpg-obs-v1 schema: objects keep
+// insertion order (so every BENCH_*.json and --metrics-json file is
+// byte-stable for identical inputs), doubles serialize in shortest
+// round-trip form (std::to_chars), and strings are escaped per RFC 8259.
+// Construction is by value — build leaves, Set/Push them into containers:
+//
+//   Json doc = Json::Object();
+//   doc.Set("schema", "wrbpg-obs-v1");
+//   Json rows = Json::Array();
+//   rows.Push(Json::Object().Set("cost", std::int64_t{42}));
+//   doc.Set("rows", std::move(rows));
+//   out << doc.Dump();
+//
+// This is a writer, not a parser; consumers are pandas/jq/python in CI.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace wrbpg::obs {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}                       // null
+  Json(bool b) : value_(b) {}                       // NOLINT(google-explicit-constructor)
+  Json(int v) : value_(std::int64_t{v}) {}          // NOLINT(google-explicit-constructor)
+  Json(std::int64_t v) : value_(v) {}               // NOLINT(google-explicit-constructor)
+  Json(std::uint64_t v) : value_(v) {}              // NOLINT(google-explicit-constructor)
+  Json(double v) : value_(v) {}                     // NOLINT(google-explicit-constructor)
+  Json(std::string s) : value_(std::move(s)) {}     // NOLINT(google-explicit-constructor)
+  Json(std::string_view s) : value_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* s) : value_(std::string(s)) {}   // NOLINT(google-explicit-constructor)
+
+  static Json Object() {
+    Json j;
+    j.value_ = Members{};
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.value_ = Elements{};
+    return j;
+  }
+
+  // Appends (or overwrites) a key in an object. The receiver must be an
+  // object; calling on any other kind is a programming error (asserted).
+  Json& Set(std::string_view key, Json value);
+
+  // Appends an element to an array (same contract).
+  Json& Push(Json value);
+
+  bool is_object() const { return std::holds_alternative<Members>(value_); }
+  bool is_array() const { return std::holds_alternative<Elements>(value_); }
+
+  // Serializes with `indent` spaces per level; indent 0 emits one line.
+  std::string Dump(int indent = 2) const;
+
+  // Escapes a string per RFC 8259 (without the surrounding quotes).
+  static std::string Escape(std::string_view s);
+
+ private:
+  using Members = std::vector<std::pair<std::string, Json>>;
+  using Elements = std::vector<Json>;
+
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Elements, Members>
+      value_;
+};
+
+}  // namespace wrbpg::obs

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace wrbpg::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// One thread's cells. Allocated lazily on the thread's first write and
+// owned jointly by the thread (thread_local handle) and the registry (so a
+// snapshot can outlive the thread); exited threads fold into `retired_`.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> cells{};
+};
+
+class Registry {
+ public:
+  static Registry& Instance() {
+    // Leaked singleton: shards unregister from thread destructors, which
+    // can run after static destructors on the main thread.
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  MetricId Register(std::string_view name, MetricKind kind) {
+    if (name.empty()) return kInvalidMetric;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    if (names_.size() >= kMaxMetrics) return kInvalidMetric;
+    const MetricId id = static_cast<MetricId>(names_.size());
+    names_.emplace_back(name);
+    kinds_.push_back(kind);
+    retired_[id].store(0, std::memory_order_relaxed);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  void Attach(const std::shared_ptr<Shard>& shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(shard);
+  }
+
+  // Folds a dying thread's cells into the retired totals and drops the
+  // registry's reference to its shard.
+  void Detach(const std::shared_ptr<Shard>& shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t id = 0; id < names_.size(); ++id) {
+      const std::uint64_t v = shard->cells[id].load(std::memory_order_relaxed);
+      if (v == 0) continue;
+      Fold(retired_[id], v, kinds_[id]);
+    }
+    shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                  shards_.end());
+  }
+
+  std::vector<MetricValue> Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MetricValue> out(names_.size());
+    for (std::size_t id = 0; id < names_.size(); ++id) {
+      out[id].name = names_[id];
+      out[id].kind = kinds_[id];
+      out[id].value = FoldedLocked(static_cast<MetricId>(id));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricValue& a, const MetricValue& b) {
+                return a.name < b.name;
+              });
+    return out;
+  }
+
+  std::uint64_t Read(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return 0;
+    return FoldedLocked(it->second);
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t id = 0; id < names_.size(); ++id) {
+      retired_[id].store(0, std::memory_order_relaxed);
+      for (const auto& shard : shards_) {
+        shard->cells[id].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  static void Fold(std::atomic<std::uint64_t>& into, std::uint64_t v,
+                   MetricKind kind) {
+    if (kind == MetricKind::kCounter) {
+      into.fetch_add(v, std::memory_order_relaxed);
+    } else {
+      std::uint64_t seen = into.load(std::memory_order_relaxed);
+      while (v > seen && !into.compare_exchange_weak(
+                             seen, v, std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  std::uint64_t FoldedLocked(MetricId id) const {
+    std::uint64_t acc = retired_[id].load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+      const std::uint64_t v = shard->cells[id].load(std::memory_order_relaxed);
+      if (kinds_[id] == MetricKind::kCounter) {
+        acc += v;
+      } else {
+        acc = std::max(acc, v);
+      }
+    }
+    return acc;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::vector<MetricKind> kinds_;
+  std::unordered_map<std::string, MetricId> ids_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> retired_{};
+};
+
+// Thread-local shard handle: registers on first use, folds into the
+// retired totals when the thread exits.
+struct ShardHandle {
+  std::shared_ptr<Shard> shard = std::make_shared<Shard>();
+  ShardHandle() { Registry::Instance().Attach(shard); }
+  ~ShardHandle() { Registry::Instance().Detach(shard); }
+};
+
+Shard& LocalShard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+}  // namespace
+
+MetricId RegisterCounter(std::string_view name) {
+  return Registry::Instance().Register(name, MetricKind::kCounter);
+}
+
+MetricId RegisterGauge(std::string_view name) {
+  return Registry::Instance().Register(name, MetricKind::kGauge);
+}
+
+void Add(MetricId id, std::uint64_t delta) {
+  if (id >= kMaxMetrics || delta == 0 ||
+      !g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LocalShard().cells[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void GaugeMax(MetricId id, std::uint64_t value) {
+  if (id >= kMaxMetrics || !g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Only the owning thread writes its cell, so load-compare-store suffices.
+  std::atomic<std::uint64_t>& cell = LocalShard().cells[id];
+  if (value > cell.load(std::memory_order_relaxed)) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<MetricValue> SnapshotMetrics() {
+  return Registry::Instance().Snapshot();
+}
+
+std::uint64_t ReadMetric(std::string_view name) {
+  return Registry::Instance().Read(name);
+}
+
+void ResetMetrics() { Registry::Instance().Reset(); }
+
+}  // namespace wrbpg::obs

@@ -1,0 +1,101 @@
+// Process-wide counter/gauge registry — the metrics half of the
+// observability layer (DESIGN.md §10).
+//
+// Writes go to lock-free per-thread shards (one relaxed atomic add on a
+// cache line the writing thread owns), so instrumented hot paths stay hot;
+// reads fold every live shard plus the retired totals of exited threads
+// into one snapshot. Two metric kinds:
+//
+//   counter — monotone event count, folded by SUM across threads
+//             (e.g. "search.expanded", "sim.moves").
+//   gauge   — high-water mark, folded by MAX across threads
+//             (e.g. "search.max_frontier", "sim.peak_red_weight").
+//
+// Determinism contract: metrics are write-only from the algorithms' point
+// of view — no scheduling decision ever reads a metric, so enabling or
+// disabling collection cannot change any schedule (pinned by
+// metrics_differential_test). Collection defaults to enabled; SetEnabled
+// gates every Add/GaugeMax behind one relaxed atomic load for callers who
+// want the last nanoseconds back.
+//
+// Registration is bounded (kMaxMetrics names per process); past the limit
+// Register* returns kInvalidMetric and writes to it are dropped. Names are
+// stable dotted paths ("layer.event"); registering a name twice returns
+// the same id, so `static const Counter` handles at instrumentation sites
+// are cheap and idempotent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wrbpg::obs {
+
+using MetricId = std::uint32_t;
+
+inline constexpr MetricId kInvalidMetric = 0xffffffffu;
+
+// Upper bound on distinct metric names per process; each live thread pays
+// one cell (8 bytes, padded block) per slot, so the cap keeps shards small.
+inline constexpr std::size_t kMaxMetrics = 512;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge };
+
+// Idempotent: the same name always maps to the same id (the kind of the
+// first registration wins). Returns kInvalidMetric when the registry is
+// full or the name is empty.
+MetricId RegisterCounter(std::string_view name);
+MetricId RegisterGauge(std::string_view name);
+
+// Hot-path writes. No-ops when collection is disabled or id is invalid.
+void Add(MetricId id, std::uint64_t delta);        // counter: +
+void GaugeMax(MetricId id, std::uint64_t value);   // gauge: max
+
+// Global collection switch (default on). Purely observational: flipping it
+// changes what the registry records, never what any algorithm computes.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;
+};
+
+// Folded view of every registered metric, sorted by name. Safe to call
+// concurrently with writers; in-flight increments may or may not be seen
+// (each shard cell is read atomically, so values are never torn).
+std::vector<MetricValue> SnapshotMetrics();
+
+// Folded value of one metric by name; 0 when the name was never registered.
+std::uint64_t ReadMetric(std::string_view name);
+
+// Zeroes every shard and the retired totals. Intended for test isolation
+// and the CLI's per-run reports; callers must ensure no writer is racing
+// (a racing Add may survive the reset).
+void ResetMetrics();
+
+// RAII-free convenience handles: resolve the id once (function-local
+// `static const` at the instrumentation site) and write through it.
+class Counter {
+ public:
+  explicit Counter(std::string_view name) : id_(RegisterCounter(name)) {}
+  void Add(std::uint64_t delta = 1) const { obs::Add(id_, delta); }
+  MetricId id() const { return id_; }
+
+ private:
+  MetricId id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name) : id_(RegisterGauge(name)) {}
+  void Max(std::uint64_t value) const { GaugeMax(id_, value); }
+  MetricId id() const { return id_; }
+
+ private:
+  MetricId id_;
+};
+
+}  // namespace wrbpg::obs

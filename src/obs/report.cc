@@ -1,0 +1,127 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace wrbpg::obs {
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  const int written = std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return std::string(buf, static_cast<std::size_t>(written));
+}
+
+void RenderSpan(std::ostringstream& out, const SpanNode& node, int depth) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << node.name << ": " << FormatMs(node.total_ms) << " ms";
+  if (node.count != 1) out << " (" << node.count << " calls)";
+  out << "\n";
+  for (const SpanNode& child : node.children) {
+    RenderSpan(out, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string RenderReport() {
+  std::ostringstream out;
+  const SpanNode spans = SnapshotSpans();
+  out << "spans:\n";
+  if (spans.children.empty()) {
+    out << "  (none recorded)\n";
+  } else {
+    for (const SpanNode& child : spans.children) {
+      RenderSpan(out, child, 1);
+    }
+  }
+  const auto metrics = SnapshotMetrics();
+  bool any_counter = false;
+  bool any_gauge = false;
+  for (const MetricValue& m : metrics) {
+    any_counter |= m.kind == MetricKind::kCounter;
+    any_gauge |= m.kind == MetricKind::kGauge;
+  }
+  out << "counters:\n";
+  if (!any_counter) out << "  (none)\n";
+  for (const MetricValue& m : metrics) {
+    if (m.kind == MetricKind::kCounter) {
+      out << "  " << m.name << " = " << m.value << "\n";
+    }
+  }
+  out << "gauges:\n";
+  if (!any_gauge) out << "  (none)\n";
+  for (const MetricValue& m : metrics) {
+    if (m.kind == MetricKind::kGauge) {
+      out << "  " << m.name << " = " << m.value << "\n";
+    }
+  }
+  return out.str();
+}
+
+Json MetricsJson() {
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  for (const MetricValue& m : SnapshotMetrics()) {
+    (m.kind == MetricKind::kCounter ? counters : gauges)
+        .Set(m.name, m.value);
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  return out;
+}
+
+Json SpanJson(const SpanNode& node) {
+  Json out = Json::Object();
+  out.Set("name", node.name);
+  out.Set("count", node.count);
+  out.Set("total_ms", node.total_ms);
+  Json children = Json::Array();
+  for (const SpanNode& child : node.children) {
+    children.Push(SpanJson(child));
+  }
+  out.Set("children", std::move(children));
+  return out;
+}
+
+Json ObsDocument(std::string_view tool) {
+  Json doc = Json::Object();
+  doc.Set("schema", kObsSchema);
+  doc.Set("tool", tool);
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  for (const MetricValue& m : SnapshotMetrics()) {
+    (m.kind == MetricKind::kCounter ? counters : gauges)
+        .Set(m.name, m.value);
+  }
+  doc.Set("counters", std::move(counters));
+  doc.Set("gauges", std::move(gauges));
+  doc.Set("spans", SpanJson(SnapshotSpans()));
+  return doc;
+}
+
+bool WriteJsonFile(const std::string& path, const Json& doc,
+                   std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << doc.Dump();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void ResetAll() {
+  ResetMetrics();
+  ResetSpans();
+}
+
+}  // namespace wrbpg::obs

@@ -1,0 +1,56 @@
+// Structured sinks over the observability state (DESIGN.md §10).
+//
+// Two views of the same snapshot:
+//   RenderReport()  — human-readable: the span tree with hit counts and
+//                     total milliseconds, then counters and gauges.
+//   ObsDocument()   — the stable wrbpg-obs-v1 JSON schema shared by the
+//                     CLI's --metrics-json, the `profile` verb, and every
+//                     BENCH_*.json artifact:
+//
+//   {
+//     "schema":   "wrbpg-obs-v1",
+//     "tool":     "<producer>",           // e.g. "profile", "engine-compare"
+//     "counters": { "<name>": <uint>, ... },
+//     "gauges":   { "<name>": <uint>, ... },
+//     "spans":    { "name": "root", "count": <uint>, "total_ms": <double>,
+//                   "children": [ <span>, ... ] },
+//     ...tool-specific keys (e.g. "rows") appended by the producer
+//   }
+//
+// Producers append their own keys (tables, verdicts) after the common
+// prefix, so one validator covers every artifact: the CI profile-smoke job
+// checks schema/tool/counters/gauges/spans on each emitted file.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace wrbpg::obs {
+
+inline constexpr std::string_view kObsSchema = "wrbpg-obs-v1";
+
+// Human-readable tree report of the current spans + metrics snapshot.
+std::string RenderReport();
+
+// {"counters": {...}, "gauges": {...}} from the current snapshot.
+Json MetricsJson();
+
+// The span tree as a Json object (recursively: name/count/total_ms/children).
+Json SpanJson(const SpanNode& node);
+
+// Full wrbpg-obs-v1 document over the current snapshot; callers append
+// tool-specific keys before dumping.
+Json ObsDocument(std::string_view tool);
+
+// Dumps `doc` to `path` (2-space indent). Returns false and fills *error
+// (when non-null) if the file cannot be written.
+bool WriteJsonFile(const std::string& path, const Json& doc,
+                   std::string* error = nullptr);
+
+// Clears counters, gauges, and spans in one call (test/CLI-run isolation).
+void ResetAll();
+
+}  // namespace wrbpg::obs

@@ -1,0 +1,195 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace wrbpg::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One thread's span tree: an arena of nodes with parent/child links and a
+// cursor at the innermost open span. Node indices are stable for the
+// thread's lifetime (ResetSpans zeroes statistics but keeps the arena, so
+// a span open across a reset still pops safely).
+struct Tree {
+  struct Node {
+    std::string name;
+    std::uint32_t parent = 0;
+    std::uint64_t count = 0;
+    double total_ms = 0;
+    std::vector<std::uint32_t> children;
+  };
+
+  std::mutex mu;
+  std::vector<Node> nodes;
+  std::uint32_t current = 0;
+
+  Tree() { nodes.emplace_back(); }  // [0] = the thread's root
+
+  // Child of `parent` named `name`, created on first use.
+  std::uint32_t ChildLocked(std::uint32_t parent, std::string_view name) {
+    for (const std::uint32_t c : nodes[parent].children) {
+      if (nodes[c].name == name) return c;
+    }
+    const std::uint32_t id = static_cast<std::uint32_t>(nodes.size());
+    Node node;
+    node.name = std::string(name);
+    node.parent = parent;
+    nodes.push_back(std::move(node));
+    nodes[parent].children.push_back(id);
+    return id;
+  }
+};
+
+void MergeNode(SpanNode& dst, const SpanNode& src) {
+  dst.count += src.count;
+  dst.total_ms += src.total_ms;
+  for (const SpanNode& child : src.children) {
+    auto it = std::find_if(
+        dst.children.begin(), dst.children.end(),
+        [&](const SpanNode& d) { return d.name == child.name; });
+    if (it == dst.children.end()) {
+      dst.children.push_back(child);
+    } else {
+      MergeNode(*it, child);
+    }
+  }
+}
+
+void SortChildren(SpanNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const SpanNode& a, const SpanNode& b) {
+              return a.name < b.name;
+            });
+  for (SpanNode& child : node.children) SortChildren(child);
+}
+
+// Converts a tree node to the public form, pruning subtrees with no
+// recorded hits (left behind by ResetSpans or spans still open).
+SpanNode Export(const Tree& tree, std::uint32_t index) {
+  const Tree::Node& n = tree.nodes[index];
+  SpanNode out;
+  out.name = index == 0 ? "root" : n.name;
+  out.count = n.count;
+  out.total_ms = n.total_ms;
+  for (const std::uint32_t c : n.children) {
+    SpanNode child = Export(tree, c);
+    if (child.count > 0 || !child.children.empty()) {
+      out.children.push_back(std::move(child));
+    }
+  }
+  return out;
+}
+
+class SpanRegistry {
+ public:
+  static SpanRegistry& Instance() {
+    static SpanRegistry* instance = new SpanRegistry();  // leaked; see
+    return *instance;  // Registry in metrics.cc for the rationale
+  }
+
+  void Attach(const std::shared_ptr<Tree>& tree) {
+    std::lock_guard<std::mutex> lock(mu_);
+    trees_.push_back(tree);
+  }
+
+  void Detach(const std::shared_ptr<Tree>& tree) {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> tree_lock(tree->mu);
+      MergeNode(retired_, Export(*tree, 0));
+    }
+    trees_.erase(std::remove(trees_.begin(), trees_.end(), tree),
+                 trees_.end());
+  }
+
+  SpanNode Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    SpanNode out = retired_;
+    out.name = "root";
+    for (const auto& tree : trees_) {
+      std::lock_guard<std::mutex> tree_lock(tree->mu);
+      MergeNode(out, Export(*tree, 0));
+    }
+    SortChildren(out);
+    return out;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ = SpanNode{};
+    retired_.name = "root";
+    for (const auto& tree : trees_) {
+      std::lock_guard<std::mutex> tree_lock(tree->mu);
+      for (Tree::Node& node : tree->nodes) {
+        node.count = 0;
+        node.total_ms = 0;
+      }
+    }
+  }
+
+ private:
+  SpanRegistry() { retired_.name = "root"; }
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Tree>> trees_;
+  SpanNode retired_;
+};
+
+struct TreeHandle {
+  std::shared_ptr<Tree> tree = std::make_shared<Tree>();
+  TreeHandle() { SpanRegistry::Instance().Attach(tree); }
+  ~TreeHandle() { SpanRegistry::Instance().Detach(tree); }
+};
+
+Tree& LocalTree() {
+  thread_local TreeHandle handle;
+  return *handle.tree;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!Enabled() || name.empty()) return;
+  Tree& tree = LocalTree();
+  {
+    std::lock_guard<std::mutex> lock(tree.mu);
+    node_ = tree.ChildLocked(tree.current, name);
+    tree.current = node_;
+  }
+  active_ = true;
+  start_ = Clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_)
+          .count();
+  Tree& tree = LocalTree();
+  std::lock_guard<std::mutex> lock(tree.mu);
+  Tree::Node& node = tree.nodes[node_];
+  node.count += 1;
+  node.total_ms += elapsed_ms;
+  tree.current = node.parent;
+}
+
+void RecordSpan(std::string_view name, double elapsed_ms) {
+  if (!Enabled() || name.empty()) return;
+  Tree& tree = LocalTree();
+  std::lock_guard<std::mutex> lock(tree.mu);
+  const std::uint32_t id = tree.ChildLocked(tree.current, name);
+  Tree::Node& node = tree.nodes[id];
+  node.count += 1;
+  node.total_ms += elapsed_ms;
+}
+
+SpanNode SnapshotSpans() { return SpanRegistry::Instance().Snapshot(); }
+
+void ResetSpans() { SpanRegistry::Instance().Reset(); }
+
+}  // namespace wrbpg::obs

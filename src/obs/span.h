@@ -1,0 +1,69 @@
+// Hierarchical timing spans — the tracing half of the observability layer
+// (DESIGN.md §10).
+//
+// A ScopedSpan brackets a region with monotonic-clock timestamps and files
+// the elapsed time under the thread's current span path, so nested spans
+// aggregate into a tree: one node per (parent-path, name) with a hit count
+// and total milliseconds. Each thread owns its tree (a pool worker's spans
+// root at that worker's top level); SnapshotSpans() merges every thread's
+// tree — live and exited — by name into one report.
+//
+// Costs: one steady_clock read plus one short thread-local mutex
+// lock/unlock at each end of the span (the mutex only contends with a
+// concurrent snapshot), so spans belong at call boundaries — a search run,
+// a chain stage, a simulator replay — not inside per-move loops.
+//
+// Like the metrics registry, spans are write-only for the algorithms:
+// timings are recorded, never read back, so collection cannot perturb any
+// schedule. SetEnabled(false) (obs/metrics.h) disables recording; a span
+// opened while disabled stays inert even if collection is re-enabled
+// before it closes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wrbpg::obs {
+
+// Aggregated span statistics, merged across threads. The root is a
+// synthetic node (name "root", count 0); children are sorted by name so
+// reports and JSON are byte-stable for a given set of recordings.
+struct SpanNode {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0;
+  std::vector<SpanNode> children;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::uint32_t node_ = 0;
+  bool active_ = false;
+};
+
+// Files an externally-timed interval as a completed child of the calling
+// thread's current span (count +1, total_ms += elapsed) — for timings that
+// already exist (e.g. the robust chain's per-stage elapsed_ms, measured on
+// pool threads but reported under the chain's own span).
+void RecordSpan(std::string_view name, double elapsed_ms);
+
+// Merged span tree over all threads. Safe to call concurrently with
+// recording; spans still open are not included.
+SpanNode SnapshotSpans();
+
+// Clears every thread's tree and the retired accumulations. Same caveats
+// as ResetMetrics: callers must ensure no span is being recorded.
+void ResetSpans();
+
+}  // namespace wrbpg::obs

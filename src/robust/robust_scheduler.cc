@@ -9,6 +9,8 @@
 
 #include "core/analysis.h"
 #include "core/simulator.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "schedulers/belady.h"
 #include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
@@ -52,6 +54,7 @@ const char* ToString(StageOutcome outcome) {
 
 RobustResult RobustScheduler::Run(Weight budget,
                                   const RobustOptions& options) const {
+  const obs::ScopedSpan span("robust.run");
   const Clock::time_point chain_start = Clock::now();
   const bool deadlined = options.deadline_ms > 0;
   const std::size_t threads = ResolveThreadCount(options.threads);
@@ -134,6 +137,10 @@ RobustResult RobustScheduler::Run(Weight budget,
   };
   auto fold_result = [&](const Stage& stage, ScheduleResult result,
                          double elapsed_ms) {
+    // Stage timing is measured where the stage ran (possibly on a pool
+    // worker in speculative mode) but filed here on the chain's thread,
+    // so it lands as a child of the robust.run span either way.
+    obs::RecordSpan(std::string("robust.stage.") + stage.name, elapsed_ms);
     StageReport report;
     report.name = stage.name;
     report.elapsed_ms = elapsed_ms;
@@ -241,10 +248,16 @@ RobustResult RobustScheduler::Run(Weight budget,
     }
   }
 
+  static const obs::Counter runs("robust.runs");
+  runs.Add(1);
   if (best.feasible) {
     out.result = std::move(best);
     out.winner = out.stages[best_stage].name;
+    // Provenance counter: which stage's schedule the chain shipped.
+    obs::Add(obs::RegisterCounter("robust.winner." + out.winner), 1);
   } else {
+    static const obs::Counter no_winner("robust.no_winner");
+    no_winner.Add(1);
     out.result = ScheduleResult::Infeasible();
     out.result.timed_out = deadlined && remaining_ms() <= 0;
   }

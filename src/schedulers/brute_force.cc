@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/state_bound.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "schedulers/search_frontier.h"
 #include "util/thread_pool.h"
 
@@ -349,6 +351,8 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
     if (cfg.use_dominance) PruneDominated(live);
     settled_ += live.size();
     stats_.expanded += live.size();
+    stats_.max_frontier = std::max<std::uint64_t>(stats_.max_frontier,
+                                                  live.size());
     if (settled_ > options_.max_states) {
       std::fprintf(stderr,
                    "BruteForceScheduler: state limit exceeded (%zu states)\n",
@@ -404,12 +408,37 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
 }
 
 ScheduleResult Searcher::Run(bool want_schedule) {
+  // Span label carries the engine, so profiles separate dijkstra waves
+  // from informed ones. Recorded per Run (both passes of a two-phase
+  // dominance run fall under one span).
+  const obs::ScopedSpan span(std::string("search.") +
+                             ToString(options_.engine));
   struct StatsFlush {
     const Searcher* self;
     ~StatsFlush() {
       if (self->options_.stats != nullptr) {
         *self->options_.stats = self->stats_;
       }
+      // Mirror the run's counters into the process-wide registry
+      // (write-only: nothing in the search reads these back).
+      static const obs::Counter runs("search.runs");
+      static const obs::Counter expanded("search.expanded");
+      static const obs::Counter waves("search.waves");
+      static const obs::Counter generated("search.generated");
+      static const obs::Counter improved("search.improved");
+      static const obs::Counter pruned_bound("search.pruned_bound");
+      static const obs::Counter pruned_heuristic("search.pruned_heuristic");
+      static const obs::Counter pruned_dominated("search.pruned_dominated");
+      static const obs::Gauge max_frontier("search.max_frontier");
+      runs.Add(1);
+      expanded.Add(self->stats_.expanded);
+      waves.Add(self->stats_.waves);
+      generated.Add(self->stats_.generated);
+      improved.Add(self->stats_.improved);
+      pruned_bound.Add(self->stats_.pruned_bound);
+      pruned_heuristic.Add(self->stats_.pruned_heuristic);
+      pruned_dominated.Add(self->stats_.pruned_dominated);
+      max_frontier.Max(self->stats_.max_frontier);
     }
   } flush{this};
 

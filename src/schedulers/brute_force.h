@@ -46,6 +46,7 @@
 // typed ScheduleResult::Unsupported() — never UB, never an abort.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
@@ -77,6 +78,11 @@ struct SearchStats {
   std::uint64_t pruned_bound = 0;      // cut by f > best known goal cost
   std::uint64_t pruned_heuristic = 0;  // cut by h == infinity (dead state)
   std::uint64_t pruned_dominated = 0;  // wave states dropped by dominance
+  // Peak frontier occupancy: the largest number of live states any single
+  // wave expanded — the search's working-set high-water mark. A pure
+  // function of (graph, budget, options) like `expanded`/`waves`; merged
+  // by max, not sum.
+  std::uint64_t max_frontier = 0;
 
   void Accumulate(const SearchStats& other) {
     expanded += other.expanded;
@@ -86,6 +92,7 @@ struct SearchStats {
     pruned_bound += other.pruned_bound;
     pruned_heuristic += other.pruned_heuristic;
     pruned_dominated += other.pruned_dominated;
+    max_frontier = std::max(max_frontier, other.max_frontier);
   }
 };
 

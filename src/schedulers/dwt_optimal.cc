@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/analysis.h"
+#include "obs/metrics.h"
 
 namespace wrbpg {
 namespace {
@@ -13,6 +14,15 @@ namespace {
 Weight SatAdd(Weight a, Weight b) {
   if (a >= kInfiniteCost || b >= kInfiniteCost) return kInfiniteCost;
   return a + b;
+}
+
+const obs::Counter& MemoHits() {
+  static const obs::Counter c("dp.dwt.memo_hit");
+  return c;
+}
+const obs::Counter& MemoMisses() {
+  static const obs::Counter c("dp.dwt.memo_miss");
+  return c;
 }
 
 }  // namespace
@@ -58,8 +68,10 @@ DwtOptimalScheduler::Entry DwtOptimalScheduler::P(NodeId v, Weight b) {
 
   auto& node_memo = memo_[v];
   if (const auto it = node_memo.find(b); it != node_memo.end()) {
+    MemoHits().Add(1);
     return it->second;
   }
+  MemoMisses().Add(1);
 
   const auto parents = g.parents(v);
   assert(parents.size() == 2);

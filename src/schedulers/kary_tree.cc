@@ -8,6 +8,7 @@
 
 #include "core/analysis.h"
 #include "dataflows/tree_graph.h"
+#include "obs/metrics.h"
 
 namespace wrbpg {
 namespace {
@@ -15,6 +16,15 @@ namespace {
 Weight SatAdd(Weight a, Weight b) {
   if (a >= kInfiniteCost || b >= kInfiniteCost) return kInfiniteCost;
   return a + b;
+}
+
+const obs::Counter& MemoHits() {
+  static const obs::Counter c("dp.kary.memo_hit");
+  return c;
+}
+const obs::Counter& MemoMisses() {
+  static const obs::Counter c("dp.kary.memo_miss");
+  return c;
 }
 
 }  // namespace
@@ -46,8 +56,10 @@ KaryTreeScheduler::Entry KaryTreeScheduler::P(NodeId v, Weight b) {
   }
   auto& node_memo = memo_[v];
   if (const auto it = node_memo.find(b); it != node_memo.end()) {
+    MemoHits().Add(1);
     return it->second;
   }
+  MemoMisses().Add(1);
 
   const auto parents = graph_.parents(v);
   const int k = static_cast<int>(parents.size());

@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
-#include <sstream>
+#include <cassert>
+#include <charconv>
 
 namespace wrbpg {
 
@@ -41,9 +42,14 @@ void CsvWriter::WriteRow(std::initializer_list<std::string_view> fields) {
 std::string CsvWriter::Field(std::int64_t v) { return std::to_string(v); }
 
 std::string CsvWriter::Field(double v) {
-  std::ostringstream os;
-  os << v;
-  return os.str();
+  // Shortest round-trip formatting (std::to_chars): parsing the field back
+  // recovers the exact double. The previous ostream default (6 significant
+  // digits) silently corrupted benchmark ratios and speedups.
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(ec == std::errc());
+  (void)ec;
+  return std::string(buf, ptr);
 }
 
 }  // namespace wrbpg

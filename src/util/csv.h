@@ -20,7 +20,8 @@ class CsvWriter {
   void WriteRow(const std::vector<std::string>& fields);
   void WriteRow(std::initializer_list<std::string_view> fields);
 
-  // Convenience for numeric rows.
+  // Convenience for numeric rows. Doubles use shortest round-trip
+  // formatting: std::stod(Field(v)) == v for every finite v.
   static std::string Field(std::int64_t v);
   static std::string Field(double v);
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,90 @@ TEST(Trace, RenderHandlesEmptyTrace) {
   OccupancyTrace empty;
   EXPECT_NE(RenderOccupancy(empty, 100).find("no occupancy data"),
             std::string::npos);
+}
+
+// Splits the chart body (the "|...|" rows, top row first) out of a render.
+std::vector<std::string> ChartRows(const std::string& art) {
+  std::vector<std::string> rows;
+  std::istringstream in(art);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t open = line.find('|');
+    if (open == std::string::npos || line.find('+') != std::string::npos) {
+      continue;
+    }
+    const std::size_t close = line.rfind('|');
+    rows.push_back(line.substr(open + 1, close - open - 1));
+  }
+  return rows;
+}
+
+// Regression (threshold math): with more chart rows than budget bits, the
+// truncating-division thresholds collapsed to 0 on the lower rows, so every
+// column — including columns whose occupancy is zero — rendered '#'.
+// Ceiling division keeps the bottom row's threshold at >= 1.
+TEST(Trace, RenderTinyBudgetKeepsZeroColumnsBlank) {
+  const Graph g = MakeChain(3, 4);
+  Schedule s;
+  s.Append(Load(0));     // 4
+  s.Append(Compute(1));  // 8
+  s.Append(Delete(0));   // 4
+  s.Append(Compute(2));  // 8
+  s.Append(Store(2));    // 8
+  s.Append(Delete(1));   // 4
+  s.Append(Delete(2));   // 0  <- a zero-occupancy column
+  const OccupancyTrace trace = TraceOccupancy(g, 8, s);
+  ASSERT_TRUE(trace.ok) << trace.error;
+  // 16 rows for an 8-bit budget: every row threshold must still be >= 1.
+  const std::string art = RenderOccupancy(trace, 8, 40, 16);
+  const std::vector<std::string> rows = ChartRows(art);
+  ASSERT_EQ(rows.size(), 16u);
+  for (const std::string& row : rows) {
+    ASSERT_EQ(row.size(), s.size());
+    EXPECT_EQ(row.back(), ' ') << "zero-occupancy column painted: " << art;
+  }
+  // The bottom row shows every nonzero column; the top row only the peak.
+  EXPECT_EQ(rows.back().substr(0, 6), "######");
+  EXPECT_EQ(rows.front(), std::string(" # ##  "));
+}
+
+// Regression (overflow): thresholds were computed as budget * row, which
+// overflows Weight for budgets near kInfiniteCost and painted garbage.
+// The decomposed ceiling division stays in range for any budget.
+TEST(Trace, RenderNearInfiniteBudgetDoesNotOverflow) {
+  const Graph g = MakeChain(3, 4);
+  Schedule s;
+  s.Append(Load(0));
+  s.Append(Compute(1));
+  s.Append(Delete(0));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  const Weight budget = kInfiniteCost - 1;
+  const OccupancyTrace trace = TraceOccupancy(g, budget, s);
+  ASSERT_TRUE(trace.ok) << trace.error;
+  const std::string art = RenderOccupancy(trace, budget, 40, 8);
+  // Occupancy is 8 bits against a ~2^61 budget: no row threshold is met,
+  // and nothing overflowed into negative thresholds (all-'#' rows).
+  for (const std::string& row : ChartRows(art)) {
+    EXPECT_EQ(row.find('#'), std::string::npos) << art;
+  }
+}
+
+// The header reports the peak move 1-based, consistent with "of <count>";
+// OccupancyTrace::peak_index itself stays a 0-based array index.
+TEST(Trace, RenderReportsPeakMoveOneBased) {
+  const Graph g = MakeChain(3, 4);
+  Schedule s;
+  s.Append(Load(0));     // 4
+  s.Append(Compute(1));  // 8 <- peak, index 1, human move 2
+  s.Append(Delete(0));
+  s.Append(Compute(2));
+  s.Append(Store(2));
+  const OccupancyTrace trace = TraceOccupancy(g, 8, s);
+  ASSERT_TRUE(trace.ok) << trace.error;
+  EXPECT_EQ(trace.peak_index, 1u);
+  const std::string art = RenderOccupancy(trace, 8, 40, 8);
+  EXPECT_NE(art.find("at move 2 of 5"), std::string::npos) << art;
 }
 
 // Differential contract: TraceOccupancy and Simulate are two replays of

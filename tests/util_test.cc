@@ -130,6 +130,25 @@ TEST(Csv, NumericFields) {
   EXPECT_EQ(CsvWriter::Field(2.5), "2.5");
 }
 
+// Regression: Field(double) must round-trip exactly. The old ostream
+// default truncated to 6 significant digits, so benchmark ratios like
+// speedups and time_ms values came back corrupted from the CSVs.
+TEST(Csv, DoubleFieldsRoundTripExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           80.604142,     // a real elapsed_ms sample
+                           0.1 + 0.2,     // classic non-representable sum
+                           1e-300,
+                           -1.7976931348623157e308,  // lowest finite double
+                           123456.789012345,
+                           9007199254740993.0};      // > 2^53
+  for (const double v : values) {
+    const std::string field = CsvWriter::Field(v);
+    EXPECT_EQ(std::stod(field), v) << "field was '" << field << "'";
+  }
+}
+
 TEST(TextTable, AlignsColumns) {
   TextTable t({"name", "v"});
   t.AddRow({"x", "10"});
