@@ -119,16 +119,32 @@ BENCHMARK(BM_RobustChainWithDeadline)->Arg(5)->Arg(20)->Arg(100)
 void ReportChain(const std::string& name, const RobustResult& robust,
                  obs::Json& json_rows) {
   std::cout << name << ": winner="
-            << (robust.result.feasible ? robust.winner : "none") << "\n";
+            << (robust.result.feasible ? robust.winner : "none");
+  if (robust.result.feasible) {
+    // The chain's anytime contract: cost plus the tightest certified
+    // lower bound any stage produced (DESIGN.md §11).
+    std::cout << " cost=" << robust.result.cost
+              << " lb=" << robust.result.lower_bound
+              << " gap=" << robust.result.optimality_gap
+              << " termination=" << ToString(robust.result.termination);
+  }
+  std::cout << "\n";
   obs::Json row = obs::Json::Object();
   row.Set("instance", name);
   row.Set("feasible", robust.result.feasible);
   row.Set("winner", robust.result.feasible ? robust.winner : "");
-  if (robust.result.feasible) row.Set("cost", robust.result.cost);
+  if (robust.result.feasible) {
+    row.Set("cost", robust.result.cost);
+    row.Set("lower_bound", robust.result.lower_bound);
+    row.Set("gap", robust.result.optimality_gap);
+    row.Set("termination", ToString(robust.result.termination));
+  }
   obs::Json stages = obs::Json::Array();
   for (const StageReport& stage : robust.stages) {
     std::cout << "  stage " << stage.name << ": " << ToString(stage.outcome)
-              << " (" << stage.elapsed_ms << " ms)\n";
+              << " (" << stage.elapsed_ms << " ms)";
+    if (!stage.detail.empty()) std::cout << " [" << stage.detail << "]";
+    std::cout << "\n";
     obs::Json s = obs::Json::Object();
     s.Set("name", stage.name);
     s.Set("outcome", ToString(stage.outcome));
@@ -169,8 +185,9 @@ int RunRobustReport(const CliArgs& args) {
                 json_rows);
   }
   {
-    // Tight deadline: the exact stage is cancelled mid-flight and a
-    // fallback answers (the robustness layer's acceptance scenario).
+    // Tight deadline: the bb exact stage is interrupted mid-flight and
+    // returns its anytime incumbent with a certified gap; the heuristics
+    // run as backstops (the robustness layer's acceptance scenario).
     Rng rng(0xdead11u);
     const Graph dag = BuildRandomDag(rng, {.num_layers = 6,
                                            .nodes_per_layer = 4,

@@ -15,14 +15,23 @@
 // is chosen so the sequential solve takes on the order of a second.
 //
 // `bench_scheduler_perf --engine-compare [--quick] [--json <path>]` races
-// the three exact engines (dijkstra / astar / astar+dominance, DESIGN.md
-// §9) over DWT, k-ary tree, and butterfly instances at several thread
+// the four exact engines (dijkstra / astar / astar+dominance / bb,
+// DESIGN.md §9/§11) over DWT and k-ary tree instances at several thread
 // counts. It reports expanded states, waves, and wall time per engine,
 // checks every schedule bit-for-bit against the dijkstra sequential
 // baseline (exit 1 on any divergence), prints the expanded-state
 // reduction of the informed engines, and writes the table as JSON
 // (default BENCH_exact.json). `--quick` shrinks the instances for CI
 // smoke runs.
+//
+// `bench_scheduler_perf --anytime-sweep [--quick] [--json <path>]` runs
+// the bb anytime engine (DESIGN.md §11) under a grid of deadlines on a
+// 64-node random DAG — past the exact engines' practical reach — and a
+// DWT instance. Every returned schedule is replayed through the
+// simulator, and every row must satisfy the anytime contract
+// (lower_bound <= cost, gap == cost - lower_bound, gap finite). The
+// table is written as JSON (default BENCH_anytime.json); exit 1 if any
+// schedule is invalid or any gap unsound.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -38,6 +47,7 @@
 #include "core/simulator.h"
 #include "dataflows/dwt_graph.h"
 #include "dataflows/mvm_graph.h"
+#include "dataflows/random_dag.h"
 #include "dataflows/tree_graph.h"
 #include "obs/report.h"
 #include "schedulers/brute_force.h"
@@ -45,7 +55,9 @@
 #include "schedulers/kary_tree.h"
 #include "schedulers/layer_by_layer.h"
 #include "schedulers/mvm_tiling.h"
+#include "util/cancel.h"
 #include "util/cli.h"
+#include "util/rng.h"
 
 namespace wrbpg {
 namespace {
@@ -349,7 +361,8 @@ void PrintEngineRow(const EngineRow& row) {
 
 constexpr SearchEngine kAllEngines[] = {SearchEngine::kDijkstra,
                                         SearchEngine::kAStar,
-                                        SearchEngine::kAStarDominance};
+                                        SearchEngine::kAStarDominance,
+                                        SearchEngine::kBranchAndBound};
 
 // Runs every engine at every thread count on one instance, checking each
 // schedule bit-for-bit against the dijkstra sequential baseline, then a
@@ -509,6 +522,154 @@ int RunEngineCompare(const CliArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --anytime-sweep: gap-vs-deadline table for the bb anytime engine.
+// ---------------------------------------------------------------------------
+
+struct AnytimeRow {
+  std::string instance;
+  double deadline_ms = 0;  // 0 = unbounded
+  double time_ms = 0;
+  Weight cost = kInfiniteCost;
+  Weight lower_bound = 0;
+  Weight gap = kInfiniteCost;
+  std::string termination;
+  bool valid = false;  // schedule replayed through the simulator
+};
+
+void PrintAnytimeHeader() {
+  std::cout << std::left << std::setw(22) << "instance" << std::right
+            << std::setw(12) << "deadline_ms" << std::setw(10) << "time_ms"
+            << std::setw(9) << "cost" << std::setw(9) << "lb" << std::setw(9)
+            << "gap" << std::left << "  " << std::setw(12) << "termination"
+            << std::right << std::setw(7) << "valid" << "\n";
+}
+
+void PrintAnytimeRow(const AnytimeRow& row) {
+  std::cout << std::left << std::setw(22) << row.instance << std::right
+            << std::setw(12) << std::fixed << std::setprecision(0)
+            << row.deadline_ms << std::setw(10) << std::setprecision(1)
+            << row.time_ms << std::setw(9) << row.cost << std::setw(9)
+            << row.lower_bound << std::setw(9) << row.gap << std::left
+            << "  " << std::setw(12) << row.termination << std::right
+            << std::setw(7) << (row.valid ? "yes" : "NO") << "\n";
+}
+
+int RunAnytimeSweep(const CliArgs& args) {
+  const bool quick = args.GetBool("quick", false);
+  const std::string json_path = args.GetString("json", "BENCH_anytime.json");
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+
+  struct Instance {
+    std::string name;
+    Graph graph;
+    Weight budget = 0;
+  };
+  std::vector<Instance> instances;
+  {
+    // 64 nodes — past the practical reach of an unbounded exact solve;
+    // the seed is pinned so the table is reproducible run to run.
+    Rng rng(42);
+    RandomDagOptions options;
+    options.num_layers = 8;
+    options.nodes_per_layer = 8;
+    Graph graph = BuildRandomDag(rng, options);
+    const Weight budget = MinValidBudget(graph) + 39;
+    instances.push_back({"random(8x8,seed42)", std::move(graph), budget});
+  }
+  {
+    const DwtGraph dwt = BuildDwt(16, 2, PrecisionConfig::Equal());
+    const Weight budget = MinValidBudget(dwt.graph) + 2;
+    instances.push_back({"dwt(16,2)", dwt.graph, budget});
+  }
+
+  const std::vector<double> deadlines =
+      quick ? std::vector<double>{25, 100}
+            : std::vector<double>{10, 50, 200, 1000};
+
+  std::vector<AnytimeRow> rows;
+  bool all_sound = true;
+  std::cout << "anytime sweep: bb engine, gap vs deadline (quick="
+            << (quick ? "yes" : "no") << ")\n";
+  PrintAnytimeHeader();
+  for (const Instance& instance : instances) {
+    const BruteForceScheduler scheduler(instance.graph);
+    for (double deadline_ms : deadlines) {
+      BruteForceOptions options;
+      options.engine = SearchEngine::kBranchAndBound;
+      const CancelToken token = CancelToken::WithDeadlineMs(deadline_ms);
+      options.cancel = &token;
+      const SweepClock::time_point start = SweepClock::now();
+      const ScheduleResult result =
+          scheduler.Run(instance.budget, options);
+      AnytimeRow row;
+      row.instance = instance.name;
+      row.deadline_ms = deadline_ms;
+      row.time_ms = ElapsedMs(start);
+      if (result.feasible) {
+        const SimResult sim =
+            Simulate(instance.graph, instance.budget, result.schedule);
+        row.valid = sim.valid;
+        row.cost = result.cost;
+        row.lower_bound = result.lower_bound;
+        row.gap = result.optimality_gap;
+        row.termination = ToString(result.termination);
+        // The anytime contract every row must satisfy: a simulator-valid
+        // schedule whose certified gap is finite and internally
+        // consistent.
+        const bool sound = sim.valid && result.lower_bound <= result.cost &&
+                           result.optimality_gap ==
+                               result.cost - result.lower_bound &&
+                           result.optimality_gap < kInfiniteCost;
+        all_sound = all_sound && sound;
+      } else {
+        row.termination = result.timed_out ? "timed-out" : "infeasible";
+        all_sound = false;
+      }
+      PrintAnytimeRow(row);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  if (!json_path.empty()) {
+    obs::Json doc = obs::ObsDocument("anytime-sweep");
+    doc.Set("quick", quick);
+    obs::Json json_rows = obs::Json::Array();
+    for (const AnytimeRow& row : rows) {
+      obs::Json r = obs::Json::Object();
+      r.Set("instance", row.instance);
+      r.Set("deadline_ms", row.deadline_ms);
+      r.Set("time_ms", row.time_ms);
+      r.Set("cost", row.cost);
+      r.Set("lower_bound", row.lower_bound);
+      r.Set("gap", row.gap);
+      r.Set("termination", row.termination);
+      r.Set("valid", row.valid);
+      json_rows.Push(std::move(r));
+    }
+    doc.Set("rows", std::move(json_rows));
+    doc.Set("all_sound", all_sound);
+    std::string error;
+    if (!obs::WriteJsonFile(json_path, doc, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    std::cout << "  [json] " << json_path << "\n";
+  }
+
+  if (!all_sound) {
+    std::cerr << "FAIL: an anytime row violated the contract (invalid "
+                 "schedule, unsound gap, or no result)\n";
+    return 1;
+  }
+  std::cout << "every deadline produced a simulator-valid schedule with a "
+               "sound optimality gap\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace wrbpg
 
@@ -521,6 +682,10 @@ int main(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--engine-compare") {
       const wrbpg::CliArgs args(argc, argv);
       return wrbpg::RunEngineCompare(args);
+    }
+    if (std::string_view(argv[i]) == "--anytime-sweep") {
+      const wrbpg::CliArgs args(argc, argv);
+      return wrbpg::RunAnytimeSweep(args);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -7,7 +7,15 @@
 //       model properties: nodes, edges, min valid budget, lower bound.
 //   wrbpg_cli schedule <graph> --budget <bits>
 //                      [--algo greedy|belady|brute|robust] [--deadline-ms N]
+//                      [--engine dijkstra|astar|astar+dominance|bb]
+//                      [--memory-cap-mb N]
 //       emit a validated schedule (move per line) on stdout; stats on stderr.
+//       --engine runs the named exact search engine directly; with
+//       --deadline-ms the bb engine is anytime — it returns its incumbent
+//       schedule plus a certified optimality gap when the deadline hits,
+//       and the stderr line reports cost=.. lb=.. gap=.. termination=..
+//       (the anytime contract, DESIGN.md §11). --memory-cap-mb bounds the
+//       search's container bytes the same way. Without --engine,
 //       --deadline-ms (or --algo robust) runs the deadline-aware fallback
 //       chain (exact -> belady -> greedy) and reports per-stage provenance.
 //   wrbpg_cli validate <graph> <schedule.txt> --budget <bits>
@@ -35,9 +43,11 @@
 //       Graphviz rendering of the dataflow.
 //
 // <graph> is either a path to a core/serialize.h text file or a builtin
-// generator spec — "dwt:N,D" for DWT(N, D) (Definition 3.1) or
-// "kary:K,LEVELS" for the perfect k-ary tree (Definition 3.6) — so CI and
-// quick experiments need no graph files on disk.
+// generator spec — "dwt:N,D" for DWT(N, D) (Definition 3.1),
+// "kary:K,LEVELS" for the perfect k-ary tree (Definition 3.6), or
+// "random:LAYERS,WIDTH,SEED" for a seeded random layered CDAG
+// (dataflows/random_dag.h) — so CI and quick experiments need no graph
+// files on disk.
 //
 // Every verb accepts --threads N to set the worker-thread count for the
 // search engines (brute force, the robust chain). The default is the
@@ -74,6 +84,7 @@
 #include "core/simulator.h"
 #include "core/trace.h"
 #include "dataflows/dwt_graph.h"
+#include "dataflows/random_dag.h"
 #include "dataflows/tree_graph.h"
 #include "lint/fixes.h"
 #include "lint/lint.h"
@@ -86,6 +97,7 @@
 #include "schedulers/greedy_topo.h"
 #include "schedulers/kary_tree.h"
 #include "util/cli.h"
+#include "util/rng.h"
 
 using namespace wrbpg;
 
@@ -93,10 +105,12 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
-               "profile|dot> <graph.txt|dwt:N,D|kary:K,L> [schedule.txt] "
+               "profile|dot> <graph.txt|dwt:N,D|kary:K,L|random:L,W,SEED> "
+               "[schedule.txt] "
                "[--budget N] [--algo greedy|belady|brute|robust] "
-               "[--deadline-ms N] [--threads N] [--metrics-json path] "
-               "[--json] [--fix]\n";
+               "[--engine dijkstra|astar|astar+dominance|bb] "
+               "[--deadline-ms N] [--memory-cap-mb N] [--threads N] "
+               "[--metrics-json path] [--json] [--fix]\n";
   return 2;
 }
 
@@ -128,22 +142,35 @@ struct LoadedGraph {
   }
 };
 
-// Parses the "N,D" payload of a builtin spec. Rejects junk and overflow.
+// Parses the comma-separated integer payload of a builtin spec into
+// exactly `count` values. Rejects junk, overflow, and wrong arity.
+bool ParseSpecInts(std::string_view payload, std::int64_t* out,
+                   std::size_t count) {
+  std::size_t parsed = 0;
+  while (parsed < count) {
+    const std::size_t comma = payload.find(',');
+    const bool last = parsed + 1 == count;
+    if (last != (comma == std::string_view::npos)) return false;
+    const std::string field(last ? payload : payload.substr(0, comma));
+    try {
+      std::size_t used = 0;
+      out[parsed] = std::stoll(field, &used);
+      if (used != field.size()) return false;
+    } catch (...) {
+      return false;
+    }
+    if (!last) payload.remove_prefix(comma + 1);
+    ++parsed;
+  }
+  return true;
+}
+
 bool ParseSpecPair(std::string_view payload, std::int64_t& a,
                    std::int64_t& b) {
-  const std::size_t comma = payload.find(',');
-  if (comma == std::string_view::npos) return false;
-  const std::string first(payload.substr(0, comma));
-  const std::string second(payload.substr(comma + 1));
-  try {
-    std::size_t used = 0;
-    a = std::stoll(first, &used);
-    if (used != first.size()) return false;
-    b = std::stoll(second, &used);
-    if (used != second.size()) return false;
-  } catch (...) {
-    return false;
-  }
+  std::int64_t vals[2];
+  if (!ParseSpecInts(payload, vals, 2)) return false;
+  a = vals[0];
+  b = vals[1];
   return true;
 }
 
@@ -180,6 +207,28 @@ LoadedGraph LoadGraphArg(const std::string& spec) {
     }
     out.tree =
         BuildPerfectTree(static_cast<int>(k), static_cast<int>(levels));
+    out.ok = true;
+    return out;
+  }
+  if (spec.rfind("random:", 0) == 0) {
+    std::int64_t vals[3];
+    if (!ParseSpecInts(std::string_view(spec).substr(7), vals, 3)) {
+      std::cerr << "error: bad builtin spec '" << spec
+                << "' (expected random:LAYERS,WIDTH,SEED)\n";
+      return out;
+    }
+    const std::int64_t layers = vals[0], width = vals[1], seed = vals[2];
+    if (layers < 2 || layers > 64 || width < 1 || width > 64) {
+      std::cerr << "error: invalid random DAG parameters layers=" << layers
+                << " width=" << width
+                << " (need 2 <= layers <= 64, 1 <= width <= 64)\n";
+      return out;
+    }
+    Rng rng(static_cast<std::uint64_t>(seed));
+    RandomDagOptions dag;
+    dag.num_layers = static_cast<int>(layers);
+    dag.nodes_per_layer = static_cast<int>(width);
+    out.parsed = BuildRandomDag(rng, dag);
     out.ok = true;
     return out;
   }
@@ -362,11 +411,70 @@ int RunVerb(const CliArgs& args) {
 
   if (command == "schedule") {
     const double deadline_ms = args.GetDouble("deadline-ms", 0);
+    const std::string engine_name = args.GetString("engine", "");
+    const Weight memory_cap_mb = args.GetInt("memory-cap-mb", 0);
     std::string algo = args.GetString("algo", "belady");
-    if (deadline_ms > 0) algo = "robust";
+    // --deadline-ms alone selects the robust chain; with --engine it
+    // instead bounds the named engine directly (the anytime path).
+    if (deadline_ms > 0 && engine_name.empty()) algo = "robust";
     if (!args.error().empty()) {
       std::cerr << "error: " << args.error() << "\n";
       return 2;
+    }
+    if (!engine_name.empty()) {
+      BruteForceOptions bf;
+      if (engine_name == "dijkstra") {
+        bf.engine = SearchEngine::kDijkstra;
+      } else if (engine_name == "astar") {
+        bf.engine = SearchEngine::kAStar;
+      } else if (engine_name == "astar+dominance") {
+        bf.engine = SearchEngine::kAStarDominance;
+      } else if (engine_name == "bb") {
+        bf.engine = SearchEngine::kBranchAndBound;
+      } else {
+        std::cerr << "error: unknown --engine '" << engine_name
+                  << "' (expected dijkstra|astar|astar+dominance|bb)\n";
+        return 2;
+      }
+      if (memory_cap_mb > 0) {
+        bf.frontier_bytes_cap =
+            static_cast<std::size_t>(memory_cap_mb) << 20;
+      }
+      CancelToken token;
+      if (deadline_ms > 0) {
+        token = CancelToken::WithDeadlineMs(deadline_ms);
+        bf.cancel = &token;
+      }
+      const ScheduleResult result =
+          BruteForceScheduler(graph).Run(budget, bf);
+      if (result.timed_out) {
+        // Only the exact engines end here; bb would have returned its
+        // incumbent. The frontier lower bound is still certified.
+        std::cerr << "timed out with no schedule (engine '" << engine_name
+                  << "' holds no incumbent; use --engine bb), lb="
+                  << result.lower_bound << " bits\n";
+        return 1;
+      }
+      if (!result.feasible) {
+        std::cerr << "infeasible: no schedule under " << budget
+                  << " bits (need >= " << MinValidBudget(graph) << ")\n";
+        return 1;
+      }
+      const SimResult sim = Simulate(graph, budget, result.schedule);
+      if (!sim.valid) {
+        std::cerr << "internal error: generated schedule invalid: "
+                  << sim.error << "\n";
+        return 1;
+      }
+      std::cout << ToText(result.schedule);
+      std::cerr << "engine=" << engine_name
+                << " moves=" << result.schedule.size()
+                << " cost=" << sim.cost << " bits, lb="
+                << result.lower_bound << " gap=" << result.optimality_gap
+                << " termination=" << ToString(result.termination)
+                << ", peak=" << sim.peak_red_weight << "/" << budget
+                << " bits\n";
+      return 0;
     }
     if (algo == "robust") {
       RobustOptions options;
@@ -397,7 +505,9 @@ int RunVerb(const CliArgs& args) {
       std::cerr << "winner=" << robust.winner
                 << " moves=" << robust.result.schedule.size()
                 << " cost=" << robust.result.cost << " bits, lb="
-                << AlgorithmicLowerBound(graph) << " bits\n";
+                << robust.result.lower_bound << " gap="
+                << robust.result.optimality_gap << " termination="
+                << ToString(robust.result.termination) << "\n";
       return 0;
     }
     ScheduleResult result;
@@ -406,10 +516,9 @@ int RunVerb(const CliArgs& args) {
     } else if (algo == "belady") {
       result = BeladyScheduler(graph).Run(budget);
     } else if (algo == "brute") {
-      if (graph.num_nodes() > 20) {
-        std::cerr << "error: --algo brute supports at most 20 nodes\n";
-        return 2;
-      }
+      // No node-count guard: the wide-state engines run at any size, and
+      // an unbounded run is stopped by max_states/frontier_bytes_cap —
+      // add --deadline-ms (or --engine bb) to bound it by wall clock.
       result = BruteForceScheduler(graph).Run(budget);
     } else {
       std::cerr << "error: unknown --algo '" << algo << "'\n";

@@ -4,28 +4,71 @@
 #include <cassert>
 
 namespace wrbpg {
+namespace {
+
+// Iterates the set bits of an n-word mask, calling fn(NodeId).
+template <typename Fn>
+void ForEachSetBit(const std::uint64_t* words, std::size_t n, Fn&& fn) {
+  for (std::size_t w = 0; w < n; ++w) {
+    for (std::uint64_t m = words[w]; m != 0; m &= m - 1) {
+      fn(static_cast<NodeId>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(m))));
+    }
+  }
+}
+
+bool AnySet(const std::uint64_t* words, std::size_t n) {
+  for (std::size_t w = 0; w < n; ++w) {
+    if (words[w] != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 StateBound::StateBound(const Graph& graph, Weight budget,
-                       std::uint32_t required_red, bool require_sinks_blue)
+                       std::uint64_t required_red, bool require_sinks_blue)
     : graph_(graph),
       budget_(budget),
-      required_red_(required_red),
       require_sinks_blue_(require_sinks_blue) {
   const NodeId n = graph.num_nodes();
-  assert(n <= 32);
+  words_ = (static_cast<std::size_t>(n) + 63) / 64;
+  if (words_ == 0) words_ = 1;
+  compute_footprint_.assign(n, 0);
+
+  wide_required_red_.assign(words_, 0);
+  wide_sources_.assign(words_, 0);
+  wide_sinks_.assign(words_, 0);
+  wide_parents_.assign(words_ * n, 0);
+  for (NodeId v = 0; v < 64 && v < n; ++v) {
+    if ((required_red >> v) & 1) {
+      wide_required_red_[v / 64] |= 1ull << (v % 64);
+    }
+  }
+  required_red32_ = static_cast<std::uint32_t>(required_red);
+
   for (NodeId v = 0; v < n; ++v) {
-    if (graph.is_source(v)) sources_mask_ |= 1u << v;
-    if (graph.is_sink(v)) sinks_mask_ |= 1u << v;
+    if (graph.is_source(v)) wide_sources_[v / 64] |= 1ull << (v % 64);
+    if (graph.is_sink(v)) wide_sinks_[v / 64] |= 1ull << (v % 64);
     Weight footprint = graph.weight(v);
     for (NodeId p : graph.parents(v)) {
-      parents_mask_[v] |= 1u << p;
+      wide_parents_[words_ * v + p / 64] |= 1ull << (p % 64);
       footprint += graph.weight(p);
     }
     compute_footprint_[v] = footprint;
   }
+
+  if (n <= 32) {
+    sources_mask_ = static_cast<std::uint32_t>(wide_sources_[0]);
+    sinks_mask_ = static_cast<std::uint32_t>(wide_sinks_[0]);
+    for (NodeId v = 0; v < n; ++v) {
+      parents_mask_[v] = static_cast<std::uint32_t>(wide_parents_[v]);
+    }
+  }
 }
 
 Weight StateBound::Evaluate(std::uint32_t red, std::uint32_t blue) const {
+  assert(graph_.num_nodes() <= 32);
   // Store term: sinks still owed their M2.
   Weight bound = 0;
   const std::uint32_t unstored =
@@ -42,7 +85,7 @@ Weight StateBound::Evaluate(std::uint32_t red, std::uint32_t blue) const {
   // nodes stop the walk (they may be re-loaded instead of recomputed, and
   // charging them here would not be additive), but a blue *source* in the
   // need set still pays its load: sources cannot be computed at all.
-  std::uint32_t need = (required_red_ | unstored) & ~red;
+  std::uint32_t need = (required_red32_ | unstored) & ~red;
   std::uint32_t frontier = need & ~blue;
   while (frontier != 0) {
     std::uint32_t next = 0;
@@ -68,8 +111,70 @@ Weight StateBound::Evaluate(std::uint32_t red, std::uint32_t blue) const {
   return bound;
 }
 
+// The word-span twin of the packed Evaluate above: identical closure, mask
+// ops spelled per 64-bit word. The two are differentially tested against
+// each other over random (red, blue) pairs in tests/state_bound_test.cc.
+Weight StateBound::Evaluate(const std::uint64_t* red,
+                            const std::uint64_t* blue,
+                            WideScratch& scratch) const {
+  const std::size_t W = words_;
+  scratch.need.assign(W, 0);
+  scratch.frontier.assign(W, 0);
+  scratch.next.assign(W, 0);
+  std::uint64_t* need = scratch.need.data();
+  std::uint64_t* frontier = scratch.frontier.data();
+  std::uint64_t* next = scratch.next.data();
+
+  Weight bound = 0;
+  bool dead = false;
+  for (std::size_t w = 0; w < W; ++w) {
+    const std::uint64_t unstored =
+        require_sinks_blue_ ? (wide_sinks_[w] & ~blue[w]) : 0ull;
+    for (std::uint64_t m = unstored; m != 0; m &= m - 1) {
+      bound += graph_.weight(static_cast<NodeId>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(m))));
+    }
+    need[w] = (wide_required_red_[w] | unstored) & ~red[w];
+    frontier[w] = need[w] & ~blue[w];
+  }
+
+  while (AnySet(frontier, W)) {
+    for (std::size_t w = 0; w < W; ++w) next[w] = 0;
+    ForEachSetBit(frontier, W, [&](NodeId v) {
+      if (dead) return;
+      if ((wide_sources_[v / 64] >> (v % 64)) & 1) {
+        dead = true;
+        return;
+      }
+      if (compute_footprint_[v] > budget_) {
+        dead = true;
+        return;
+      }
+      const std::uint64_t* parents = &wide_parents_[W * v];
+      for (std::size_t w = 0; w < W; ++w) next[w] |= parents[w];
+    });
+    if (dead) return kInfiniteCost;
+    for (std::size_t w = 0; w < W; ++w) {
+      next[w] &= ~red[w] & ~need[w];
+      need[w] |= next[w];
+      frontier[w] = next[w] & ~blue[w];
+    }
+  }
+
+  for (std::size_t w = 0; w < W; ++w) {
+    for (std::uint64_t m = need[w] & wide_sources_[w]; m != 0; m &= m - 1) {
+      bound += graph_.weight(static_cast<NodeId>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(m))));
+    }
+  }
+  return bound;
+}
+
 Weight StateBound::StartBound() const {
-  return Evaluate(0, sources_mask_);
+  if (graph_.num_nodes() <= 32) return Evaluate(0, sources_mask_);
+  WideScratch scratch;
+  std::vector<std::uint64_t> red(words_, 0);
+  return Evaluate(red.data(), wide_sources_.data(), scratch);
 }
 
 }  // namespace wrbpg

@@ -1,5 +1,5 @@
 // Admissible per-state lower bounds on remaining weighted I/O — the A*
-// heuristic of the exact search engine (DESIGN.md §9).
+// heuristic of the exact search engine (DESIGN.md §9/§11).
 //
 // For a pebbling configuration (red, blue) and a goal (all sinks blue
 // and/or a required final red set), h(red, blue) lower-bounds the
@@ -30,12 +30,19 @@
 // store term and an upstream load term — so the searcher reopens states
 // (see brute_force.cc); admissibility alone keeps the optimum exact.
 //
-// Supports graphs of at most 32 nodes (the exact engine's mask width).
-// All precomputation is per graph; Evaluate is allocation-free and
-// iterates only over set bits of the masks involved.
+// Supports graphs of ANY size. Configurations of graphs with at most 32
+// nodes use the packed uint32 mask fast path the exact engine's inline
+// states are built on; wider graphs use the word-span overload, whose
+// masks are arrays of 64-bit words (node v lives in word v/64, bit v%64)
+// with WordsPerColor() words per color. The word-span Evaluate needs a
+// caller-owned WideScratch so concurrent evaluations (parallel frontier
+// expansion) never share closure buffers. All precomputation is per
+// graph; Evaluate is allocation-free and iterates only over set bits of
+// the masks involved.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/graph.h"
 #include "core/types.h"
@@ -44,32 +51,62 @@ namespace wrbpg {
 
 class StateBound {
  public:
-  // `required_red` are nodes that must hold red pebbles at the end;
-  // `require_sinks_blue` adds the game's normal stopping condition.
-  StateBound(const Graph& graph, Weight budget, std::uint32_t required_red,
+  // `required_red` are nodes that must hold red pebbles at the end (a
+  // bitmask over node ids; only ids < 64 are representable, which covers
+  // every memory-state game the engines play); `require_sinks_blue` adds
+  // the game's normal stopping condition.
+  StateBound(const Graph& graph, Weight budget, std::uint64_t required_red,
              bool require_sinks_blue);
 
   // Admissible lower bound on the remaining weighted I/O from (red, blue);
-  // kInfiniteCost when no valid completion exists from this state.
+  // kInfiniteCost when no valid completion exists from this state. Packed
+  // fast path, only valid when the graph has at most 32 nodes.
   Weight Evaluate(std::uint32_t red, std::uint32_t blue) const;
+
+  // Reusable closure buffers for the word-span Evaluate. One per calling
+  // thread; sized on first use and never shrunk.
+  struct WideScratch {
+    std::vector<std::uint64_t> need;
+    std::vector<std::uint64_t> frontier;
+    std::vector<std::uint64_t> next;
+  };
+
+  // Word-span Evaluate for graphs of any width: `red` and `blue` each
+  // point at WordsPerColor() words.
+  Weight Evaluate(const std::uint64_t* red, const std::uint64_t* blue,
+                  WideScratch& scratch) const;
 
   // Evaluate at the canonical start state (no red, sources blue): the
   // budget-aware generalization of AlgorithmicLowerBound. Used by the
-  // analysis layer to tighten budget-scan bands.
+  // analysis layer to tighten budget-scan bands and as the anytime
+  // engine's day-zero lower bound.
   Weight StartBound() const;
+
+  // Words per color mask for the word-span overload: ceil(n / 64).
+  std::size_t WordsPerColor() const { return words_; }
 
  private:
   const Graph& graph_;
   Weight budget_;
-  std::uint32_t required_red_;
   bool require_sinks_blue_;
+  std::size_t words_ = 1;
 
+  // Packed masks (graphs of <= 32 nodes; undefined above).
+  std::uint32_t required_red32_ = 0;
   std::uint32_t sources_mask_ = 0;
   std::uint32_t sinks_mask_ = 0;
   // parents_mask_[v]: bitmask of H(v).
   std::uint32_t parents_mask_[32] = {};
+
+  // Word-array masks (any width). Laid out as words_ words per entry;
+  // wide_parents_ holds num_nodes() consecutive masks.
+  std::vector<std::uint64_t> wide_required_red_;
+  std::vector<std::uint64_t> wide_sources_;
+  std::vector<std::uint64_t> wide_sinks_;
+  std::vector<std::uint64_t> wide_parents_;
+
   // Prop 2.3 footprint w_v + sum_{p in H(v)} w_p of each compute.
-  Weight compute_footprint_[32] = {};
+  std::vector<Weight> compute_footprint_;
 };
 
 }  // namespace wrbpg

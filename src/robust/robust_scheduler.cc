@@ -48,6 +48,7 @@ const char* ToString(StageOutcome outcome) {
     case StageOutcome::kInvalid: return "invalid";
     case StageOutcome::kCandidate: return "candidate";
     case StageOutcome::kWinner: return "winner";
+    case StageOutcome::kAnytimeIncumbent: return "anytime-incumbent";
   }
   return "unknown";
 }
@@ -69,15 +70,21 @@ RobustResult RobustScheduler::Run(Weight budget,
     Stage exact;
     exact.name = "exact";
     exact.is_exact = true;
-    if (graph_.num_nodes() > options.exact_max_nodes) {
+    // The bb engine is anytime: under a deadline it always comes back
+    // with an incumbent and a certified gap, so graph size is no reason
+    // to skip it. Only an UNBOUNDED run on a big graph is vetoed — there
+    // the search would burn through max_states before answering.
+    if (graph_.num_nodes() > options.exact_max_nodes && !deadlined) {
       exact.skipped = true;
       exact.skip_detail = "graph has " + std::to_string(graph_.num_nodes()) +
                           " nodes > exact_max_nodes " +
-                          std::to_string(options.exact_max_nodes);
+                          std::to_string(options.exact_max_nodes) +
+                          " and no deadline bounds the search";
     } else {
       exact.engine = [this, budget, &options,
                       threads](const CancelToken* cancel) {
         BruteForceOptions bf;
+        bf.engine = SearchEngine::kBranchAndBound;
         bf.max_states = options.exact_max_states;
         bf.cancel = cancel;
         bf.threads = threads;
@@ -117,7 +124,11 @@ RobustResult RobustScheduler::Run(Weight budget,
   RobustResult out;
   ScheduleResult best;
   std::size_t best_stage = 0;
-  bool exact_won = false;  // an exact answer is optimal; stop the chain
+  bool exact_won = false;  // a PROVEN-optimal answer; stops the chain
+  // Tightest lower bound any completed stage certified (the bb engine
+  // reports one even when interrupted); folded into the final result so
+  // the chain's optimality_gap is sound no matter which stage won.
+  Weight chain_lb = 0;
 
   // The fold: interprets one stage's run in chain order. Both execution
   // modes funnel through these, so the decision procedure (winner, cost,
@@ -145,14 +156,11 @@ RobustResult RobustScheduler::Run(Weight budget,
     report.name = stage.name;
     report.elapsed_ms = elapsed_ms;
     if (result.timed_out) {
+      // The engine was interrupted holding nothing — no incumbent, no
+      // schedule. Its frontier lower bound is still certified, though.
       report.outcome = StageOutcome::kTimedOut;
       report.detail = "cancelled after " + std::to_string(elapsed_ms) + " ms";
-    } else if (result.unsupported) {
-      // The engine refused the instance outright (e.g. the exact search's
-      // 32-node mask width). Not a verdict on feasibility — report it as
-      // skipped so a fallback's answer still wins.
-      report.outcome = StageOutcome::kSkipped;
-      report.detail = "instance outside the engine's representable domain";
+      chain_lb = std::max(chain_lb, result.lower_bound);
     } else if (!result.feasible) {
       report.outcome = StageOutcome::kInfeasible;
     } else {
@@ -164,16 +172,32 @@ RobustResult RobustScheduler::Run(Weight budget,
       } else {
         report.cost = sim.cost;
         result.cost = sim.cost;
+        chain_lb = std::max(chain_lb, result.lower_bound);
+        // An exact-stage result that was interrupted mid-proof is an
+        // anytime incumbent: a valid schedule plus a certified gap, but
+        // not a proven optimum — the chain keeps running and its outcome
+        // label records the weaker claim.
+        const bool proven = result.termination == Termination::kOptimal;
+        const bool is_anytime = stage.is_exact && !proven;
+        if (is_anytime) {
+          report.detail = "anytime incumbent: lb=" +
+                          std::to_string(result.lower_bound) + " gap=" +
+                          std::to_string(result.optimality_gap) +
+                          " termination=" + ToString(result.termination);
+        }
         if (!best.feasible || sim.cost < best.cost) {
-          if (best.feasible) {
+          if (best.feasible &&
+              out.stages[best_stage].outcome == StageOutcome::kWinner) {
             out.stages[best_stage].outcome = StageOutcome::kCandidate;
           }
           best = std::move(result);
           best_stage = out.stages.size();
-          report.outcome = StageOutcome::kWinner;
-          if (stage.is_exact) exact_won = true;
+          report.outcome = is_anytime ? StageOutcome::kAnytimeIncumbent
+                                      : StageOutcome::kWinner;
+          if (stage.is_exact && proven) exact_won = true;
         } else {
-          report.outcome = StageOutcome::kCandidate;
+          report.outcome = is_anytime ? StageOutcome::kAnytimeIncumbent
+                                      : StageOutcome::kCandidate;
         }
       }
     }
@@ -253,13 +277,31 @@ RobustResult RobustScheduler::Run(Weight budget,
   if (best.feasible) {
     out.result = std::move(best);
     out.winner = out.stages[best_stage].name;
+    // Anytime contract: ship the tightest bound any stage certified,
+    // floored at the Prop 2.4 algorithmic bound (heuristic winners carry
+    // only the trivial 0 on their own). A gap that closes to zero here is
+    // a proof of optimality, whichever stage produced the schedule.
+    chain_lb = std::max(chain_lb, AlgorithmicLowerBound(graph_));
+    out.result.lower_bound = std::min(out.result.cost, chain_lb);
+    out.result.optimality_gap = out.result.cost - out.result.lower_bound;
+    if (out.result.optimality_gap == 0) {
+      out.result.termination = Termination::kOptimal;
+    }
     // Provenance counter: which stage's schedule the chain shipped.
     obs::Add(obs::RegisterCounter("robust.winner." + out.winner), 1);
+    if (out.stages[best_stage].outcome == StageOutcome::kAnytimeIncumbent) {
+      static const obs::Counter anytime("robust.winner_anytime");
+      anytime.Add(1);
+    }
   } else {
     static const obs::Counter no_winner("robust.no_winner");
     no_winner.Add(1);
     out.result = ScheduleResult::Infeasible();
     out.result.timed_out = deadlined && remaining_ms() <= 0;
+    if (out.result.timed_out) {
+      out.result.termination = Termination::kDeadline;
+      out.result.lower_bound = chain_lb;
+    }
   }
   return out;
 }

@@ -6,18 +6,25 @@
 // its engines can produce in the time available. RobustScheduler runs a
 // ranked chain of engines
 //
-//   exact (brute-force Dijkstra, small graphs only)
+//   exact (anytime branch-and-bound, any graph size under a deadline)
 //   -> dwt-optimal (Algorithm 1, when the graph is a DWT instance)
 //   -> belady (furthest-next-use heuristic, any CDAG)
 //   -> greedy-topo (Prop 2.3 constructive fallback, always feasible)
 //
 // under a shared deadline: the exact stage gets a configurable slice of
 // the remaining time via a cooperative CancelToken, the polynomial stages
-// run to completion (they are micro- to milliseconds). Every produced
+// run to completion (they are micro- to milliseconds). The exact stage is
+// the bb engine (DESIGN.md §11): interrupted by its deadline slice it
+// returns its incumbent with a certified optimality gap instead of timing
+// out, so even huge graphs get an exact-stage answer — provenance
+// kAnytimeIncumbent — and it is only skipped outright when the graph is
+// past exact_max_nodes AND no deadline bounds the search. Every produced
 // schedule is re-verified through Simulate before it can win. The result
 // carries full provenance — which stage answered, and for every other
 // stage whether it timed out, was infeasible, produced a worse schedule,
-// or was skipped and why.
+// or was skipped and why — and the chain's ScheduleResult reports the
+// tightest lower bound any stage certified (never below the Prop 2.4
+// algorithmic bound), so callers always see a sound optimality_gap.
 #pragma once
 
 #include <string>
@@ -38,6 +45,10 @@ enum class StageOutcome : std::uint8_t {
   kInvalid,      // produced a schedule Simulate rejected (engine bug)
   kCandidate,    // produced a valid schedule, but a better one won
   kWinner,       // produced the returned schedule
+  // The exact stage was interrupted but returned its incumbent with a
+  // certified gap (see detail) — an anytime answer, not a proven optimum,
+  // so the chain keeps running and later stages may still beat it.
+  kAnytimeIncumbent,
 };
 
 const char* ToString(StageOutcome outcome);
@@ -59,8 +70,11 @@ struct RobustOptions {
   // the stage that can actually hang). With no deadline the exact stage
   // is bounded only by exact_max_states.
   double exact_fraction = 0.5;
-  // The exact stage is skipped outright beyond this many nodes (the
-  // Dijkstra state space is 4^n; 32 is the representation's hard limit).
+  // With no deadline, the exact stage is skipped outright beyond this
+  // many nodes (the search state space is exponential in n, and nothing
+  // would bound the run). Under a deadline the node guard is moot — the
+  // bb engine returns its incumbent when the slice expires — so the exact
+  // stage runs at ANY size.
   NodeId exact_max_nodes = 22;
   // State-count safety valve for the exact stage (see BruteForceOptions).
   std::size_t exact_max_states = 20'000'000;

@@ -5,21 +5,25 @@
 #include <bit>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
+#include "core/simulator.h"
 #include "core/state_bound.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "schedulers/belady.h"
+#include "schedulers/greedy_topo.h"
 #include "schedulers/search_frontier.h"
 #include "util/thread_pool.h"
 
 namespace wrbpg {
 namespace {
 
-using State = SearchState;  // red mask | (blue mask << 32)
+using State = SearchState;  // packed config (n <= 32) or interned id
 
 constexpr std::uint32_t RedOf(State s) {
   return static_cast<std::uint32_t>(s & 0xffffffffu);
@@ -58,8 +62,10 @@ struct LevelUpdate {
 
 // How one search pass runs. The engines are compositions of these flags:
 // Dijkstra = {false, true, false}, A* = {true, true, false}, and the
-// dominance engine's cost pass = {true, false, true} (a schedule-wanting
-// dominance run follows up with an A* pass primed at the found optimum).
+// dominance/bb engines' cost pass = {true, false, true} (a
+// schedule-wanting run follows up with an A* pass primed at the found
+// optimum). The bb engine additionally primes the cost pass's bound with
+// its incumbent cost, turning the bound check into incumbent pruning.
 struct PhaseConfig {
   bool use_heuristic = false;
   bool use_len = true;
@@ -67,22 +73,68 @@ struct PhaseConfig {
   Weight prime_bound = kInfiniteCost;  // known upper bound on the optimum
 };
 
-enum class PhaseStatus { kFound, kInfeasible, kTimedOut };
+// Phase outcomes. Everything past kInfeasible is an abort: the phase
+// stopped early and recorded a sound lower bound on the optimum (the
+// minimum f over the still-open frontier) for the anytime result.
+enum class PhaseStatus {
+  kFound,
+  kInfeasible,
+  kDeadline,   // CancelToken with a wall-clock deadline fired
+  kCancelled,  // manual CancelToken::Cancel(), no deadline involved
+  kStateCap,   // BruteForceOptions::max_states exhausted
+  kMemoryCap,  // frontier_bytes_cap (or the interner) exhausted
+};
 
-// One exact search: level-synchronous best-first waves over (f, g, len)
-// keys plus canonical reconstruction. Waves settle in ascending key
-// order; because the state_bound heuristic is admissible but not
-// consistent, a settled state whose g later improves is simply re-queued
-// at its better key and re-expanded (reopening), which the
-// dist-map-ownership check already implements. The first wave holding a
-// goal is still the optimum: any cheaper goal would keep an open
-// optimal-path state at a strictly smaller key (h admissible along that
-// path), contradicting the wave order.
-class Searcher {
+constexpr bool IsAbort(PhaseStatus s) {
+  return s != PhaseStatus::kFound && s != PhaseStatus::kInfeasible;
+}
+
+Termination ToTermination(PhaseStatus s) {
+  switch (s) {
+    case PhaseStatus::kDeadline: return Termination::kDeadline;
+    case PhaseStatus::kCancelled: return Termination::kCancelled;
+    case PhaseStatus::kStateCap:
+    case PhaseStatus::kMemoryCap: return Termination::kMemoryCap;
+    case PhaseStatus::kFound:
+    case PhaseStatus::kInfeasible: break;
+  }
+  return Termination::kComplete;
+}
+
+// Deadline poll cadence inside expansion chunks, in generated moves. A
+// wave over a wide graph can hold millions of states, so polling only at
+// wave boundaries would blow deadlines by seconds; counting moves (a
+// state generates up to 4n of them) keeps the overshoot at microseconds
+// while touching the clock rarely enough not to show in profiles.
+constexpr std::uint32_t kCancelPollMoves = 2048;
+
+// ---------------------------------------------------------------------------
+// State-representation policies. The Searcher below is templated over one
+// of these; they own the game masks and answer every question the search
+// asks about a configuration. PackedOps is the n <= 32 fast path where
+// the SearchState IS the configuration (red | blue << 32) — bit-compatible
+// with the PR 3-5 engines. WideOps stores configurations as word arrays
+// in a StateInterner and hands the search stable ids, which is what lifts
+// the engines past the 32-node wall.
+//
+// The policy vocabulary: a Candidate is a successor/predecessor
+// configuration that may not have an id yet. The search evaluates the
+// heuristic and its pruning rules on the Candidate and only then
+// Commit()s it (packed: identity; wide: intern) — so pruned states never
+// cost interner memory. FindExisting() is Commit's read-only twin for the
+// reconstruction walk, which must not invent states.
+// ---------------------------------------------------------------------------
+
+class PackedOps {
  public:
-  Searcher(const Graph& graph, Weight budget,
-           const BruteForceOptions& options)
-      : graph_(graph), budget_(budget), options_(options) {
+  using Candidate = State;
+  struct Scratch {};  // packed evaluation is allocation-free
+
+  PackedOps(const Graph& graph, Weight budget,
+            const BruteForceOptions& options)
+      : graph_(graph),
+        budget_(budget),
+        require_sinks_blue_(options.require_sinks_blue) {
     const NodeId n = graph.num_nodes();
     parents_mask_.assign(n, 0);
     for (NodeId v = 0; v < n; ++v) {
@@ -91,49 +143,50 @@ class Searcher {
       for (NodeId p : graph.parents(v)) parents_mask_[v] |= 1u << p;
     }
     initial_red_ = static_cast<std::uint32_t>(options.initial_red);
-    initial_blue_ =
-        static_cast<std::uint32_t>(options.initial_blue.value_or(sources_mask_));
+    initial_blue_ = static_cast<std::uint32_t>(
+        options.initial_blue.value_or(sources_mask_));
     required_red_ = static_cast<std::uint32_t>(options.required_red_at_end);
-    start_ = MakeState(initial_red_, initial_blue_);
     if (options.engine != SearchEngine::kDijkstra) {
-      bound_.emplace(graph, budget, required_red_,
+      bound_.emplace(graph, budget, options.required_red_at_end,
                      options.require_sinks_blue);
     }
   }
 
-  ScheduleResult Run(bool want_schedule);
+  State Start() { return MakeState(initial_red_, initial_blue_); }
+  Weight InitialRedWeight() const { return RedWeight(initial_red_); }
 
- private:
   bool IsGoal(State s) const {
     if ((RedOf(s) & required_red_) != required_red_) return false;
-    if (options_.require_sinks_blue &&
-        (BlueOf(s) & sinks_mask_) != sinks_mask_) {
+    if (require_sinks_blue_ && (BlueOf(s) & sinks_mask_) != sinks_mask_) {
       return false;
     }
     return true;
   }
+  bool IsGoalCandidate(const Candidate& c) const { return IsGoal(c); }
 
-  Weight Heuristic(State s) const {
-    return bound_->Evaluate(RedOf(s), BlueOf(s));
+  Weight Heuristic(const Candidate& c, Scratch&) const {
+    return bound_->Evaluate(RedOf(c), BlueOf(c));
+  }
+  Weight HeuristicState(State s, Scratch& scratch) const {
+    return Heuristic(s, scratch);
   }
 
-  Weight RedWeight(std::uint32_t red) const {
-    Weight w = 0;
-    while (red != 0) {
-      const int v = std::countr_zero(red);
-      w += graph_.weight(static_cast<NodeId>(v));
-      red &= red - 1;
-    }
-    return w;
+  bool Commit(const Candidate& c, State* id) {
+    *id = c;
+    return true;
+  }
+  bool FindExisting(const Candidate& c, State* id) const {
+    *id = c;
+    return true;
   }
 
-  // Calls fn(next, move_cost, move) for every legal move out of `s`, in
-  // canonical move order (M1 < M2 < M3 < M4, node ascending); fn returns
-  // true to stop early. The reconstruction walk takes the first tight
-  // on-path edge this enumeration offers, which is what makes the
+  // Calls fn(candidate, move_cost, move) for every legal move out of `s`,
+  // in canonical move order (M1 < M2 < M3 < M4, node ascending); fn
+  // returns true to stop early. The reconstruction walk takes the first
+  // tight on-path edge this enumeration offers, which is what makes the
   // returned sequence the lexicographically-least one.
   template <typename Fn>
-  void ForEachSuccessor(State s, Fn&& fn) const {
+  void ForEachSuccessor(State s, Scratch&, Fn&& fn) const {
     const std::uint32_t red = RedOf(s);
     const std::uint32_t blue = BlueOf(s);
     const Weight rw = RedWeight(red);
@@ -171,31 +224,485 @@ class Searcher {
     }
   }
 
-  PhaseStatus RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
-                       std::size_t threads);
-  void ExpandRange(const std::vector<State>& frontier, std::size_t lo,
-                   std::size_t hi, Key level, const PhaseConfig& cfg,
-                   std::vector<LevelUpdate>& out, SearchStats& stats);
-  void PruneDominated(std::vector<State>& live);
-  Schedule Reconstruct() const;
+  // Calls fn(candidate, move_cost) for every configuration one legal move
+  // BEFORE `s` (the reconstruction walk's backward edges). Enumeration
+  // order is irrelevant here — the walk only marks.
+  template <typename Fn>
+  void ForEachPredecessor(State s, Scratch&, Fn&& fn) const {
+    const std::uint32_t red = RedOf(s);
+    const std::uint32_t blue = BlueOf(s);
+    const NodeId n = graph_.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t bit = 1u << v;
+      const Weight w = graph_.weight(v);
+      // Undo M1: predecessor lacked red v, blue v present throughout.
+      if ((red & bit) != 0 && (blue & bit) != 0) {
+        fn(MakeState(red & ~bit, blue), w);
+      }
+      // Undo M3: predecessor lacked red v and held all parents red.
+      if ((red & bit) != 0 && (sources_mask_ & bit) == 0 &&
+          ((red & ~bit) & parents_mask_[v]) == parents_mask_[v]) {
+        fn(MakeState(red & ~bit, blue), 0);
+      }
+      // Undo M2: predecessor lacked blue v, red v present throughout.
+      if ((blue & bit) != 0 && (red & bit) != 0) {
+        fn(MakeState(red, blue & ~bit), w);
+      }
+      // Undo M4: predecessor held red v.
+      if ((red & bit) == 0) {
+        fn(MakeState(red | bit, blue), 0);
+      }
+    }
+  }
+
+  // Dominance vocabulary (see Searcher::PruneDominated).
+  bool SameRed(State a, State b) const { return RedOf(a) == RedOf(b); }
+  bool BlueSubsetOf(State a, State b) const {
+    return (BlueOf(a) & ~BlueOf(b)) == 0;
+  }
+  bool DominanceLess(State a, State b) const {
+    if (RedOf(a) != RedOf(b)) return RedOf(a) < RedOf(b);
+    const int pa = std::popcount(BlueOf(a));
+    const int pb = std::popcount(BlueOf(b));
+    if (pa != pb) return pa > pb;
+    return BlueOf(a) < BlueOf(b);
+  }
+
+  std::size_t MemoryBytes() const { return 0; }  // states live in the map
+
+ private:
+  Weight RedWeight(std::uint32_t red) const {
+    Weight w = 0;
+    while (red != 0) {
+      const int v = std::countr_zero(red);
+      w += graph_.weight(static_cast<NodeId>(v));
+      red &= red - 1;
+    }
+    return w;
+  }
 
   const Graph& graph_;
   const Weight budget_;
-  const BruteForceOptions& options_;
-
+  bool require_sinks_blue_;
   std::uint32_t sources_mask_ = 0;
   std::uint32_t sinks_mask_ = 0;
   std::vector<std::uint32_t> parents_mask_;
   std::uint32_t initial_red_ = 0;
   std::uint32_t initial_blue_ = 0;
   std::uint32_t required_red_ = 0;
-  State start_ = 0;
   std::optional<StateBound> bound_;
+};
+
+// Word-array states for graphs past the packed fast path. A configuration
+// is 2*W words (red words, then blue words, W = ceil(n/64)); successors
+// are built by toggling one bit in a per-worker scratch buffer, evaluated
+// in place, and interned only if the search keeps them. The initial
+// red/blue/required-red option masks are uint64, so custom pebble
+// placements address nodes 0..63; the defaults (no red, sources blue,
+// sinks-blue goal) are width-independent.
+class WideOps {
+ public:
+  struct Candidate {
+    const std::uint64_t* config;  // 2*W words: red, then blue
+  };
+  struct Scratch {
+    std::vector<std::uint64_t> config;
+    StateBound::WideScratch bound;
+  };
+
+  WideOps(const Graph& graph, Weight budget, const BruteForceOptions& options)
+      : graph_(graph),
+        budget_(budget),
+        require_sinks_blue_(options.require_sinks_blue),
+        words_(WordsFor(graph.num_nodes())),
+        interner_(2 * WordsFor(graph.num_nodes())) {
+    const NodeId n = graph.num_nodes();
+    sources_.assign(words_, 0);
+    sinks_.assign(words_, 0);
+    parents_.assign(words_ * n, 0);
+    required_red_.assign(words_, 0);
+    initial_red_.assign(words_, 0);
+    initial_blue_.assign(words_, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.is_source(v)) SetBit(sources_.data(), v);
+      if (graph.is_sink(v)) SetBit(sinks_.data(), v);
+      for (NodeId p : graph.parents(v)) {
+        SetBit(&parents_[words_ * v], p);
+      }
+    }
+    for (NodeId v = 0; v < 64 && v < n; ++v) {
+      if ((options.initial_red >> v) & 1) SetBit(initial_red_.data(), v);
+      if ((options.required_red_at_end >> v) & 1) {
+        SetBit(required_red_.data(), v);
+      }
+    }
+    if (options.initial_blue.has_value()) {
+      for (NodeId v = 0; v < 64 && v < n; ++v) {
+        if ((*options.initial_blue >> v) & 1) SetBit(initial_blue_.data(), v);
+      }
+    } else {
+      initial_blue_ = sources_;
+    }
+    if (options.engine != SearchEngine::kDijkstra) {
+      bound_.emplace(graph, budget, options.required_red_at_end,
+                     options.require_sinks_blue);
+    }
+  }
+
+  State Start() {
+    std::vector<std::uint64_t> config(2 * words_);
+    std::copy(initial_red_.begin(), initial_red_.end(), config.begin());
+    std::copy(initial_blue_.begin(), initial_blue_.end(),
+              config.begin() + static_cast<std::ptrdiff_t>(words_));
+    State id = 0;
+    const bool ok = interner_.Intern(config.data(), &id);
+    assert(ok);
+    (void)ok;
+    return id;
+  }
+  Weight InitialRedWeight() const { return RedWeight(initial_red_.data()); }
+
+  bool IsGoal(State s) const { return IsGoalWords(interner_.Words(s)); }
+  bool IsGoalCandidate(const Candidate& c) const {
+    return IsGoalWords(c.config);
+  }
+
+  Weight Heuristic(const Candidate& c, Scratch& scratch) const {
+    return bound_->Evaluate(c.config, c.config + words_, scratch.bound);
+  }
+  Weight HeuristicState(State s, Scratch& scratch) const {
+    const std::uint64_t* w = interner_.Words(s);
+    return bound_->Evaluate(w, w + words_, scratch.bound);
+  }
+
+  bool Commit(const Candidate& c, State* id) {
+    return interner_.Intern(c.config, id);
+  }
+  bool FindExisting(const Candidate& c, State* id) const {
+    return interner_.Find(c.config, id);
+  }
+
+  // Successor enumeration, bit-toggled in scratch around each callback so
+  // one 2*W-word copy per state (not per move) suffices. Candidate
+  // pointers are only valid for the duration of the callback. Move order
+  // matches PackedOps exactly — the lex-least reconstruction and the
+  // packed/wide bit-identity both hang on it.
+  template <typename Fn>
+  void ForEachSuccessor(State s, Scratch& scratch, Fn&& fn) const {
+    const std::uint64_t* base = interner_.Words(s);
+    const std::size_t W = words_;
+    scratch.config.assign(base, base + 2 * W);
+    std::uint64_t* red = scratch.config.data();
+    std::uint64_t* blue = red + W;
+    const Weight rw = RedWeight(base);
+    const Candidate c{scratch.config.data()};
+    const NodeId n = graph_.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {  // M1: load from blue
+      const Weight w = graph_.weight(v);
+      if (!TestBit(red, v) && TestBit(blue, v) && rw + w <= budget_) {
+        SetBit(red, v);
+        const bool stop = fn(c, w, Load(v));
+        ClearBit(red, v);
+        if (stop) return;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {  // M2: store to blue
+      if (TestBit(red, v) && !TestBit(blue, v)) {
+        SetBit(blue, v);
+        const bool stop = fn(c, graph_.weight(v), Store(v));
+        ClearBit(blue, v);
+        if (stop) return;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {  // M3: compute when all parents red
+      if (!TestBit(red, v) && !TestBit(sources_.data(), v) &&
+          ParentsRed(red, v) && rw + graph_.weight(v) <= budget_) {
+        SetBit(red, v);
+        const bool stop = fn(c, 0, Compute(v));
+        ClearBit(red, v);
+        if (stop) return;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {  // M4: delete red
+      if (TestBit(red, v)) {
+        ClearBit(red, v);
+        const bool stop = fn(c, 0, Delete(v));
+        SetBit(red, v);
+        if (stop) return;
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachPredecessor(State s, Scratch& scratch, Fn&& fn) const {
+    const std::uint64_t* base = interner_.Words(s);
+    const std::size_t W = words_;
+    scratch.config.assign(base, base + 2 * W);
+    std::uint64_t* red = scratch.config.data();
+    std::uint64_t* blue = red + W;
+    const Candidate c{scratch.config.data()};
+    const NodeId n = graph_.num_nodes();
+    for (NodeId v = 0; v < n; ++v) {
+      const Weight w = graph_.weight(v);
+      if (TestBit(red, v)) {
+        ClearBit(red, v);
+        // Undo M1: predecessor lacked red v, blue v present throughout.
+        if (TestBit(blue, v)) fn(c, w);
+        // Undo M3: predecessor lacked red v and held all parents red.
+        if (!TestBit(sources_.data(), v) && ParentsRed(red, v)) fn(c, 0);
+        SetBit(red, v);
+        // Undo M2: predecessor lacked blue v, red v present throughout.
+        if (TestBit(blue, v)) {
+          ClearBit(blue, v);
+          fn(c, w);
+          SetBit(blue, v);
+        }
+      } else {
+        // Undo M4: predecessor held red v.
+        SetBit(red, v);
+        fn(c, 0);
+        ClearBit(red, v);
+      }
+    }
+  }
+
+  bool SameRed(State a, State b) const {
+    return std::memcmp(interner_.Words(a), interner_.Words(b),
+                       words_ * sizeof(std::uint64_t)) == 0;
+  }
+  bool BlueSubsetOf(State a, State b) const {
+    const std::uint64_t* ba = interner_.Words(a) + words_;
+    const std::uint64_t* bb = interner_.Words(b) + words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((ba[w] & ~bb[w]) != 0) return false;
+    }
+    return true;
+  }
+  // Same order as PackedOps::DominanceLess: red ascending (numeric,
+  // most-significant word first — for W == 1 this IS the packed compare),
+  // blue popcount descending, blue ascending.
+  bool DominanceLess(State a, State b) const {
+    const std::uint64_t* wa = interner_.Words(a);
+    const std::uint64_t* wb = interner_.Words(b);
+    const int red_cmp = CmpWords(wa, wb);
+    if (red_cmp != 0) return red_cmp < 0;
+    const int pa = PopcountWords(wa + words_);
+    const int pb = PopcountWords(wb + words_);
+    if (pa != pb) return pa > pb;
+    return CmpWords(wa + words_, wb + words_) < 0;
+  }
+
+  std::size_t MemoryBytes() const { return interner_.MemoryBytes(); }
+
+ private:
+  static std::size_t WordsFor(NodeId n) {
+    return std::max<std::size_t>(1, (static_cast<std::size_t>(n) + 63) / 64);
+  }
+  static bool TestBit(const std::uint64_t* w, NodeId v) {
+    return (w[v >> 6] >> (v & 63)) & 1;
+  }
+  static void SetBit(std::uint64_t* w, NodeId v) {
+    w[v >> 6] |= 1ull << (v & 63);
+  }
+  static void ClearBit(std::uint64_t* w, NodeId v) {
+    w[v >> 6] &= ~(1ull << (v & 63));
+  }
+  int CmpWords(const std::uint64_t* a, const std::uint64_t* b) const {
+    for (std::size_t w = words_; w-- > 0;) {
+      if (a[w] != b[w]) return a[w] < b[w] ? -1 : 1;
+    }
+    return 0;
+  }
+  int PopcountWords(const std::uint64_t* w) const {
+    int total = 0;
+    for (std::size_t i = 0; i < words_; ++i) total += std::popcount(w[i]);
+    return total;
+  }
+  bool ParentsRed(const std::uint64_t* red, NodeId v) const {
+    const std::uint64_t* pm = &parents_[words_ * v];
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((pm[w] & ~red[w]) != 0) return false;
+    }
+    return true;
+  }
+  bool IsGoalWords(const std::uint64_t* config) const {
+    const std::uint64_t* red = config;
+    const std::uint64_t* blue = config + words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((required_red_[w] & ~red[w]) != 0) return false;
+      if (require_sinks_blue_ && (sinks_[w] & ~blue[w]) != 0) return false;
+    }
+    return true;
+  }
+  Weight RedWeight(const std::uint64_t* red) const {
+    Weight total = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      for (std::uint64_t m = red[w]; m != 0; m &= m - 1) {
+        total += graph_.weight(static_cast<NodeId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(m))));
+      }
+    }
+    return total;
+  }
+
+  const Graph& graph_;
+  const Weight budget_;
+  bool require_sinks_blue_;
+  std::size_t words_;
+  StateInterner interner_;
+  std::vector<std::uint64_t> sources_;
+  std::vector<std::uint64_t> sinks_;
+  std::vector<std::uint64_t> parents_;  // words_ words per node
+  std::vector<std::uint64_t> required_red_;
+  std::vector<std::uint64_t> initial_red_;
+  std::vector<std::uint64_t> initial_blue_;
+  std::optional<StateBound> bound_;
+};
+
+// The bb engine's seed: a valid schedule from the polynomial heuristics,
+// held as the incumbent the search falls back on whenever it is
+// interrupted. Belady first (the stronger heuristic), simulator-checked;
+// greedy-topo is the universal fallback (valid for every budget >=
+// MinValidBudget). Only standard games are seeded — the heuristics don't
+// speak the memory-state dialect (custom initial pebbles / required-red
+// goals), so those games run bb as plain exact search.
+struct Incumbent {
+  Schedule schedule;
+  Weight cost = kInfiniteCost;
+};
+
+std::optional<Incumbent> SeedIncumbent(const Graph& graph, Weight budget,
+                                       const BruteForceOptions& options) {
+  if (options.initial_red != 0 || options.initial_blue.has_value() ||
+      options.required_red_at_end != 0 || !options.require_sinks_blue) {
+    return std::nullopt;
+  }
+  ScheduleResult belady = BeladyScheduler(graph).Run(budget);
+  if (belady.feasible && Simulate(graph, budget, belady.schedule).valid) {
+    return Incumbent{std::move(belady.schedule), belady.cost};
+  }
+  ScheduleResult greedy = GreedyTopoScheduler(graph).Run(budget);
+  if (greedy.feasible && Simulate(graph, budget, greedy.schedule).valid) {
+    return Incumbent{std::move(greedy.schedule), greedy.cost};
+  }
+  return std::nullopt;
+}
+
+// One exact search: level-synchronous best-first waves over (f, g, len)
+// keys plus canonical reconstruction, templated over the state policy.
+// Waves settle in ascending key order; because the state_bound heuristic
+// is admissible but not consistent, a settled state whose g later
+// improves is simply re-queued at its better key and re-expanded
+// (reopening), which the dist-map-ownership check already implements. The
+// first wave holding a goal is still the optimum: any cheaper goal would
+// keep an open optimal-path state at a strictly smaller key (h admissible
+// along that path), contradicting the wave order.
+//
+// Anytime soundness: when a phase aborts, every undiscovered solution
+// still has to leave the settled set through an open state — one whose
+// best-known g was recorded but that was never expanded at it. Such a
+// state sits either in the pending map or in the current (partially
+// expanded) wave, and along an optimal path its f = g + h is at most the
+// optimal cost (h admissible; incumbent pruning only drops f strictly
+// above a valid schedule's cost, dominance only drops states whose
+// completions a kept sibling matches). min(current wave f, pending min f)
+// is therefore a sound lower bound on the optimum at the moment of abort.
+template <typename Ops>
+class Searcher {
+ public:
+  Searcher(const Graph& graph, Weight budget,
+           const BruteForceOptions& options)
+      : budget_(budget), options_(options), ops_(graph, budget, options) {
+    start_ = ops_.Start();
+  }
+
+  ScheduleResult Run(bool want_schedule, const Incumbent* incumbent);
+
+ private:
+  using Scratch = typename Ops::Scratch;
+
+  PhaseStatus RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
+                       std::size_t threads);
+  void ExpandRange(const std::vector<State>& frontier, std::size_t lo,
+                   std::size_t hi, Key level, const PhaseConfig& cfg,
+                   std::vector<LevelUpdate>& out, SearchStats& stats,
+                   Scratch& scratch);
+  void PruneDominated(std::vector<State>& live);
+  Schedule Reconstruct();
+
+  // kDeadline vs kCancelled: the token knows whether it carries a
+  // wall-clock deadline.
+  PhaseStatus CancelStatus() const {
+    if (options_.cancel != nullptr &&
+        options_.cancel->remaining().has_value()) {
+      return PhaseStatus::kDeadline;
+    }
+    return PhaseStatus::kCancelled;
+  }
+
+  // Sound lower bound on the optimum at an abort inside `level`'s wave:
+  // see the class comment. Also records it for the result assembly.
+  PhaseStatus Abort(PhaseStatus status, const Key& level) {
+    abort_lb_ = level.f;
+    if (!pending_.empty()) {
+      abort_lb_ = std::min(abort_lb_, pending_.begin()->first.f);
+    }
+    return status;
+  }
+
+  // Bytes the search containers hold right now; the frontier_bytes_cap
+  // meter. Sampled at wave boundaries only, so it is a pure function of
+  // the wave sequence — memory-cap stops are deterministic at a fixed
+  // thread count.
+  std::size_t FrontierBytes() const {
+    std::size_t bytes = dist_.MemoryBytes() + ops_.MemoryBytes();
+    for (const auto& [key, level] : pending_) {
+      bytes += level.capacity() * sizeof(State);
+    }
+    for (const std::vector<LevelUpdate>& u : chunk_updates_) {
+      bytes += u.capacity() * sizeof(LevelUpdate);
+    }
+    return bytes;
+  }
+
+  // Anytime result assembly: the incumbent plus whatever bound the search
+  // managed to certify before it was interrupted. A gap of zero means the
+  // frontier minimum climbed past the incumbent cost — the incumbent is
+  // proven optimal even though the search never settled a goal.
+  ScheduleResult AnytimeResult(bool want_schedule, const Incumbent& incumbent,
+                               Weight lb, Termination termination) const {
+    ScheduleResult result;
+    result.feasible = true;
+    result.cost = incumbent.cost;
+    if (want_schedule) result.schedule = incumbent.schedule;
+    result.lower_bound = std::min(incumbent.cost, lb);
+    result.optimality_gap = result.cost - result.lower_bound;
+    result.termination = result.optimality_gap == 0 ? Termination::kOptimal
+                                                    : termination;
+    return result;
+  }
+
+  // Abort without an incumbent: the legacy timed-out shape, now carrying
+  // the certified lower bound and the typed stop reason.
+  static ScheduleResult TimedOutResult(PhaseStatus status, Weight lb) {
+    ScheduleResult result;
+    result.timed_out = true;
+    result.lower_bound = lb;
+    result.termination = ToTermination(status);
+    return result;
+  }
+
+  const Weight budget_;
+  const BruteForceOptions& options_;
+  Ops ops_;
+  State start_ = 0;
+  Scratch main_scratch_;  // start heuristic + single-threaded reconstruction
 
   FlatDistMap dist_;
   std::map<Key, std::vector<State>> pending_;
   LevelPool level_pool_;
   std::vector<std::vector<LevelUpdate>> chunk_updates_;
+  std::vector<Scratch> chunk_scratch_;
 
   // Shared best-known goal cost: relaxations that discover a goal lower it
   // (atomically, across all workers), and every relaxation prunes targets
@@ -203,37 +710,49 @@ class Searcher {
   // successor cannot sit on a solution of cost <= bound; only strictly-
   // worse states are dropped, and the distance map below the optimum is
   // undisturbed — timing of the bound updates cannot leak into the result.
+  // The bb engine seeds it with its incumbent cost (PhaseConfig::
+  // prime_bound), which is what makes the incumbent a pruning bound.
   std::atomic<Weight> best_goal_cost_{kInfiniteCost};
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> interner_full_{false};
 
   std::size_t settled_ = 0;  // cumulative across phases (max_states valve)
   SearchStats stats_;        // aggregated across phases
+  Weight abort_lb_ = 0;      // open-frontier bound at the last abort
   Key goal_key_;
   std::vector<State> goal_states_;
 };
 
-void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
-                           std::size_t hi, Key level, const PhaseConfig& cfg,
-                           std::vector<LevelUpdate>& out,
-                           SearchStats& stats) {
+template <typename Ops>
+void Searcher<Ops>::ExpandRange(const std::vector<State>& frontier,
+                                std::size_t lo, std::size_t hi, Key level,
+                                const PhaseConfig& cfg,
+                                std::vector<LevelUpdate>& out,
+                                SearchStats& stats, Scratch& scratch) {
   const CancelToken* cancel = options_.cancel;
+  std::uint32_t moves_since_poll = 0;
   for (std::size_t i = lo; i < hi; ++i) {
-    if ((i - lo) % 256 == 0) {
-      if (cancelled_.load(std::memory_order_relaxed)) return;
-      if (cancel != nullptr && cancel->cancelled()) {
-        cancelled_.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
+    if (cancelled_.load(std::memory_order_relaxed)) return;
     const State s = frontier[i];
-    ForEachSuccessor(s, [&](State next, Weight move_cost, Move) {
+    bool aborted = false;
+    ops_.ForEachSuccessor(s, scratch, [&](const auto& c, Weight move_cost,
+                                          Move) {
       ++stats.generated;
+      if (++moves_since_poll >= kCancelPollMoves) {
+        moves_since_poll = 0;
+        if (cancelled_.load(std::memory_order_relaxed) ||
+            (cancel != nullptr && cancel->cancelled())) {
+          cancelled_.store(true, std::memory_order_relaxed);
+          aborted = true;
+          return true;
+        }
+      }
       const Weight g = level.g + move_cost;
       Weight h = 0;
       if (cfg.use_heuristic) {
-        h = Heuristic(next);
+        h = ops_.Heuristic(c, scratch);
         if (h >= kInfiniteCost) {
-          ++stats.pruned_heuristic;  // no completion exists from `next`
+          ++stats.pruned_heuristic;  // no completion exists from `c`
           return false;
         }
       }
@@ -243,9 +762,15 @@ void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
         return false;
       }
       const std::uint32_t len = cfg.use_len ? level.len + 1 : 0;
+      State next = 0;
+      if (!ops_.Commit(c, &next)) {
+        interner_full_.store(true, std::memory_order_relaxed);
+        aborted = true;
+        return true;
+      }
       if (dist_.TryImprove(next, g, len)) {
         ++stats.improved;
-        if (IsGoal(next)) {
+        if (ops_.IsGoalCandidate(c)) {
           // h(goal) == 0, so f == g here.
           Weight seen = best_goal_cost_.load(std::memory_order_relaxed);
           while (g < seen && !best_goal_cost_.compare_exchange_weak(
@@ -256,6 +781,7 @@ void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
       }
       return false;
     });
+    if (aborted) return;
   }
 }
 
@@ -269,25 +795,20 @@ void Searcher::ExpandRange(const std::vector<State>& frontier, std::size_t lo,
 // tie-break does NOT necessarily survive, which is why this filter only
 // runs in the cost pass (PhaseConfig::use_dominance) and never in a pass
 // that reconstructs a schedule.
-void Searcher::PruneDominated(std::vector<State>& live) {
+template <typename Ops>
+void Searcher<Ops>::PruneDominated(std::vector<State>& live) {
   if (live.size() < 2) return;
   // Sort so that, within a red group, supersets precede subsets: blue
   // popcount descending, then blue ascending for determinism.
-  std::sort(live.begin(), live.end(), [](State a, State b) {
-    if (RedOf(a) != RedOf(b)) return RedOf(a) < RedOf(b);
-    const int pa = std::popcount(BlueOf(a));
-    const int pb = std::popcount(BlueOf(b));
-    if (pa != pb) return pa > pb;
-    return BlueOf(a) < BlueOf(b);
+  std::sort(live.begin(), live.end(), [this](State a, State b) {
+    return ops_.DominanceLess(a, b);
   });
   std::size_t kept = 0;
   for (std::size_t i = 0; i < live.size(); ++i) {
     const State s = live[i];
     bool dominated = false;
-    for (std::size_t j = kept;
-         j > 0 && RedOf(live[j - 1]) == RedOf(s); --j) {
-      const std::uint32_t blue = BlueOf(s);
-      if ((blue & BlueOf(live[j - 1])) == blue) {
+    for (std::size_t j = kept; j > 0 && ops_.SameRed(live[j - 1], s); --j) {
+      if (ops_.BlueSubsetOf(s, live[j - 1])) {
         dominated = true;  // kept sibling holds every blue pebble we do
         break;
       }
@@ -298,14 +819,16 @@ void Searcher::PruneDominated(std::vector<State>& live) {
   live.resize(kept);
 }
 
-PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
-                               std::size_t threads) {
+template <typename Ops>
+PhaseStatus Searcher<Ops>::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
+                                    std::size_t threads) {
   dist_.Reset();
   pending_.clear();
   best_goal_cost_.store(cfg.prime_bound, std::memory_order_relaxed);
   goal_states_.clear();
 
-  const Weight h0 = cfg.use_heuristic ? Heuristic(start_) : 0;
+  const Weight h0 =
+      cfg.use_heuristic ? ops_.HeuristicState(start_, main_scratch_) : 0;
   if (h0 >= kInfiniteCost) return PhaseStatus::kInfeasible;
   dist_.TryImprove(start_, 0, 0);
   pending_[Key{h0, 0, 0}].push_back(start_);
@@ -334,11 +857,11 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
     ++stats_.waves;
 
     if (options_.cancel != nullptr && options_.cancel->cancelled()) {
-      return PhaseStatus::kTimedOut;
+      return Abort(CancelStatus(), level);
     }
 
     for (const State s : live) {
-      if (IsGoal(s)) goal_states_.push_back(s);
+      if (ops_.IsGoal(s)) goal_states_.push_back(s);
     }
     if (!goal_states_.empty()) {
       // Waves settle in ascending (f, g, len) order, so the first wave
@@ -357,7 +880,18 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
       std::fprintf(stderr,
                    "BruteForceScheduler: state limit exceeded (%zu states)\n",
                    options_.max_states);
-      return PhaseStatus::kTimedOut;
+      return Abort(PhaseStatus::kStateCap, level);
+    }
+    const std::size_t bytes = FrontierBytes();
+    stats_.frontier_bytes = std::max<std::uint64_t>(stats_.frontier_bytes,
+                                                    bytes);
+    if (options_.frontier_bytes_cap != 0 &&
+        bytes > options_.frontier_bytes_cap) {
+      std::fprintf(stderr,
+                   "BruteForceScheduler: frontier byte cap exceeded "
+                   "(%zu bytes)\n",
+                   options_.frontier_bytes_cap);
+      return Abort(PhaseStatus::kMemoryCap, level);
     }
 
     if (pool != nullptr && live.size() >= threads * 2) {
@@ -368,6 +902,9 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
       if (chunk_updates_.size() < num_chunks) {
         chunk_updates_.resize(num_chunks);
       }
+      if (chunk_scratch_.size() < num_chunks) {
+        chunk_scratch_.resize(num_chunks);
+      }
       std::vector<SearchStats> chunk_stats(num_chunks);
       TaskGroup group(*pool);
       for (std::size_t c = 0; c < num_chunks; ++c) {
@@ -376,7 +913,7 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
         const std::size_t hi = std::min(lo + chunk, live.size());
         group.Submit([this, &live, lo, hi, level, &cfg, &chunk_stats, c] {
           ExpandRange(live, lo, hi, level, cfg, chunk_updates_[c],
-                      chunk_stats[c]);
+                      chunk_stats[c], chunk_scratch_[c]);
         });
       }
       group.Wait();
@@ -390,24 +927,33 @@ PhaseStatus Searcher::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
       }
     } else {
       if (chunk_updates_.empty()) chunk_updates_.resize(1);
+      if (chunk_scratch_.empty()) chunk_scratch_.resize(1);
       chunk_updates_[0].clear();
       ExpandRange(live, 0, live.size(), level, cfg, chunk_updates_[0],
-                  stats_);
+                  stats_, chunk_scratch_[0]);
       for (const LevelUpdate& u : chunk_updates_[0]) {
         auto [it, inserted] = pending_.try_emplace(u.key);
         if (inserted) it->second = level_pool_.Acquire();
         it->second.push_back(u.state);
       }
     }
+    // Mid-wave aborts stop after the merge above, so the pending map holds
+    // every update the workers managed to record — which is exactly what
+    // the Abort() lower bound wants to scan.
+    if (interner_full_.load(std::memory_order_relaxed)) {
+      return Abort(PhaseStatus::kMemoryCap, level);
+    }
     if (cancelled_.load(std::memory_order_relaxed)) {
-      return PhaseStatus::kTimedOut;
+      return Abort(CancelStatus(), level);
     }
   }
 
   return found ? PhaseStatus::kFound : PhaseStatus::kInfeasible;
 }
 
-ScheduleResult Searcher::Run(bool want_schedule) {
+template <typename Ops>
+ScheduleResult Searcher<Ops>::Run(bool want_schedule,
+                                  const Incumbent* incumbent) {
   // Span label carries the engine, so profiles separate dijkstra waves
   // from informed ones. Recorded per Run (both passes of a two-phase
   // dominance run fall under one span).
@@ -430,6 +976,7 @@ ScheduleResult Searcher::Run(bool want_schedule) {
       static const obs::Counter pruned_heuristic("search.pruned_heuristic");
       static const obs::Counter pruned_dominated("search.pruned_dominated");
       static const obs::Gauge max_frontier("search.max_frontier");
+      static const obs::Gauge frontier_bytes("search.frontier_bytes");
       runs.Add(1);
       expanded.Add(self->stats_.expanded);
       waves.Add(self->stats_.waves);
@@ -439,14 +986,30 @@ ScheduleResult Searcher::Run(bool want_schedule) {
       pruned_heuristic.Add(self->stats_.pruned_heuristic);
       pruned_dominated.Add(self->stats_.pruned_dominated);
       max_frontier.Max(self->stats_.max_frontier);
+      frontier_bytes.Max(self->stats_.frontier_bytes);
     }
   } flush{this};
 
-  if (RedWeight(initial_red_) > budget_) return ScheduleResult::Infeasible();
+  const bool anytime = incumbent != nullptr;  // only the bb engine seeds one
+  const bool informed = options_.engine != SearchEngine::kDijkstra;
+
+  if (ops_.InitialRedWeight() > budget_) return ScheduleResult::Infeasible();
+
+  // h at the start state: the day-zero lower bound every abort falls back
+  // on, and the cheapest infeasibility oracle we have.
+  const Weight h0 = informed ? ops_.HeuristicState(start_, main_scratch_) : 0;
+  if (h0 >= kInfiniteCost) return ScheduleResult::Infeasible();
+
   // Honor tokens that are already expired before any state settles (the
-  // in-loop poll is per wave and would miss them on small graphs).
+  // in-loop polls would miss them on small graphs). The bb engine still
+  // returns its incumbent here — the "never fail to return a schedule"
+  // half of the anytime contract.
   if (options_.cancel != nullptr && options_.cancel->cancelled()) {
-    return ScheduleResult::TimedOut();
+    if (anytime) {
+      return AnytimeResult(want_schedule, *incumbent, h0,
+                           ToTermination(CancelStatus()));
+    }
+    return TimedOutResult(CancelStatus(), h0);
   }
 
   const std::size_t threads = ResolveThreadCount(options_.threads);
@@ -455,21 +1018,42 @@ ScheduleResult Searcher::Run(bool want_schedule) {
   ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
 
   PhaseConfig cfg;
-  cfg.use_heuristic = options_.engine != SearchEngine::kDijkstra;
-  const bool two_phase =
-      options_.engine == SearchEngine::kAStarDominance;
+  cfg.use_heuristic = informed;
+  const bool two_phase = options_.engine == SearchEngine::kAStarDominance ||
+                         options_.engine == SearchEngine::kBranchAndBound;
   if (two_phase) {
     cfg.use_len = false;
     cfg.use_dominance = true;
   }
+  if (anytime) cfg.prime_bound = incumbent->cost;
 
   PhaseStatus status = RunPhase(cfg, pool_ptr, threads);
-  if (status == PhaseStatus::kTimedOut) return ScheduleResult::TimedOut();
-  if (status == PhaseStatus::kInfeasible) return ScheduleResult::Infeasible();
+  if (IsAbort(status)) {
+    const Weight lb = std::max(h0, abort_lb_);
+    if (anytime) {
+      return AnytimeResult(want_schedule, *incumbent, lb,
+                           ToTermination(status));
+    }
+    return TimedOutResult(status, lb);
+  }
+  if (status == PhaseStatus::kInfeasible) {
+    if (anytime) {
+      // Unreachable in practice: the incumbent is a valid schedule, so a
+      // goal with f <= its cost exists and incumbent pruning cannot drop
+      // it. Handled honestly all the same — hand the incumbent back with
+      // the start bound rather than contradicting it.
+      return AnytimeResult(want_schedule, *incumbent, h0,
+                           Termination::kComplete);
+    }
+    return ScheduleResult::Infeasible();
+  }
 
   ScheduleResult result;
   result.feasible = true;
   result.cost = goal_key_.g;
+  result.lower_bound = result.cost;
+  result.optimality_gap = 0;
+  result.termination = Termination::kOptimal;
   if (!want_schedule) return result;
 
   if (two_phase) {
@@ -483,7 +1067,16 @@ ScheduleResult Searcher::Run(bool want_schedule) {
     exact.use_heuristic = true;
     exact.prime_bound = result.cost;
     status = RunPhase(exact, pool_ptr, threads);
-    if (status == PhaseStatus::kTimedOut) return ScheduleResult::TimedOut();
+    if (IsAbort(status)) {
+      // The optimum C* is already proven; only the canonical schedule is
+      // missing. With an incumbent in hand, return it bounded by C*
+      // (often gap zero, i.e. the incumbent was optimal all along).
+      if (anytime) {
+        return AnytimeResult(want_schedule, *incumbent, result.cost,
+                             ToTermination(status));
+      }
+      return TimedOutResult(status, result.cost);
+    }
     assert(status == PhaseStatus::kFound);
     if (status != PhaseStatus::kFound) return ScheduleResult::Infeasible();
     assert(goal_key_.g == result.cost);
@@ -504,9 +1097,11 @@ ScheduleResult Searcher::Run(bool want_schedule) {
 // and thread count (DESIGN.md §9): a state is marked iff it is genuinely
 // reachable at exactly the tight (g, len) — any such state lies on a
 // cost-C* path, every prefix of which has f <= C* by admissibility, so
-// no engine's pruning can have missed it.
-Schedule Searcher::Reconstruct() const {
-  const NodeId n = graph_.num_nodes();
+// no engine's pruning can have missed it. The walk asks the policy for
+// predecessor/successor candidates and resolves them with FindExisting()
+// (never Commit), so reconstruction cannot grow the interned state set.
+template <typename Ops>
+Schedule Searcher<Ops>::Reconstruct() {
   const Weight goal_g = goal_key_.g;
   const std::uint32_t goal_len = goal_key_.len;
 
@@ -523,36 +1118,16 @@ Schedule Searcher::Reconstruct() const {
     if (entry->len == 0) continue;  // the start state has no predecessors
     const Weight s_g = entry->g;
     const std::uint32_t s_len = entry->len;
-    const std::uint32_t red = RedOf(s);
-    const std::uint32_t blue = BlueOf(s);
-    const auto visit_if_tight = [&](State p, Weight move_cost) {
+    ops_.ForEachPredecessor(s, main_scratch_,
+                            [&](const auto& c, Weight move_cost) {
+      State p = 0;
+      if (!ops_.FindExisting(c, &p)) return;
       const FlatDistMap::Entry* pe = dist_.Find(p);
       if (pe != nullptr && pe->g == s_g - move_cost &&
           pe->len == s_len - 1 && marked.insert(p).second) {
         stack.push_back(p);
       }
-    };
-    for (NodeId v = 0; v < n; ++v) {
-      const std::uint32_t bit = 1u << v;
-      const Weight w = graph_.weight(v);
-      // Undo M1: predecessor lacked red v, blue v present throughout.
-      if ((red & bit) != 0 && (blue & bit) != 0) {
-        visit_if_tight(MakeState(red & ~bit, blue), w);
-      }
-      // Undo M3: predecessor lacked red v and held all parents red.
-      if ((red & bit) != 0 && (sources_mask_ & bit) == 0 &&
-          ((red & ~bit) & parents_mask_[v]) == parents_mask_[v]) {
-        visit_if_tight(MakeState(red & ~bit, blue), 0);
-      }
-      // Undo M2: predecessor lacked blue v, red v present throughout.
-      if ((blue & bit) != 0 && (red & bit) != 0) {
-        visit_if_tight(MakeState(red, blue & ~bit), w);
-      }
-      // Undo M4: predecessor held red v.
-      if ((red & bit) == 0) {
-        visit_if_tight(MakeState(red | bit, blue), 0);
-      }
-    }
+    });
   }
   assert(marked.contains(start_));
 
@@ -561,10 +1136,13 @@ Schedule Searcher::Reconstruct() const {
   State s = start_;
   Weight g = 0;
   std::uint32_t len = 0;
-  while (!(g == goal_g && len == goal_len && IsGoal(s))) {
+  while (!(g == goal_g && len == goal_len && ops_.IsGoal(s))) {
     assert(len < goal_len);
     bool advanced = false;
-    ForEachSuccessor(s, [&](State next, Weight move_cost, Move move) {
+    ops_.ForEachSuccessor(s, main_scratch_,
+                          [&](const auto& c, Weight move_cost, Move move) {
+      State next = 0;
+      if (!ops_.FindExisting(c, &next)) return false;
       const FlatDistMap::Entry* d = dist_.Find(next);
       if (d == nullptr || d->g != g + move_cost || d->len != len + 1 ||
           !marked.contains(next)) {
@@ -590,6 +1168,7 @@ const char* ToString(SearchEngine engine) {
     case SearchEngine::kDijkstra: return "dijkstra";
     case SearchEngine::kAStar: return "astar";
     case SearchEngine::kAStarDominance: return "astar+dominance";
+    case SearchEngine::kBranchAndBound: return "bb";
   }
   return "unknown";
 }
@@ -599,13 +1178,39 @@ BruteForceScheduler::BruteForceScheduler(const Graph& graph) : graph_(graph) {}
 ScheduleResult BruteForceScheduler::Search(Weight budget,
                                            const BruteForceOptions& options,
                                            bool want_schedule) const {
-  if (graph_.num_nodes() > 32) {
-    // The engine packs red/blue pebbles into 32-bit masks; wider graphs
-    // are a typed refusal, not UB.
-    if (options.stats != nullptr) *options.stats = SearchStats{};
-    return ScheduleResult::Unsupported();
+  // Route through the packed fast path whenever the whole configuration
+  // fits one 64-bit word; wider graphs (or the differential-testing hook)
+  // take the interned wide representation. Both return bit-identical
+  // results — there is no graph size the engines refuse.
+  const bool wide = graph_.num_nodes() > 32 || options.force_wide_state;
+
+  std::optional<Incumbent> incumbent;
+  if (options.engine == SearchEngine::kBranchAndBound) {
+    incumbent = SeedIncumbent(graph_, budget, options);
   }
-  return Searcher(graph_, budget, options).Run(want_schedule);
+  const Incumbent* inc = incumbent.has_value() ? &*incumbent : nullptr;
+
+  ScheduleResult result =
+      wide ? Searcher<WideOps>(graph_, budget, options).Run(want_schedule, inc)
+           : Searcher<PackedOps>(graph_, budget, options)
+                 .Run(want_schedule, inc);
+
+  if (options.engine == SearchEngine::kBranchAndBound) {
+    static const obs::Counter bb_runs("search.bb.runs");
+    static const obs::Counter bb_optimal("search.bb.optimal");
+    static const obs::Counter bb_anytime("search.bb.anytime");
+    static const obs::Gauge bb_gap("search.bb.gap");
+    bb_runs.Add(1);
+    if (result.termination == Termination::kOptimal) {
+      bb_optimal.Add(1);
+    } else if (result.feasible) {
+      bb_anytime.Add(1);
+    }
+    if (result.feasible) {
+      bb_gap.Max(static_cast<std::uint64_t>(result.optimality_gap));
+    }
+  }
+  return result;
 }
 
 ScheduleResult BruteForceScheduler::Run(Weight budget,

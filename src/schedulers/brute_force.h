@@ -3,10 +3,11 @@
 //
 // Shortest-path search over pebbling configurations (red mask, blue mask)
 // with move costs from Definition 2.2 (M1/M2 cost w_v, M3/M4 free).
-// Exponential in |V|; intended for graphs of at most ~20 nodes, where it
-// certifies the optimality of the polynomial dataflow-specific schedulers.
+// Exponential in |V|; the informed engines certify optima for graphs of a
+// few dozen nodes, and the branch-and-bound engine degrades gracefully on
+// anything larger (see the anytime contract below).
 //
-// Three engines share one searcher (DESIGN.md §9):
+// Four engines share one searcher (DESIGN.md §9/§11):
 //
 //   kDijkstra        — the PR 3 uninformed level-synchronous search, kept
 //                      as the audited baseline for differential tests and
@@ -16,10 +17,10 @@
 //                      (Prop 2.4 generalized per state). h is admissible
 //                      but not consistent, so states reopen when their g
 //                      improves; the first settled goal is still optimal.
-//   kAStarDominance  — the default. Cost is found by an A* pass that
-//                      additionally (a) coalesces zero-cost M3/M4
-//                      closures by dropping the length tier from the
-//                      wave key — all interleavings of a free-move
+//   kAStarDominance  — the exact-mode default. Cost is found by an A*
+//                      pass that additionally (a) coalesces zero-cost
+//                      M3/M4 closures by dropping the length tier from
+//                      the wave key — all interleavings of a free-move
 //                      closure collapse into one wave — and (b) drops a
 //                      wave state when a same-wave state with equal red
 //                      mask and superset blue mask dominates it. When a
@@ -27,6 +28,28 @@
 //                      the now-known optimal cost rebuilds the canonical
 //                      distance map (dominance off, so the lex-least
 //                      tie-break is undisturbed).
+//   kBranchAndBound  — the anytime engine ("bb"). Seeds an incumbent
+//                      schedule from the polynomial heuristics (belady,
+//                      then greedy-topo), primes the dominance engine's
+//                      pruning bound with the incumbent cost, and under
+//                      any deadline, frontier byte budget, or state cap
+//                      returns the incumbent plus a sound optimality gap
+//                      instead of failing. Run to completion it returns
+//                      the same canonical optimum as every other engine.
+//
+// Anytime contract (scheduler.h): every feasible result satisfies
+// lower_bound <= optimal <= cost with optimality_gap == cost -
+// lower_bound, and `termination` records why the engine stopped
+// (optimal / deadline / memory-cap / cancelled). The interrupted lower
+// bound is the minimum f over the open frontier — sound because h is
+// admissible and every undiscovered solution leaves the settled set
+// through an open state.
+//
+// State representation: graphs of at most 32 nodes pack (red, blue) into
+// one 64-bit word (the inline fast path, bit-compatible with the PR 3-5
+// engines); wider graphs intern word-array configurations in a
+// StateInterner and search over the interned ids, so there is NO graph
+// size beyond which the engines refuse to run.
 //
 // Options support the Sec. 4.1 memory-state semantics: arbitrary initial
 // red/blue pebbles and a required final red set, so Eq. (8)'s P_m can be
@@ -34,16 +57,16 @@
 //
 // Determinism contract (DESIGN.md §8/§9): for a given (graph, budget,
 // options) the result is a pure function of the inputs — independent of
-// the thread count AND of the engine. The returned schedule is the
-// canonical optimum: lowest cost, then fewest moves, then the
-// lexicographically-least move sequence under the move order
-// M1 < M2 < M3 < M4, node id ascending. All engines reconstruct from a
-// distance map whose optimal-path entries provably coincide, so
-// `--threads 1` vs `--threads N` and dijkstra vs A* vs A*+dominance all
-// agree bit for bit; differential tests at 1/2/8 threads pin this.
-//
-// Graphs beyond 32 nodes exceed the pebble-mask width and come back as a
-// typed ScheduleResult::Unsupported() — never UB, never an abort.
+// the thread count AND of the engine — for every run that completes
+// (deadline-interrupted results are wall-clock-dependent by nature;
+// memory/state-cap stops are deterministic at a fixed thread count). The
+// returned schedule is the canonical optimum: lowest cost, then fewest
+// moves, then the lexicographically-least move sequence under the move
+// order M1 < M2 < M3 < M4, node id ascending. All engines reconstruct
+// from a distance map whose optimal-path entries provably coincide, so
+// `--threads 1` vs `--threads N` and dijkstra vs A* vs A*+dominance vs
+// bb all agree bit for bit; differential tests at 1/2/8 threads pin this
+// for both the packed and the wide state representation.
 #pragma once
 
 #include <algorithm>
@@ -60,6 +83,7 @@ enum class SearchEngine : std::uint8_t {
   kDijkstra = 0,
   kAStar,
   kAStarDominance,
+  kBranchAndBound,
 };
 
 const char* ToString(SearchEngine engine);
@@ -83,6 +107,10 @@ struct SearchStats {
   // function of (graph, budget, options) like `expanded`/`waves`; merged
   // by max, not sum.
   std::uint64_t max_frontier = 0;
+  // Estimated peak bytes held by the search containers (dist map slabs,
+  // interned states, pending levels), sampled at wave boundaries — what
+  // the frontier_bytes_cap meters. Merged by max.
+  std::uint64_t frontier_bytes = 0;
 
   void Accumulate(const SearchStats& other) {
     expanded += other.expanded;
@@ -93,36 +121,53 @@ struct SearchStats {
     pruned_heuristic += other.pruned_heuristic;
     pruned_dominated += other.pruned_dominated;
     max_frontier = std::max(max_frontier, other.max_frontier);
+    frontier_bytes = std::max(frontier_bytes, other.frontier_bytes);
   }
 };
 
 struct BruteForceOptions {
-  std::uint64_t initial_red = 0;  // bitmask over NodeId
+  std::uint64_t initial_red = 0;  // bitmask over NodeId (ids < 64)
   // Blue pebbles at the start; defaults to the sources A(G).
   std::optional<std::uint64_t> initial_blue;
   // Goal: these nodes must hold red pebbles at the end (memory-state games).
   std::uint64_t required_red_at_end = 0;
   // Goal: all sinks must hold blue pebbles (the game's stopping condition).
   bool require_sinks_blue = true;
-  // Safety valve: give up past this many settled states; the result comes
-  // back with timed_out set instead of aborting the process. Counted
-  // cumulatively across both passes of a two-phase kAStarDominance run.
+  // Safety valve: give up past this many settled states. The bb engine
+  // returns its incumbent with termination == kMemoryCap; the exact
+  // engines come back timed_out. Counted cumulatively across both passes
+  // of a two-phase run.
   std::size_t max_states = 20'000'000;
-  // Cooperative cancellation: polled between search waves and inside
-  // expansion chunks. On expiry the search unwinds with a timed_out
-  // result. The token is threaded through every pool task, so a parallel
-  // search honors deadlines exactly like a sequential one.
+  // Byte budget for the search containers (dist map, interned states,
+  // pending levels), checked at wave boundaries; 0 disables. Exhaustion
+  // is handled exactly like max_states: incumbent-return for bb,
+  // timed_out for the exact engines — never an allocation failure. The
+  // default keeps a runaway wide search under control while being far
+  // above anything the <= 32-node oracles touch.
+  std::size_t frontier_bytes_cap = 4ull << 30;
+  // Cooperative cancellation: polled between search waves and every
+  // few-thousand generated moves inside expansion chunks (move-count
+  // based, so deadlines hold even inside one huge frontier level). On
+  // expiry the bb engine returns its incumbent; the exact engines unwind
+  // with a timed_out result. The token is threaded through every pool
+  // task, so a parallel search honors deadlines exactly like a
+  // sequential one.
   const CancelToken* cancel = nullptr;
   // Worker threads for the frontier expansion. 1 = fully sequential
   // (no pool is created); 0 = DefaultSearchThreads(), the process-wide
   // default installed by --threads / WRBPG_THREADS. Any value returns the
   // identical result — see the determinism contract above.
   std::size_t threads = 0;
-  // Which search engine to run. All three return identical results; they
-  // differ only in how many states they touch on the way (see the
-  // --engine-compare benchmark). The informed engines are never slower
-  // than Dijkstra by more than the O(popcount) heuristic evaluation.
+  // Which search engine to run. All engines return identical results on
+  // runs that complete; they differ only in how many states they touch on
+  // the way (see the --engine-compare benchmark) and in how they behave
+  // when interrupted (only bb holds an incumbent).
   SearchEngine engine = SearchEngine::kAStarDominance;
+  // Testing hook: route a <= 32-node graph through the wide interned-state
+  // representation instead of the packed fast path. Results are
+  // bit-identical (pinned by engine_differential_test); only the
+  // state-plumbing differs.
+  bool force_wide_state = false;
   // When non-null, filled with the search's counters on return
   // (aggregated over both passes of a two-phase run).
   SearchStats* stats = nullptr;

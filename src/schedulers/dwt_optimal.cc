@@ -199,6 +199,11 @@ ScheduleResult DwtOptimalScheduler::Run(Weight budget,
   ScheduleResult result;
   result.feasible = true;
   result.cost = cost;
+  // Algorithm 1 is exact on DWT instances: the cost is the optimum, so
+  // the anytime contract closes with a zero gap.
+  result.lower_bound = cost;
+  result.optimality_gap = 0;
+  result.termination = Termination::kOptimal;
   for (NodeId root : roots_) {
     Generate(root, budget, result.schedule);
     result.schedule.Append(Store(root));

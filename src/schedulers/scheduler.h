@@ -5,6 +5,17 @@
 //   Weight CostOnly(Weight budget)      — cost without materializing moves
 // CostOnly(b) == Run(b).cost for every feasible budget (tested), and both
 // return infeasible/kInfiniteCost when no valid schedule exists under b.
+//
+// Anytime contract (DESIGN.md §11): engines that can run out of time or
+// memory report HOW they stopped (`termination`) and what they can still
+// certify (`lower_bound`): every feasible result satisfies
+//
+//   lower_bound <= optimal cost <= cost,   optimality_gap == cost - lower_bound
+//
+// so a result with optimality_gap == 0 is proven optimal even if the
+// engine was interrupted. Engines that prove optimality (exact search run
+// to completion, the DWT DP) report kOptimal; heuristics report kComplete
+// with the trivial lower bound unless a caller tightens it.
 #pragma once
 
 #include "core/schedule.h"
@@ -12,28 +23,58 @@
 
 namespace wrbpg {
 
+// Why a scheduler stopped. Everything except kComplete/kOptimal means the
+// result is an anytime incumbent: the best schedule the engine could
+// certify before the named resource ran out.
+enum class Termination : std::uint8_t {
+  kComplete = 0,  // ran to its natural end (heuristics; infeasible proofs)
+  kOptimal,       // ran to completion AND the cost is proven optimal
+  kDeadline,      // a CancelToken deadline expired mid-search
+  kMemoryCap,     // frontier byte budget or state safety valve exhausted
+  kCancelled,     // manual CancelToken::Cancel() (no deadline involved)
+};
+
+inline const char* ToString(Termination termination) {
+  switch (termination) {
+    case Termination::kComplete: return "complete";
+    case Termination::kOptimal: return "optimal";
+    case Termination::kDeadline: return "deadline";
+    case Termination::kMemoryCap: return "memory-cap";
+    case Termination::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 struct ScheduleResult {
   bool feasible = false;
   Weight cost = kInfiniteCost;  // Definition 2.2 weighted cost
   Schedule schedule;            // empty when infeasible
-  // The search was cancelled (deadline/stop token or state-limit safety
-  // valve) before it could decide feasibility. Always false when feasible.
+  // The search was cancelled (deadline/stop token or a resource cap)
+  // before it could decide feasibility AND had no incumbent to fall back
+  // on. Always false when feasible: an anytime engine that holds an
+  // incumbent returns it as a feasible result with `termination` telling
+  // the story instead.
   bool timed_out = false;
-  // The instance is outside the engine's representable domain (e.g. more
-  // nodes than the exact search's 32-bit pebble masks). Distinct from
-  // infeasible: the game may well have a solution, this engine just
-  // cannot look for it. Always false when feasible.
-  bool unsupported = false;
+  // Sound lower bound on the optimal cost of this instance. 0 (trivial)
+  // for plain heuristics; exact engines report their best admissible
+  // bound even when interrupted (the minimum f over the open frontier).
+  // kInfiniteCost for proven-infeasible instances.
+  Weight lower_bound = 0;
+  // cost - lower_bound for feasible results (0 == proven optimal);
+  // kInfiniteCost when there is no schedule to measure.
+  Weight optimality_gap = kInfiniteCost;
+  // How the engine stopped (see the anytime contract above).
+  Termination termination = Termination::kComplete;
 
-  static ScheduleResult Infeasible() { return {}; }
+  static ScheduleResult Infeasible() {
+    ScheduleResult r;
+    r.lower_bound = kInfiniteCost;
+    return r;
+  }
   static ScheduleResult TimedOut() {
     ScheduleResult r;
     r.timed_out = true;
-    return r;
-  }
-  static ScheduleResult Unsupported() {
-    ScheduleResult r;
-    r.unsupported = true;
+    r.termination = Termination::kDeadline;
     return r;
   }
 };

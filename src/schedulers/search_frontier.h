@@ -1,7 +1,8 @@
 // Allocation-lean frontier mechanics for the exact search engine
-// (DESIGN.md §9): an open-addressing flat distance map plus pooled wave
-// buffers. The PR 3 engine kept distances in 64 sharded
-// std::unordered_map shards and allocated a fresh std::vector per
+// (DESIGN.md §9/§11): an open-addressing flat distance map, pooled wave
+// buffers, and the wide-state interner that lifts the engine past the
+// 32-node packed-mask fast path. The PR 3 engine kept distances in 64
+// sharded std::unordered_map shards and allocated a fresh std::vector per
 // (key, level) of the pending map — node-by-node heap traffic on the
 // hottest loop in the repo. Here every shard is a flat linear-probe
 // table (one contiguous slab, grown by doubling, never freed mid-search)
@@ -9,7 +10,10 @@
 // allocate nothing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -18,7 +22,12 @@
 
 namespace wrbpg {
 
-// Packed pebbling configuration: red mask | (blue mask << 32).
+// Pebbling configuration handle. Graphs of at most 32 nodes pack the
+// whole configuration inline — red mask | (blue mask << 32) — so the
+// handle IS the state (the fast path). Wider graphs store configurations
+// as word arrays in a StateInterner and the handle is the interned id;
+// either way every frontier container (dist map, pending levels, update
+// buffers) traffics in plain 64-bit values.
 using SearchState = std::uint64_t;
 
 // Concurrent SearchState -> best-known (g, len) map. Sharded so parallel
@@ -87,6 +96,17 @@ class FlatDistMap {
     return total;
   }
 
+  // Bytes held by the slot slabs — the dominant search allocation and the
+  // input to the anytime engine's frontier byte budget. Counts capacity,
+  // not occupancy, because capacity is what the allocator charged us.
+  std::size_t MemoryBytes() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.slots.capacity() * sizeof(Entry);
+    }
+    return total;
+  }
+
  private:
   static constexpr std::size_t kShardCount = 64;  // power of two
   static constexpr std::size_t kInitialCapacity = 256;
@@ -151,6 +171,167 @@ class LevelPool {
 
  private:
   std::vector<std::vector<SearchState>> pool_;
+};
+
+// Deduplicating store for wide pebbling configurations (graphs past the
+// 32-node packed fast path). Each configuration is `words` 64-bit words —
+// red mask words first, blue mask words second — interned once and handed
+// out as a stable SearchState id, so the dist map / pending machinery
+// above runs unchanged on ids.
+//
+// Concurrency contract (mirrors FlatDistMap): Intern() is safe from any
+// pool worker mid-wave; Words() may be called on any id PUBLISHED BEFORE
+// the last wave barrier (the level-synchronous searcher only dereferences
+// states from earlier waves while expanding, and TaskGroup::Wait is the
+// synchronizing edge). Slabs are fixed-size chunks behind an atomic
+// pointer directory, so interning never moves words a reader could hold.
+// Find() (lookup without insert) is only called from the single-threaded
+// reconstruction walk.
+class StateInterner {
+ public:
+  explicit StateInterner(std::size_t words) : words_(words) {}
+
+  // Interns `w` (words_ words) and returns its id; false when the chunk
+  // directory is exhausted (the caller treats it as a memory cap — at
+  // default chunking that is >500M states, far past any byte budget).
+  bool Intern(const std::uint64_t* w, SearchState* id) {
+    const std::uint64_t h = Hash(w);
+    Shard& shard = shards_[ShardIndex(h)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.slots.empty()) shard.slots.assign(kInitialCapacity, 0);
+    std::uint32_t* slot = Probe(shard, h, w);
+    if (*slot != 0) {
+      *id = MakeId(ShardIndex(h), *slot - 1);
+      return true;
+    }
+    const std::uint32_t local = shard.count;
+    const std::size_t chunk = local / kChunkStates;
+    if (chunk >= kMaxChunks) return false;
+    if (shard.chunks[chunk].load(std::memory_order_relaxed) == nullptr) {
+      shard.storage.push_back(
+          std::make_unique<std::uint64_t[]>(kChunkStates * words_));
+      shard.chunks[chunk].store(shard.storage.back().get(),
+                                std::memory_order_release);
+    }
+    std::uint64_t* dst = shard.chunks[chunk].load(std::memory_order_relaxed) +
+                         (local % kChunkStates) * words_;
+    std::memcpy(dst, w, words_ * sizeof(std::uint64_t));
+    ++shard.count;
+    if ((shard.count + 1) * 4 > shard.slots.size() * 3) {
+      Rehash(shard);
+      slot = Probe(shard, h, w);
+    }
+    *slot = local + 1;
+    *id = MakeId(ShardIndex(h), local);
+    return true;
+  }
+
+  // Lookup without insert; used by the reconstruction walk to test
+  // whether a candidate predecessor was ever discovered.
+  bool Find(const std::uint64_t* w, SearchState* id) const {
+    const std::uint64_t h = Hash(w);
+    const Shard& shard = shards_[ShardIndex(h)];
+    if (shard.slots.empty()) return false;
+    std::size_t i = static_cast<std::size_t>(h ^ (h >> 31)) &
+                    (shard.slots.size() - 1);
+    while (shard.slots[i] != 0) {
+      if (Equal(WordsIn(shard, shard.slots[i] - 1), w)) {
+        *id = MakeId(ShardIndex(h), shard.slots[i] - 1);
+        return true;
+      }
+      i = (i + 1) & (shard.slots.size() - 1);
+    }
+    return false;
+  }
+
+  // The words of an interned id (red words, then blue words).
+  const std::uint64_t* Words(SearchState id) const {
+    const Shard& shard = shards_[id & (kShardCount - 1)];
+    const std::uint32_t local = static_cast<std::uint32_t>(id >> kShardBits);
+    return shard.chunks[local / kChunkStates].load(
+               std::memory_order_acquire) +
+           (local % kChunkStates) * words_;
+  }
+
+  std::size_t words() const { return words_; }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.count;
+    return total;
+  }
+
+  std::size_t MemoryBytes() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.storage.size() * kChunkStates * words_ *
+                   sizeof(std::uint64_t) +
+               shard.slots.capacity() * sizeof(std::uint32_t);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShardBits = 6;
+  static constexpr std::size_t kShardCount = 1u << kShardBits;
+  static constexpr std::size_t kInitialCapacity = 1024;
+  static constexpr std::size_t kChunkStates = 4096;
+  static constexpr std::size_t kMaxChunks = 2048;
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::uint32_t> slots;  // local id + 1; 0 == empty
+    std::uint32_t count = 0;
+    std::vector<std::unique_ptr<std::uint64_t[]>> storage;
+    std::atomic<std::uint64_t*> chunks[kMaxChunks] = {};
+  };
+
+  static std::size_t ShardIndex(std::uint64_t h) {
+    return (h >> 58) & (kShardCount - 1);
+  }
+  static SearchState MakeId(std::size_t shard, std::uint32_t local) {
+    return (static_cast<SearchState>(local) << kShardBits) |
+           static_cast<SearchState>(shard);
+  }
+  std::uint64_t Hash(const std::uint64_t* w) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < words_; ++i) {
+      h ^= w[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ull;
+    }
+    return h;
+  }
+  bool Equal(const std::uint64_t* a, const std::uint64_t* b) const {
+    return std::memcmp(a, b, words_ * sizeof(std::uint64_t)) == 0;
+  }
+  const std::uint64_t* WordsIn(const Shard& shard,
+                               std::uint32_t local) const {
+    return shard.chunks[local / kChunkStates].load(
+               std::memory_order_relaxed) +
+           (local % kChunkStates) * words_;
+  }
+  std::uint32_t* Probe(Shard& shard, std::uint64_t h,
+                       const std::uint64_t* w) {
+    std::size_t i = static_cast<std::size_t>(h ^ (h >> 31)) &
+                    (shard.slots.size() - 1);
+    while (shard.slots[i] != 0 &&
+           !Equal(WordsIn(shard, shard.slots[i] - 1), w)) {
+      i = (i + 1) & (shard.slots.size() - 1);
+    }
+    return &shard.slots[i];
+  }
+  void Rehash(Shard& shard) {
+    std::vector<std::uint32_t> old = std::exchange(
+        shard.slots, std::vector<std::uint32_t>(shard.slots.size() * 2, 0));
+    for (const std::uint32_t local_plus_1 : old) {
+      if (local_plus_1 == 0) continue;
+      const std::uint64_t* w = WordsIn(shard, local_plus_1 - 1);
+      *Probe(shard, Hash(w), w) = local_plus_1;
+    }
+  }
+
+  std::size_t words_;
+  Shard shards_[kShardCount];
 };
 
 }  // namespace wrbpg

@@ -159,30 +159,36 @@ TEST(BruteForce, InitialRedBeyondBudgetInfeasible) {
   EXPECT_FALSE(sched.Run(3, options).feasible);
 }
 
-// Graphs beyond the 32-node pebble-mask width come back as a typed
-// `unsupported` result — distinct from infeasibility, never UB or an
-// abort — and CostOnly mirrors it as an infinite cost with zeroed stats.
-TEST(BruteForce, GraphBeyond32NodesIsTypedUnsupported) {
+// Graphs beyond the 32-node packed-mask width route through the wide
+// interned-state representation and solve exactly — there is no size at
+// which the engines refuse to run. A 33-node unit chain (budget 3, so
+// the search stays polynomial-sized) costs exactly load-source +
+// store-sink = 2.
+TEST(BruteForce, GraphBeyond32NodesSolvesExactly) {
   const Graph g = MakeChain(33, 1);
   BruteForceScheduler sched(g);
-  SearchStats stats;
-  stats.expanded = 123;  // must be overwritten, not left stale
-  BruteForceOptions options;
-  options.stats = &stats;
-  const ScheduleResult result = sched.Run(1'000'000, options);
-  EXPECT_FALSE(result.feasible);
-  EXPECT_TRUE(result.unsupported);
-  EXPECT_FALSE(result.timed_out);
-  EXPECT_TRUE(result.schedule.empty());
-  EXPECT_EQ(stats.expanded, 0u);
-  EXPECT_GE(sched.CostOnly(1'000'000), kInfiniteCost);
+  const ScheduleResult result = sched.Run(3);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.cost, AlgorithmicLowerBound(g));
+  EXPECT_EQ(result.cost, 2);
+  EXPECT_EQ(result.optimality_gap, 0);
+  EXPECT_EQ(result.termination, Termination::kOptimal);
+  const SimResult sim = testing::ExpectValid(g, 3, result.schedule);
+  EXPECT_EQ(sim.cost, result.cost);
+  EXPECT_EQ(sched.CostOnly(3), result.cost);
 }
 
-TEST(BruteForce, SupportedInstancesAreNotMarkedUnsupported) {
-  const Graph g = MakeChain(5, 2);
-  EXPECT_FALSE(BruteForceScheduler(g).Run(100).unsupported);
-  // Infeasibility is a verdict about the instance, not a refusal.
-  EXPECT_FALSE(BruteForceScheduler(g).Run(1).unsupported);
+// The wide path at a pinching budget: the chain must slide one window of
+// two unit nodes at a time, and infeasibility below that is a verdict
+// about the instance, not a refusal.
+TEST(BruteForce, GraphBeyond32NodesTightBudget) {
+  const Graph g = MakeChain(34, 1);
+  BruteForceScheduler sched(g);
+  const ScheduleResult result = sched.Run(2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.cost, 2);
+  testing::ExpectValid(g, 2, result.schedule);
+  EXPECT_FALSE(sched.Run(1).feasible);
 }
 
 }  // namespace

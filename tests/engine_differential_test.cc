@@ -1,9 +1,11 @@
 // Differential tests for the DESIGN.md §9 engine-independence contract:
-// dijkstra, astar, and astar+dominance return BIT-IDENTICAL results —
+// dijkstra, astar, astar+dominance, and bb return BIT-IDENTICAL results —
 // same feasibility, same cost, same canonical move sequence — at every
-// thread count. The informed engines prune and reorder the search, but
-// they reconstruct from a distance map whose optimal-path entries
-// provably coincide with the uninformed one.
+// thread count AND through either state representation (the packed
+// 64-bit fast path or the wide interned one, force_wide_state). The
+// informed engines prune and reorder the search, but they reconstruct
+// from a distance map whose optimal-path entries provably coincide with
+// the uninformed one.
 //
 // Coverage mirrors parallel_determinism_test.cc: four graph families at
 // several budgets (each engine at 1/2/8 threads against the dijkstra
@@ -36,13 +38,13 @@ using testing::MakeDiamond;
 
 constexpr SearchEngine kAllEngines[] = {SearchEngine::kDijkstra,
                                         SearchEngine::kAStar,
-                                        SearchEngine::kAStarDominance};
+                                        SearchEngine::kAStarDominance,
+                                        SearchEngine::kBranchAndBound};
 
 void ExpectIdentical(const ScheduleResult& ref, const ScheduleResult& got,
                      const std::string& label) {
   EXPECT_EQ(ref.feasible, got.feasible) << label;
   EXPECT_EQ(ref.timed_out, got.timed_out) << label;
-  EXPECT_EQ(ref.unsupported, got.unsupported) << label;
   EXPECT_EQ(ref.cost, got.cost) << label;
   EXPECT_TRUE(ref.schedule == got.schedule)
       << label << ": schedules differ\nref:\n"
@@ -60,19 +62,38 @@ void ExpectEnginesAgree(const Graph& graph, Weight budget,
   options.engine = SearchEngine::kDijkstra;
   options.threads = 1;
   const ScheduleResult ref = scheduler.Run(budget, options);
+  // A completed exact run certifies its own optimality: the anytime
+  // contract fields must close the gap no matter which engine ran.
+  if (ref.feasible) {
+    EXPECT_EQ(ref.lower_bound, ref.cost) << label;
+    EXPECT_EQ(ref.optimality_gap, 0) << label;
+    EXPECT_EQ(ref.termination, Termination::kOptimal) << label;
+  }
   for (const SearchEngine engine : kAllEngines) {
-    for (const std::size_t threads : {1u, 2u, 8u}) {
-      if (engine == SearchEngine::kDijkstra && threads == 1) continue;
-      options.engine = engine;
-      options.threads = threads;
-      const ScheduleResult got = scheduler.Run(budget, options);
-      ExpectIdentical(ref, got,
-                      label + " engine=" + ToString(engine) +
-                          " threads=" + std::to_string(threads));
+    for (const bool force_wide : {false, true}) {
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        if (engine == SearchEngine::kDijkstra && threads == 1 &&
+            !force_wide) {
+          continue;
+        }
+        options.engine = engine;
+        options.threads = threads;
+        options.force_wide_state = force_wide;
+        const ScheduleResult got = scheduler.Run(budget, options);
+        ExpectIdentical(ref, got,
+                        label + " engine=" + ToString(engine) +
+                            " threads=" + std::to_string(threads) +
+                            (force_wide ? " wide" : " packed"));
+        if (got.feasible) {
+          EXPECT_EQ(got.lower_bound, ref.cost) << label;
+          EXPECT_EQ(got.termination, Termination::kOptimal) << label;
+        }
+      }
     }
     // CostOnly must agree with the full run's cost as well.
     options.engine = engine;
     options.threads = 1;
+    options.force_wide_state = false;
     const Weight cost = scheduler.CostOnly(budget, options);
     if (ref.feasible) {
       EXPECT_EQ(cost, ref.cost) << label << " engine=" << ToString(engine);
@@ -234,7 +255,8 @@ TEST(EngineDifferential, FaultInjectorDerivedCases) {
       options.threads = 1;
       const ScheduleResult ref = scheduler.Run(fault.budget, options);
       for (const SearchEngine engine :
-           {SearchEngine::kAStar, SearchEngine::kAStarDominance}) {
+           {SearchEngine::kAStar, SearchEngine::kAStarDominance,
+            SearchEngine::kBranchAndBound}) {
         for (const std::size_t threads : {1u, 8u}) {
           options.engine = engine;
           options.threads = threads;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/state_bound.h"
@@ -159,6 +160,56 @@ TEST(StateBound, DetectsOverweightComputeAsDead) {
   // Budget below w4 + w2 + w3 = 12: the sink's compute can never fire.
   const StateBound bound(graph, 11, 0, true);
   EXPECT_GE(bound.Evaluate(0, sources), kInfiniteCost);
+}
+
+// The word-span Evaluate overload (the >32-node wide path) must agree
+// with the packed one bit for bit wherever both are defined. Random
+// (red, blue) pairs over several <= 32-node graphs pin the differential.
+TEST(StateBound, WideEvaluateMatchesPackedOnRandomPairs) {
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"diamond", MakeDiamond({2, 3, 1, 2, 4})});
+  cases.push_back({"chain5", MakeChain(5, 2)});
+  cases.push_back({"dwt(4,2)", BuildDwt(4, 2).graph});
+  cases.push_back({"butterfly(4)", BuildButterfly(4).graph});
+
+  Rng rng(0x51deb0u);
+  for (const Case& c : cases) {
+    const NodeId n = c.graph.num_nodes();
+    const std::uint32_t mask =
+        (n >= 32 ? ~0u : (1u << n) - 1u);
+    for (const Weight budget :
+         {MinValidBudget(c.graph), MinValidBudget(c.graph) + 3}) {
+      const StateBound bound(c.graph, budget, /*required_red=*/0,
+                             /*require_sinks_blue=*/true);
+      StateBound::WideScratch scratch;
+      for (int i = 0; i < 500; ++i) {
+        const std::uint32_t red =
+            static_cast<std::uint32_t>(rng.Next()) & mask;
+        const std::uint32_t blue =
+            static_cast<std::uint32_t>(rng.Next()) & mask;
+        const std::uint64_t wide_red[1] = {red};
+        const std::uint64_t wide_blue[1] = {blue};
+        EXPECT_EQ(bound.Evaluate(red, blue),
+                  bound.Evaluate(wide_red, wide_blue, scratch))
+            << c.name << " budget=" << budget << " red=" << red
+            << " blue=" << blue;
+      }
+    }
+  }
+}
+
+// Past 32 nodes only the wide path exists; StartBound must still
+// reproduce Proposition 2.4 (and flag a sub-footprint budget as dead).
+TEST(StateBound, StartBoundBeyond32Nodes) {
+  const Graph graph = MakeChain(40, 2);
+  const StateBound bound(graph, MinValidBudget(graph) + 2, 0, true);
+  EXPECT_EQ(bound.StartBound(), AlgorithmicLowerBound(graph));
+  const StateBound starved(graph, 1, 0, true);
+  EXPECT_GE(starved.StartBound(), kInfiniteCost);
 }
 
 // required_red feeds the need closure even when every sink is stored.
