@@ -27,14 +27,28 @@
 // `bench_scheduler_perf --anytime-sweep [--quick] [--json <path>]` runs
 // the bb anytime engine (DESIGN.md §11) under a grid of deadlines on a
 // 64-node random DAG — past the exact engines' practical reach — and a
-// DWT instance. Every returned schedule is replayed through the
-// simulator, and every row must satisfy the anytime contract
+// DWT instance. The search root is primed with the best ganalysis bound
+// certificate (ganalysis/bounds.h), so interrupted rows report the
+// certificate-tightened lower bound (the cert_lb column); schedules are
+// bit-identical with or without it. Every returned schedule is replayed
+// through the simulator, and every row must satisfy the anytime contract
 // (lower_bound <= cost, gap == cost - lower_bound, gap finite). The
 // table is written as JSON (default BENCH_anytime.json); exit 1 if any
 // schedule is invalid or any gap unsound.
+//
+// `bench_scheduler_perf --bound-compare [--json <path>]` tables the three
+// start-state lower bounds (Prop 2.4 algorithmic / wavefront / segment,
+// DESIGN.md §12) across the builtin families at a band of budgets,
+// re-verifies every certificate witness, and cross-checks against the
+// closed-form DP optimum where one exists (certificates must never
+// exceed it). The paper-budget acceptance rows — dwt(16,2) and kary(2,4)
+// at their minimum valid budgets — must show the budget-aware bounds
+// STRICTLY dominating the algorithmic bound. JSON to BENCH_bounds.json;
+// exit 1 on any verification failure, unsound bound, or lost dominance.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -45,10 +59,12 @@
 #include "bench/bench_util.h"
 #include "core/analysis.h"
 #include "core/simulator.h"
+#include "dataflows/butterfly_graph.h"
 #include "dataflows/dwt_graph.h"
 #include "dataflows/mvm_graph.h"
 #include "dataflows/random_dag.h"
 #include "dataflows/tree_graph.h"
+#include "ganalysis/bounds.h"
 #include "obs/report.h"
 #include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
@@ -531,6 +547,7 @@ struct AnytimeRow {
   double deadline_ms = 0;  // 0 = unbounded
   double time_ms = 0;
   Weight cost = kInfiniteCost;
+  Weight cert_lb = 0;  // certified root bound primed into the search
   Weight lower_bound = 0;
   Weight gap = kInfiniteCost;
   std::string termination;
@@ -540,7 +557,8 @@ struct AnytimeRow {
 void PrintAnytimeHeader() {
   std::cout << std::left << std::setw(22) << "instance" << std::right
             << std::setw(12) << "deadline_ms" << std::setw(10) << "time_ms"
-            << std::setw(9) << "cost" << std::setw(9) << "lb" << std::setw(9)
+            << std::setw(9) << "cost" << std::setw(9) << "cert_lb"
+            << std::setw(9) << "lb" << std::setw(9)
             << "gap" << std::left << "  " << std::setw(12) << "termination"
             << std::right << std::setw(7) << "valid" << "\n";
 }
@@ -550,6 +568,7 @@ void PrintAnytimeRow(const AnytimeRow& row) {
             << std::setw(12) << std::fixed << std::setprecision(0)
             << row.deadline_ms << std::setw(10) << std::setprecision(1)
             << row.time_ms << std::setw(9) << row.cost << std::setw(9)
+            << row.cert_lb << std::setw(9)
             << row.lower_bound << std::setw(9) << row.gap << std::left
             << "  " << std::setw(12) << row.termination << std::right
             << std::setw(7) << (row.valid ? "yes" : "NO") << "\n";
@@ -597,9 +616,15 @@ int RunAnytimeSweep(const CliArgs& args) {
   PrintAnytimeHeader();
   for (const Instance& instance : instances) {
     const BruteForceScheduler scheduler(instance.graph);
+    // The certified start-state bound (ganalysis): primed into the search
+    // root, it tightens the reported gap of interrupted runs without
+    // touching the expansion order or the schedule (brute_force.h).
+    const Weight cert_lb =
+        BestCertifiedBound(instance.graph, instance.budget);
     for (double deadline_ms : deadlines) {
       BruteForceOptions options;
       options.engine = SearchEngine::kBranchAndBound;
+      options.root_lower_bound = cert_lb;
       const CancelToken token = CancelToken::WithDeadlineMs(deadline_ms);
       options.cancel = &token;
       const SweepClock::time_point start = SweepClock::now();
@@ -609,6 +634,7 @@ int RunAnytimeSweep(const CliArgs& args) {
       row.instance = instance.name;
       row.deadline_ms = deadline_ms;
       row.time_ms = ElapsedMs(start);
+      row.cert_lb = cert_lb;
       if (result.feasible) {
         const SimResult sim =
             Simulate(instance.graph, instance.budget, result.schedule);
@@ -644,6 +670,7 @@ int RunAnytimeSweep(const CliArgs& args) {
       r.Set("deadline_ms", row.deadline_ms);
       r.Set("time_ms", row.time_ms);
       r.Set("cost", row.cost);
+      r.Set("cert_lb", row.cert_lb);
       r.Set("lower_bound", row.lower_bound);
       r.Set("gap", row.gap);
       r.Set("termination", row.termination);
@@ -670,6 +697,146 @@ int RunAnytimeSweep(const CliArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --bound-compare: Prop 2.4 vs the budget-aware certificates (DESIGN.md
+// §12) across the builtin families, with witness re-verification and a
+// DP-optimum soundness cross-check.
+// ---------------------------------------------------------------------------
+
+int RunBoundCompare(const CliArgs& args) {
+  const std::string json_path = args.GetString("json", "BENCH_bounds.json");
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+
+  struct Instance {
+    std::string name;
+    Graph graph;
+    // Closed-form DP optimum at a given budget; kInfiniteCost = unknown.
+    std::function<Weight(Weight)> optimum;
+    bool acceptance = false;  // must show strict dominance at min budget
+  };
+  std::vector<Instance> instances;
+  {
+    const DwtGraph dwt = BuildDwt(16, 2, PrecisionConfig::Equal());
+    const Graph& g = dwt.graph;
+    instances.push_back(
+        {"dwt(16,2)", g,
+         [dwt](Weight b) { return DwtOptimalScheduler(dwt).CostOnly(b); },
+         true});
+  }
+  {
+    const TreeGraph tree = BuildPerfectTree(2, 4);
+    Graph g = tree.graph;
+    instances.push_back(
+        {"kary(2,4)", g,
+         [g](Weight b) { return KaryTreeScheduler(g).CostOnly(b); }, true});
+  }
+  instances.push_back({"butterfly(8)", BuildButterfly(8).graph, nullptr,
+                       false});
+  instances.push_back({"mvm(4,4)", BuildMvm(4, 4).graph, nullptr, false});
+  {
+    Rng rng(42);
+    RandomDagOptions options;
+    options.num_layers = 6;
+    options.nodes_per_layer = 5;
+    instances.push_back({"random(6x5,seed42)", BuildRandomDag(rng, options),
+                         nullptr, false});
+  }
+
+  std::cout << std::left << std::setw(20) << "instance" << std::right
+            << std::setw(8) << "budget" << std::setw(8) << "alb"
+            << std::setw(11) << "wavefront" << std::setw(9) << "segment"
+            << std::setw(9) << "optimum" << std::left << "  verdict\n";
+
+  bool ok = true;
+  obs::Json rows = obs::Json::Array();
+  for (const Instance& instance : instances) {
+    const Weight min_budget = MinValidBudget(instance.graph);
+    for (const Weight budget :
+         {min_budget, min_budget + 2, min_budget + 16}) {
+      const std::vector<BoundCertificate> certs =
+          ComputeBoundCertificates(instance.graph, budget);
+      Weight values[3] = {0, 0, 0};
+      bool verified = true;
+      for (std::size_t i = 0; i < certs.size(); ++i) {
+        values[i] = certs[i].value;
+        const CertificateCheck check =
+            VerifyCertificate(instance.graph, certs[i]);
+        if (!check.ok) {
+          std::cerr << "FAIL: " << instance.name << " @" << budget << " "
+                    << ToString(certs[i].kind)
+                    << " witness rejected: " << check.error << "\n";
+          verified = false;
+        }
+      }
+      const Weight alb = values[0];
+      const Weight best = std::max({values[0], values[1], values[2]});
+      const Weight optimum =
+          instance.optimum ? instance.optimum(budget) : kInfiniteCost;
+      // Soundness: a certificate may never exceed the DP optimum.
+      const bool sound = optimum >= kInfiniteCost || best <= optimum;
+      // Acceptance rows: the budget-aware bounds must STRICTLY dominate
+      // Prop 2.4 at the paper's minimum valid budget.
+      const bool needs_dominance =
+          instance.acceptance && budget == min_budget;
+      const bool dominates = best > alb;
+      const bool row_ok =
+          verified && sound && (!needs_dominance || dominates);
+      ok = ok && row_ok;
+
+      std::string verdict = row_ok ? "ok" : "FAIL";
+      if (row_ok && dominates) {
+        verdict += " (+" + std::to_string(best - alb) + ")";
+      }
+      if (row_ok && optimum < kInfiniteCost && best == optimum) {
+        verdict += " tight";
+      }
+      std::cout << std::left << std::setw(20) << instance.name << std::right
+                << std::setw(8) << budget << std::setw(8) << alb
+                << std::setw(11) << values[1] << std::setw(9) << values[2]
+                << std::setw(9)
+                << (optimum < kInfiniteCost ? std::to_string(optimum)
+                                            : std::string("-"))
+                << std::left << "  " << verdict << "\n";
+
+      obs::Json row = obs::Json::Object();
+      row.Set("instance", instance.name);
+      row.Set("budget", budget);
+      row.Set("algorithmic", alb);
+      row.Set("wavefront", values[1]);
+      row.Set("segment", values[2]);
+      row.Set("best", best);
+      if (optimum < kInfiniteCost) row.Set("optimum", optimum);
+      row.Set("verified", verified);
+      row.Set("dominates", dominates);
+      rows.Push(std::move(row));
+    }
+  }
+
+  if (!json_path.empty()) {
+    obs::Json doc = obs::ObsDocument("bound-compare");
+    doc.Set("rows", std::move(rows));
+    doc.Set("all_ok", ok);
+    std::string error;
+    if (!obs::WriteJsonFile(json_path, doc, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    std::cout << "  [json] " << json_path << "\n";
+  }
+
+  if (!ok) {
+    std::cerr << "FAIL: a certificate failed verification, exceeded the DP "
+                 "optimum, or lost strict dominance on a paper instance\n";
+    return 1;
+  }
+  std::cout << "every witness re-verified; budget-aware bounds strictly "
+               "dominate Prop 2.4 on the paper instances\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace wrbpg
 
@@ -686,6 +853,10 @@ int main(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--anytime-sweep") {
       const wrbpg::CliArgs args(argc, argv);
       return wrbpg::RunAnytimeSweep(args);
+    }
+    if (std::string_view(argv[i]) == "--bound-compare") {
+      const wrbpg::CliArgs args(argc, argv);
+      return wrbpg::RunBoundCompare(args);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -39,15 +39,30 @@
 //       when the graph is a builtin, the robust fallback chain) and print
 //       the observability report: timing-span tree, counters, gauges.
 //       Defaults the budget to MinValidBudget + 2 so every stage has work.
+//   wrbpg_cli analyze <graph> [--budget <bits>] [--json]
+//       run the static graph analyzer (DESIGN.md §12): canonical hash and
+//       verified vertex orbits, closed-form family recognition, and the
+//       budget-aware I/O lower-bound certificates with their re-verified
+//       witnesses. Defaults the budget to MinValidBudget. --json emits
+//       the wrbpg-ganalysis-v1 document instead of the text report.
 //   wrbpg_cli dot <graph>
 //       Graphviz rendering of the dataflow.
 //
 // <graph> is either a path to a core/serialize.h text file or a builtin
-// generator spec — "dwt:N,D" for DWT(N, D) (Definition 3.1),
-// "kary:K,LEVELS" for the perfect k-ary tree (Definition 3.6), or
+// generator spec (dataflows/builtin_spec.h) — "dwt:N,D" for DWT(N, D)
+// (Definition 3.1), "kary:K,LEVELS" for the perfect k-ary tree
+// (Definition 3.6), "mvm:M,N" for MVM(M, N) (Definition 4.1),
+// "butterfly:K" for the radix-2 butterfly on K inputs, or
 // "random:LAYERS,WIDTH,SEED" for a seeded random layered CDAG
 // (dataflows/random_dag.h) — so CI and quick experiments need no graph
 // files on disk.
+//
+// `schedule` additionally accepts --orbit-prune with --engine: the
+// searcher skips the root loads of orbit-equivalent sources (verified
+// automorphisms, ganalysis/canonical.h), which shrinks the root fanout
+// without changing the answer — the canonical optimal schedule's first
+// move is its orbit representative's load, so cost and schedule are
+// bit-identical with the flag on or off.
 //
 // Every verb accepts --threads N to set the worker-thread count for the
 // search engines (brute force, the robust chain). The default is the
@@ -83,9 +98,11 @@
 #include "core/serialize.h"
 #include "core/simulator.h"
 #include "core/trace.h"
+#include "dataflows/builtin_spec.h"
 #include "dataflows/dwt_graph.h"
-#include "dataflows/random_dag.h"
 #include "dataflows/tree_graph.h"
+#include "ganalysis/canonical.h"
+#include "ganalysis/ganalysis.h"
 #include "lint/fixes.h"
 #include "lint/lint.h"
 #include "obs/report.h"
@@ -97,7 +114,6 @@
 #include "schedulers/greedy_topo.h"
 #include "schedulers/kary_tree.h"
 #include "util/cli.h"
-#include "util/rng.h"
 
 using namespace wrbpg;
 
@@ -105,12 +121,13 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
-               "profile|dot> <graph.txt|dwt:N,D|kary:K,L|random:L,W,SEED> "
-               "[schedule.txt] "
+               "analyze|profile|dot> <graph.txt|"
+            << BuiltinSpecHelp()
+            << "> [schedule.txt] "
                "[--budget N] [--algo greedy|belady|brute|robust] "
                "[--engine dijkstra|astar|astar+dominance|bb] "
                "[--deadline-ms N] [--memory-cap-mb N] [--threads N] "
-               "[--metrics-json path] [--json] [--fix]\n";
+               "[--orbit-prune] [--metrics-json path] [--json] [--fix]\n";
   return 2;
 }
 
@@ -127,108 +144,33 @@ bool ReadFile(const std::string& path, std::string& out) {
 }
 
 // A graph argument resolved from either a text file or a builtin generator
-// spec. The builders return their structure wrapper by value, so the graph
-// lives inside the optional that built it; graph() picks the live one.
+// spec (dataflows/builtin_spec.h). The spec path keeps the structure
+// wrapper so the DP-aware verbs can route on it; graph() picks the live
+// graph either way.
 struct LoadedGraph {
   bool ok = false;
-  std::optional<DwtGraph> dwt;
-  std::optional<TreeGraph> tree;
-  Graph parsed;
+  BuiltinGraph builtin;  // engaged when the argument was a spec
+  Graph parsed;          // engaged when the argument was a file
 
   const Graph& graph() const {
-    if (dwt) return dwt->graph;
-    if (tree) return tree->graph;
-    return parsed;
+    return builtin.ok ? builtin.graph() : parsed;
+  }
+  const DwtGraph* dwt() const {
+    return builtin.dwt ? &*builtin.dwt : nullptr;
+  }
+  const TreeGraph* tree() const {
+    return builtin.tree ? &*builtin.tree : nullptr;
   }
 };
 
-// Parses the comma-separated integer payload of a builtin spec into
-// exactly `count` values. Rejects junk, overflow, and wrong arity.
-bool ParseSpecInts(std::string_view payload, std::int64_t* out,
-                   std::size_t count) {
-  std::size_t parsed = 0;
-  while (parsed < count) {
-    const std::size_t comma = payload.find(',');
-    const bool last = parsed + 1 == count;
-    if (last != (comma == std::string_view::npos)) return false;
-    const std::string field(last ? payload : payload.substr(0, comma));
-    try {
-      std::size_t used = 0;
-      out[parsed] = std::stoll(field, &used);
-      if (used != field.size()) return false;
-    } catch (...) {
-      return false;
-    }
-    if (!last) payload.remove_prefix(comma + 1);
-    ++parsed;
-  }
-  return true;
-}
-
-bool ParseSpecPair(std::string_view payload, std::int64_t& a,
-                   std::int64_t& b) {
-  std::int64_t vals[2];
-  if (!ParseSpecInts(payload, vals, 2)) return false;
-  a = vals[0];
-  b = vals[1];
-  return true;
-}
-
 LoadedGraph LoadGraphArg(const std::string& spec) {
   LoadedGraph out;
-  if (spec.rfind("dwt:", 0) == 0) {
-    std::int64_t n = 0, d = 0;
-    if (!ParseSpecPair(std::string_view(spec).substr(4), n, d)) {
-      std::cerr << "error: bad builtin spec '" << spec
-                << "' (expected dwt:N,D)\n";
+  if (IsBuiltinSpec(spec)) {
+    out.builtin = BuildBuiltinGraph(spec);
+    if (!out.builtin.ok) {
+      std::cerr << "error: " << out.builtin.error << "\n";
       return out;
     }
-    if (d < 1 || d > 62 || !DwtParamsValid(n, static_cast<int>(d))) {
-      std::cerr << "error: invalid DWT parameters n=" << n << " d=" << d
-                << " (need n >= 2, d >= 1, and 2^d | n)\n";
-      return out;
-    }
-    out.dwt = BuildDwt(n, static_cast<int>(d));
-    out.ok = true;
-    return out;
-  }
-  if (spec.rfind("kary:", 0) == 0) {
-    std::int64_t k = 0, levels = 0;
-    if (!ParseSpecPair(std::string_view(spec).substr(5), k, levels)) {
-      std::cerr << "error: bad builtin spec '" << spec
-                << "' (expected kary:K,LEVELS)\n";
-      return out;
-    }
-    if (k < 1 || k > 8 || levels < 1 || levels > 16) {
-      std::cerr << "error: invalid k-ary tree parameters k=" << k
-                << " levels=" << levels
-                << " (need 1 <= k <= 8, 1 <= levels <= 16)\n";
-      return out;
-    }
-    out.tree =
-        BuildPerfectTree(static_cast<int>(k), static_cast<int>(levels));
-    out.ok = true;
-    return out;
-  }
-  if (spec.rfind("random:", 0) == 0) {
-    std::int64_t vals[3];
-    if (!ParseSpecInts(std::string_view(spec).substr(7), vals, 3)) {
-      std::cerr << "error: bad builtin spec '" << spec
-                << "' (expected random:LAYERS,WIDTH,SEED)\n";
-      return out;
-    }
-    const std::int64_t layers = vals[0], width = vals[1], seed = vals[2];
-    if (layers < 2 || layers > 64 || width < 1 || width > 64) {
-      std::cerr << "error: invalid random DAG parameters layers=" << layers
-                << " width=" << width
-                << " (need 2 <= layers <= 64, 1 <= width <= 64)\n";
-      return out;
-    }
-    Rng rng(static_cast<std::uint64_t>(seed));
-    RandomDagOptions dag;
-    dag.num_layers = static_cast<int>(layers);
-    dag.nodes_per_layer = static_cast<int>(width);
-    out.parsed = BuildRandomDag(rng, dag);
     out.ok = true;
     return out;
   }
@@ -274,14 +216,14 @@ int RunProfile(const CliArgs& args, const LoadedGraph& loaded,
   sweep.graph = &graph;
   const std::vector<Weight> costs = EvaluateBudgets(belady_cost, grid, sweep);
 
-  if (loaded.dwt) {
-    const ScheduleResult dp = DwtOptimalScheduler(*loaded.dwt).Run(budget);
+  if (loaded.dwt()) {
+    const ScheduleResult dp = DwtOptimalScheduler(*loaded.dwt()).Run(budget);
     std::cerr << "dwt-optimal: "
               << (dp.feasible ? "cost=" + std::to_string(dp.cost) + " bits"
                               : std::string("infeasible"))
               << "\n";
   }
-  if (loaded.tree) {
+  if (loaded.tree()) {
     const ScheduleResult dp = KaryTreeScheduler(graph).Run(budget);
     std::cerr << "kary-dp: "
               << (dp.feasible ? "cost=" + std::to_string(dp.cost) + " bits"
@@ -292,11 +234,9 @@ int RunProfile(const CliArgs& args, const LoadedGraph& loaded,
   const double deadline_ms = args.GetDouble("deadline-ms", 0);
   RobustOptions options;
   options.deadline_ms = deadline_ms;
-  const RobustResult robust = loaded.dwt
-                                  ? RobustScheduler(*loaded.dwt).Run(budget,
-                                                                     options)
-                                  : RobustScheduler(graph).Run(budget,
-                                                               options);
+  const RobustResult robust =
+      loaded.dwt() ? RobustScheduler(*loaded.dwt()).Run(budget, options)
+                   : RobustScheduler(graph).Run(budget, options);
   std::cerr << "robust chain: "
             << (robust.result.feasible
                     ? "winner=" + robust.winner + " cost=" +
@@ -340,6 +280,20 @@ int RunVerb(const CliArgs& args) {
   }
   if (command == "dot") {
     std::cout << ToDot(graph, args.positional()[1]);
+    return 0;
+  }
+
+  if (command == "analyze") {
+    const bool json = args.GetBool("json", false);
+    AnalysisOptions options;
+    options.budget = args.GetInt("budget", 0);  // <= 0: MinValidBudget
+    if (!args.error().empty()) {
+      std::cerr << "error: " << args.error() << "\n";
+      return 2;
+    }
+    const GraphAnalysis analysis = AnalyzeGraph(graph, options);
+    std::cout << (json ? GraphAnalysisToJson(analysis)
+                       : RenderGraphAnalysis(analysis));
     return 0;
   }
 
@@ -440,6 +394,24 @@ int RunVerb(const CliArgs& args) {
         bf.frontier_bytes_cap =
             static_cast<std::size_t>(memory_cap_mb) << 20;
       }
+      // Certified root bound: free to compute, only tightens the REPORTED
+      // gap of an interrupted run (brute_force.h) — completed runs and
+      // their schedules are untouched.
+      bf.root_lower_bound = BestCertifiedBound(graph, budget);
+      std::vector<NodeId> pruned_sources;
+      if (args.GetBool("orbit-prune", false)) {
+        // Skip the root load of every source whose verified orbit has a
+        // smaller-id source; the representative's load stays, so the
+        // canonical optimal schedule survives (bit-identity contract).
+        const OrbitPartition orbits = ComputeOrbits(graph);
+        for (const NodeId s : graph.sources()) {
+          if (orbits.orbit_of[s] != s) pruned_sources.push_back(s);
+        }
+        bf.prune_root_loads = &pruned_sources;
+        std::cerr << "orbit-prune: skipping " << pruned_sources.size()
+                  << " of " << graph.sources().size()
+                  << " root loads (" << orbits.num_orbits << " orbits)\n";
+      }
       CancelToken token;
       if (deadline_ms > 0) {
         token = CancelToken::WithDeadlineMs(deadline_ms);
@@ -480,8 +452,8 @@ int RunVerb(const CliArgs& args) {
       RobustOptions options;
       options.deadline_ms = deadline_ms;
       const RobustResult robust =
-          loaded.dwt ? RobustScheduler(*loaded.dwt).Run(budget, options)
-                     : RobustScheduler(graph).Run(budget, options);
+          loaded.dwt() ? RobustScheduler(*loaded.dwt()).Run(budget, options)
+                       : RobustScheduler(graph).Run(budget, options);
       for (const StageReport& stage : robust.stages) {
         std::cerr << "stage " << stage.name << ": "
                   << ToString(stage.outcome);

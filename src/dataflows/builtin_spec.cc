@@ -1,0 +1,171 @@
+#include "dataflows/builtin_spec.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "dataflows/random_dag.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+// Parses the comma-separated integer payload of a builtin spec into
+// exactly `count` values. Rejects junk, overflow, and wrong arity.
+bool ParseSpecInts(std::string_view payload, std::int64_t* out,
+                   std::size_t count) {
+  std::size_t parsed = 0;
+  while (parsed < count) {
+    const std::size_t comma = payload.find(',');
+    const bool last = parsed + 1 == count;
+    if (last != (comma == std::string_view::npos)) return false;
+    const std::string field(last ? payload : payload.substr(0, comma));
+    try {
+      std::size_t used = 0;
+      out[parsed] = std::stoll(field, &used);
+      if (used != field.size()) return false;
+    } catch (...) {
+      return false;
+    }
+    if (!last) payload.remove_prefix(comma + 1);
+    ++parsed;
+  }
+  return true;
+}
+
+BuiltinGraph Fail(std::string error) {
+  BuiltinGraph out;
+  out.error = std::move(error);
+  return out;
+}
+
+std::string SpecStr(std::string_view spec) {
+  return "bad builtin spec '" + std::string(spec) + "'";
+}
+
+BuiltinGraph BuildDwtSpec(std::string_view spec, std::string_view payload) {
+  std::int64_t vals[2];
+  if (!ParseSpecInts(payload, vals, 2)) {
+    return Fail(SpecStr(spec) + " (expected dwt:N,D)");
+  }
+  const std::int64_t n = vals[0], d = vals[1];
+  if (d < 1 || d > 62 || !DwtParamsValid(n, static_cast<int>(d))) {
+    return Fail("invalid DWT parameters n=" + std::to_string(n) +
+                " d=" + std::to_string(d) +
+                " (need n >= 2, d >= 1, and 2^d | n)");
+  }
+  BuiltinGraph out;
+  out.family = "dwt";
+  out.dwt = BuildDwt(n, static_cast<int>(d));
+  out.ok = true;
+  return out;
+}
+
+BuiltinGraph BuildKarySpec(std::string_view spec, std::string_view payload) {
+  std::int64_t vals[2];
+  if (!ParseSpecInts(payload, vals, 2)) {
+    return Fail(SpecStr(spec) + " (expected kary:K,LEVELS)");
+  }
+  const std::int64_t k = vals[0], levels = vals[1];
+  if (k < 1 || k > 8 || levels < 1 || levels > 16) {
+    return Fail("invalid k-ary tree parameters k=" + std::to_string(k) +
+                " levels=" + std::to_string(levels) +
+                " (need 1 <= k <= 8, 1 <= levels <= 16)");
+  }
+  BuiltinGraph out;
+  out.family = "kary";
+  out.tree = BuildPerfectTree(static_cast<int>(k), static_cast<int>(levels));
+  out.ok = true;
+  return out;
+}
+
+BuiltinGraph BuildMvmSpec(std::string_view spec, std::string_view payload) {
+  std::int64_t vals[2];
+  if (!ParseSpecInts(payload, vals, 2)) {
+    return Fail(SpecStr(spec) + " (expected mvm:M,N)");
+  }
+  const std::int64_t m = vals[0], n = vals[1];
+  if (m < 2 || m > 64 || n < 1 || n > 64) {
+    return Fail("invalid MVM parameters m=" + std::to_string(m) +
+                " n=" + std::to_string(n) +
+                " (need 2 <= m <= 64, 1 <= n <= 64)");
+  }
+  BuiltinGraph out;
+  out.family = "mvm";
+  out.mvm = BuildMvm(m, n);
+  out.ok = true;
+  return out;
+}
+
+BuiltinGraph BuildButterflySpec(std::string_view spec,
+                                std::string_view payload) {
+  std::int64_t vals[1];
+  if (!ParseSpecInts(payload, vals, 1)) {
+    return Fail(SpecStr(spec) + " (expected butterfly:K)");
+  }
+  const std::int64_t k = vals[0];
+  const bool pow2 = k >= 2 && (k & (k - 1)) == 0;
+  if (!pow2 || k > 1024) {
+    return Fail("invalid butterfly parameter k=" + std::to_string(k) +
+                " (need a power of two, 2 <= k <= 1024)");
+  }
+  BuiltinGraph out;
+  out.family = "butterfly";
+  out.butterfly = BuildButterfly(k);
+  out.ok = true;
+  return out;
+}
+
+BuiltinGraph BuildRandomSpec(std::string_view spec,
+                             std::string_view payload) {
+  std::int64_t vals[3];
+  if (!ParseSpecInts(payload, vals, 3)) {
+    return Fail(SpecStr(spec) + " (expected random:LAYERS,WIDTH,SEED)");
+  }
+  const std::int64_t layers = vals[0], width = vals[1], seed = vals[2];
+  if (layers < 2 || layers > 64 || width < 1 || width > 64) {
+    return Fail("invalid random DAG parameters layers=" +
+                std::to_string(layers) + " width=" + std::to_string(width) +
+                " (need 2 <= layers <= 64, 1 <= width <= 64)");
+  }
+  Rng rng(static_cast<std::uint64_t>(seed));
+  RandomDagOptions dag;
+  dag.num_layers = static_cast<int>(layers);
+  dag.nodes_per_layer = static_cast<int>(width);
+  BuiltinGraph out;
+  out.family = "random";
+  out.plain = BuildRandomDag(rng, dag);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+bool IsBuiltinSpec(std::string_view spec) {
+  for (const char* prefix :
+       {"dwt:", "kary:", "mvm:", "butterfly:", "random:"}) {
+    if (spec.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+BuiltinGraph BuildBuiltinGraph(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    return Fail(SpecStr(spec) + " (no family prefix)");
+  }
+  const std::string_view family = spec.substr(0, colon);
+  const std::string_view payload = spec.substr(colon + 1);
+  if (family == "dwt") return BuildDwtSpec(spec, payload);
+  if (family == "kary") return BuildKarySpec(spec, payload);
+  if (family == "mvm") return BuildMvmSpec(spec, payload);
+  if (family == "butterfly") return BuildButterflySpec(spec, payload);
+  if (family == "random") return BuildRandomSpec(spec, payload);
+  return Fail(SpecStr(spec) + " (unknown family '" + std::string(family) +
+              "')");
+}
+
+const char* BuiltinSpecHelp() {
+  return "dwt:N,D|kary:K,L|mvm:M,N|butterfly:K|random:L,W,SEED";
+}
+
+}  // namespace wrbpg

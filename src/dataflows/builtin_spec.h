@@ -1,0 +1,63 @@
+// Builtin graph-generator specs — the "family:params" strings accepted
+// anywhere a tool takes a graph argument:
+//
+//   dwt:N,D            DWT(N, D), Definition 3.1
+//   kary:K,LEVELS      perfect k-ary in-tree, Definition 3.6
+//   mvm:M,N            MVM(M, N), Definition 4.1
+//   butterfly:K        radix-2 butterfly on K inputs (K a power of two)
+//   random:L,W,SEED    seeded random layered CDAG (L layers of W nodes)
+//
+// Parsing and parameter validation live here so the CLI, the benchmarks,
+// and the tests agree on exactly which specs exist and what their limits
+// are; callers render `error` verbatim when a spec is rejected.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/graph.h"
+#include "dataflows/butterfly_graph.h"
+#include "dataflows/dwt_graph.h"
+#include "dataflows/mvm_graph.h"
+#include "dataflows/tree_graph.h"
+
+namespace wrbpg {
+
+// A spec resolved into its structure wrapper. The graph lives inside the
+// optional that built it; graph() picks the live one. Exactly one wrapper
+// is engaged when ok.
+struct BuiltinGraph {
+  bool ok = false;
+  std::string error;   // why the spec was rejected; empty when ok
+  std::string family;  // "dwt" / "kary" / "mvm" / "butterfly" / "random"
+
+  std::optional<DwtGraph> dwt;
+  std::optional<TreeGraph> tree;
+  std::optional<MvmGraph> mvm;
+  std::optional<ButterflyGraph> butterfly;
+  std::optional<Graph> plain;  // random
+
+  const Graph& graph() const {
+    if (dwt) return dwt->graph;
+    if (tree) return tree->graph;
+    if (mvm) return mvm->graph;
+    if (butterfly) return butterfly->graph;
+    return *plain;
+  }
+};
+
+// True when `spec` names a builtin family ("name:..."), recognized or
+// not — callers use this to decide between spec parsing and file I/O.
+// A well-formed payload is NOT required; BuildBuiltinGraph reports that.
+bool IsBuiltinSpec(std::string_view spec);
+
+// Parses and validates `spec` and builds the graph. Never aborts: every
+// malformed payload or out-of-range parameter comes back ok == false
+// with a one-line error.
+BuiltinGraph BuildBuiltinGraph(std::string_view spec);
+
+// The usage-string summary of every accepted spec form.
+const char* BuiltinSpecHelp();
+
+}  // namespace wrbpg

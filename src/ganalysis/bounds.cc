@@ -1,0 +1,268 @@
+#include "ganalysis/bounds.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/analysis.h"
+
+namespace wrbpg {
+
+const char* ToString(BoundKind kind) {
+  switch (kind) {
+    case BoundKind::kAlgorithmic: return "algorithmic";
+    case BoundKind::kWavefront: return "wavefront";
+    case BoundKind::kSegment: return "segment";
+  }
+  return "?";
+}
+
+Weight NodePrice(const Graph& graph, NodeId x) {
+  if (graph.is_source(x)) return 0;
+  if (graph.is_sink(x)) return graph.weight(x);
+  return 2 * graph.weight(x);
+}
+
+Weight HoldFootprint(const Graph& graph, NodeId child, NodeId parent) {
+  // Weight of the node SET {parent} ∪ H(parent) ∪ H(child)∖{parent};
+  // co-parents can also be grandparents, so dedupe explicitly.
+  std::vector<NodeId> members;
+  members.push_back(parent);
+  for (NodeId g : graph.parents(parent)) members.push_back(g);
+  for (NodeId p : graph.parents(child)) {
+    if (p != parent) members.push_back(p);
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  Weight total = 0;
+  for (NodeId v : members) total += graph.weight(v);
+  return total;
+}
+
+namespace {
+
+// Longest-path levels: sources 0, otherwise 1 + max parent level.
+std::vector<int> TopoLevels(const Graph& graph) {
+  std::vector<int> level(graph.num_nodes(), 0);
+  for (NodeId v : graph.topological_order()) {
+    for (NodeId p : graph.parents(v)) {
+      level[v] = std::max(level[v], level[p] + 1);
+    }
+  }
+  return level;
+}
+
+// Nodes from which a sink is reachable — the ones every valid schedule
+// must compute (non-sources) or consume.
+std::vector<unsigned char> SinkReachable(const Graph& graph) {
+  std::vector<unsigned char> reach(graph.num_nodes(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId s : graph.sinks()) {
+    reach[s] = 1;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId p : graph.parents(v)) {
+      if (!reach[p]) {
+        reach[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  return reach;
+}
+
+bool ChildIsTight(const Graph& graph, NodeId c, Weight budget,
+                  const std::vector<unsigned char>& reach) {
+  if (graph.is_source(c) || graph.in_degree(c) < 2 || !reach[c]) return false;
+  for (NodeId x : graph.parents(c)) {
+    if (HoldFootprint(graph, c, x) <= budget) return false;
+  }
+  return true;
+}
+
+ChargeGroup MakeGroup(const Graph& graph, NodeId c, int level) {
+  ChargeGroup g;
+  g.child = c;
+  g.parents.assign(graph.parents(c).begin(), graph.parents(c).end());
+  std::sort(g.parents.begin(), g.parents.end());
+  g.level = level;
+  g.min_price = kInfiniteCost;
+  for (NodeId x : g.parents) {
+    g.min_price = std::min(g.min_price, NodePrice(graph, x));
+  }
+  return g;
+}
+
+// Deterministic greedy packing: groups sorted by (price desc, child id
+// asc) are admitted when their parent set is disjoint from every admitted
+// one. `used` carries exclusions in and admissions out.
+std::vector<ChargeGroup> GreedyPack(std::vector<ChargeGroup> candidates,
+                                    std::vector<unsigned char>& used) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ChargeGroup& a, const ChargeGroup& b) {
+              if (a.min_price != b.min_price) return a.min_price > b.min_price;
+              return a.child < b.child;
+            });
+  std::vector<ChargeGroup> picked;
+  for (auto& g : candidates) {
+    bool clash = false;
+    for (NodeId x : g.parents) {
+      if (used[x]) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash || g.min_price <= 0) continue;
+    for (NodeId x : g.parents) used[x] = 1;
+    picked.push_back(std::move(g));
+  }
+  return picked;
+}
+
+BoundCertificate FromGroups(BoundKind kind, const Graph& graph, Weight budget,
+                            std::vector<ChargeGroup> groups) {
+  BoundCertificate cert;
+  cert.kind = kind;
+  cert.budget = budget;
+  cert.base = AlgorithmicLowerBound(graph);
+  std::sort(groups.begin(), groups.end(),
+            [](const ChargeGroup& a, const ChargeGroup& b) {
+              return a.child < b.child;
+            });
+  for (const auto& g : groups) cert.excess += g.min_price;
+  cert.groups = std::move(groups);
+  cert.value = cert.base + cert.excess;
+  return cert;
+}
+
+// Tight children bucketed by level, shared by both certificate builders.
+std::vector<std::vector<ChargeGroup>> TightByLevel(const Graph& graph,
+                                                   Weight budget) {
+  const auto levels = TopoLevels(graph);
+  const auto reach = SinkReachable(graph);
+  const int max_level =
+      levels.empty() ? 0 : *std::max_element(levels.begin(), levels.end());
+  std::vector<std::vector<ChargeGroup>> by_level(
+      static_cast<std::size_t>(max_level) + 1);
+  for (NodeId c = 0; c < graph.num_nodes(); ++c) {
+    if (ChildIsTight(graph, c, budget, reach)) {
+      by_level[static_cast<std::size_t>(levels[c])].push_back(
+          MakeGroup(graph, c, levels[c]));
+    }
+  }
+  return by_level;
+}
+
+}  // namespace
+
+BoundCertificate AlgorithmicCertificate(const Graph& graph, Weight budget) {
+  return FromGroups(BoundKind::kAlgorithmic, graph, budget, {});
+}
+
+BoundCertificate WavefrontCertificate(const Graph& graph, Weight budget) {
+  auto by_level = TightByLevel(graph, budget);
+  std::vector<ChargeGroup> best;
+  Weight best_excess = 0;
+  for (auto& level_groups : by_level) {
+    std::vector<unsigned char> used(graph.num_nodes(), 0);
+    auto picked = GreedyPack(level_groups, used);
+    Weight excess = 0;
+    for (const auto& g : picked) excess += g.min_price;
+    if (excess > best_excess) {  // strict: ties keep the lowest level
+      best_excess = excess;
+      best = std::move(picked);
+    }
+  }
+  return FromGroups(BoundKind::kWavefront, graph, budget, std::move(best));
+}
+
+BoundCertificate SegmentCertificate(const Graph& graph, Weight budget) {
+  // Start from the wavefront's best level, then extend across the rest of
+  // the graph under global disjointness — so segment >= wavefront always.
+  BoundCertificate wavefront = WavefrontCertificate(graph, budget);
+  std::vector<unsigned char> used(graph.num_nodes(), 0);
+  std::vector<ChargeGroup> picked = wavefront.groups;
+  for (const auto& g : picked) {
+    for (NodeId x : g.parents) used[x] = 1;
+  }
+  std::vector<ChargeGroup> rest;
+  for (auto& level_groups : TightByLevel(graph, budget)) {
+    for (auto& g : level_groups) {
+      if (g.child != kInvalidNode) rest.push_back(std::move(g));
+    }
+  }
+  auto extension = GreedyPack(std::move(rest), used);
+  for (auto& g : extension) picked.push_back(std::move(g));
+  return FromGroups(BoundKind::kSegment, graph, budget, std::move(picked));
+}
+
+std::vector<BoundCertificate> ComputeBoundCertificates(const Graph& graph,
+                                                       Weight budget) {
+  std::vector<BoundCertificate> certs;
+  certs.push_back(AlgorithmicCertificate(graph, budget));
+  certs.push_back(WavefrontCertificate(graph, budget));
+  certs.push_back(SegmentCertificate(graph, budget));
+  return certs;
+}
+
+Weight BestCertifiedBound(const Graph& graph, Weight budget) {
+  Weight best = 0;
+  for (const auto& cert : ComputeBoundCertificates(graph, budget)) {
+    best = std::max(best, cert.value);
+  }
+  return best;
+}
+
+CertificateCheck VerifyCertificate(const Graph& graph,
+                                   const BoundCertificate& cert) {
+  auto fail = [](std::string msg) {
+    return CertificateCheck{false, std::move(msg)};
+  };
+  if (cert.base != AlgorithmicLowerBound(graph)) {
+    return fail("base does not equal the Prop 2.4 bound");
+  }
+  if (cert.value != cert.base + cert.excess) {
+    return fail("value != base + excess");
+  }
+  if (cert.kind == BoundKind::kAlgorithmic) {
+    if (!cert.groups.empty() || cert.excess != 0) {
+      return fail("algorithmic certificate must carry no excess");
+    }
+    return {true, {}};
+  }
+
+  const auto reach = SinkReachable(graph);
+  std::vector<unsigned char> used(graph.num_nodes(), 0);
+  Weight excess = 0;
+  for (const auto& g : cert.groups) {
+    if (g.child >= graph.num_nodes()) return fail("group child out of range");
+    if (graph.is_source(g.child)) return fail("group child is a source");
+    if (!reach[g.child]) {
+      return fail("group child cannot reach a sink (need not be computed)");
+    }
+    std::vector<NodeId> parents(graph.parents(g.child).begin(),
+                                graph.parents(g.child).end());
+    std::sort(parents.begin(), parents.end());
+    if (parents != g.parents) {
+      return fail("group parents do not match H(child)");
+    }
+    if (parents.size() < 2) return fail("group child has fewer than 2 parents");
+    Weight min_price = kInfiniteCost;
+    for (NodeId x : parents) {
+      if (used[x]) return fail("parent sets are not pairwise disjoint");
+      used[x] = 1;
+      if (HoldFootprint(graph, g.child, x) <= cert.budget) {
+        return fail("a parent's hold footprint fits the budget (not tight)");
+      }
+      min_price = std::min(min_price, NodePrice(graph, x));
+    }
+    if (min_price != g.min_price) return fail("group min_price is wrong");
+    excess += min_price;
+  }
+  if (excess != cert.excess) return fail("excess does not match the groups");
+  return {true, {}};
+}
+
+}  // namespace wrbpg

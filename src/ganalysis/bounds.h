@@ -1,0 +1,114 @@
+// Budget-aware start-state I/O lower-bound certificates (DESIGN.md §12).
+//
+// Proposition 2.4's algorithmic lower bound Σ_{A(G)} w + Σ_{Z(G)} w is
+// budget-oblivious. These certificates add a budget-aware excess term via
+// a simultaneity argument ("hold-or-pay"):
+//
+//   Consider any valid schedule and a non-source c with |H(c)| >= 2 that
+//   must be computed (a sink is reachable from it). At c's first compute
+//   every parent is red, each continuously held since its origin event
+//   (the load or compute that last made it red). At the latest origin —
+//   of parent q, say — every OTHER parent of c is simultaneously red. If
+//   that origin is a compute, H(q) is red too, so the hold footprint
+//   W({q} ∪ H(q) ∪ H(c)∖{q}) fits the budget. Hence if the footprint
+//   exceeds the budget for EVERY choice of q in H(c), some parent of c
+//   must instead have been LOADED. A load of a non-source x is never
+//   counted by Prop 2.4, and (since a non-source is only blue after a
+//   store) drags an uncounted store along unless x is a sink:
+//
+//     price(x) = 0        x ∈ A(G)   (the counted first load suffices)
+//              = w_x      x ∈ Z(G)∖A (store counted, load is extra)
+//              = 2·w_x    otherwise  (store and load both extra)
+//
+//   Charging a set of such "tight" children with pairwise-DISJOINT parent
+//   sets keeps the charged nodes distinct whatever the schedule does, so
+//
+//     Cost >= ALB + Σ_groups min_{x ∈ H(c)} price(x).
+//
+// NOTE a naive antichain-footprint bound ("the wavefront weighs more than
+// the budget, so something spills") is UNSOUND: k independent chains
+// a_i → b_i at budget 2w have every-antichain footprint kw ≫ B yet cost
+// exactly ALB. Simultaneous residency must be FORCED, which is what the
+// common-child hold-continuity argument above does.
+//
+// Two certificates instantiate the theorem with different witnesses:
+//   * wavefront — charge groups restricted to the single best topological
+//     level (the groups form an antichain);
+//   * segment   — the wavefront groups extended greedily across all
+//     levels under global parent-set disjointness (so segment value >=
+//     wavefront value by construction).
+//
+// Certificates carry their witness (the charge groups) and are checked by
+// VerifyCertificate, an independent re-derivation that trusts nothing but
+// the graph and the witness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace wrbpg {
+
+enum class BoundKind : std::uint8_t {
+  kAlgorithmic = 0,  // Prop 2.4, no witness needed
+  kWavefront,
+  kSegment,
+};
+
+const char* ToString(BoundKind kind);
+
+// One charge group of the hold-or-pay argument: a tight child and its
+// full parent set, contributing min price(x) over x in parents.
+struct ChargeGroup {
+  NodeId child = kInvalidNode;
+  std::vector<NodeId> parents;  // H(child), ascending
+  Weight min_price = 0;
+  int level = 0;  // longest-path level of child (sources are level 0)
+};
+
+struct BoundCertificate {
+  BoundKind kind = BoundKind::kAlgorithmic;
+  Weight budget = 0;
+  Weight base = 0;    // AlgorithmicLowerBound(graph)
+  Weight excess = 0;  // Σ groups min_price
+  Weight value = 0;   // base + excess
+  std::vector<ChargeGroup> groups;  // the witness; empty for kAlgorithmic
+};
+
+// price(x) of the header comment.
+Weight NodePrice(const Graph& graph, NodeId x);
+
+// W({parent} ∪ H(parent) ∪ H(child)∖{parent}) — the red-set weight forced
+// at the latest origin event when that origin is a compute of `parent`.
+Weight HoldFootprint(const Graph& graph, NodeId child, NodeId parent);
+
+// Prop 2.4 packaged as a (witness-free) certificate for uniform tables.
+BoundCertificate AlgorithmicCertificate(const Graph& graph, Weight budget);
+
+// The single-level and cross-level instantiations described above. Both
+// degrade gracefully to excess == 0 (value == ALB) when no child is
+// tight at this budget.
+BoundCertificate WavefrontCertificate(const Graph& graph, Weight budget);
+BoundCertificate SegmentCertificate(const Graph& graph, Weight budget);
+
+// All three, in BoundKind order.
+std::vector<BoundCertificate> ComputeBoundCertificates(const Graph& graph,
+                                                       Weight budget);
+
+// max over ComputeBoundCertificates of value — the start-state bound
+// consumers (searcher root bound, robust chain) should use.
+Weight BestCertifiedBound(const Graph& graph, Weight budget);
+
+struct CertificateCheck {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+// Independent checker: re-derives base and every group's tightness,
+// price, pairwise disjointness, and the arithmetic, from the graph alone.
+CertificateCheck VerifyCertificate(const Graph& graph,
+                                   const BoundCertificate& cert);
+
+}  // namespace wrbpg

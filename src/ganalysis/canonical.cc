@@ -1,0 +1,304 @@
+#include "ganalysis/canonical.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+
+namespace wrbpg {
+
+namespace {
+
+// One signature per vertex: (current color, sorted parent colors, sorted
+// child colors), flattened with length prefixes so distinct shapes never
+// compare equal.
+using Signature = std::vector<std::uint64_t>;
+
+Signature MakeSignature(const Graph& graph,
+                        const std::vector<std::uint32_t>& colors, NodeId v) {
+  Signature sig;
+  const auto parents = graph.parents(v);
+  const auto children = graph.children(v);
+  sig.reserve(3 + parents.size() + children.size());
+  sig.push_back(colors[v]);
+  sig.push_back(parents.size());
+  std::size_t parents_begin = sig.size();
+  for (NodeId p : parents) sig.push_back(colors[p]);
+  std::sort(sig.begin() + static_cast<std::ptrdiff_t>(parents_begin),
+            sig.end());
+  sig.push_back(children.size());
+  std::size_t children_begin = sig.size();
+  for (NodeId c : children) sig.push_back(colors[c]);
+  std::sort(sig.begin() + static_cast<std::ptrdiff_t>(children_begin),
+            sig.end());
+  return sig;
+}
+
+// Re-ranks `colors` in place by sorting the current signatures; returns
+// the number of distinct colors after the pass.
+std::uint32_t RankPass(const Graph& graph, std::vector<std::uint32_t>& colors,
+                       std::vector<std::pair<Signature, NodeId>>& scratch) {
+  const NodeId n = graph.num_nodes();
+  scratch.clear();
+  scratch.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    scratch.emplace_back(MakeSignature(graph, colors, v), v);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    if (i > 0 && scratch[i].first != scratch[i - 1].first) ++rank;
+    colors[scratch[i].second] = rank;
+  }
+  return rank + 1;
+}
+
+// Seeds colors from the only round-zero invariants: weight and degrees.
+std::uint32_t SeedColors(const Graph& graph,
+                         std::vector<std::uint32_t>& colors) {
+  const NodeId n = graph.num_nodes();
+  std::vector<std::pair<Signature, NodeId>> seed;
+  seed.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    seed.emplace_back(
+        Signature{static_cast<std::uint64_t>(graph.weight(v)),
+                  graph.in_degree(v), graph.out_degree(v)},
+        v);
+  }
+  std::sort(seed.begin(), seed.end());
+  colors.assign(n, 0);
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    if (i > 0 && seed[i].first != seed[i - 1].first) ++rank;
+    colors[seed[i].second] = rank;
+  }
+  return n == 0 ? 0 : rank + 1;
+}
+
+// Refines `colors` to the stable partition; returns rounds run.
+int RefineToStable(const Graph& graph, std::vector<std::uint32_t>& colors,
+                   std::uint32_t& num_colors) {
+  std::vector<std::pair<Signature, NodeId>> scratch;
+  int rounds = 0;
+  while (num_colors < graph.num_nodes()) {
+    const std::uint32_t next = RankPass(graph, colors, scratch);
+    ++rounds;
+    if (next == num_colors) break;
+    num_colors = next;
+  }
+  return rounds;
+}
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  // FNV-1a over the 8 bytes of x.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ColorRefinement RefineColors(const Graph& graph) {
+  ColorRefinement r;
+  r.num_colors = SeedColors(graph, r.colors);
+  r.rounds = RefineToStable(graph, r.colors, r.num_colors);
+  return r;
+}
+
+GraphHash HashGraph(const Graph& graph) {
+  const ColorRefinement r = RefineColors(graph);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = Mix(h, graph.num_nodes());
+  h = Mix(h, graph.num_edges());
+  h = Mix(h, static_cast<std::uint64_t>(r.num_colors));
+  h = Mix(h, static_cast<std::uint64_t>(r.rounds));
+
+  // Stable color histogram: (color, class size, class weight), in color
+  // order — iso-invariant because the color ranks are.
+  std::vector<std::uint64_t> class_size(r.num_colors, 0);
+  std::vector<std::uint64_t> class_weight(r.num_colors, 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    class_size[r.colors[v]] += 1;
+    class_weight[r.colors[v]] += static_cast<std::uint64_t>(graph.weight(v));
+  }
+  for (std::uint32_t c = 0; c < r.num_colors; ++c) {
+    h = Mix(h, c);
+    h = Mix(h, class_size[c]);
+    h = Mix(h, class_weight[c]);
+  }
+
+  // Edge color-pair multiset, sorted.
+  std::vector<std::uint64_t> edge_pairs;
+  edge_pairs.reserve(graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId p : graph.parents(v)) {
+      edge_pairs.push_back(
+          (static_cast<std::uint64_t>(r.colors[p]) << 32) | r.colors[v]);
+    }
+  }
+  std::sort(edge_pairs.begin(), edge_pairs.end());
+  for (std::uint64_t e : edge_pairs) h = Mix(h, e);
+  return h;
+}
+
+std::vector<std::uint32_t> DeterministicLabeling(
+    const Graph& graph, std::optional<NodeId> individualize_first) {
+  const NodeId n = graph.num_nodes();
+  std::vector<std::uint32_t> colors;
+  std::uint32_t num_colors = SeedColors(graph, colors);
+
+  auto individualize = [&](NodeId v) {
+    colors[v] = num_colors;  // fresh color past every current rank
+    ++num_colors;
+    RefineToStable(graph, colors, num_colors);
+  };
+
+  RefineToStable(graph, colors, num_colors);
+  if (individualize_first && n > 0) individualize(*individualize_first);
+
+  while (num_colors < n) {
+    // First non-singleton class (lowest color), smallest member id.
+    std::vector<NodeId> first_member(num_colors, kInvalidNode);
+    std::vector<std::uint32_t> count(num_colors, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      ++count[colors[v]];
+      if (first_member[colors[v]] == kInvalidNode) first_member[colors[v]] = v;
+    }
+    NodeId pick = kInvalidNode;
+    for (std::uint32_t c = 0; c < num_colors; ++c) {
+      if (count[c] > 1) {
+        pick = first_member[c];
+        break;
+      }
+    }
+    if (pick == kInvalidNode) break;  // already discrete
+    individualize(pick);
+  }
+  return colors;
+}
+
+bool IsIsomorphismMap(const Graph& a, const Graph& b,
+                      const std::vector<NodeId>& map) {
+  const NodeId n = a.num_nodes();
+  if (b.num_nodes() != n || map.size() != n) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  std::vector<unsigned char> hit(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (map[v] >= n || hit[map[v]]) return false;  // not a bijection
+    hit[map[v]] = 1;
+    if (a.weight(v) != b.weight(map[v])) return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto pa = a.parents(v);
+    const auto pb = b.parents(map[v]);
+    if (pa.size() != pb.size()) return false;
+    std::vector<NodeId> mapped;
+    mapped.reserve(pa.size());
+    for (NodeId p : pa) mapped.push_back(map[p]);
+    std::sort(mapped.begin(), mapped.end());
+    std::vector<NodeId> target(pb.begin(), pb.end());
+    std::sort(target.begin(), target.end());
+    if (mapped != target) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Bijection induced by aligning two discrete labelings: a-vertex with
+// label L maps to the b-vertex with label L.
+std::optional<std::vector<NodeId>> AlignLabelings(
+    const std::vector<std::uint32_t>& la, const std::vector<std::uint32_t>& lb,
+    NodeId n) {
+  std::vector<NodeId> by_label(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (lb[v] >= n || by_label[lb[v]] != kInvalidNode) return std::nullopt;
+    by_label[lb[v]] = v;
+  }
+  std::vector<NodeId> map(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (la[v] >= n) return std::nullopt;
+    map[v] = by_label[la[v]];
+  }
+  return map;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> FindIsomorphism(const Graph& a,
+                                                   const Graph& b) {
+  const NodeId n = a.num_nodes();
+  if (b.num_nodes() != n || a.num_edges() != b.num_edges()) {
+    return std::nullopt;
+  }
+  if (n == 0) return std::vector<NodeId>{};
+  const auto la = DeterministicLabeling(a);
+  const auto lb = DeterministicLabeling(b);
+  auto map = AlignLabelings(la, lb, n);
+  if (!map || !IsIsomorphismMap(a, b, *map)) return std::nullopt;
+  return map;
+}
+
+OrbitPartition ComputeOrbits(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  OrbitPartition part;
+  part.orbit_of.resize(n);
+  std::iota(part.orbit_of.begin(), part.orbit_of.end(), 0);
+  if (n == 0) {
+    part.num_orbits = 0;
+    return part;
+  }
+
+  auto find = [&](NodeId v) {
+    while (part.orbit_of[v] != v) {
+      part.orbit_of[v] = part.orbit_of[part.orbit_of[v]];
+      v = part.orbit_of[v];
+    }
+    return v;
+  };
+  auto unite = [&](NodeId u, NodeId v) {
+    u = find(u);
+    v = find(v);
+    if (u == v) return;
+    if (u > v) std::swap(u, v);
+    part.orbit_of[v] = u;  // smaller id becomes the representative
+  };
+
+  const ColorRefinement r = RefineColors(graph);
+  // Candidate pairs: each vertex against its color class representative.
+  std::vector<NodeId> rep(r.num_colors, kInvalidNode);
+  // Labeling with the representative individualized first, computed
+  // lazily once per class.
+  std::vector<std::vector<std::uint32_t>> rep_labeling(r.num_colors);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t c = r.colors[v];
+    if (rep[c] == kInvalidNode) {
+      rep[c] = v;
+      continue;
+    }
+    if (find(v) == find(rep[c])) continue;  // already known equivalent
+    if (rep_labeling[c].empty()) {
+      rep_labeling[c] = DeterministicLabeling(graph, rep[c]);
+    }
+    const auto lv = DeterministicLabeling(graph, v);
+    auto map = AlignLabelings(rep_labeling[c], lv, n);
+    if (map && IsIsomorphismMap(graph, graph, *map)) {
+      // The whole verified automorphism is orbit information, not just
+      // the (rep, v) pair that motivated it.
+      for (NodeId u = 0; u < n; ++u) unite(u, (*map)[u]);
+    }
+  }
+
+  // Path-compress to the final representatives and count classes.
+  std::size_t orbits = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    part.orbit_of[v] = find(v);
+    if (part.orbit_of[v] == v) ++orbits;
+  }
+  part.num_orbits = orbits;
+  return part;
+}
+
+}  // namespace wrbpg

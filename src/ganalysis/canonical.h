@@ -1,0 +1,90 @@
+// Canonical structure analysis: color refinement, iso-invariant hashing,
+// and verified vertex orbits (DESIGN.md §12).
+//
+// The refinement is the classic 1-dimensional Weisfeiler-Leman iteration
+// seeded with (weight, in-degree, out-degree) and refined by the sorted
+// parent/child color multisets until the partition stabilizes. Colors are
+// assigned as ranks over the lexicographically sorted signatures, so the
+// color VALUES themselves are isomorphism-invariant integers — two
+// isomorphic graphs produce identical color histograms, which is what
+// makes HashGraph iso-invariant by construction.
+//
+// Orbit contract: 1-WL color classes only OVER-approximate the true
+// automorphism orbits (refinement-equivalent vertices need not be mapped
+// to each other by any automorphism), so ComputeOrbits never trusts the
+// colors alone. Each candidate pair is confirmed by building an explicit
+// vertex bijection (individualize-and-refine on both sides) and checking
+// that it preserves every edge and every weight. The returned partition
+// is therefore a SUB-partition of the true orbits: it may split an orbit
+// (when the heuristic alignment fails) but never merges two distinct
+// orbits — the direction soundness-critical consumers (root-move pruning
+// in the searcher) require.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace wrbpg {
+
+// Stable 1-WL coloring. colors[v] is the rank (0-based) of v's stable
+// signature; ranks are iso-invariant (see header comment).
+struct ColorRefinement {
+  std::vector<std::uint32_t> colors;
+  std::uint32_t num_colors = 0;
+  int rounds = 0;  // refinement rounds until the partition stabilized
+};
+
+ColorRefinement RefineColors(const Graph& graph);
+
+// Iso-invariant structural hash: equal for isomorphic graphs, and in
+// practice distinct for non-isomorphic ones (the hash folds in node/edge
+// counts, the weight histogram, the stable color histogram, and the edge
+// color-pair multiset; refinement-equivalent non-isomorphic graphs can
+// collide, which is the standard 1-WL completeness caveat).
+using GraphHash = std::uint64_t;
+
+GraphHash HashGraph(const Graph& graph);
+
+// Verified automorphism classes. orbit_of[v] is the smallest vertex id in
+// v's class; vertices share a class only when an explicit automorphism
+// mapping one to the other was constructed and checked.
+struct OrbitPartition {
+  std::vector<NodeId> orbit_of;
+  std::size_t num_orbits = 0;
+
+  bool SameOrbit(NodeId u, NodeId v) const {
+    return orbit_of[u] == orbit_of[v];
+  }
+};
+
+OrbitPartition ComputeOrbits(const Graph& graph);
+
+// Deterministic discrete labeling by individualize-and-refine: refine,
+// then repeatedly give the smallest-id vertex of the first non-singleton
+// color class a fresh color and re-refine, until every class is a
+// singleton. labels[v] is then a permutation of 0..n-1. Optionally a
+// vertex is individualized FIRST (before any tie-breaking), which is how
+// the orbit verifier aligns two sides of a candidate automorphism. The
+// labeling depends on vertex ids (it is NOT a canonical form); use
+// HashGraph for iso-invariant identity.
+std::vector<std::uint32_t> DeterministicLabeling(
+    const Graph& graph, std::optional<NodeId> individualize_first = {});
+
+// True when `map` (a is mapped to map[a] in `b`) is a weight- and
+// edge-preserving bijection between the two graphs.
+bool IsIsomorphismMap(const Graph& a, const Graph& b,
+                      const std::vector<NodeId>& map);
+
+// Heuristic isomorphism search: aligns the two deterministic labelings
+// and verifies the induced bijection explicitly. Returns the verified
+// mapping (a-id -> b-id), or nullopt when the alignment fails — which is
+// conservative, never wrong. Complete in practice for the regular
+// dataflow families (dwt/kary/chain/mvm/butterfly).
+std::optional<std::vector<NodeId>> FindIsomorphism(const Graph& a,
+                                                   const Graph& b);
+
+}  // namespace wrbpg

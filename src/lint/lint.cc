@@ -1,5 +1,7 @@
 #include "lint/lint.h"
 
+#include "ganalysis/ganalysis.h"
+
 #include <algorithm>
 #include <bit>
 #include <iterator>
@@ -125,53 +127,18 @@ std::vector<LintDiagnostic> LintGraph(const Graph& graph) {
 
 std::vector<LintDiagnostic> LintGraph(const Graph& graph,
                                       std::span<const NodeId> outputs) {
+  // The graph-level rules live in the static graph analyzer (ganalysis
+  // "structure" pass registry); convert its facts into lint diagnostics so
+  // the lint API, rule ids, and messages are unchanged.
   std::vector<LintDiagnostic> diags;
-  const NodeId n = graph.num_nodes();
-
-  // Reverse reachability from the outputs: a node that cannot reach any of
-  // them contributes nothing to the stopping condition.
-  std::vector<unsigned char> relevant(n, 0);
-  std::vector<NodeId> stack;
-  for (NodeId s : outputs) {
-    if (s < n && !relevant[s]) {
-      relevant[s] = 1;
-      stack.push_back(s);
-    }
-  }
-  while (!stack.empty()) {
-    const NodeId v = stack.back();
-    stack.pop_back();
-    for (NodeId p : graph.parents(v)) {
-      if (!relevant[p]) {
-        relevant[p] = 1;
-        stack.push_back(p);
-      }
-    }
-  }
-
-  for (NodeId v = 0; v < n; ++v) {
-    if (!relevant[v]) {
-      diags.push_back({.rule_id = "graph-irrelevant-node",
-                       .severity = LintSeverity::kInfo,
-                       .node = v,
-                       .message = NodeStr(v) +
-                                  " has no path to any output; schedules "
-                                  "never need it"});
-    }
-    if (graph.weight(v) <= 0) {
-      diags.push_back({.rule_id = "graph-nonpositive-weight",
-                       .severity = LintSeverity::kInfo,
-                       .node = v,
-                       .message = NodeStr(v) + " has non-positive weight " +
-                                  std::to_string(graph.weight(v))});
-    }
-    if (graph.is_source(v) && graph.is_sink(v)) {
-      diags.push_back({.rule_id = "graph-isolated-node",
-                       .severity = LintSeverity::kInfo,
-                       .node = v,
-                       .message = NodeStr(v) +
-                                  " is both a source and a sink (isolated)"});
-    }
+  for (const GraphFact& fact : RunStructureRules(graph, outputs)) {
+    const LintRule* rule = FindLintRule(fact.pass_id);
+    diags.push_back({.rule_id = rule != nullptr ? rule->id : fact.pass_id,
+                     .severity = fact.severity == FactSeverity::kWarning
+                                     ? LintSeverity::kWarning
+                                     : LintSeverity::kInfo,
+                     .node = fact.node,
+                     .message = fact.message});
   }
   return diags;
 }

@@ -7,14 +7,16 @@
 #include <utility>
 #include <vector>
 
-#include "core/analysis.h"
 #include "core/simulator.h"
+#include "ganalysis/bounds.h"
+#include "ganalysis/recognition.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "schedulers/belady.h"
 #include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
 #include "schedulers/greedy_topo.h"
+#include "schedulers/kary_tree.h"
 #include "util/thread_pool.h"
 
 namespace wrbpg {
@@ -64,7 +66,71 @@ RobustResult RobustScheduler::Run(Weight budget,
     return options.deadline_ms - MsSince(chain_start);
   };
 
+  // Certified start-state lower bound (ganalysis/bounds.h): the best of
+  // the Prop 2.4 algorithmic bound and the budget-aware hold-or-pay
+  // certificates. Fed to the exact stage's reported bound and used as the
+  // floor of the chain's final lower bound — it subsumes the plain
+  // AlgorithmicLowerBound as its base term.
+  const Weight cert_lb = BestCertifiedBound(graph_, budget);
+
   std::vector<Stage> stages;
+
+  {
+    // Recognition-based routing (DESIGN.md §12): when the graph is a
+    // serialized instance of a closed-form family, skip exponential
+    // search entirely and answer with the polynomial DP. Recognition is
+    // conservative — an unrecognized graph just skips the stage — and a
+    // DWT answer is backed by a verified isomorphism onto a reference
+    // BuildDwt instance, whose schedule is renamed back through it.
+    Stage recog;
+    recog.name = "recognition";
+    recog.is_exact = true;
+    if (dwt_ != nullptr) {
+      recog.skipped = true;
+      recog.skip_detail =
+          "caller already identified the family; the dwt-optimal stage "
+          "handles it";
+    } else {
+      RecognitionResult family = RecognizeFamily(graph_);
+      if (!family.recognized()) {
+        recog.skipped = true;
+        recog.skip_detail = "no closed-form family recognized";
+      } else {
+        obs::Add(obs::RegisterCounter(std::string("robust.recognized.") +
+                                      ToString(family.family)),
+                 1);
+        if (family.family == GraphFamily::kDwt) {
+          recog.engine = [this, budget, family = std::move(family)](
+                             const CancelToken* cancel) {
+            const DwtGraph ref =
+                BuildDwt(family.param0, static_cast<int>(family.param1),
+                         family.config);
+            ScheduleResult result = DwtOptimalScheduler(ref).Run(budget,
+                                                                 cancel);
+            if (result.feasible) {
+              // Rename the reference schedule back onto our node ids
+              // through the inverse of the verified isomorphism.
+              std::vector<NodeId> from_reference(graph_.num_nodes(),
+                                                 kInvalidNode);
+              for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+                from_reference[family.to_reference[v]] = v;
+              }
+              std::vector<Move> moves = result.schedule.moves();
+              for (Move& move : moves) move.node = from_reference[move.node];
+              result.schedule = Schedule(std::move(moves));
+            }
+            return result;
+          };
+        } else {
+          // chain / kary: the in-tree DP runs on the graph directly.
+          recog.engine = [this, budget](const CancelToken*) {
+            return KaryTreeScheduler(graph_).Run(budget);
+          };
+        }
+      }
+    }
+    stages.push_back(std::move(recog));
+  }
 
   {
     Stage exact;
@@ -81,13 +147,16 @@ RobustResult RobustScheduler::Run(Weight budget,
                           std::to_string(options.exact_max_nodes) +
                           " and no deadline bounds the search";
     } else {
-      exact.engine = [this, budget, &options,
-                      threads](const CancelToken* cancel) {
+      exact.engine = [this, budget, &options, threads,
+                      cert_lb](const CancelToken* cancel) {
         BruteForceOptions bf;
         bf.engine = SearchEngine::kBranchAndBound;
         bf.max_states = options.exact_max_states;
         bf.cancel = cancel;
         bf.threads = threads;
+        // Certified root bound: tightens the REPORTED gap of an
+        // interrupted run; schedules stay bit-identical (brute_force.h).
+        bf.root_lower_bound = cert_lb;
         return BruteForceScheduler(graph_).Run(budget, bf);
       };
     }
@@ -278,10 +347,11 @@ RobustResult RobustScheduler::Run(Weight budget,
     out.result = std::move(best);
     out.winner = out.stages[best_stage].name;
     // Anytime contract: ship the tightest bound any stage certified,
-    // floored at the Prop 2.4 algorithmic bound (heuristic winners carry
-    // only the trivial 0 on their own). A gap that closes to zero here is
-    // a proof of optimality, whichever stage produced the schedule.
-    chain_lb = std::max(chain_lb, AlgorithmicLowerBound(graph_));
+    // floored at the best ganalysis bound certificate (>= the Prop 2.4
+    // algorithmic bound, its base term; heuristic winners carry only the
+    // trivial 0 on their own). A gap that closes to zero here is a proof
+    // of optimality, whichever stage produced the schedule.
+    chain_lb = std::max(chain_lb, cert_lb);
     out.result.lower_bound = std::min(out.result.cost, chain_lb);
     out.result.optimality_gap = out.result.cost - out.result.lower_bound;
     if (out.result.optimality_gap == 0) {

@@ -6,8 +6,10 @@
 // its engines can produce in the time available. RobustScheduler runs a
 // ranked chain of engines
 //
-//   exact (anytime branch-and-bound, any graph size under a deadline)
-//   -> dwt-optimal (Algorithm 1, when the graph is a DWT instance)
+//   recognition (ganalysis family recognition routes serialized chain /
+//                k-ary / DWT instances straight to the polynomial DPs)
+//   -> exact (anytime branch-and-bound, any graph size under a deadline)
+//   -> dwt-optimal (Algorithm 1, when the caller supplied a DwtGraph)
 //   -> belady (furthest-next-use heuristic, any CDAG)
 //   -> greedy-topo (Prop 2.3 constructive fallback, always feasible)
 //
@@ -23,8 +25,9 @@
 // carries full provenance — which stage answered, and for every other
 // stage whether it timed out, was infeasible, produced a worse schedule,
 // or was skipped and why — and the chain's ScheduleResult reports the
-// tightest lower bound any stage certified (never below the Prop 2.4
-// algorithmic bound), so callers always see a sound optimality_gap.
+// tightest lower bound any stage certified (never below the best
+// ganalysis bound certificate, which subsumes the Prop 2.4 algorithmic
+// bound), so callers always see a sound optimality_gap.
 #pragma once
 
 #include <string>

@@ -76,7 +76,7 @@ struct PhaseConfig {
 // Phase outcomes. Everything past kInfeasible is an abort: the phase
 // stopped early and recorded a sound lower bound on the optimum (the
 // minimum f over the still-open frontier) for the anytime result.
-enum class PhaseStatus {
+enum class PhaseStatus : std::uint8_t {
   kFound,
   kInfeasible,
   kDeadline,   // CancelToken with a wall-clock deadline fired
@@ -614,6 +614,13 @@ class Searcher {
            const BruteForceOptions& options)
       : budget_(budget), options_(options), ops_(graph, budget, options) {
     start_ = ops_.Start();
+    if (options.prune_root_loads != nullptr &&
+        !options.prune_root_loads->empty()) {
+      pruned_root_load_.assign(graph.num_nodes(), 0);
+      for (NodeId v : *options.prune_root_loads) {
+        if (v < graph.num_nodes()) pruned_root_load_[v] = 1;
+      }
+    }
   }
 
   ScheduleResult Run(bool want_schedule, const Incumbent* incumbent);
@@ -719,6 +726,9 @@ class Searcher {
   std::size_t settled_ = 0;  // cumulative across phases (max_states valve)
   SearchStats stats_;        // aggregated across phases
   Weight abort_lb_ = 0;      // open-frontier bound at the last abort
+  // Root M1 loads suppressed by orbit pruning (empty = none); see
+  // BruteForceOptions::prune_root_loads for the soundness contract.
+  std::vector<unsigned char> pruned_root_load_;
   Key goal_key_;
   std::vector<State> goal_states_;
 };
@@ -736,7 +746,13 @@ void Searcher<Ops>::ExpandRange(const std::vector<State>& frontier,
     const State s = frontier[i];
     bool aborted = false;
     ops_.ForEachSuccessor(s, scratch, [&](const auto& c, Weight move_cost,
-                                          Move) {
+                                          Move move) {
+      // Root orbit pruning: skip suppressed first loads before they count
+      // as generated (the canonical optimal path never uses one).
+      if (!pruned_root_load_.empty() && s == start_ &&
+          move.type == MoveType::kLoad && pruned_root_load_[move.node] != 0) {
+        return false;
+      }
       ++stats.generated;
       if (++moves_since_poll >= kCancelPollMoves) {
         moves_since_poll = 0;
@@ -1000,16 +1016,21 @@ ScheduleResult Searcher<Ops>::Run(bool want_schedule,
   const Weight h0 = informed ? ops_.HeuristicState(start_, main_scratch_) : 0;
   if (h0 >= kInfiniteCost) return ScheduleResult::Infeasible();
 
+  // Day-zero reported bound: the start-state h, tightened by the caller's
+  // certified root bound (a ganalysis certificate). Reporting only — the
+  // search order and every schedule are independent of it.
+  const Weight root_lb = std::max(h0, options_.root_lower_bound);
+
   // Honor tokens that are already expired before any state settles (the
   // in-loop polls would miss them on small graphs). The bb engine still
   // returns its incumbent here — the "never fail to return a schedule"
   // half of the anytime contract.
   if (options_.cancel != nullptr && options_.cancel->cancelled()) {
     if (anytime) {
-      return AnytimeResult(want_schedule, *incumbent, h0,
+      return AnytimeResult(want_schedule, *incumbent, root_lb,
                            ToTermination(CancelStatus()));
     }
-    return TimedOutResult(CancelStatus(), h0);
+    return TimedOutResult(CancelStatus(), root_lb);
   }
 
   const std::size_t threads = ResolveThreadCount(options_.threads);
@@ -1029,7 +1050,7 @@ ScheduleResult Searcher<Ops>::Run(bool want_schedule,
 
   PhaseStatus status = RunPhase(cfg, pool_ptr, threads);
   if (IsAbort(status)) {
-    const Weight lb = std::max(h0, abort_lb_);
+    const Weight lb = std::max(root_lb, abort_lb_);
     if (anytime) {
       return AnytimeResult(want_schedule, *incumbent, lb,
                            ToTermination(status));
@@ -1042,7 +1063,7 @@ ScheduleResult Searcher<Ops>::Run(bool want_schedule,
       // goal with f <= its cost exists and incumbent pruning cannot drop
       // it. Handled honestly all the same — hand the incumbent back with
       // the start bound rather than contradicting it.
-      return AnytimeResult(want_schedule, *incumbent, h0,
+      return AnytimeResult(want_schedule, *incumbent, root_lb,
                            Termination::kComplete);
     }
     return ScheduleResult::Infeasible();
@@ -1184,16 +1205,27 @@ ScheduleResult BruteForceScheduler::Search(Weight budget,
   // results — there is no graph size the engines refuse.
   const bool wide = graph_.num_nodes() > 32 || options.force_wide_state;
 
+  // Start-state certificates and root orbit pruning are sound only for
+  // the standard game (empty red, sources blue, sinks-blue goal); drop
+  // them silently for the memory-state variants.
+  BruteForceOptions opts = options;
+  const bool standard_game =
+      opts.initial_red == 0 && !opts.initial_blue.has_value() &&
+      opts.required_red_at_end == 0 && opts.require_sinks_blue;
+  if (!standard_game) {
+    opts.root_lower_bound = 0;
+    opts.prune_root_loads = nullptr;
+  }
+
   std::optional<Incumbent> incumbent;
-  if (options.engine == SearchEngine::kBranchAndBound) {
-    incumbent = SeedIncumbent(graph_, budget, options);
+  if (opts.engine == SearchEngine::kBranchAndBound) {
+    incumbent = SeedIncumbent(graph_, budget, opts);
   }
   const Incumbent* inc = incumbent.has_value() ? &*incumbent : nullptr;
 
   ScheduleResult result =
-      wide ? Searcher<WideOps>(graph_, budget, options).Run(want_schedule, inc)
-           : Searcher<PackedOps>(graph_, budget, options)
-                 .Run(want_schedule, inc);
+      wide ? Searcher<WideOps>(graph_, budget, opts).Run(want_schedule, inc)
+           : Searcher<PackedOps>(graph_, budget, opts).Run(want_schedule, inc);
 
   if (options.engine == SearchEngine::kBranchAndBound) {
     static const obs::Counter bb_runs("search.bb.runs");

@@ -72,6 +72,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/graph.h"
 #include "schedulers/scheduler.h"
@@ -168,6 +169,24 @@ struct BruteForceOptions {
   // bit-identical (pinned by engine_differential_test); only the
   // state-plumbing differs.
   bool force_wide_state = false;
+  // Certified start-state lower bound, typically the best ganalysis bound
+  // certificate (ganalysis/bounds.h). Folded into the REPORTED
+  // lower_bound at every interrupted exit — never into per-state h or the
+  // expansion order — so schedules and costs are bit-identical with or
+  // without it; only the anytime gap tightens (and an incumbent matching
+  // the certificate promotes to kOptimal). The caller certifies the value
+  // is a sound lower bound for this (graph, budget); it is ignored for
+  // non-standard games (custom initial/required pebbles), where start-
+  // state certificates do not apply.
+  Weight root_lower_bound = 0;
+  // Orbit pruning of first moves: the searcher skips the ROOT M1 load of
+  // every node listed here. Soundness is the caller's certificate: list
+  // only sources that are orbit-equivalent (verified automorphism,
+  // ganalysis/canonical.h) to a smaller-id source NOT listed, so the
+  // canonical optimal schedule — whose first move provably loads its
+  // orbit's minimum — survives and results stay bit-identical (pinned by
+  // orbit_prune_differential_test). Ignored for non-standard games.
+  const std::vector<NodeId>* prune_root_loads = nullptr;
   // When non-null, filled with the search's counters on return
   // (aggregated over both passes of a two-phase run).
   SearchStats* stats = nullptr;

@@ -1,0 +1,113 @@
+// Tests for the builtin graph-spec parser (dataflows/builtin_spec.h):
+// every accepted family builds the same graph as its direct builder, and
+// every malformed or out-of-range payload is rejected with a one-line
+// error instead of an abort.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dataflows/builtin_spec.h"
+#include "dataflows/random_dag.h"
+#include "util/rng.h"
+
+namespace wrbpg {
+namespace {
+
+TEST(BuiltinSpec, PrefixDetection) {
+  EXPECT_TRUE(IsBuiltinSpec("dwt:16,2"));
+  EXPECT_TRUE(IsBuiltinSpec("kary:2,4"));
+  EXPECT_TRUE(IsBuiltinSpec("mvm:4,3"));
+  EXPECT_TRUE(IsBuiltinSpec("butterfly:8"));
+  EXPECT_TRUE(IsBuiltinSpec("random:4,4,7"));
+  EXPECT_TRUE(IsBuiltinSpec("dwt:garbage"));  // prefix only; build rejects
+  EXPECT_FALSE(IsBuiltinSpec("graph.txt"));
+  EXPECT_FALSE(IsBuiltinSpec("dwt16,2"));
+  EXPECT_FALSE(IsBuiltinSpec("foo:1,2"));
+}
+
+TEST(BuiltinSpec, BuildsMatchDirectBuilders) {
+  {
+    const BuiltinGraph g = BuildBuiltinGraph("dwt:16,2");
+    ASSERT_TRUE(g.ok) << g.error;
+    EXPECT_EQ(g.family, "dwt");
+    ASSERT_TRUE(g.dwt.has_value());
+    EXPECT_EQ(g.graph().num_nodes(), BuildDwt(16, 2).graph.num_nodes());
+  }
+  {
+    const BuiltinGraph g = BuildBuiltinGraph("kary:2,4");
+    ASSERT_TRUE(g.ok) << g.error;
+    ASSERT_TRUE(g.tree.has_value());
+    EXPECT_EQ(g.graph().num_nodes(), 31u);
+  }
+  {
+    const BuiltinGraph g = BuildBuiltinGraph("mvm:4,3");
+    ASSERT_TRUE(g.ok) << g.error;
+    EXPECT_EQ(g.family, "mvm");
+    ASSERT_TRUE(g.mvm.has_value());
+    EXPECT_EQ(g.mvm->m, 4);
+    EXPECT_EQ(g.mvm->n, 3);
+    EXPECT_EQ(g.graph().num_nodes(), BuildMvm(4, 3).graph.num_nodes());
+  }
+  {
+    const BuiltinGraph g = BuildBuiltinGraph("butterfly:8");
+    ASSERT_TRUE(g.ok) << g.error;
+    EXPECT_EQ(g.family, "butterfly");
+    ASSERT_TRUE(g.butterfly.has_value());
+    EXPECT_EQ(g.butterfly->n, 8);
+    EXPECT_EQ(g.graph().num_nodes(), BuildButterfly(8).graph.num_nodes());
+  }
+  {
+    const BuiltinGraph g = BuildBuiltinGraph("random:4,4,7");
+    ASSERT_TRUE(g.ok) << g.error;
+    ASSERT_TRUE(g.plain.has_value());
+    Rng rng(7);
+    RandomDagOptions options;
+    options.num_layers = 4;
+    options.nodes_per_layer = 4;
+    const Graph direct = BuildRandomDag(rng, options);
+    EXPECT_EQ(g.graph().num_nodes(), direct.num_nodes());
+    EXPECT_EQ(g.graph().num_edges(), direct.num_edges());
+  }
+}
+
+TEST(BuiltinSpec, RejectsMalformedPayloads) {
+  for (const char* spec :
+       {"dwt:16", "dwt:16,2,9", "dwt:16,", "dwt:a,b", "dwt:16x2",
+        "kary:2", "mvm:4", "butterfly:", "butterfly:2,4",
+        "random:4,4", "random:4,4,7,9", "nope:1,2", "dwt:"}) {
+    const BuiltinGraph g = BuildBuiltinGraph(spec);
+    EXPECT_FALSE(g.ok) << spec;
+    EXPECT_FALSE(g.error.empty()) << spec;
+  }
+}
+
+TEST(BuiltinSpec, RejectsOutOfRangeParameters) {
+  for (const char* spec :
+       {"dwt:15,2",       // 2^d must divide n
+        "dwt:16,0",       // d >= 1
+        "kary:9,2",       // k <= 8 (the DP's k! 2^k limit)
+        "kary:2,17",      // levels <= 16
+        "mvm:1,3",        // m >= 2
+        "mvm:4,0",        // n >= 1
+        "mvm:65,3",       // m <= 64
+        "butterfly:6",    // power of two
+        "butterfly:1",    // >= 2
+        "butterfly:2048", // <= 1024
+        "random:1,4,7",   // layers >= 2
+        "random:4,65,7"}) {
+    const BuiltinGraph g = BuildBuiltinGraph(spec);
+    EXPECT_FALSE(g.ok) << spec;
+    EXPECT_NE(g.error.find("invalid"), std::string::npos) << g.error;
+  }
+}
+
+TEST(BuiltinSpec, HelpStringNamesEveryFamily) {
+  const std::string help = BuiltinSpecHelp();
+  for (const char* family : {"dwt:", "kary:", "mvm:", "butterfly:",
+                             "random:"}) {
+    EXPECT_NE(help.find(family), std::string::npos) << family;
+  }
+}
+
+}  // namespace
+}  // namespace wrbpg

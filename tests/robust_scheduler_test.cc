@@ -14,8 +14,10 @@
 #include "dataflows/dwt_graph.h"
 #include "dataflows/random_dag.h"
 #include "robust/robust_scheduler.h"
+#include "dataflows/tree_graph.h"
 #include "schedulers/brute_force.h"
 #include "schedulers/dwt_optimal.h"
+#include "schedulers/kary_tree.h"
 #include "tests/test_helpers.h"
 #include "util/cancel.h"
 #include "util/rng.h"
@@ -210,6 +212,54 @@ TEST(RobustScheduler, DwtChainLetsAlgorithmOneWin) {
   EXPECT_EQ(r.result.cost,
             DwtOptimalScheduler(dwt).CostOnly(budget));
   testing::ExpectValid(dwt.graph, budget, r.result.schedule);
+}
+
+// A bare 31-node graph that happens to be kary(2,4): too large for the
+// exact stage (no deadline => size gate applies), but the recognition
+// stage identifies the family and routes it to the closed-form DP — the
+// chain returns the proven optimum without ever falling to heuristics.
+TEST(RobustScheduler, RecognitionStageWinsOnUnlabeledKaryTree) {
+  const Graph tree = BuildPerfectTree(2, 4).graph;
+  ASSERT_GT(tree.num_nodes(), RobustOptions{}.exact_max_nodes);
+  const Weight budget = MinValidBudget(tree);
+  const RobustResult r = RobustScheduler(tree).Run(budget);
+  ASSERT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.winner, "recognition");
+  EXPECT_EQ(r.stage("recognition")->outcome, StageOutcome::kWinner);
+  EXPECT_EQ(r.result.cost, KaryTreeScheduler(tree).CostOnly(budget));
+  EXPECT_EQ(r.result.termination, Termination::kOptimal);
+  testing::ExpectValid(tree, budget, r.result.schedule);
+  // Proven optimal: the heuristic stages never ran.
+  EXPECT_EQ(r.stage("belady")->outcome, StageOutcome::kNotRun);
+  EXPECT_EQ(r.stage("greedy-topo")->outcome, StageOutcome::kNotRun);
+}
+
+// Same for a bare dwt(16,2) graph: recognition rediscovers (n, d), runs
+// Algorithm 1 on the reference graph, and remaps the schedule back onto
+// the caller's node ids — the remapped schedule must still simulate.
+TEST(RobustScheduler, RecognitionStageWinsOnUnlabeledDwtGraph) {
+  const DwtGraph dwt = BuildDwt(16, 2);
+  const Graph& g = dwt.graph;  // plain Graph: no DwtGraph handed over
+  const Weight budget = MinValidBudget(g) + 2;
+  const RobustResult r = RobustScheduler(g).Run(budget);
+  ASSERT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.winner, "recognition");
+  EXPECT_EQ(r.result.cost, DwtOptimalScheduler(dwt).CostOnly(budget));
+  EXPECT_EQ(r.result.termination, Termination::kOptimal);
+  testing::ExpectValid(g, budget, r.result.schedule);
+}
+
+// When the caller hands over the DwtGraph wrapper, recognition defers to
+// the dedicated dwt-optimal stage instead of duplicating its work.
+TEST(RobustScheduler, RecognitionDefersWhenCallerNamesTheFamily) {
+  const DwtGraph dwt = BuildDwt(16, 2);
+  const Weight budget = MinValidBudget(dwt.graph) + 2;
+  RobustOptions options;
+  options.exact_max_nodes = 0;
+  const RobustResult r = RobustScheduler(dwt).Run(budget, options);
+  ASSERT_TRUE(r.result.feasible);
+  EXPECT_EQ(r.stage("recognition")->outcome, StageOutcome::kSkipped);
+  EXPECT_EQ(r.winner, "dwt-optimal");
 }
 
 TEST(RobustScheduler, HeuristicsBeatNothingButStillReportCandidates) {

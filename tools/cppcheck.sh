@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Run cppcheck over src/ and fail on error/warning-severity findings.
+#
+# Usage:
+#   tools/cppcheck.sh [REPORT_DIR]    # default: build-cppcheck/
+#
+# Writes REPORT_DIR/cppcheck.xml (the full machine-readable report, the
+# CI artifact) and REPORT_DIR/summary.txt (one line per finding). Style
+# and performance notes are collected into the report but only
+# error/warning severities fail the run — the repo's primary linter is
+# clang-tidy (tools/tidy.sh); cppcheck is the second, independent
+# opinion, so its scope here is "things that are definitely wrong".
+# Exits 0 with a notice when cppcheck is not installed.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+REPORT="${1:-${ROOT}/build-cppcheck}"
+
+if ! command -v cppcheck > /dev/null 2>&1; then
+  echo "cppcheck.sh: cppcheck not found on PATH; skipping." >&2
+  exit 0
+fi
+
+mkdir -p "${REPORT}"
+
+# --library=googletest is unavailable on older distros; the checks here
+# only cover src/, which does not include gtest headers.
+cppcheck \
+  --enable=warning,performance,portability \
+  --inline-suppr \
+  --suppress=missingIncludeSystem \
+  --std=c++20 \
+  --language=c++ \
+  -I "${ROOT}" \
+  --xml \
+  "${ROOT}/src" 2> "${REPORT}/cppcheck.xml"
+
+python3 - "${REPORT}" <<'EOF'
+import sys
+import xml.etree.ElementTree as ET
+
+report_dir = sys.argv[1]
+tree = ET.parse(f"{report_dir}/cppcheck.xml")
+failing = []
+lines = []
+for error in tree.iter("error"):
+    severity = error.get("severity", "")
+    if severity == "information":
+        continue
+    loc = error.find("location")
+    where = f"{loc.get('file')}:{loc.get('line')}" if loc is not None else "-"
+    line = f"[{severity}] {where}: {error.get('msg')} ({error.get('id')})"
+    lines.append(line)
+    if severity in ("error", "warning"):
+        failing.append(line)
+
+with open(f"{report_dir}/summary.txt", "w") as f:
+    f.write("\n".join(lines) + ("\n" if lines else ""))
+
+print(f"cppcheck: {len(lines)} findings, {len(failing)} at failing severity")
+for line in failing:
+    print(line)
+sys.exit(1 if failing else 0)
+EOF
