@@ -47,8 +47,20 @@
 //       the wrbpg-ganalysis-v1 document instead of the text report.
 //   wrbpg_cli dot <graph>
 //       Graphviz rendering of the dataflow.
+//   wrbpg_cli serve [<requests.txt>] [--cache-mb N] [--shards N]
+//                   [--no-iso] [--deadline-ms N]
+//       scheduling-as-a-service loop (DESIGN.md §13): read requests — one
+//       `<graph> <budget> [<deadline-ms>]` per line — from a file or
+//       stdin, serve each through a shared ScheduleService (iso-invariant
+//       schedule cache + single-flight dedup + the robust chain on
+//       misses), print one result line per request, and a cache/dedup
+//       summary on stderr.
+//   wrbpg_cli convert <graph> [--out PATH] [--format bin|text]
+//       re-encode a graph between the text format and the compact
+//       wrbpg-bin-v1 binary format (core/binio.h, docs/FORMATS.md).
 //
-// <graph> is either a path to a core/serialize.h text file or a builtin
+// <graph> is a path to a core/serialize.h text file, a path to a
+// wrbpg-bin-v1 binary file (detected by magic), or a builtin
 // generator spec (dataflows/builtin_spec.h) — "dwt:N,D" for DWT(N, D)
 // (Definition 3.1), "kary:K,LEVELS" for the perfect k-ary tree
 // (Definition 3.6), "mvm:M,N" for MVM(M, N) (Definition 4.1),
@@ -86,6 +98,7 @@
 //   EOF
 //   $ wrbpg_cli schedule add3.txt --budget 64 --algo belady
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -95,6 +108,7 @@
 #include <vector>
 
 #include "core/analysis.h"
+#include "core/binio.h"
 #include "core/serialize.h"
 #include "core/simulator.h"
 #include "core/trace.h"
@@ -113,6 +127,7 @@
 #include "schedulers/dwt_optimal.h"
 #include "schedulers/greedy_topo.h"
 #include "schedulers/kary_tree.h"
+#include "service/service.h"
 #include "util/cli.h"
 
 using namespace wrbpg;
@@ -121,14 +136,111 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
-               "analyze|profile|dot> <graph.txt|"
+               "analyze|profile|dot|serve|convert> <graph.txt|"
             << BuiltinSpecHelp()
             << "> [schedule.txt] "
                "[--budget N] [--algo greedy|belady|brute|robust] "
                "[--engine dijkstra|astar|astar+dominance|bb] "
                "[--deadline-ms N] [--memory-cap-mb N] [--threads N] "
-               "[--orbit-prune] [--metrics-json path] [--json] [--fix]\n";
+               "[--orbit-prune] [--metrics-json path] [--json] [--fix]\n"
+               "run `wrbpg_cli --help` for the full per-verb reference\n";
   return 2;
+}
+
+// The man-page-style reference. docs/CLI.md embeds this output verbatim
+// (between BEGIN/END markers) and CI's docs-check job diffs the two, so
+// the written reference cannot drift from the binary: edit this text and
+// regenerate the doc block (tools/docs_check.sh --update).
+int PrintHelp() {
+  std::cout <<
+      "wrbpg_cli - weighted red-blue pebble game scheduling toolkit\n"
+      "\n"
+      "usage: wrbpg_cli <verb> [<arguments>] [flags]\n"
+      "\n"
+      "verbs:\n"
+      "  info <graph>\n"
+      "      Model properties: nodes, edges, sources, sinks, total weight,\n"
+      "      minimum valid budget (Prop 2.3), algorithmic I/O lower bound\n"
+      "      (Prop 2.4).\n"
+      "  dot <graph>\n"
+      "      Graphviz rendering of the dataflow on stdout.\n"
+      "  analyze <graph> [--budget N] [--json]\n"
+      "      Static graph analyzer: canonical hash, verified vertex orbits,\n"
+      "      closed-form family recognition, budget-aware I/O lower-bound\n"
+      "      certificates. --budget defaults to the minimum valid budget.\n"
+      "      --json emits the wrbpg-ganalysis-v1 document.\n"
+      "  lint <graph> [<schedule> --budget N] [--json] [--fix]\n"
+      "      Static analysis without the simulator. Graph-only mode checks\n"
+      "      the graph-level rules; with a schedule and budget, the full\n"
+      "      pass (validity errors plus wasted-I/O warnings with fix-its).\n"
+      "      --fix applies the safe fix-its and prints the fixed schedule.\n"
+      "      Exits 1 when any error-severity diagnostic fires.\n"
+      "  schedule <graph> --budget N [--algo greedy|belady|brute|robust]\n"
+      "           [--engine dijkstra|astar|astar+dominance|bb]\n"
+      "           [--deadline-ms N] [--memory-cap-mb N] [--orbit-prune]\n"
+      "      Emit a validated schedule (one move per line) on stdout,\n"
+      "      stats on stderr. --engine runs the named exact engine\n"
+      "      directly; with --deadline-ms the bb engine is anytime and\n"
+      "      returns its incumbent plus a certified optimality gap.\n"
+      "      Without --engine, --deadline-ms (or --algo robust) runs the\n"
+      "      deadline-aware fallback chain with per-stage provenance.\n"
+      "      --orbit-prune skips root loads of orbit-equivalent sources.\n"
+      "  validate <graph> <schedule> --budget N\n"
+      "      Replay a schedule through the simulator; report cost, peak\n"
+      "      red weight, and move counts, or the first rule violation.\n"
+      "  repair <graph> <schedule> --budget N\n"
+      "      Patch a broken schedule into a simulator-valid one (repaired\n"
+      "      moves on stdout) or print a structured diagnostic and exit\n"
+      "      nonzero.\n"
+      "  trace <graph> <schedule> --budget N\n"
+      "      Render the schedule's fast-memory occupancy timeline.\n"
+      "  profile <graph> [--budget N] [--deadline-ms N]\n"
+      "      Run a representative workload (budget sweep, family DP when\n"
+      "      the graph is a builtin, the robust chain) and print the\n"
+      "      observability report. --budget defaults to the minimum valid\n"
+      "      budget plus 2.\n"
+      "  serve [<requests.txt>] [--cache-mb N] [--shards N] [--no-iso]\n"
+      "        [--deadline-ms N]\n"
+      "      Scheduling-as-a-service loop. Requests are read from the\n"
+      "      file (or stdin when absent or '-'), one per line:\n"
+      "          <graph> <budget> [<deadline-ms>]\n"
+      "      ('#' starts a comment). Each request is served through a\n"
+      "      shared ScheduleService: an iso-invariant schedule cache\n"
+      "      (--cache-mb, default 64; 0 disables), single-flight dedup,\n"
+      "      and the robust fallback chain on misses. One result line per\n"
+      "      request on stdout; cache/dedup summary on stderr. --no-iso\n"
+      "      disables serving permuted isomorphs from cache;\n"
+      "      --deadline-ms sets the default per-solve deadline for\n"
+      "      requests that carry none. Exits 1 when any request failed.\n"
+      "  convert <graph> [--out PATH] [--format bin|text]\n"
+      "      Re-encode a graph between the text format (wrbpg-graph v1)\n"
+      "      and the compact wrbpg-bin-v1 binary format. Default format:\n"
+      "      bin. Writes to stdout when --out is absent.\n"
+      "\n"
+      "graph arguments:\n"
+      "  A path to a wrbpg-graph v1 text file, a path to a wrbpg-bin-v1\n"
+      "  binary file (detected by the WBIN magic), or a builtin generator\n"
+      "  spec: " << BuiltinSpecHelp() << ".\n"
+      "\n"
+      "schedule arguments:\n"
+      "  A path to a wrbpg-schedule v1 text file or a wrbpg-bin-v1 binary\n"
+      "  file (detected by the WBIN magic).\n"
+      "\n"
+      "global flags (accepted by every verb):\n"
+      "  --threads N\n"
+      "      Worker threads for the search engines. Default: hardware\n"
+      "      concurrency (or WRBPG_THREADS when set); --threads 1 forces\n"
+      "      the sequential paths. Schedules are identical at any thread\n"
+      "      count (determinism contract, DESIGN.md §8).\n"
+      "  --metrics-json PATH\n"
+      "      After the verb runs, write the process-wide observability\n"
+      "      snapshot (wrbpg-obs-v1, docs/FORMATS.md) to PATH.\n"
+      "  --help\n"
+      "      Print this reference and exit 0.\n"
+      "\n"
+      "Flags are validated per verb: a flag that belongs to a different\n"
+      "verb is rejected with an error naming the verb that owns it.\n";
+  return 0;
 }
 
 bool ReadFile(const std::string& path, std::string& out) {
@@ -176,7 +288,11 @@ LoadedGraph LoadGraphArg(const std::string& spec) {
   }
   std::string graph_text;
   if (!ReadFile(spec, graph_text)) return out;
-  GraphParseResult parsed = ParseGraphText(graph_text);
+  // wrbpg-bin-v1 files are detected by magic, so every verb transparently
+  // accepts either encoding.
+  GraphParseResult parsed = LooksLikeBinary(graph_text)
+                                ? ParseGraphBinary(graph_text)
+                                : ParseGraphText(graph_text);
   if (!parsed.ok) {
     std::cerr << "error: " << spec << ": " << parsed.error << "\n";
     return out;
@@ -184,6 +300,21 @@ LoadedGraph LoadGraphArg(const std::string& spec) {
   out.parsed = std::move(parsed.graph);
   out.ok = true;
   return out;
+}
+
+// Schedule files get the same magic-based encoding detection as graphs.
+ScheduleParseResult LoadScheduleArg(const std::string& path) {
+  ScheduleParseResult out;
+  std::ifstream in(path);
+  if (!in) {
+    out.error = "cannot open file";
+    return out;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  return LooksLikeBinary(text) ? ParseScheduleBinary(text)
+                               : ParseScheduleText(text);
 }
 
 // The `profile` verb: exercise every instrumented layer once — a budget
@@ -256,11 +387,157 @@ int RunProfile(const CliArgs& args, const LoadedGraph& loaded,
   return robust.result.feasible ? 0 : 1;
 }
 
+// The `serve` verb: a scheduling-as-a-service loop over a request stream
+// (file or stdin), one `<graph> <budget> [<deadline-ms>]` per line. Every
+// request flows through one shared ScheduleService, so repeated and
+// isomorphic graphs hit the schedule cache and concurrent duplicates
+// would share a single solve (ServeBatch); here requests arrive
+// sequentially, so the cache is the star.
+int RunServe(const CliArgs& args) {
+  ServiceOptions options;
+  const std::int64_t cache_mb = args.GetInt("cache-mb", 64);
+  const std::int64_t shards = args.GetInt("shards", 16);
+  options.default_deadline_ms = args.GetDouble("deadline-ms", 0);
+  options.iso_hits = !args.GetBool("no-iso", false);
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+  if (cache_mb < 0 || shards < 1) {
+    std::cerr << "error: --cache-mb must be >= 0 and --shards >= 1\n";
+    return 2;
+  }
+  options.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  options.cache_shards = static_cast<std::size_t>(shards);
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (args.positional().size() >= 2 && args.positional()[1] != "-") {
+    file.open(args.positional()[1]);
+    if (!file) {
+      std::cerr << "error: cannot open '" << args.positional()[1] << "'\n";
+      return 1;
+    }
+    in = &file;
+  }
+
+  ScheduleService service(options);
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t failures = 0;
+  while (std::getline(*in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::vector<std::string> fields;
+    std::string tok;
+    while (tokens >> tok) fields.push_back(tok);
+    if (fields.empty()) continue;
+
+    Weight budget = 0;
+    double deadline_ms = 0;
+    bool parsed = fields.size() >= 2 && fields.size() <= 3;
+    if (parsed) {
+      const std::string& b = fields[1];
+      const auto [ptr, ec] = std::from_chars(b.data(), b.data() + b.size(),
+                                             budget);
+      parsed = ec == std::errc() && ptr == b.data() + b.size();
+    }
+    if (parsed && fields.size() == 3) {
+      const std::string& d = fields[2];
+      char* end = nullptr;
+      deadline_ms = std::strtod(d.c_str(), &end);
+      parsed = end == d.c_str() + d.size();
+    }
+    if (!parsed) {
+      std::cout << "req " << lineno
+                << " error: expected '<graph> <budget> [<deadline-ms>]'\n";
+      ++failures;
+      continue;
+    }
+
+    const LoadedGraph loaded = LoadGraphArg(fields[0]);
+    if (!loaded.ok) {
+      // LoadGraphArg already printed the detail on stderr.
+      std::cout << "req " << lineno << " " << fields[0]
+                << " error: cannot load graph\n";
+      ++failures;
+      continue;
+    }
+    ServiceRequest request;
+    request.graph = &loaded.graph();
+    request.budget = budget;
+    request.deadline_ms = deadline_ms;
+    const ServiceResponse response = service.Serve(request);
+    if (!response.ok) {
+      std::cout << "req " << lineno << " " << fields[0] << " budget="
+                << budget << " source=" << ToString(response.source)
+                << " error: " << response.error << "\n";
+      ++failures;
+      continue;
+    }
+    std::cout << "req " << lineno << " " << fields[0]
+              << " budget=" << budget
+              << " source=" << ToString(response.source)
+              << " cost=" << response.result.cost
+              << " lb=" << response.result.lower_bound
+              << " gap=" << response.result.optimality_gap
+              << " termination=" << ToString(response.result.termination)
+              << " winner=" << response.winner
+              << " latency_ms=" << response.latency_ms << "\n";
+  }
+
+  const ServiceStats stats = service.stats();
+  std::cerr << "serve: requests=" << stats.requests
+            << " hits=" << stats.cache_hits
+            << " iso_hits=" << stats.iso_hits
+            << " misses=" << stats.misses
+            << " dedup=" << stats.dedup_shared
+            << " solves=" << stats.solves
+            << " cache_entries=" << stats.cache_entries
+            << " cache_bytes=" << stats.cache_bytes
+            << " evictions=" << stats.cache_evictions << "\n";
+  return failures > 0 ? 1 : 0;
+}
+
 // Runs the selected verb; main() handles the --metrics-json dump so every
 // exit path below is covered by one snapshot.
 int RunVerb(const CliArgs& args) {
-  if (args.positional().size() < 2) return Usage();
+  if (args.positional().empty()) return Usage();
   const std::string& command = args.positional()[0];
+
+  // Per-verb flag ownership: a flag passed to the wrong verb is rejected
+  // with an error naming the verb that accepts it (util/cli.h).
+  static const std::vector<VerbFlags> kVerbFlags = {
+      {"info", {}},
+      {"dot", {}},
+      {"analyze", {"budget", "json"}},
+      {"lint", {"budget", "json", "fix"}},
+      {"schedule",
+       {"budget", "algo", "engine", "deadline-ms", "memory-cap-mb",
+        "orbit-prune"}},
+      {"validate", {"budget"}},
+      {"repair", {"budget"}},
+      {"trace", {"budget"}},
+      {"profile", {"budget", "deadline-ms"}},
+      {"serve", {"cache-mb", "shards", "no-iso", "deadline-ms"}},
+      {"convert", {"out", "format"}},
+  };
+  static const std::vector<std::string> kGlobalFlags = {"threads",
+                                                        "metrics-json",
+                                                        "help"};
+  const bool known_verb =
+      std::any_of(kVerbFlags.begin(), kVerbFlags.end(),
+                  [&](const VerbFlags& v) { return v.verb == command; });
+  if (!known_verb) return Usage();
+  if (!args.CheckVerbFlags(command, kVerbFlags, kGlobalFlags)) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+
+  if (command == "serve") return RunServe(args);
+  if (args.positional().size() < 2) return Usage();
 
   const LoadedGraph loaded = LoadGraphArg(args.positional()[1]);
   if (!loaded.ok) return 1;
@@ -280,6 +557,30 @@ int RunVerb(const CliArgs& args) {
   }
   if (command == "dot") {
     std::cout << ToDot(graph, args.positional()[1]);
+    return 0;
+  }
+
+  if (command == "convert") {
+    const std::string format = args.GetString("format", "bin");
+    const std::string out_path = args.GetString("out", "");
+    if (format != "bin" && format != "text") {
+      std::cerr << "error: unknown --format '" << format
+                << "' (expected bin|text)\n";
+      return 2;
+    }
+    const std::string payload =
+        format == "bin" ? ToBinary(graph) : ToText(graph);
+    if (out_path.empty()) {
+      std::cout.write(payload.data(),
+                      static_cast<std::streamsize>(payload.size()));
+      return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.write(payload.data(),
+                   static_cast<std::streamsize>(payload.size()))) {
+      std::cerr << "error: cannot write '" << out_path << "'\n";
+      return 1;
+    }
     return 0;
   }
 
@@ -317,9 +618,7 @@ int RunVerb(const CliArgs& args) {
       std::cerr << "error: --budget <bits> is required to lint a schedule\n";
       return 2;
     }
-    std::string schedule_text;
-    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
-    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    const ScheduleParseResult sched = LoadScheduleArg(args.positional()[2]);
     if (!sched.ok) {
       std::cerr << "error: " << args.positional()[2] << ": " << sched.error
                 << "\n";
@@ -517,9 +816,7 @@ int RunVerb(const CliArgs& args) {
 
   if (command == "trace") {
     if (args.positional().size() < 3) return Usage();
-    std::string schedule_text;
-    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
-    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    const ScheduleParseResult sched = LoadScheduleArg(args.positional()[2]);
     if (!sched.ok) {
       std::cerr << "error: " << args.positional()[2] << ": " << sched.error
                 << "\n";
@@ -536,9 +833,7 @@ int RunVerb(const CliArgs& args) {
 
   if (command == "repair") {
     if (args.positional().size() < 3) return Usage();
-    std::string schedule_text;
-    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
-    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    const ScheduleParseResult sched = LoadScheduleArg(args.positional()[2]);
     if (!sched.ok) {
       std::cerr << "error: " << args.positional()[2] << ": " << sched.error
                 << "\n";
@@ -563,9 +858,7 @@ int RunVerb(const CliArgs& args) {
 
   if (command == "validate") {
     if (args.positional().size() < 3) return Usage();
-    std::string schedule_text;
-    if (!ReadFile(args.positional()[2], schedule_text)) return 1;
-    const ScheduleParseResult sched = ParseScheduleText(schedule_text);
+    const ScheduleParseResult sched = LoadScheduleArg(args.positional()[2]);
     if (!sched.ok) {
       std::cerr << "error: " << args.positional()[2] << ": " << sched.error
                 << "\n";
@@ -591,6 +884,7 @@ int RunVerb(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  if (args.GetBool("help", false)) return PrintHelp();
   args.ApplyThreadsFlag();
   if (!args.error().empty()) {
     std::cerr << "error: " << args.error() << "\n";

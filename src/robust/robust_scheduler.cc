@@ -154,6 +154,7 @@ RobustResult RobustScheduler::Run(Weight budget,
         bf.max_states = options.exact_max_states;
         bf.cancel = cancel;
         bf.threads = threads;
+        bf.force_wide_state = options.exact_force_wide_state;
         // Certified root bound: tightens the REPORTED gap of an
         // interrupted run; schedules stay bit-identical (brute_force.h).
         bf.root_lower_bound = cert_lb;

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
@@ -112,6 +113,43 @@ std::size_t CliArgs::ApplyThreadsFlag() const {
     SetDefaultSearchThreads(0);
   }
   return DefaultSearchThreads();
+}
+
+bool CliArgs::CheckVerbFlags(
+    const std::string& verb, const std::vector<VerbFlags>& table,
+    const std::vector<std::string>& global_flags) const {
+  const auto lists = [](const std::vector<std::string>& names,
+                        const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  const VerbFlags* own = nullptr;
+  for (const VerbFlags& entry : table) {
+    if (entry.verb == verb) {
+      own = &entry;
+      break;
+    }
+  }
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (lists(global_flags, name)) continue;
+    if (own != nullptr && lists(own->flags, name)) continue;
+    // Name every verb that DOES accept the flag, so the error message
+    // teaches the fix instead of just rejecting.
+    std::string owners;
+    for (const VerbFlags& entry : table) {
+      if (entry.verb == verb || !lists(entry.flags, name)) continue;
+      if (!owners.empty()) owners += "/";
+      owners += "'" + entry.verb + "'";
+    }
+    if (owners.empty()) {
+      RecordError("unknown flag '--" + name + "' for verb '" + verb + "'");
+    } else {
+      RecordError("flag '--" + name + "' belongs to verb " + owners +
+                  ", not '" + verb + "'");
+    }
+    return false;
+  }
+  return true;
 }
 
 bool CliArgs::GetBool(const std::string& name, bool fallback) const {

@@ -19,6 +19,12 @@
 
 namespace wrbpg {
 
+// One verb's accepted flag names, for CliArgs::CheckVerbFlags.
+struct VerbFlags {
+  std::string verb;
+  std::vector<std::string> flags;
+};
+
 class CliArgs {
  public:
   // Parses argv; on malformed input stores an error retrievable via error().
@@ -41,6 +47,18 @@ class CliArgs {
   // default at startup and is only overridden by an explicit flag.
   // Negative values record an error. Returns the installed count.
   std::size_t ApplyThreadsFlag() const;
+
+  // Validates every parsed flag against the verb table: flags listed for
+  // `verb` (or in `global_flags`, accepted everywhere) pass. A flag that
+  // belongs to a DIFFERENT verb records an error naming the owning
+  // verb(s) — "flag '--engine' belongs to verb 'schedule', not 'info'" —
+  // so the message teaches the fix; a flag no verb owns records a plain
+  // unknown-flag error. First offender wins (map order, so the
+  // lexicographically smallest flag name); returns false when any flag
+  // failed.
+  bool CheckVerbFlags(const std::string& verb,
+                      const std::vector<VerbFlags>& table,
+                      const std::vector<std::string>& global_flags = {}) const;
 
  private:
   void RecordError(const std::string& message) const;

@@ -1,0 +1,170 @@
+// Sharded byte-budget LRU cache — the storage substrate of the schedule
+// cache in src/service/ (DESIGN.md §13).
+//
+// The cache is split into power-of-two shards, each holding its own
+// mutex, recency list, and slice of the byte budget, so concurrent
+// lookups of different keys never contend. Values are handed out as
+// shared_ptr<const V>: a Get that races an eviction still holds a live
+// snapshot, and entries are never copied on the serve path.
+//
+// Eviction is by bytes, not entry count: each Put carries the entry's
+// accounted size, and the owning shard evicts least-recently-used
+// entries until its slice (total budget / shards) fits. An entry larger
+// than a whole shard slice is refused outright (counted in
+// stats().rejected) — admitting it would evict the entire shard for a
+// value that can never be retained.
+//
+// Thread safety: every public method is safe to call concurrently. The
+// per-shard counters are folded under each shard's mutex, so stats() is
+// a consistent-per-shard (not globally atomic) snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wrbpg {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;  // Puts larger than a shard slice
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t byte_budget = 0;
+  };
+
+  // `byte_budget` bounds the sum of accounted entry sizes across all
+  // shards; `shards` is rounded up to a power of two (min 1).
+  explicit ShardedLruCache(std::size_t byte_budget, std::size_t shards = 16)
+      : byte_budget_(byte_budget) {
+    std::size_t n = 1;
+    while (n < shards) n <<= 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    shard_budget_ = byte_budget / n;
+  }
+
+  // Returns the cached value and refreshes its recency, or nullptr.
+  std::shared_ptr<const Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    const std::scoped_lock lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    // Move to the front of the recency list (most recently used).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->value;
+  }
+
+  // Inserts (or replaces) `key`, accounting `bytes` against the owning
+  // shard's slice and evicting LRU entries until it fits. Returns false
+  // when the entry alone exceeds the slice and was refused.
+  bool Put(const Key& key, std::shared_ptr<const Value> value,
+           std::size_t bytes) {
+    Shard& shard = ShardFor(key);
+    const std::scoped_lock lock(shard.mu);
+    if (bytes > shard_budget_) {
+      ++shard.rejected;
+      return false;
+    }
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+    return true;
+  }
+
+  // Drops every entry (stats counters are preserved).
+  void Clear() {
+    for (const auto& shard : shards_) {
+      const std::scoped_lock lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+      shard->bytes = 0;
+    }
+  }
+
+  Stats stats() const {
+    Stats out;
+    out.byte_budget = byte_budget_;
+    for (const auto& shard : shards_) {
+      const std::scoped_lock lock(shard->mu);
+      out.hits += shard->hits;
+      out.misses += shard->misses;
+      out.insertions += shard->insertions;
+      out.evictions += shard->evictions;
+      out.rejected += shard->rejected;
+      out.entries += shard->index.size();
+      out.bytes += shard->bytes;
+    }
+    return out;
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Finalizer mix so clustered hash values still spread across shards.
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return *shards_[h & (shards_.size() - 1)];
+  }
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  // unique_ptr because a Shard owns a mutex and can be neither moved nor
+  // copied, which vector growth would otherwise require.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wrbpg

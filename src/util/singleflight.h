@@ -1,0 +1,106 @@
+// Single-flight request coalescing — concurrent callers asking for the
+// same key share ONE execution of the underlying work (DESIGN.md §13).
+//
+// Do(key, fn) elects the first caller of a key its leader: the leader
+// runs fn() (outside the registry lock, so unrelated keys never wait on
+// it) and publishes the result; every caller that arrives while the
+// flight is in progress blocks on it and receives the same
+// shared_ptr<const Value>. When the flight completes, the key is retired
+// — a LATER Do with the same key starts a fresh flight. Deduplication is
+// therefore strictly of in-flight work; persistent reuse across time is
+// the cache's job (util/lru.h), and src/service/ stacks the two.
+//
+// An exception escaping fn() is captured and rethrown in the leader AND
+// every waiting follower, so failures are not silently shared as null
+// results. The flight is retired either way.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace wrbpg {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SingleFlight {
+ public:
+  struct Outcome {
+    std::shared_ptr<const Value> value;
+    // True when this caller executed fn itself; false when it shared a
+    // flight another caller led (the "deduplicated" case).
+    bool leader = false;
+  };
+
+  // fn: () -> std::shared_ptr<const Value>.
+  template <typename Fn>
+  Outcome Do(const Key& key, Fn&& fn) {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      const std::scoped_lock lock(mu_);
+      auto it = flights_.find(key);
+      if (it == flights_.end()) {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key, flight);
+        leader = true;
+      } else {
+        flight = it->second;
+      }
+    }
+    if (leader) {
+      try {
+        auto value = fn();
+        {
+          const std::scoped_lock lock(flight->mu);
+          flight->value = std::move(value);
+          flight->done = true;
+        }
+      } catch (...) {
+        {
+          const std::scoped_lock lock(flight->mu);
+          flight->error = std::current_exception();
+          flight->done = true;
+        }
+        Retire(key);
+        flight->cv.notify_all();
+        throw;
+      }
+      Retire(key);
+      flight->cv.notify_all();
+      return Outcome{flight->value, true};
+    }
+    std::unique_lock lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return Outcome{flight->value, false};
+  }
+
+  // Flights currently executing (diagnostic; racy by nature).
+  std::size_t in_flight() const {
+    const std::scoped_lock lock(mu_);
+    return flights_.size();
+  }
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const Value> value;
+    std::exception_ptr error;
+  };
+
+  void Retire(const Key& key) {
+    const std::scoped_lock lock(mu_);
+    flights_.erase(key);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Flight>, Hash> flights_;
+};
+
+}  // namespace wrbpg

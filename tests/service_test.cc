@@ -1,0 +1,276 @@
+// ScheduleService (src/service/): cache determinism across threads and
+// state representation, single-flight dedup, isomorph hits, byte-budget
+// eviction, batch dispatch, and the deadline admission policy.
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/binio.h"
+#include "core/graph.h"
+#include "core/graph_builder.h"
+#include "core/simulator.h"
+#include "dataflows/builtin_spec.h"
+#include "service/service.h"
+
+namespace wrbpg {
+namespace {
+
+Graph BuiltinOrDie(const std::string& spec) {
+  BuiltinGraph built = BuildBuiltinGraph(spec);
+  EXPECT_TRUE(built.ok) << spec << ": " << built.error;
+  return built.graph();
+}
+
+Graph PermuteGraph(const Graph& graph, std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<NodeId> inv(n);
+  for (NodeId v = 0; v < n; ++v) inv[perm[v]] = v;
+  GraphBuilder builder;
+  for (NodeId j = 0; j < n; ++j) {
+    builder.AddNode(graph.weight(inv[j]), graph.name(inv[j]));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId c : graph.children(v)) {
+      builder.AddEdge(perm[v], perm[c]);
+    }
+  }
+  return builder.BuildOrDie();
+}
+
+// A cache hit must be bit-identical to a cold solve, and the cold solve
+// itself must be independent of thread count and state representation —
+// the two determinism contracts composed. Sweep threads {1, 2, 8} ×
+// {packed, wide}: every cold response and every subsequent hit must
+// carry the same schedule bytes, cost, and bound.
+TEST(ScheduleService, CacheHitsBitIdenticalAcrossThreadsAndRepresentation) {
+  const Graph graph = BuiltinOrDie("random:3,4,7");
+  const Weight budget = MinValidBudget(graph) + 8;
+  ServiceRequest request;
+  request.graph = &graph;
+  request.budget = budget;
+
+  std::string reference_bytes;
+  Weight reference_cost = 0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const bool wide : {false, true}) {
+      ServiceOptions options;
+      options.robust.threads = threads;
+      options.robust.exact_force_wide_state = wide;
+      ScheduleService service(options);
+
+      const ServiceResponse cold = service.Serve(request);
+      ASSERT_TRUE(cold.ok);
+      EXPECT_EQ(cold.source, ServeSource::kSolved);
+      const std::string cold_bytes = ToBinary(cold.result.schedule);
+      if (reference_bytes.empty()) {
+        reference_bytes = cold_bytes;
+        reference_cost = cold.result.cost;
+      }
+      EXPECT_EQ(cold_bytes, reference_bytes)
+          << "threads=" << threads << " wide=" << wide;
+      EXPECT_EQ(cold.result.cost, reference_cost);
+
+      const ServiceResponse hit = service.Serve(request);
+      ASSERT_TRUE(hit.ok);
+      EXPECT_EQ(hit.source, ServeSource::kCacheHit);
+      EXPECT_EQ(ToBinary(hit.result.schedule), cold_bytes);
+      EXPECT_EQ(hit.result.cost, cold.result.cost);
+      EXPECT_EQ(hit.result.lower_bound, cold.result.lower_bound);
+      EXPECT_EQ(hit.result.termination, cold.result.termination);
+      EXPECT_EQ(hit.winner, cold.winner);
+    }
+  }
+}
+
+TEST(ScheduleService, SingleFlightCollapsesConcurrentIdenticalRequests) {
+  const Graph graph = BuiltinOrDie("random:4,4,21");
+  const Weight budget = MinValidBudget(graph) + 8;
+  ScheduleService service;
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<ServiceResponse> responses(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ServiceRequest request;
+        request.graph = &graph;
+        request.budget = budget;
+        responses[t] = service.Serve(request);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // Exactly one solver-chain execution, however the 8 interleave (flight
+  // followers and post-completion cache hits are both fine).
+  EXPECT_EQ(service.stats().solves, 1u);
+  const std::string expected = ToBinary(responses[0].result.schedule);
+  for (const ServiceResponse& response : responses) {
+    ASSERT_TRUE(response.ok);
+    EXPECT_EQ(ToBinary(response.result.schedule), expected);
+  }
+}
+
+TEST(ScheduleService, ServesPermutedIsomorphsFromCache) {
+  const Graph graph = BuiltinOrDie("random:3,4,9");
+  const Graph permuted = PermuteGraph(graph, 0xabcd);
+  const Weight budget = MinValidBudget(graph) + 8;
+  ScheduleService service;
+
+  ServiceRequest request;
+  request.graph = &graph;
+  request.budget = budget;
+  const ServiceResponse cold = service.Serve(request);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(cold.source, ServeSource::kSolved);
+
+  ServiceRequest iso_request;
+  iso_request.graph = &permuted;
+  iso_request.budget = budget;
+  const ServiceResponse iso = service.Serve(iso_request);
+  ASSERT_TRUE(iso.ok);
+  EXPECT_EQ(iso.source, ServeSource::kIsoCacheHit);
+  EXPECT_EQ(iso.result.cost, cold.result.cost);
+  EXPECT_EQ(iso.key, cold.key);
+  // The renamed schedule is valid for the REQUEST's labeling.
+  const SimResult sim = Simulate(permuted, budget, iso.result.schedule);
+  EXPECT_TRUE(sim.valid);
+  EXPECT_EQ(sim.cost, cold.result.cost);
+  EXPECT_EQ(service.stats().iso_hits, 1u);
+  EXPECT_EQ(service.stats().solves, 1u);
+
+  // With iso hits disabled the permuted request is a plain miss.
+  ServiceOptions no_iso;
+  no_iso.iso_hits = false;
+  ScheduleService strict(no_iso);
+  ASSERT_TRUE(strict.Serve(request).ok);
+  const ServiceResponse strict_iso = strict.Serve(iso_request);
+  ASSERT_TRUE(strict_iso.ok);
+  EXPECT_EQ(strict_iso.source, ServeSource::kSolved);
+  EXPECT_EQ(strict.stats().solves, 2u);
+}
+
+TEST(ScheduleService, DeriveKeyIsIsoInvariant) {
+  const Graph graph = BuiltinOrDie("random:3,4,9");
+  const Graph permuted = PermuteGraph(graph, 0x1234);
+  EXPECT_EQ(ScheduleService::DeriveKey(graph, 64),
+            ScheduleService::DeriveKey(permuted, 64));
+  EXPECT_NE(ScheduleService::DeriveKey(graph, 64),
+            ScheduleService::DeriveKey(graph, 65));
+}
+
+TEST(ScheduleService, DeadlineBoundedResultsAreNeverCached) {
+  const Graph graph = BuiltinOrDie("random:3,4,11");
+  ServiceRequest request;
+  request.graph = &graph;
+  request.budget = MinValidBudget(graph) + 8;
+  request.deadline_ms = 50;
+  ScheduleService service;
+  const ServiceResponse first = service.Serve(request);
+  ASSERT_TRUE(first.ok);  // anytime contract: always an incumbent
+  EXPECT_EQ(service.stats().cache_entries, 0u);
+  // The same request again re-solves: nothing was admitted.
+  const ServiceResponse second = service.Serve(request);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(service.stats().solves, 2u);
+}
+
+TEST(ScheduleService, InfeasibleVerdictsAreCachedToo) {
+  const Graph graph = BuiltinOrDie("random:2,3,5");
+  ServiceRequest request;
+  request.graph = &graph;
+  request.budget = 1;  // below any node weight: provably infeasible
+  ScheduleService service;
+  const ServiceResponse cold = service.Serve(request);
+  EXPECT_FALSE(cold.ok);
+  EXPECT_FALSE(cold.error.empty());
+  const ServiceResponse hit = service.Serve(request);
+  EXPECT_FALSE(hit.ok);
+  EXPECT_EQ(hit.source, ServeSource::kCacheHit);
+  EXPECT_EQ(service.stats().solves, 1u);
+}
+
+TEST(ScheduleService, EvictsByByteBudget) {
+  ServiceOptions options;
+  options.cache_bytes = 4096;
+  options.cache_shards = 1;
+  ScheduleService service(options);
+
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Graph graph = BuiltinOrDie("random:2,3," + std::to_string(seed));
+    ServiceRequest request;
+    request.graph = &graph;
+    request.budget = MinValidBudget(graph) + 8;
+    const ServiceResponse response = service.Serve(request);
+    ASSERT_TRUE(response.ok) << "seed " << seed;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_LT(stats.cache_entries, 12u);
+  EXPECT_LE(stats.cache_bytes, 4096u);
+}
+
+TEST(ScheduleService, ServeBatchCollapsesDuplicatesAndMapsByIndex) {
+  const Graph a = BuiltinOrDie("random:3,4,31");
+  const Graph b = BuiltinOrDie("random:3,4,32");
+  const Weight budget_a = MinValidBudget(a) + 8;
+  const Weight budget_b = MinValidBudget(b) + 8;
+
+  std::vector<ServiceRequest> requests(4);
+  requests[0].graph = &a;
+  requests[0].budget = budget_a;
+  requests[1].graph = &b;
+  requests[1].budget = budget_b;
+  requests[2].graph = &a;
+  requests[2].budget = budget_a;  // duplicate of [0]
+  requests[3].graph = nullptr;    // malformed
+  requests[3].budget = 64;
+
+  ScheduleService service;
+  const std::vector<ServiceResponse> responses = service.ServeBatch(requests);
+  ASSERT_EQ(responses.size(), 4u);
+  ASSERT_TRUE(responses[0].ok);
+  ASSERT_TRUE(responses[1].ok);
+  ASSERT_TRUE(responses[2].ok);
+  EXPECT_FALSE(responses[3].ok);
+  EXPECT_FALSE(responses[3].error.empty());
+
+  EXPECT_EQ(responses[2].source, ServeSource::kDedup);
+  EXPECT_EQ(ToBinary(responses[2].result.schedule),
+            ToBinary(responses[0].result.schedule));
+  EXPECT_NE(ToBinary(responses[1].result.schedule),
+            ToBinary(responses[0].result.schedule));
+  EXPECT_EQ(service.stats().solves, 2u);
+  EXPECT_GE(service.stats().dedup_shared, 1u);
+}
+
+TEST(ScheduleService, RejectsMalformedRequests) {
+  ScheduleService service;
+  ServiceRequest no_graph;
+  no_graph.budget = 64;
+  EXPECT_FALSE(service.Serve(no_graph).ok);
+
+  const Graph graph = BuiltinOrDie("random:2,3,5");
+  ServiceRequest no_budget;
+  no_budget.graph = &graph;
+  no_budget.budget = 0;
+  const ServiceResponse response = service.Serve(no_budget);
+  EXPECT_FALSE(response.ok);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(service.stats().solves, 0u);
+}
+
+}  // namespace
+}  // namespace wrbpg

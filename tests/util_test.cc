@@ -239,5 +239,58 @@ TEST(Cli, FirstErrorWins) {
   EXPECT_NE(first.find("a"), std::string::npos);
 }
 
+// The per-verb flag registry used by CheckVerbFlags tests.
+const std::vector<VerbFlags> kTable = {
+    {"info", {}},
+    {"schedule", {"budget", "engine", "deadline-ms"}},
+    {"serve", {"cache-mb", "deadline-ms"}},
+};
+const std::vector<std::string> kGlobal = {"threads", "metrics-json"};
+
+TEST(Cli, CheckVerbFlagsAcceptsOwnAndGlobalFlags) {
+  const char* argv[] = {"prog", "schedule", "--budget=64", "--threads=2"};
+  const CliArgs args(4, argv);
+  EXPECT_TRUE(args.CheckVerbFlags("schedule", kTable, kGlobal));
+  EXPECT_TRUE(args.error().empty());
+}
+
+TEST(Cli, CheckVerbFlagsNamesTheOwningVerb) {
+  // The regression this guards: a flag passed to the wrong verb must be
+  // rejected with a consistent error that names the verb that owns it,
+  // not silently ignored or reported as merely unknown.
+  const char* argv[] = {"prog", "info", "--engine=bb"};
+  const CliArgs args(3, argv);
+  EXPECT_FALSE(args.CheckVerbFlags("info", kTable, kGlobal));
+  EXPECT_EQ(args.error(),
+            "flag '--engine' belongs to verb 'schedule', not 'info'");
+}
+
+TEST(Cli, CheckVerbFlagsNamesEveryOwningVerb) {
+  const char* argv[] = {"prog", "info", "--deadline-ms=5"};
+  const CliArgs args(3, argv);
+  EXPECT_FALSE(args.CheckVerbFlags("info", kTable, kGlobal));
+  EXPECT_EQ(args.error(),
+            "flag '--deadline-ms' belongs to verb 'schedule'/'serve', "
+            "not 'info'");
+}
+
+TEST(Cli, CheckVerbFlagsReportsTrulyUnknownFlags) {
+  const char* argv[] = {"prog", "info", "--bogus=1"};
+  const CliArgs args(3, argv);
+  EXPECT_FALSE(args.CheckVerbFlags("info", kTable, kGlobal));
+  EXPECT_EQ(args.error(), "unknown flag '--bogus' for verb 'info'");
+}
+
+TEST(Cli, CheckVerbFlagsUnknownVerbStillChecksGlobals) {
+  // A verb absent from the table accepts only global flags.
+  const char* argv[] = {"prog", "mystery", "--threads=2"};
+  const CliArgs args(3, argv);
+  EXPECT_TRUE(args.CheckVerbFlags("mystery", kTable, kGlobal));
+  const char* argv2[] = {"prog", "mystery", "--budget=64"};
+  const CliArgs args2(3, argv2);
+  EXPECT_FALSE(args2.CheckVerbFlags("mystery", kTable, kGlobal));
+  EXPECT_NE(args2.error().find("belongs to verb"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wrbpg

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Docs-vs-tool drift gate (CI job: docs-check).
+#
+# Usage:
+#   tools/docs_check.sh            # verify, exit 1 on any drift
+#   tools/docs_check.sh --update   # rewrite the generated doc blocks
+#
+# Checks, against the live binary in build/examples/wrbpg_cli:
+#   1. docs/CLI.md embeds `wrbpg_cli --help` verbatim (marker block).
+#   2. docs/FORMATS.md's analyze-json-example reproduces byte-for-byte
+#      (the wrbpg-ganalysis-v1 document is deterministic by contract).
+#   3. A live --metrics-json document carries exactly the wrbpg-obs-v1
+#      top-level keys FORMATS.md documents (obs-top-keys marker), plus
+#      the CLI's exit_status producer key.
+#   4. No *.md file links to a nonexistent in-repo path.
+#
+# --update regenerates the embedded blocks of checks 1 and 2 in place;
+# checks 3 and 4 have no generated content and are always verify-only.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CLI="${ROOT}/build/examples/wrbpg_cli"
+MODE="${1:-}"
+
+if [[ ! -x "${CLI}" ]]; then
+  echo "docs_check: ${CLI} not built (cmake --build build --target wrbpg_cli)" >&2
+  exit 1
+fi
+
+"${CLI}" --help > /tmp/docs_check_help.txt
+# --threads 1 keeps the document independent of the host's core count.
+"${CLI}" analyze kary:2,3 --json --threads 1 > /tmp/docs_check_analyze.json
+"${CLI}" info dwt:4,2 --metrics-json /tmp/docs_check_obs.json > /dev/null
+
+MODE="${MODE}" ROOT="${ROOT}" python3 - <<'EOF'
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+root = Path(os.environ["ROOT"])
+update = os.environ["MODE"] == "--update"
+failures = []
+
+def replace_block(path, begin_re, end_re, body):
+    """Replace the lines strictly between the marker lines with `body`."""
+    lines = path.read_text().splitlines(keepends=True)
+    begin = end = None
+    for i, line in enumerate(lines):
+        if begin is None and re.search(begin_re, line):
+            begin = i
+        elif begin is not None and re.search(end_re, line):
+            end = i
+            break
+    if begin is None or end is None:
+        failures.append(f"{path.name}: marker pair {begin_re!r} not found")
+        return None
+    inner = "".join(lines[begin + 1:end])
+    if update and inner != body:
+        path.write_text("".join(lines[:begin + 1]) + body + "".join(lines[end:]))
+        print(f"docs_check: updated {path.name}")
+        return body
+    return inner
+
+# 1. docs/CLI.md embeds --help verbatim (inside a ```text fence).
+help_text = Path("/tmp/docs_check_help.txt").read_text()
+block = replace_block(root / "docs/CLI.md",
+                      r"<!-- BEGIN wrbpg_cli --help",
+                      r"<!-- END wrbpg_cli --help -->",
+                      "```text\n" + help_text + "```\n")
+if block is not None and block != "```text\n" + help_text + "```\n":
+    failures.append("docs/CLI.md: embedded --help block differs from the live "
+                    "binary (run tools/docs_check.sh --update)")
+
+# 2. FORMATS.md analyze example is byte-identical to a live run.
+analyze = Path("/tmp/docs_check_analyze.json").read_text()
+block = replace_block(root / "docs/FORMATS.md",
+                      r"<!-- BEGIN analyze-json-example",
+                      r"<!-- END analyze-json-example -->",
+                      "```json\n" + analyze + "```\n")
+if block is not None and block != "```json\n" + analyze + "```\n":
+    failures.append("docs/FORMATS.md: analyze-json-example differs from "
+                    "`analyze kary:2,3 --json --threads 1` "
+                    "(run tools/docs_check.sh --update)")
+
+# 3. Live obs document top-level keys == the documented list (+ the
+#    CLI's exit_status producer key, which FORMATS.md calls out in prose).
+formats = (root / "docs/FORMATS.md").read_text()
+m = re.search(r"<!-- obs-top-keys: ([a-z_ ]+) -->", formats)
+if not m:
+    failures.append("docs/FORMATS.md: obs-top-keys marker not found")
+else:
+    documented = m.group(1).split()
+    obs = json.loads(Path("/tmp/docs_check_obs.json").read_text())
+    live = list(obs.keys())
+    if live != documented + ["exit_status"]:
+        failures.append(f"docs/FORMATS.md: obs-top-keys {documented} + "
+                        f"exit_status != live document keys {live}")
+    elif obs.get("schema") != "wrbpg-obs-v1":
+        failures.append(f"live obs schema is {obs.get('schema')!r}")
+
+# 4. Relative markdown links resolve to real files.
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+for md in sorted(root.rglob("*.md")):
+    if "build" in md.parts or ".git" in md.parts:
+        continue
+    for target in link_re.findall(md.read_text()):
+        if re.match(r"[a-z]+://|mailto:|#", target):
+            continue
+        target_path = (md.parent / target.split("#")[0]).resolve()
+        if not target_path.exists():
+            failures.append(f"{md.relative_to(root)}: dead link -> {target}")
+
+if failures:
+    print("docs_check: FAILED", file=sys.stderr)
+    for f in failures:
+        print(f"  - {f}", file=sys.stderr)
+    sys.exit(1)
+print("docs_check: ok (help block, analyze example, obs keys, md links)")
+EOF
