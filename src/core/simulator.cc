@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cstdint>
 
+#include "core/graph_masks.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -103,10 +106,21 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
   SimResult result;
   const NodeId n = graph.num_nodes();
 
-  std::vector<unsigned char> red(n, 0);
-  std::vector<unsigned char> blue(n, 0);
-  for (NodeId v : graph.sources()) blue[v] = 1;
-  for (NodeId v : options.initial_blue) blue[v] = 1;
+  // Word-span (red, blue) masks with the same layout the exact search
+  // and the heuristic use (core/graph_masks.h): node v lives in word
+  // v/64, bit v%64. Every per-move legality test below is one masked
+  // word read; the M3 parent check is a word-parallel subset test.
+  const GraphMasks masks(graph);
+  const std::size_t words = masks.words();
+  std::vector<std::uint64_t> red(words, 0);
+  std::vector<std::uint64_t> blue(masks.sources(),
+                                  masks.sources() + words);
+  for (NodeId v : options.initial_blue) {
+    if (v < n) blue[v / 64] |= 1ull << (v % 64);
+  }
+  const auto test = [](const std::vector<std::uint64_t>& m, NodeId v) {
+    return ((m[v / 64] >> (v % 64)) & 1) != 0;
+  };
 
   Weight red_weight = 0;
 
@@ -172,8 +186,8 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
   };
 
   for (NodeId v : options.initial_red) {
-    if (!red[v]) {
-      red[v] = 1;
+    if (v < n && !test(red, v)) {
+      red[v / 64] |= 1ull << (v % 64);
       red_weight += graph.weight(v);
     }
   }
@@ -189,52 +203,59 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
       return fail(i, SimErrorCode::kNodeOutOfRange, v);
     }
     const Weight w = graph.weight(v);
+    const std::size_t wd = v / 64;
+    const std::uint64_t bit = 1ull << (v % 64);
     switch (m.type) {
       case MoveType::kLoad:  // M1: blue -> both
-        if (!blue[v]) {
+        if ((blue[wd] & bit) == 0) {
           return fail(i, SimErrorCode::kLoadNoBlue, v);
         }
-        if (red[v]) {
+        if ((red[wd] & bit) != 0) {
           return fail(i, SimErrorCode::kLoadAlreadyRed, v);
         }
-        red[v] = 1;
+        red[wd] |= bit;
         red_weight += w;
         result.cost += w;
         ++result.loads;
         break;
       case MoveType::kStore:  // M2: red -> both
-        if (!red[v]) {
+        if ((red[wd] & bit) == 0) {
           return fail(i, SimErrorCode::kStoreNoRed, v);
         }
-        if (blue[v]) {
+        if ((blue[wd] & bit) != 0) {
           return fail(i, SimErrorCode::kStoreAlreadyBlue, v);
         }
-        blue[v] = 1;
+        blue[wd] |= bit;
         result.cost += w;
         ++result.stores;
         break;
       case MoveType::kCompute: {  // M3: all parents red -> add red
-        if (graph.is_source(v)) {
+        if (masks.is_source(v)) {
           return fail(i, SimErrorCode::kComputeSource, v);
         }
-        if (red[v]) {
+        if ((red[wd] & bit) != 0) {
           return fail(i, SimErrorCode::kComputeAlreadyRed, v);
         }
-        for (NodeId p : graph.parents(v)) {
-          if (!red[p]) {
-            return fail(i, SimErrorCode::kComputeParentNotRed, p);
+        if (!masks.ParentsSubsetOf(v, red.data())) {
+          // Cold path: the diagnostic names the FIRST offending parent in
+          // CSR order — graph.parents(v) is sorted ascending, which is
+          // also ascending bit order, so a rescan preserves the contract.
+          for (NodeId p : graph.parents(v)) {
+            if (!test(red, p)) {
+              return fail(i, SimErrorCode::kComputeParentNotRed, p);
+            }
           }
         }
-        red[v] = 1;
+        red[wd] |= bit;
         red_weight += w;
         ++result.computes;
         break;
       }
       case MoveType::kDelete:  // M4: remove red
-        if (!red[v]) {
+        if ((red[wd] & bit) == 0) {
           return fail(i, SimErrorCode::kDeleteNoRed, v);
         }
-        red[v] = 0;
+        red[wd] &= ~bit;
         red_weight -= w;
         ++result.deletes;
         break;
@@ -250,7 +271,7 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
   // first offender for the diagnostic.
   NodeId first_unmet_sink = kInvalidNode;
   for (NodeId s : graph.sinks()) {
-    if (blue[s] == 0) {
+    if (!test(blue, s)) {
       first_unmet_sink = s;
       break;
     }
@@ -261,7 +282,7 @@ SimResult Simulate(const Graph& graph, Weight budget, const Schedule& schedule,
                 first_unmet_sink);
   }
   for (NodeId v : options.required_red_at_end) {
-    if (!red[v]) {
+    if (v >= n || !test(red, v)) {
       return fail(schedule.size(), SimErrorCode::kReuseConditionUnmet, v);
     }
   }

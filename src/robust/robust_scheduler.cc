@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/simulator.h"
+#include "core/state_bound.h"
 #include "ganalysis/bounds.h"
 #include "ganalysis/recognition.h"
 #include "obs/metrics.h"
@@ -71,7 +72,25 @@ RobustResult RobustScheduler::Run(Weight budget,
   // certificates. Fed to the exact stage's reported bound and used as the
   // floor of the chain's final lower bound — it subsumes the plain
   // AlgorithmicLowerBound as its base term.
-  const Weight cert_lb = BestCertifiedBound(graph_, budget);
+  Weight cert_lb = BestCertifiedBound(graph_, budget);
+
+  // Tighten with the A* heuristic evaluated at the canonical start state
+  // (core/state_bound.h): StartBound sees budget-dependent deadness (a
+  // needed compute whose Prop 2.3 footprint exceeds the budget) that the
+  // ganalysis certificates cannot, so on tight budgets it can beat them.
+  // One chain-owned WideScratch backs every StartBound query this Run()
+  // makes — the speculative stages all read the folded `cert_lb`, so the
+  // closure buffers are allocated once here, never per stage (and never
+  // at all on the <= 32-node packed path, where build_wide is false).
+  // An infinite bound means no valid schedule exists at this budget; the
+  // stages will each discover that on their own, and folding infinity
+  // into a certificate the bb engine treats as finite would be wrong.
+  StateBound::WideScratch bound_scratch;
+  const StateBound start_bound(graph_, budget, /*required_red=*/0,
+                               /*require_sinks_blue=*/true,
+                               /*build_wide=*/false);
+  const Weight start_lb = start_bound.StartBound(bound_scratch);
+  if (start_lb < kInfiniteCost) cert_lb = std::max(cert_lb, start_lb);
 
   std::vector<Stage> stages;
 

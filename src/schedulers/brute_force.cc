@@ -4,13 +4,16 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "core/graph_masks.h"
 #include "core/simulator.h"
 #include "core/state_bound.h"
 #include "obs/metrics.h"
@@ -35,30 +38,8 @@ constexpr State MakeState(std::uint32_t red, std::uint32_t blue) {
   return static_cast<State>(red) | (static_cast<State>(blue) << 32);
 }
 
-// Wave key: f = g + h first (Dijkstra runs with h == 0, so f == g), then
-// the Definition 2.2 cost g, then schedule length. The length component
-// makes the order well-founded under the free moves (M3/M4 cost nothing,
-// so cost alone admits zero-cost cycles like compute-then-delete) and is
-// the middle tier of the determinism contract's tie-break; the cost-only
-// pass of the dominance engine zeroes it out so a zero-cost closure is
-// one wave, not a cascade of length-stratified ones.
-struct Key {
-  Weight f = 0;
-  Weight g = 0;
-  std::uint32_t len = 0;
-
-  friend bool operator==(const Key&, const Key&) = default;
-  friend bool operator<(const Key& a, const Key& b) {
-    if (a.f != b.f) return a.f < b.f;
-    if (a.g != b.g) return a.g < b.g;
-    return a.len < b.len;
-  }
-};
-
-struct LevelUpdate {
-  Key key;
-  State state;
-};
+// Wave key (search_frontier.h): f, then g, then schedule length.
+using Key = WaveKey;
 
 // How one search pass runs. The engines are compositions of these flags:
 // Dijkstra = {false, true, false}, A* = {true, true, false}, and the
@@ -128,7 +109,9 @@ constexpr std::uint32_t kCancelPollMoves = 2048;
 class PackedOps {
  public:
   using Candidate = State;
-  struct Scratch {};  // packed evaluation is allocation-free
+  struct Scratch {
+    StateBound::PackedCtx ctx;  // the expanded state's closure (§14)
+  };
 
   PackedOps(const Graph& graph, Weight budget,
             const BruteForceOptions& options)
@@ -136,11 +119,15 @@ class PackedOps {
         budget_(budget),
         require_sinks_blue_(options.require_sinks_blue) {
     const NodeId n = graph.num_nodes();
+    // Word 0 of the shared move-legality masks IS the packed mask set
+    // (simulator and StateBound build theirs from the same GraphMasks).
+    const GraphMasks masks(graph);
+    sources_mask_ = static_cast<std::uint32_t>(masks.sources()[0]);
+    sinks_mask_ = static_cast<std::uint32_t>(masks.sinks()[0]);
+    node_mask_ = static_cast<std::uint32_t>(masks.nodes()[0]);
     parents_mask_.assign(n, 0);
     for (NodeId v = 0; v < n; ++v) {
-      if (graph.is_source(v)) sources_mask_ |= 1u << v;
-      if (graph.is_sink(v)) sinks_mask_ |= 1u << v;
-      for (NodeId p : graph.parents(v)) parents_mask_[v] |= 1u << p;
+      parents_mask_[v] = static_cast<std::uint32_t>(masks.parents_of(v)[0]);
     }
     initial_red_ = static_cast<std::uint32_t>(options.initial_red);
     initial_blue_ = static_cast<std::uint32_t>(
@@ -148,7 +135,7 @@ class PackedOps {
     required_red_ = static_cast<std::uint32_t>(options.required_red_at_end);
     if (options.engine != SearchEngine::kDijkstra) {
       bound_.emplace(graph, budget, options.required_red_at_end,
-                     options.require_sinks_blue);
+                     options.require_sinks_blue, /*build_wide=*/false);
     }
   }
 
@@ -164,14 +151,34 @@ class PackedOps {
   }
   bool IsGoalCandidate(const Candidate& c) const { return IsGoal(c); }
 
-  Weight Heuristic(const Candidate& c, Scratch&) const {
-    return bound_->Evaluate(RedOf(c), BlueOf(c));
-  }
-  Weight HeuristicState(State s, Scratch& scratch) const {
-    return Heuristic(s, scratch);
+  Weight HeuristicState(State s, Scratch&) const {
+    return bound_->Evaluate(RedOf(s), BlueOf(s));
   }
 
-  bool Commit(const Candidate& c, State* id) {
+  // One closure walk for the state about to be expanded; HeuristicMove
+  // below prices every successor off this context.
+  void PrepareExpand(State s, Scratch& scratch) const {
+    bound_->Prepare(RedOf(s), BlueOf(s), scratch.ctx);
+  }
+
+  // h of the successor `c` reached from the prepared state via `move`:
+  // exact incremental delta when the move provably leaves the closure
+  // alone, else a fresh masked walk. The packed path deliberately does
+  // NOT consult the sharded bound cache: a ≤32-node closure walk runs in
+  // tens of nanoseconds, cheaper than the lock+probe a shared table
+  // charges (measured ~1.4x slower end-to-end with the cache on the
+  // engine-compare dwt rows). The cache earns its keep on the wide path,
+  // where a slow evaluation also pays interning and per-word walks.
+  Weight HeuristicMove(const Candidate& c, Move move, Scratch& scratch,
+                       SearchStats& stats) {
+    Weight h = 0;
+    if (bound_->EvalMoveFast(scratch.ctx, move.type, move.node, &h)) return h;
+    (void)c;
+    ++stats.bound_cache_misses;  // priced by a fresh walk (no packed cache)
+    return bound_->EvalMoveSlow(scratch.ctx, move.type, move.node);
+  }
+
+  bool Commit(const Candidate& c, Scratch&, SearchStats&, State* id) {
     *id = c;
     return true;
   }
@@ -184,41 +191,41 @@ class PackedOps {
   // in canonical move order (M1 < M2 < M3 < M4, node ascending); fn
   // returns true to stop early. The reconstruction walk takes the first
   // tight on-path edge this enumeration offers, which is what makes the
-  // returned sequence the lexicographically-least one.
+  // returned sequence the lexicographically-least one. Each move class
+  // iterates only the set bits of its legality mask (ctz ascends node
+  // ids, preserving the canonical order).
   template <typename Fn>
   void ForEachSuccessor(State s, Scratch&, Fn&& fn) const {
     const std::uint32_t red = RedOf(s);
     const std::uint32_t blue = BlueOf(s);
     const Weight rw = RedWeight(red);
-    const NodeId n = graph_.num_nodes();
-    for (NodeId v = 0; v < n; ++v) {  // M1: load from blue
-      const std::uint32_t bit = 1u << v;
+    for (std::uint32_t m = blue & ~red; m != 0; m &= m - 1) {  // M1
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
       const Weight w = graph_.weight(v);
-      if ((red & bit) == 0 && (blue & bit) != 0 && rw + w <= budget_ &&
-          fn(MakeState(red | bit, blue), w, Load(v))) {
+      if (rw + w <= budget_ &&
+          fn(MakeState(red | (1u << v), blue), w, Load(v))) {
         return;
       }
     }
-    for (NodeId v = 0; v < n; ++v) {  // M2: store to blue
-      const std::uint32_t bit = 1u << v;
-      if ((red & bit) != 0 && (blue & bit) == 0 &&
-          fn(MakeState(red, blue | bit), graph_.weight(v), Store(v))) {
+    for (std::uint32_t m = red & ~blue; m != 0; m &= m - 1) {  // M2
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      if (fn(MakeState(red, blue | (1u << v)), graph_.weight(v), Store(v))) {
         return;
       }
     }
-    for (NodeId v = 0; v < n; ++v) {  // M3: compute when all parents red
-      const std::uint32_t bit = 1u << v;
-      if ((red & bit) == 0 && (sources_mask_ & bit) == 0 &&
-          (red & parents_mask_[v]) == parents_mask_[v] &&
+    // M3: un-red non-sources whose parents are all red, within budget.
+    for (std::uint32_t m = node_mask_ & ~red & ~sources_mask_; m != 0;
+         m &= m - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      if ((red & parents_mask_[v]) == parents_mask_[v] &&
           rw + graph_.weight(v) <= budget_ &&
-          fn(MakeState(red | bit, blue), 0, Compute(v))) {
+          fn(MakeState(red | (1u << v), blue), 0, Compute(v))) {
         return;
       }
     }
-    for (NodeId v = 0; v < n; ++v) {  // M4: delete red
-      const std::uint32_t bit = 1u << v;
-      if ((red & bit) != 0 &&
-          fn(MakeState(red & ~bit, blue), 0, Delete(v))) {
+    for (std::uint32_t m = red; m != 0; m &= m - 1) {  // M4
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      if (fn(MakeState(red & ~(1u << v), blue), 0, Delete(v))) {
         return;
       }
     }
@@ -231,27 +238,28 @@ class PackedOps {
   void ForEachPredecessor(State s, Scratch&, Fn&& fn) const {
     const std::uint32_t red = RedOf(s);
     const std::uint32_t blue = BlueOf(s);
-    const NodeId n = graph_.num_nodes();
-    for (NodeId v = 0; v < n; ++v) {
+    // Undo M1: predecessor lacked red v, blue v present throughout.
+    for (std::uint32_t m = red & blue; m != 0; m &= m - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      fn(MakeState(red & ~(1u << v), blue), graph_.weight(v));
+    }
+    // Undo M3: predecessor lacked red v and held all parents red.
+    for (std::uint32_t m = red & ~sources_mask_; m != 0; m &= m - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
       const std::uint32_t bit = 1u << v;
-      const Weight w = graph_.weight(v);
-      // Undo M1: predecessor lacked red v, blue v present throughout.
-      if ((red & bit) != 0 && (blue & bit) != 0) {
-        fn(MakeState(red & ~bit, blue), w);
-      }
-      // Undo M3: predecessor lacked red v and held all parents red.
-      if ((red & bit) != 0 && (sources_mask_ & bit) == 0 &&
-          ((red & ~bit) & parents_mask_[v]) == parents_mask_[v]) {
+      if (((red & ~bit) & parents_mask_[v]) == parents_mask_[v]) {
         fn(MakeState(red & ~bit, blue), 0);
       }
-      // Undo M2: predecessor lacked blue v, red v present throughout.
-      if ((blue & bit) != 0 && (red & bit) != 0) {
-        fn(MakeState(red, blue & ~bit), w);
-      }
-      // Undo M4: predecessor held red v.
-      if ((red & bit) == 0) {
-        fn(MakeState(red | bit, blue), 0);
-      }
+    }
+    // Undo M2: predecessor lacked blue v, red v present throughout.
+    for (std::uint32_t m = red & blue; m != 0; m &= m - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      fn(MakeState(red, blue & ~(1u << v)), graph_.weight(v));
+    }
+    // Undo M4: predecessor held red v.
+    for (std::uint32_t m = node_mask_ & ~red; m != 0; m &= m - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(m));
+      fn(MakeState(red | (1u << v), blue), 0);
     }
   }
 
@@ -267,8 +275,22 @@ class PackedOps {
     if (pa != pb) return pa > pb;
     return BlueOf(a) < BlueOf(b);
   }
+  // Packed states sort by a precomputed 128-bit key instead of the
+  // comparator above: (red, 63 - popcount(blue)) in the high word and
+  // the state itself (blue-major within equal red) in the low word make
+  // lexicographic pair order coincide with DominanceLess — one popcount
+  // per STATE instead of one per comparison.
+  static constexpr bool kHasDominanceKey = true;
+  std::pair<std::uint64_t, std::uint64_t> DominanceKey(State s) const {
+    const std::uint64_t hi =
+        (static_cast<std::uint64_t>(RedOf(s)) << 6) |
+        static_cast<std::uint64_t>(63 - std::popcount(BlueOf(s)));
+    return {hi, s};
+  }
 
-  std::size_t MemoryBytes() const { return 0; }  // states live in the map
+  // States live inline in the dist map and the per-worker bound-cache
+  // slices are fixed 64 KiB arrays — nothing here scales with the search.
+  std::size_t MemoryBytes() const { return 0; }
 
  private:
   Weight RedWeight(std::uint32_t red) const {
@@ -286,6 +308,7 @@ class PackedOps {
   bool require_sinks_blue_;
   std::uint32_t sources_mask_ = 0;
   std::uint32_t sinks_mask_ = 0;
+  std::uint32_t node_mask_ = 0;
   std::vector<std::uint32_t> parents_mask_;
   std::uint32_t initial_red_ = 0;
   std::uint32_t initial_blue_ = 0;
@@ -308,6 +331,9 @@ class WideOps {
   struct Scratch {
     std::vector<std::uint64_t> config;
     StateBound::WideScratch bound;
+    StateBound::WideCtx ctx;  // the expanded state's closure (§14)
+    const std::uint64_t* base = nullptr;  // interner words of that state
+    StateInterner::LocalCache intern_cache;
   };
 
   WideOps(const Graph& graph, Weight budget, const BruteForceOptions& options)
@@ -315,21 +341,12 @@ class WideOps {
         budget_(budget),
         require_sinks_blue_(options.require_sinks_blue),
         words_(WordsFor(graph.num_nodes())),
+        masks_(graph),
         interner_(2 * WordsFor(graph.num_nodes())) {
     const NodeId n = graph.num_nodes();
-    sources_.assign(words_, 0);
-    sinks_.assign(words_, 0);
-    parents_.assign(words_ * n, 0);
     required_red_.assign(words_, 0);
     initial_red_.assign(words_, 0);
     initial_blue_.assign(words_, 0);
-    for (NodeId v = 0; v < n; ++v) {
-      if (graph.is_source(v)) SetBit(sources_.data(), v);
-      if (graph.is_sink(v)) SetBit(sinks_.data(), v);
-      for (NodeId p : graph.parents(v)) {
-        SetBit(&parents_[words_ * v], p);
-      }
-    }
     for (NodeId v = 0; v < 64 && v < n; ++v) {
       if ((options.initial_red >> v) & 1) SetBit(initial_red_.data(), v);
       if ((options.required_red_at_end >> v) & 1) {
@@ -341,7 +358,7 @@ class WideOps {
         if ((*options.initial_blue >> v) & 1) SetBit(initial_blue_.data(), v);
       }
     } else {
-      initial_blue_ = sources_;
+      initial_blue_.assign(masks_.sources(), masks_.sources() + words_);
     }
     if (options.engine != SearchEngine::kDijkstra) {
       bound_.emplace(graph, budget, options.required_red_at_end,
@@ -367,16 +384,56 @@ class WideOps {
     return IsGoalWords(c.config);
   }
 
-  Weight Heuristic(const Candidate& c, Scratch& scratch) const {
-    return bound_->Evaluate(c.config, c.config + words_, scratch.bound);
-  }
   Weight HeuristicState(State s, Scratch& scratch) const {
     const std::uint64_t* w = interner_.Words(s);
     return bound_->Evaluate(w, w + words_, scratch.bound);
   }
 
-  bool Commit(const Candidate& c, State* id) {
-    return interner_.Intern(c.config, id);
+  // One closure walk for the state about to be expanded. The interner
+  // words are stable, so `base` stays valid for the whole expansion.
+  void PrepareExpand(State s, Scratch& scratch) const {
+    scratch.base = interner_.Words(s);
+    bound_->Prepare(scratch.base, scratch.base + words_, scratch.ctx,
+                    scratch.bound);
+  }
+
+  // h of the successor `c` via `move`, off the prepared context. Slow
+  // paths intern the candidate first so the bound cache can key on the
+  // stable id (Commit below re-finds it for free through the same local
+  // cache); if the interner is exhausted, price the candidate uncached —
+  // the subsequent Commit of any surviving candidate reports the memory
+  // cap through the existing abort path.
+  Weight HeuristicMove(const Candidate& c, Move move, Scratch& scratch,
+                       SearchStats& stats) {
+    Weight h = 0;
+    if (bound_->EvalMoveFast(scratch.ctx, scratch.base, scratch.base + words_,
+                             move.type, move.node, &h)) {
+      return h;
+    }
+    State id = 0;
+    if (!interner_.InternCached(c.config, scratch.intern_cache, &id,
+                                &stats.intern_cache_hits,
+                                &stats.intern_cache_misses)) {
+      return bound_->EvalMoveSlow(scratch.ctx, scratch.base,
+                                  scratch.base + words_, move.type, move.node,
+                                  scratch.bound);
+    }
+    if (bound_cache_.Find(id, &h)) {
+      ++stats.bound_cache_hits;
+      return h;
+    }
+    ++stats.bound_cache_misses;
+    h = bound_->EvalMoveSlow(scratch.ctx, scratch.base, scratch.base + words_,
+                             move.type, move.node, scratch.bound);
+    bound_cache_.Insert(id, h);
+    return h;
+  }
+
+  bool Commit(const Candidate& c, Scratch& scratch, SearchStats& stats,
+              State* id) {
+    return interner_.InternCached(c.config, scratch.intern_cache, id,
+                                  &stats.intern_cache_hits,
+                                  &stats.intern_cache_misses);
   }
   bool FindExisting(const Candidate& c, State* id) const {
     return interner_.Find(c.config, id);
@@ -386,7 +443,10 @@ class WideOps {
   // one 2*W-word copy per state (not per move) suffices. Candidate
   // pointers are only valid for the duration of the callback. Move order
   // matches PackedOps exactly — the lex-least reconstruction and the
-  // packed/wide bit-identity both hang on it.
+  // packed/wide bit-identity both hang on it. Each move class walks the
+  // set bits of its word-parallel legality mask; the per-word candidate
+  // mask is snapshotted before the word's bits toggle, so the in-place
+  // edits around each callback never perturb the iteration.
   template <typename Fn>
   void ForEachSuccessor(State s, Scratch& scratch, Fn&& fn) const {
     const std::uint64_t* base = interner_.Words(s);
@@ -396,38 +456,46 @@ class WideOps {
     std::uint64_t* blue = red + W;
     const Weight rw = RedWeight(base);
     const Candidate c{scratch.config.data()};
-    const NodeId n = graph_.num_nodes();
-    for (NodeId v = 0; v < n; ++v) {  // M1: load from blue
-      const Weight w = graph_.weight(v);
-      if (!TestBit(red, v) && TestBit(blue, v) && rw + w <= budget_) {
-        SetBit(red, v);
-        const bool stop = fn(c, w, Load(v));
-        ClearBit(red, v);
+    for (std::size_t w = 0; w < W; ++w) {  // M1: loadable = blue & ~red
+      for (std::uint64_t m = blue[w] & ~red[w]; m != 0; m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        const Weight wt = graph_.weight(v);
+        if (rw + wt > budget_) continue;
+        red[w] ^= m & -m;
+        const bool stop = fn(c, wt, Load(v));
+        red[w] ^= m & -m;
         if (stop) return;
       }
     }
-    for (NodeId v = 0; v < n; ++v) {  // M2: store to blue
-      if (TestBit(red, v) && !TestBit(blue, v)) {
-        SetBit(blue, v);
+    for (std::size_t w = 0; w < W; ++w) {  // M2: storable = red & ~blue
+      for (std::uint64_t m = red[w] & ~blue[w]; m != 0; m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        blue[w] ^= m & -m;
         const bool stop = fn(c, graph_.weight(v), Store(v));
-        ClearBit(blue, v);
+        blue[w] ^= m & -m;
         if (stop) return;
       }
     }
-    for (NodeId v = 0; v < n; ++v) {  // M3: compute when all parents red
-      if (!TestBit(red, v) && !TestBit(sources_.data(), v) &&
-          ParentsRed(red, v) && rw + graph_.weight(v) <= budget_) {
-        SetBit(red, v);
+    for (std::size_t w = 0; w < W; ++w) {  // M3: un-red non-sources
+      for (std::uint64_t m = masks_.nodes()[w] & ~red[w] & ~masks_.sources()[w];
+           m != 0; m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        if (!masks_.ParentsSubsetOf(v, red) ||
+            rw + graph_.weight(v) > budget_) {
+          continue;
+        }
+        red[w] ^= m & -m;
         const bool stop = fn(c, 0, Compute(v));
-        ClearBit(red, v);
+        red[w] ^= m & -m;
         if (stop) return;
       }
     }
-    for (NodeId v = 0; v < n; ++v) {  // M4: delete red
-      if (TestBit(red, v)) {
-        ClearBit(red, v);
+    for (std::size_t w = 0; w < W; ++w) {  // M4: deletable = red
+      for (std::uint64_t m = red[w]; m != 0; m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        red[w] ^= m & -m;
         const bool stop = fn(c, 0, Delete(v));
-        SetBit(red, v);
+        red[w] ^= m & -m;
         if (stop) return;
       }
     }
@@ -441,27 +509,41 @@ class WideOps {
     std::uint64_t* red = scratch.config.data();
     std::uint64_t* blue = red + W;
     const Candidate c{scratch.config.data()};
-    const NodeId n = graph_.num_nodes();
-    for (NodeId v = 0; v < n; ++v) {
-      const Weight w = graph_.weight(v);
-      if (TestBit(red, v)) {
-        ClearBit(red, v);
-        // Undo M1: predecessor lacked red v, blue v present throughout.
-        if (TestBit(blue, v)) fn(c, w);
-        // Undo M3: predecessor lacked red v and held all parents red.
-        if (!TestBit(sources_.data(), v) && ParentsRed(red, v)) fn(c, 0);
-        SetBit(red, v);
-        // Undo M2: predecessor lacked blue v, red v present throughout.
-        if (TestBit(blue, v)) {
-          ClearBit(blue, v);
-          fn(c, w);
-          SetBit(blue, v);
-        }
-      } else {
-        // Undo M4: predecessor held red v.
-        SetBit(red, v);
+    // Undo M1: predecessor lacked red v, blue v present throughout.
+    for (std::size_t w = 0; w < W; ++w) {
+      for (std::uint64_t m = red[w] & blue[w]; m != 0; m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        red[w] ^= m & -m;
+        fn(c, graph_.weight(v));
+        red[w] ^= m & -m;
+      }
+    }
+    // Undo M3: predecessor lacked red v and held all parents red.
+    for (std::size_t w = 0; w < W; ++w) {
+      for (std::uint64_t m = red[w] & ~masks_.sources()[w]; m != 0;
+           m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        red[w] ^= m & -m;
+        if (masks_.ParentsSubsetOf(v, red)) fn(c, 0);
+        red[w] ^= m & -m;
+      }
+    }
+    // Undo M2: predecessor lacked blue v, red v present throughout.
+    for (std::size_t w = 0; w < W; ++w) {
+      for (std::uint64_t m = red[w] & blue[w]; m != 0; m &= m - 1) {
+        const NodeId v = NodeAt(w, m);
+        blue[w] ^= m & -m;
+        fn(c, graph_.weight(v));
+        blue[w] ^= m & -m;
+      }
+    }
+    // Undo M4: predecessor held red v.
+    for (std::size_t w = 0; w < W; ++w) {
+      for (std::uint64_t m = masks_.nodes()[w] & ~red[w]; m != 0;
+           m &= m - 1) {
+        red[w] ^= m & -m;
         fn(c, 0);
-        ClearBit(red, v);
+        red[w] ^= m & -m;
       }
     }
   }
@@ -478,6 +560,12 @@ class WideOps {
     }
     return true;
   }
+  // Interned word arrays have no compact sort key; the comparator path
+  // it is.
+  static constexpr bool kHasDominanceKey = false;
+  std::pair<std::uint64_t, std::uint64_t> DominanceKey(State) const {
+    return {0, 0};  // never called (kHasDominanceKey == false)
+  }
   // Same order as PackedOps::DominanceLess: red ascending (numeric,
   // most-significant word first — for W == 1 this IS the packed compare),
   // blue popcount descending, blue ascending.
@@ -492,7 +580,9 @@ class WideOps {
     return CmpWords(wa + words_, wb + words_) < 0;
   }
 
-  std::size_t MemoryBytes() const { return interner_.MemoryBytes(); }
+  std::size_t MemoryBytes() const {
+    return interner_.MemoryBytes() + bound_cache_.MemoryBytes();
+  }
 
  private:
   static std::size_t WordsFor(NodeId n) {
@@ -518,19 +608,18 @@ class WideOps {
     for (std::size_t i = 0; i < words_; ++i) total += std::popcount(w[i]);
     return total;
   }
-  bool ParentsRed(const std::uint64_t* red, NodeId v) const {
-    const std::uint64_t* pm = &parents_[words_ * v];
-    for (std::size_t w = 0; w < words_; ++w) {
-      if ((pm[w] & ~red[w]) != 0) return false;
-    }
-    return true;
+  static NodeId NodeAt(std::size_t word, std::uint64_t m) {
+    return static_cast<NodeId>(
+        word * 64 + static_cast<std::size_t>(std::countr_zero(m)));
   }
   bool IsGoalWords(const std::uint64_t* config) const {
     const std::uint64_t* red = config;
     const std::uint64_t* blue = config + words_;
     for (std::size_t w = 0; w < words_; ++w) {
       if ((required_red_[w] & ~red[w]) != 0) return false;
-      if (require_sinks_blue_ && (sinks_[w] & ~blue[w]) != 0) return false;
+      if (require_sinks_blue_ && (masks_.sinks()[w] & ~blue[w]) != 0) {
+        return false;
+      }
     }
     return true;
   }
@@ -549,14 +638,13 @@ class WideOps {
   const Weight budget_;
   bool require_sinks_blue_;
   std::size_t words_;
+  GraphMasks masks_;
   StateInterner interner_;
-  std::vector<std::uint64_t> sources_;
-  std::vector<std::uint64_t> sinks_;
-  std::vector<std::uint64_t> parents_;  // words_ words per node
   std::vector<std::uint64_t> required_red_;
   std::vector<std::uint64_t> initial_red_;
   std::vector<std::uint64_t> initial_blue_;
   std::optional<StateBound> bound_;
+  BoundCache bound_cache_;
 };
 
 // The bb engine's seed: a valid schedule from the polynomial heuristics,
@@ -630,12 +718,73 @@ class Searcher {
 
   PhaseStatus RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
                        std::size_t threads);
+
+  // Per-chunk relaxation memo over the shared dist map: the best (g, len)
+  // this chunk has OFFERED the map for recently-seen states. Within a
+  // phase the map is monotone (TryImprove only ever lowers an entry), so
+  // a repeat offer that is not lexicographically lower than a recorded
+  // one provably cannot improve — it is dropped before paying the shard
+  // lock and the (likely cold) probe. Direct-mapped, evict-on-collision,
+  // cleared at phase starts (Reset() breaks the monotonicity the argument
+  // rests on). Every skipped offer would have returned false and pushed
+  // nothing, so schedules and costs are bit-identical with or without it.
+  struct RelaxMemo {
+    static constexpr std::size_t kSlots = 8192;  // power of two
+    struct Slot {
+      SearchState state = 0;
+      Weight g = 0;
+      std::uint32_t len = 0;
+      bool used = false;
+    };
+    std::vector<Slot> slots;
+
+    static std::size_t Index(SearchState s) {
+      return static_cast<std::size_t>((s * 0x9e3779b97f4a7c15ull) >> 13) &
+             (kSlots - 1);
+    }
+    // True when offering (g, len) for `s` provably cannot improve the
+    // map. Otherwise records the offer — the caller MUST then make it.
+    bool NonImproving(SearchState s, Weight g, std::uint32_t len) {
+      if (slots.empty()) slots.resize(kSlots);
+      Slot& slot = slots[Index(s)];
+      if (slot.used && slot.state == s &&
+          (slot.g < g || (slot.g == g && slot.len <= len))) {
+        return true;
+      }
+      slot.state = s;
+      slot.g = g;
+      slot.len = len;
+      slot.used = true;
+      return false;
+    }
+    void Clear() { slots.clear(); }
+  };
+
   void ExpandRange(const std::vector<State>& frontier, std::size_t lo,
                    std::size_t hi, Key level, const PhaseConfig& cfg,
-                   std::vector<LevelUpdate>& out, SearchStats& stats,
-                   Scratch& scratch);
+                   UpdateBuffer& out, SearchStats& stats, Scratch& scratch,
+                   RelaxMemo& memo);
   void PruneDominated(std::vector<State>& live);
   Schedule Reconstruct();
+
+  // Folds one chunk's wave updates into the pending map. Successive
+  // updates overwhelmingly share a key (a state's successors cluster in
+  // f), so one memoized (key -> level) slot turns most of the per-update
+  // map lookups into a single comparison.
+  void MergeUpdates(const UpdateBuffer& u) {
+    const WaveKey* memo_key = nullptr;
+    std::vector<State>* memo_level = nullptr;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const WaveKey& key = u.key(i);
+      if (memo_key == nullptr || !(*memo_key == key)) {
+        auto [it, inserted] = pending_.try_emplace(key);
+        if (inserted) it->second = level_pool_.Acquire();
+        memo_key = &it->first;
+        memo_level = &it->second;
+      }
+      memo_level->push_back(u.state(i));
+    }
+  }
 
   // kDeadline vs kCancelled: the token knows whether it carries a
   // wall-clock deadline.
@@ -666,8 +815,8 @@ class Searcher {
     for (const auto& [key, level] : pending_) {
       bytes += level.capacity() * sizeof(State);
     }
-    for (const std::vector<LevelUpdate>& u : chunk_updates_) {
-      bytes += u.capacity() * sizeof(LevelUpdate);
+    for (const UpdateBuffer& u : chunk_updates_) {
+      bytes += u.MemoryBytes();
     }
     return bytes;
   }
@@ -708,8 +857,10 @@ class Searcher {
   FlatDistMap dist_;
   std::map<Key, std::vector<State>> pending_;
   LevelPool level_pool_;
-  std::vector<std::vector<LevelUpdate>> chunk_updates_;
+  std::vector<UpdateBuffer> chunk_updates_;
   std::vector<Scratch> chunk_scratch_;
+  std::vector<RelaxMemo> chunk_memo_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> dominance_keys_;
 
   // Shared best-known goal cost: relaxations that discover a goal lower it
   // (atomically, across all workers), and every relaxation prunes targets
@@ -736,15 +887,42 @@ class Searcher {
 template <typename Ops>
 void Searcher<Ops>::ExpandRange(const std::vector<State>& frontier,
                                 std::size_t lo, std::size_t hi, Key level,
-                                const PhaseConfig& cfg,
-                                std::vector<LevelUpdate>& out,
-                                SearchStats& stats, Scratch& scratch) {
+                                const PhaseConfig& cfg, UpdateBuffer& out,
+                                SearchStats& stats, Scratch& scratch,
+                                RelaxMemo& memo) {
   const CancelToken* cancel = options_.cancel;
+  const auto t0 = std::chrono::steady_clock::now();
   std::uint32_t moves_since_poll = 0;
+  // Successors that survive the g/h/f gates are staged here per expanded
+  // state; their dist-map slots are prefetched at stage time, so by the
+  // time the flush loop below probes the map, the lines are (usually)
+  // already in flight — the map's L2/L3 miss overlaps the remaining move
+  // evaluations instead of stalling each relaxation in turn. Flushing in
+  // stage order keeps the per-thread TryImprove/Push sequence identical
+  // to the unbatched loop, so determinism is untouched.
+  struct Staged {
+    State next;
+    Weight g;
+    Weight f;
+    std::uint32_t len;
+    bool goal;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(64);
   for (std::size_t i = lo; i < hi; ++i) {
-    if (cancelled_.load(std::memory_order_relaxed)) return;
+    if (cancelled_.load(std::memory_order_relaxed)) break;
     const State s = frontier[i];
+    // One closure walk per expanded state; every successor below prices
+    // off this context through the incremental fast paths (§14).
+    if (cfg.use_heuristic) ops_.PrepareExpand(s, scratch);
+    // One bound snapshot per state, not two atomic loads per move. The
+    // bound only ever decreases, so pruning against a stale (higher)
+    // value is sound — it prunes a subset of what the live value would,
+    // and pruning is never load-bearing for correctness (the map is
+    // monotone). Goal improvements still CAS the shared atomic below.
+    const Weight bound = best_goal_cost_.load(std::memory_order_relaxed);
     bool aborted = false;
+    staged.clear();
     ops_.ForEachSuccessor(s, scratch, [&](const auto& c, Weight move_cost,
                                           Move move) {
       // Root orbit pruning: skip suppressed first loads before they count
@@ -763,42 +941,60 @@ void Searcher<Ops>::ExpandRange(const std::vector<State>& frontier,
           return true;
         }
       }
+      // g-first: h >= 0, so g > bound already implies f > bound — and
+      // skipping the heuristic on such moves is pure profit on primed
+      // passes (bb and the schedule pass run with bound == optimum).
+      // Prunes the exact same successor set as the f-test alone; only
+      // the informational pruned_bound/pruned_heuristic split can shift.
       const Weight g = level.g + move_cost;
+      if (g > bound) {
+        ++stats.pruned_bound;  // already provably worse than a solution
+        return false;
+      }
       Weight h = 0;
       if (cfg.use_heuristic) {
-        h = ops_.Heuristic(c, scratch);
+        h = ops_.HeuristicMove(c, move, scratch, stats);
         if (h >= kInfiniteCost) {
           ++stats.pruned_heuristic;  // no completion exists from `c`
           return false;
         }
       }
       const Weight f = g + h;
-      if (f > best_goal_cost_.load(std::memory_order_relaxed)) {
+      if (f > bound) {
         ++stats.pruned_bound;  // already provably worse than a solution
         return false;
       }
       const std::uint32_t len = cfg.use_len ? level.len + 1 : 0;
       State next = 0;
-      if (!ops_.Commit(c, &next)) {
+      if (!ops_.Commit(c, scratch, stats, &next)) {
         interner_full_.store(true, std::memory_order_relaxed);
         aborted = true;
         return true;
       }
-      if (dist_.TryImprove(next, g, len)) {
-        ++stats.improved;
-        if (ops_.IsGoalCandidate(c)) {
-          // h(goal) == 0, so f == g here.
-          Weight seen = best_goal_cost_.load(std::memory_order_relaxed);
-          while (g < seen && !best_goal_cost_.compare_exchange_weak(
-                                 seen, g, std::memory_order_relaxed)) {
-          }
-        }
-        out.push_back({Key{f, g, len}, next});
-      }
+      if (memo.NonImproving(next, g, len)) return false;
+      dist_.Prefetch(next);
+      staged.push_back({next, g, f, len, ops_.IsGoalCandidate(c)});
       return false;
     });
-    if (aborted) return;
+    for (const Staged& p : staged) {
+      if (dist_.TryImprove(p.next, p.g, p.len)) {
+        ++stats.improved;
+        if (p.goal) {
+          // h(goal) == 0, so f == g here.
+          Weight seen = best_goal_cost_.load(std::memory_order_relaxed);
+          while (p.g < seen && !best_goal_cost_.compare_exchange_weak(
+                                   seen, p.g, std::memory_order_relaxed)) {
+          }
+        }
+        out.Push(Key{p.f, p.g, p.len}, p.next);
+      }
+    }
+    if (aborted) break;
   }
+  stats.succ_gen_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 // Drops wave states that a same-wave sibling renders redundant: equal red
@@ -816,9 +1012,18 @@ void Searcher<Ops>::PruneDominated(std::vector<State>& live) {
   if (live.size() < 2) return;
   // Sort so that, within a red group, supersets precede subsets: blue
   // popcount descending, then blue ascending for determinism.
-  std::sort(live.begin(), live.end(), [this](State a, State b) {
-    return ops_.DominanceLess(a, b);
-  });
+  if constexpr (Ops::kHasDominanceKey) {
+    auto& keys = dominance_keys_;
+    keys.clear();
+    keys.reserve(live.size());
+    for (const State s : live) keys.push_back(ops_.DominanceKey(s));
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < live.size(); ++i) live[i] = keys[i].second;
+  } else {
+    std::sort(live.begin(), live.end(), [this](State a, State b) {
+      return ops_.DominanceLess(a, b);
+    });
+  }
   std::size_t kept = 0;
   for (std::size_t i = 0; i < live.size(); ++i) {
     const State s = live[i];
@@ -839,6 +1044,7 @@ template <typename Ops>
 PhaseStatus Searcher<Ops>::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
                                     std::size_t threads) {
   dist_.Reset();
+  for (RelaxMemo& memo : chunk_memo_) memo.Clear();
   pending_.clear();
   best_goal_cost_.store(cfg.prime_bound, std::memory_order_relaxed);
   goal_states_.clear();
@@ -862,7 +1068,12 @@ PhaseStatus Searcher<Ops>::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
     // already expanded them), and reopening re-queues improved states
     // under their better key.
     live.clear();
-    for (const State s : frontier) {
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      // Run a few slots ahead of the Finds — the filter is a random walk
+      // over the (large) dist map, and the lookahead hides most of the
+      // per-probe cache miss.
+      if (i + 8 < frontier.size()) dist_.Prefetch(frontier[i + 8]);
+      const State s = frontier[i];
       const FlatDistMap::Entry* e = dist_.Find(s);
       if (e != nullptr && e->g == level.g && e->len == level.len) {
         live.push_back(s);
@@ -921,37 +1132,33 @@ PhaseStatus Searcher<Ops>::RunPhase(const PhaseConfig& cfg, ThreadPool* pool,
       if (chunk_scratch_.size() < num_chunks) {
         chunk_scratch_.resize(num_chunks);
       }
+      if (chunk_memo_.size() < num_chunks) {
+        chunk_memo_.resize(num_chunks);
+      }
       std::vector<SearchStats> chunk_stats(num_chunks);
       TaskGroup group(*pool);
       for (std::size_t c = 0; c < num_chunks; ++c) {
-        chunk_updates_[c].clear();
+        chunk_updates_[c].Clear();
         const std::size_t lo = c * chunk;
         const std::size_t hi = std::min(lo + chunk, live.size());
         group.Submit([this, &live, lo, hi, level, &cfg, &chunk_stats, c] {
           ExpandRange(live, lo, hi, level, cfg, chunk_updates_[c],
-                      chunk_stats[c], chunk_scratch_[c]);
+                      chunk_stats[c], chunk_scratch_[c], chunk_memo_[c]);
         });
       }
       group.Wait();
       for (std::size_t c = 0; c < num_chunks; ++c) {
         stats_.Accumulate(chunk_stats[c]);
-        for (const LevelUpdate& u : chunk_updates_[c]) {
-          auto [it, inserted] = pending_.try_emplace(u.key);
-          if (inserted) it->second = level_pool_.Acquire();
-          it->second.push_back(u.state);
-        }
+        MergeUpdates(chunk_updates_[c]);
       }
     } else {
       if (chunk_updates_.empty()) chunk_updates_.resize(1);
       if (chunk_scratch_.empty()) chunk_scratch_.resize(1);
-      chunk_updates_[0].clear();
+      if (chunk_memo_.empty()) chunk_memo_.resize(1);
+      chunk_updates_[0].Clear();
       ExpandRange(live, 0, live.size(), level, cfg, chunk_updates_[0],
-                  stats_, chunk_scratch_[0]);
-      for (const LevelUpdate& u : chunk_updates_[0]) {
-        auto [it, inserted] = pending_.try_emplace(u.key);
-        if (inserted) it->second = level_pool_.Acquire();
-        it->second.push_back(u.state);
-      }
+                  stats_, chunk_scratch_[0], chunk_memo_[0]);
+      MergeUpdates(chunk_updates_[0]);
     }
     // Mid-wave aborts stop after the merge above, so the pending map holds
     // every update the workers managed to record — which is exactly what
@@ -993,6 +1200,14 @@ ScheduleResult Searcher<Ops>::Run(bool want_schedule,
       static const obs::Counter pruned_dominated("search.pruned_dominated");
       static const obs::Gauge max_frontier("search.max_frontier");
       static const obs::Gauge frontier_bytes("search.frontier_bytes");
+      // Hot-path instrumentation (§14). Hit/miss splits are reporting-only
+      // and interleaving-dependent under threads; nothing in the search
+      // reads them back, so the determinism contract is untouched.
+      static const obs::Counter bound_cache_hit("search.bound_cache_hit");
+      static const obs::Counter bound_cache_miss("search.bound_cache_miss");
+      static const obs::Counter intern_cache_hit("search.intern_cache_hit");
+      static const obs::Counter intern_cache_miss("search.intern_cache_miss");
+      static const obs::Counter succ_gen_ns("search.succ_gen_ns");
       runs.Add(1);
       expanded.Add(self->stats_.expanded);
       waves.Add(self->stats_.waves);
@@ -1003,6 +1218,11 @@ ScheduleResult Searcher<Ops>::Run(bool want_schedule,
       pruned_dominated.Add(self->stats_.pruned_dominated);
       max_frontier.Max(self->stats_.max_frontier);
       frontier_bytes.Max(self->stats_.frontier_bytes);
+      bound_cache_hit.Add(self->stats_.bound_cache_hits);
+      bound_cache_miss.Add(self->stats_.bound_cache_misses);
+      intern_cache_hit.Add(self->stats_.intern_cache_hits);
+      intern_cache_miss.Add(self->stats_.intern_cache_misses);
+      succ_gen_ns.Add(self->stats_.succ_gen_ns);
     }
   } flush{this};
 
@@ -1034,9 +1254,21 @@ ScheduleResult Searcher<Ops>::Run(bool want_schedule,
   }
 
   const std::size_t threads = ResolveThreadCount(options_.threads);
+  // Pool size is capped at the hardware concurrency: extra workers on an
+  // oversubscribed machine only add context switches under the expansion
+  // locks. Results are unchanged by construction — the determinism
+  // contract holds for ANY worker count, and the wave chunking stays a
+  // function of the REQUESTED count (chunk merges are chunk-ordered, so
+  // the pending map sees the same update sequence either way).
+  const std::size_t workers = std::min<std::size_t>(
+      threads,
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   std::optional<ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
+  if (workers > 1) pool.emplace(workers);
   ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+  // Single-worker runs never contend, so the dist map drops its shard
+  // locks — TryImprove becomes plain loads and stores.
+  dist_.SetConcurrent(pool_ptr != nullptr);
 
   PhaseConfig cfg;
   cfg.use_heuristic = informed;

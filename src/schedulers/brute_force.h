@@ -113,6 +113,17 @@ struct SearchStats {
   // the frontier_bytes_cap meters. Merged by max.
   std::uint64_t frontier_bytes = 0;
 
+  // Hot-path instrumentation (DESIGN.md §14). All five are informational
+  // only — nothing in the search reads them back, and the hit/miss splits
+  // depend on thread interleaving (which worker reaches a shared-cache
+  // slot first), so identical runs may report different splits while still
+  // producing bit-identical schedules.
+  std::uint64_t bound_cache_hits = 0;    // slow-path h served from the cache
+  std::uint64_t bound_cache_misses = 0;  // slow-path h freshly walked
+  std::uint64_t intern_cache_hits = 0;   // interner lookups short-circuited
+  std::uint64_t intern_cache_misses = 0;  // ... that hit the shared table
+  std::uint64_t succ_gen_ns = 0;  // wall time inside the expansion loops
+
   void Accumulate(const SearchStats& other) {
     expanded += other.expanded;
     waves += other.waves;
@@ -123,6 +134,11 @@ struct SearchStats {
     pruned_dominated += other.pruned_dominated;
     max_frontier = std::max(max_frontier, other.max_frontier);
     frontier_bytes = std::max(frontier_bytes, other.frontier_bytes);
+    bound_cache_hits += other.bound_cache_hits;
+    bound_cache_misses += other.bound_cache_misses;
+    intern_cache_hits += other.intern_cache_hits;
+    intern_cache_misses += other.intern_cache_misses;
+    succ_gen_ns += other.succ_gen_ns;
   }
 };
 

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,171 @@ namespace wrbpg {
 // either way every frontier container (dist map, pending levels, update
 // buffers) traffics in plain 64-bit values.
 using SearchState = std::uint64_t;
+
+// Tiny test-and-test-and-set lock for the sharded hot-path tables below.
+// Their critical sections are a handful of instructions (one probe, one
+// store), so an uncontended atomic exchange (~a few ns) beats a mutex
+// call by an order of magnitude on the hottest loop in the repo; 64-way
+// sharding keeps contention negligible even at full thread counts. The
+// relaxed-spin inner loop keeps the cache line shared while waiting, and
+// yield() bounds the damage if a holder is preempted mid-section.
+class SpinLock {
+ public:
+  void lock() {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+        // The critical sections behind this lock are a handful of
+        // nanoseconds, so a free holder releases within a few spins; a
+        // longer wait means the holder was descheduled (more workers
+        // than cores) and burning the rest of our quantum only delays
+        // it further — yield early.
+        if (++spins >= 64) {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// Wave key: f = g + h first (Dijkstra runs with h == 0, so f == g), then
+// the Definition 2.2 cost g, then schedule length. The length component
+// makes the order well-founded under the free moves (M3/M4 cost nothing,
+// so cost alone admits zero-cost cycles like compute-then-delete) and is
+// the middle tier of the determinism contract's tie-break; the cost-only
+// pass of the dominance engine zeroes it out so a zero-cost closure is
+// one wave, not a cascade of length-stratified ones.
+struct WaveKey {
+  Weight f = 0;
+  Weight g = 0;
+  std::uint32_t len = 0;
+
+  friend bool operator==(const WaveKey&, const WaveKey&) = default;
+  friend bool operator<(const WaveKey& a, const WaveKey& b) {
+    if (a.f != b.f) return a.f < b.f;
+    if (a.g != b.g) return a.g < b.g;
+    return a.len < b.len;
+  }
+};
+
+// Structure-of-arrays buffer for one expansion chunk's wave updates.
+// Keys and states live in separate contiguous runs instead of an
+// array-of-structs: the merge loop after a wave touches keys first (to
+// group updates into pending levels) and only then states, so splitting
+// the streams halves the bytes each pass pulls through the cache and
+// lets the (smaller) state run stay resident. Cleared per wave, capacity
+// retained — steady-state waves allocate nothing.
+class UpdateBuffer {
+ public:
+  void Clear() {
+    keys_.clear();
+    states_.clear();
+  }
+  void Push(const WaveKey& key, SearchState state) {
+    keys_.push_back(key);
+    states_.push_back(state);
+  }
+  std::size_t size() const { return keys_.size(); }
+  const WaveKey& key(std::size_t i) const { return keys_[i]; }
+  SearchState state(std::size_t i) const { return states_[i]; }
+
+  std::size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(WaveKey) +
+           states_.capacity() * sizeof(SearchState);
+  }
+
+ private:
+  std::vector<WaveKey> keys_;
+  std::vector<SearchState> states_;
+};
+
+// Sharded insert-only SearchState -> heuristic-value cache. The A*
+// heuristic is a pure function of the configuration, so reopening, wave
+// dominance, and the two passes of a dominance/bb run keep re-deriving h
+// for states the search has already priced; the searcher consults this
+// cache on the slow (full re-walk) heuristic paths only — the fast
+// incremental deltas are cheaper than a probe. kInfiniteCost is a
+// legitimate cached value (dead states are exactly the ones regenerated
+// most), hence the explicit `used` flag. Insert races between workers are
+// benign: both write the same h.
+class BoundCache {
+ public:
+  bool Find(SearchState s, Weight* h) const {
+    const Shard& shard = shards_[ShardIndex(s)];
+    std::lock_guard<SpinLock> lock(shard.mu);
+    if (shard.slots.empty()) return false;
+    const Entry& e = shard.slots[shard.ProbeIndex(s)];
+    if (!e.used) return false;
+    *h = e.h;
+    return true;
+  }
+
+  void Insert(SearchState s, Weight h) {
+    Shard& shard = shards_[ShardIndex(s)];
+    std::lock_guard<SpinLock> lock(shard.mu);
+    if (shard.slots.empty()) shard.slots.resize(kInitialCapacity);
+    std::size_t i = shard.ProbeIndex(s);
+    if (shard.slots[i].used) return;  // someone else priced it first
+    if ((shard.size + 1) * 4 > shard.slots.size() * 3) {
+      shard.Rehash(shard.slots.size() * 2);
+      i = shard.ProbeIndex(s);
+    }
+    shard.slots[i] = Entry{s, h, true};
+    ++shard.size;
+  }
+
+  std::size_t MemoryBytes() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.slots.capacity() * sizeof(Entry);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 64;  // power of two
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  struct Entry {
+    SearchState state = 0;
+    Weight h = 0;
+    bool used = false;
+  };
+  struct Shard {
+    mutable SpinLock mu;
+    std::vector<Entry> slots;  // power-of-two capacity
+    std::size_t size = 0;
+
+    std::size_t ProbeIndex(SearchState s) const {
+      const std::uint64_t h = s * 0x9e3779b97f4a7c15ull;
+      std::size_t i = static_cast<std::size_t>(h ^ (h >> 29)) &
+                      (slots.size() - 1);
+      while (slots[i].used && slots[i].state != s) {
+        i = (i + 1) & (slots.size() - 1);
+      }
+      return i;
+    }
+    void Rehash(std::size_t capacity) {
+      std::vector<Entry> old = std::exchange(slots, {});
+      slots.resize(capacity);
+      for (const Entry& e : old) {
+        if (e.used) slots[ProbeIndex(e.state)] = e;
+      }
+    }
+  };
+
+  static std::size_t ShardIndex(SearchState s) {
+    return static_cast<std::size_t>((s * 0x9e3779b97f4a7c15ull) >> 58) &
+           (kShardCount - 1);
+  }
+
+  Shard shards_[kShardCount];
+};
 
 // Concurrent SearchState -> best-known (g, len) map. Sharded so parallel
 // frontier expansion relaxes edges without a global lock; shortest-path
@@ -45,31 +211,37 @@ class FlatDistMap {
     bool used = false;
   };
 
+  // Single-writer mode: a searcher running without a pool tells the map
+  // to skip the shard locks entirely — TryImprove is then plain loads and
+  // stores. MUST be true whenever more than one thread can call
+  // TryImprove concurrently.
+  void SetConcurrent(bool concurrent) { concurrent_ = concurrent; }
+
   // Inserts or lexicographically lowers (g, len) for `s`; true when this
   // call changed the stored value.
   bool TryImprove(SearchState s, Weight g, std::uint32_t len) {
     Shard& shard = shards_[ShardIndex(s)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.slots.empty()) shard.Rehash(kInitialCapacity);
-    Entry* e = shard.Probe(s);
-    if (!e->used) {
-      if ((shard.size + 1) * 4 > shard.slots.size() * 3) {
-        shard.Rehash(shard.slots.size() * 2);
-        e = shard.Probe(s);
-      }
-      e->state = s;
-      e->g = g;
-      e->len = len;
-      e->used = true;
-      ++shard.size;
-      return true;
+    if (concurrent_) {
+      std::lock_guard<SpinLock> lock(shard.mu);
+      return TryImproveIn(shard, s, g, len);
     }
-    if (g < e->g || (g == e->g && len < e->len)) {
-      e->g = g;
-      e->len = len;
-      return true;
-    }
-    return false;
+    return TryImproveIn(shard, s, g, len);
+  }
+
+  // Best-effort prefetch of the slot TryImprove(s) will probe first, so
+  // expansion loops can overlap the map's cache miss with further move
+  // evaluation. Reads a relaxed-atomic snapshot of the shard's slab
+  // (published by Rehash under the lock), so a concurrent rehash at worst
+  // leaves a stale snapshot — and a prefetch of a dead slab is harmless
+  // (the hint has no fault or visibility semantics). Never dereferences.
+  void Prefetch(SearchState s) const {
+    const Shard& shard = shards_[ShardIndex(s)];
+    const Entry* base = shard.probe_base.load(std::memory_order_relaxed);
+    if (base == nullptr) return;
+    const std::uint64_t h = Mix(s);
+    const std::size_t i = static_cast<std::size_t>(h ^ (h >> 29)) &
+                          shard.probe_mask.load(std::memory_order_relaxed);
+    __builtin_prefetch(&base[i], 1, 1);
   }
 
   // Lock-free lookup; only legal while no expansion is in flight (between
@@ -119,9 +291,13 @@ class FlatDistMap {
   }
 
   struct Shard {
-    std::mutex mu;
+    SpinLock mu;
     std::vector<Entry> slots;  // power-of-two capacity
     std::size_t size = 0;
+    // Prefetch()'s lock-free snapshot of (slots.data(), capacity - 1);
+    // written only under `mu` (in Rehash), read relaxed from any worker.
+    std::atomic<const Entry*> probe_base{nullptr};
+    std::atomic<std::size_t> probe_mask{0};
 
     std::size_t SlotIndex(SearchState s) const {
       const std::uint64_t h = Mix(s);
@@ -147,8 +323,36 @@ class FlatDistMap {
       for (const Entry& e : old) {
         if (e.used) *Probe(e.state) = e;
       }
+      probe_base.store(slots.data(), std::memory_order_relaxed);
+      probe_mask.store(slots.size() - 1, std::memory_order_relaxed);
     }
   };
+
+  static bool TryImproveIn(Shard& shard, SearchState s, Weight g,
+                           std::uint32_t len) {
+    if (shard.slots.empty()) shard.Rehash(kInitialCapacity);
+    Entry* e = shard.Probe(s);
+    if (!e->used) {
+      if ((shard.size + 1) * 4 > shard.slots.size() * 3) {
+        shard.Rehash(shard.slots.size() * 2);
+        e = shard.Probe(s);
+      }
+      e->state = s;
+      e->g = g;
+      e->len = len;
+      e->used = true;
+      ++shard.size;
+      return true;
+    }
+    if (g < e->g || (g == e->g && len < e->len)) {
+      e->g = g;
+      e->len = len;
+      return true;
+    }
+    return false;
+  }
+
+  bool concurrent_ = true;
   Shard shards_[kShardCount];
 };
 
@@ -191,11 +395,54 @@ class StateInterner {
  public:
   explicit StateInterner(std::size_t words) : words_(words) {}
 
+  // Per-worker lookaside over Intern(): a direct-mapped {hash -> id}
+  // table that answers repeat interns of hot configurations without
+  // touching the owning shard's lock. Entries only ever point at ids the
+  // owning worker interned itself, so the Words() dereference in the
+  // verify step needs no extra synchronization. One per expansion
+  // scratch; cleared never (stale entries just miss).
+  class LocalCache {
+   public:
+    static constexpr std::size_t kSlots = 4096;  // power of two
+
+   private:
+    friend class StateInterner;
+    struct Slot {
+      std::uint64_t hash = 0;
+      SearchState id = 0;
+      bool used = false;
+    };
+    std::vector<Slot> slots_;  // sized lazily on first use
+  };
+
+  // Intern() through the worker's local cache; `hits`/`misses` count the
+  // lookaside's effectiveness (they feed search.intern_cache_* — counts
+  // are per-worker and interleaving-dependent, reporting only).
+  bool InternCached(const std::uint64_t* w, LocalCache& cache, SearchState* id,
+                    std::uint64_t* hits, std::uint64_t* misses) {
+    const std::uint64_t h = Hash(w);
+    if (cache.slots_.empty()) cache.slots_.resize(LocalCache::kSlots);
+    LocalCache::Slot& slot = cache.slots_[h & (LocalCache::kSlots - 1)];
+    if (slot.used && slot.hash == h && Equal(Words(slot.id), w)) {
+      *id = slot.id;
+      ++*hits;
+      return true;
+    }
+    ++*misses;
+    if (!InternHashed(w, h, id)) return false;
+    slot = {h, *id, true};
+    return true;
+  }
+
   // Interns `w` (words_ words) and returns its id; false when the chunk
   // directory is exhausted (the caller treats it as a memory cap — at
   // default chunking that is >500M states, far past any byte budget).
   bool Intern(const std::uint64_t* w, SearchState* id) {
-    const std::uint64_t h = Hash(w);
+    return InternHashed(w, Hash(w), id);
+  }
+
+ private:
+  bool InternHashed(const std::uint64_t* w, std::uint64_t h, SearchState* id) {
     Shard& shard = shards_[ShardIndex(h)];
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.slots.empty()) shard.slots.assign(kInitialCapacity, 0);
@@ -226,6 +473,7 @@ class StateInterner {
     return true;
   }
 
+ public:
   // Lookup without insert; used by the reconstruction walk to test
   // whether a candidate predecessor was ever discovered.
   bool Find(const std::uint64_t* w, SearchState* id) const {

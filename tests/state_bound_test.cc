@@ -10,14 +10,20 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/analysis.h"
+#include "core/move.h"
+#include "core/schedule.h"
+#include "core/simulator.h"
 #include "core/state_bound.h"
 #include "dataflows/butterfly_graph.h"
 #include "dataflows/dwt_graph.h"
 #include "dataflows/tree_graph.h"
+#include "robust/fault_injector.h"
 #include "schedulers/brute_force.h"
 #include "tests/test_helpers.h"
 #include "util/rng.h"
@@ -210,6 +216,257 @@ TEST(StateBound, StartBoundBeyond32Nodes) {
   EXPECT_EQ(bound.StartBound(), AlgorithmicLowerBound(graph));
   const StateBound starved(graph, 1, 0, true);
   EXPECT_GE(starved.StartBound(), kInfiniteCost);
+}
+
+// ---- Incremental-vs-fresh differential (DESIGN.md §14) ----
+//
+// The exact engine never re-runs the full closure walk for a successor it
+// can derive incrementally: Prepare() caches the parent's closure and
+// EvaluateMove() applies the per-move deltas of the state_bound.h move
+// table. These tests pin EvaluateMove ≡ fresh Evaluate for EVERY legal
+// move from every (red, blue) pair of several small graphs — packed and
+// word-span paths both — so the deltas (including the M3 invariance
+// proof) can never drift from the ground-truth walk.
+
+constexpr MoveType kAllMoveTypes[] = {MoveType::kLoad, MoveType::kStore,
+                                      MoveType::kCompute, MoveType::kDelete};
+
+void CheckIncrementalGraph(const Graph& graph, Weight budget,
+                           const std::string& label) {
+  ASSERT_LE(graph.num_nodes(), 32u) << label;
+  const StateBound bound(graph, budget, /*required_red=*/0,
+                         /*require_sinks_blue=*/true);
+  StateBound::WideScratch scratch;
+  const NodeId n = graph.num_nodes();
+  std::uint32_t sources = 0;
+  for (const NodeId s : graph.sources()) sources |= 1u << s;
+  std::vector<std::uint32_t> parents(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId p : graph.parents(v)) parents[v] |= 1u << p;
+  }
+
+  auto check_pair = [&](std::uint32_t red, std::uint32_t blue) {
+    const Weight red_weight = RedWeight(graph, red);
+    if (red_weight > budget) return;  // not a reachable state
+    StateBound::PackedCtx ctx;
+    bound.Prepare(red, blue, ctx);
+    const std::uint64_t wred[1] = {red};
+    const std::uint64_t wblue[1] = {blue};
+    StateBound::WideCtx wctx;
+    bound.Prepare(wred, wblue, wctx, scratch);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t bit = 1u << v;
+      const Weight w = graph.weight(v);
+      for (const MoveType type : kAllMoveTypes) {
+        bool legal = false;
+        std::uint32_t nred = red;
+        std::uint32_t nblue = blue;
+        switch (type) {
+          case MoveType::kLoad:
+            legal = (blue & bit) != 0 && (red & bit) == 0 &&
+                    red_weight + w <= budget;
+            nred |= bit;
+            break;
+          case MoveType::kStore:
+            legal = (red & bit) != 0 && (blue & bit) == 0;
+            nblue |= bit;
+            break;
+          case MoveType::kCompute:
+            legal = (sources & bit) == 0 && (red & bit) == 0 &&
+                    (parents[v] & ~red) == 0 && red_weight + w <= budget;
+            nred |= bit;
+            break;
+          case MoveType::kDelete:
+            legal = (red & bit) != 0;
+            nred &= ~bit;
+            break;
+        }
+        if (!legal) continue;  // EvalMove* preconditions require legality
+        EXPECT_EQ(bound.EvaluateMove(ctx, type, v),
+                  bound.Evaluate(nred, nblue))
+            << label << ": packed " << ToString(Move{type, v})
+            << " from red=" << red << " blue=" << blue;
+        const std::uint64_t wnred[1] = {nred};
+        const std::uint64_t wnblue[1] = {nblue};
+        const Weight inc =
+            bound.EvaluateMove(wctx, wred, wblue, type, v, scratch);
+        EXPECT_EQ(inc, bound.Evaluate(wnred, wnblue, scratch))
+            << label << ": wide " << ToString(Move{type, v})
+            << " from red=" << red << " blue=" << blue;
+      }
+    }
+  };
+
+  if (n <= 7) {
+    const std::uint32_t limit = 1u << n;
+    for (std::uint32_t red = 0; red < limit; ++red) {
+      for (std::uint32_t blue = 0; blue < limit; ++blue) {
+        check_pair(red, blue);
+      }
+    }
+  } else {
+    Rng rng(2026);
+    const std::uint32_t mask = (n >= 32 ? ~0u : (1u << n) - 1u);
+    for (int i = 0; i < 1500; ++i) {
+      check_pair(static_cast<std::uint32_t>(rng.Next()) & mask,
+                 static_cast<std::uint32_t>(rng.Next()) & mask);
+    }
+  }
+}
+
+TEST(StateBoundIncremental, MatchesFreshOnDiamondExhaustive) {
+  const Graph graph = MakeDiamond({2, 3, 1, 2, 4});
+  const Weight lo = MinValidBudget(graph);
+  for (const Weight budget : {lo, lo + 3}) {
+    CheckIncrementalGraph(graph, budget,
+                          "diamond budget=" + std::to_string(budget));
+  }
+}
+
+TEST(StateBoundIncremental, MatchesFreshOnChainExhaustive) {
+  const Graph graph = MakeChain(5, 2);
+  const Weight lo = MinValidBudget(graph);
+  for (const Weight budget : {lo, lo + 3}) {
+    CheckIncrementalGraph(graph, budget,
+                          "chain5 budget=" + std::to_string(budget));
+  }
+}
+
+TEST(StateBoundIncremental, MatchesFreshOnKaryTreeExhaustive) {
+  const TreeGraph tree = BuildPerfectTree(2, 2);
+  const Weight lo = MinValidBudget(tree.graph);
+  CheckIncrementalGraph(tree.graph, lo + 2, "kary(2,2)");
+}
+
+TEST(StateBoundIncremental, MatchesFreshOnDwtSampled) {
+  const DwtGraph dwt = BuildDwt(4, 2);
+  const Weight lo = MinValidBudget(dwt.graph);
+  CheckIncrementalGraph(dwt.graph, lo + 2, "dwt(4,2)");
+}
+
+// Beyond 32 nodes only the word-span path exists, and the searcher's wide
+// states come from real (possibly perturbed) executions rather than
+// uniform masks. Replay a valid 40-node chain schedule plus a
+// FaultInjector corpus of near-valid mutants, collect every distinct
+// prefix configuration (200+ of them), and pin wide EvaluateMove ≡ fresh
+// wide Evaluate for every legal move out of each.
+TEST(StateBoundIncremental, WideMatchesFreshOnFaultInjectedStates) {
+  const Graph graph = MakeChain(40, 2);
+  const Weight budget = MinValidBudget(graph) + 2;
+  ASSERT_EQ(StateBound(graph, budget, 0, true).WordsPerColor(), 1u);
+
+  // Load the source, then walk the chain: compute each node, store it,
+  // and drop its parent. Valid, touches every move type, and leaves a
+  // blue-rich trail so store-deleting mutants diverge everywhere.
+  std::vector<Move> moves;
+  moves.push_back(Load(0));
+  for (NodeId v = 1; v < 40; ++v) {
+    moves.push_back(Compute(v));
+    moves.push_back(Store(v));
+    moves.push_back(Delete(v - 1));
+  }
+  const Schedule schedule(std::move(moves));
+  ASSERT_TRUE(Simulate(graph, budget, schedule).valid);
+
+  const NodeId n = graph.num_nodes();
+  std::uint64_t sources = 0;
+  for (const NodeId s : graph.sources()) sources |= 1ull << s;
+  std::vector<std::uint64_t> parents(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId p : graph.parents(v)) parents[v] |= 1ull << p;
+  }
+  // Mirrors the simulator's per-move legality (incl. the budget check).
+  auto legal = [&](std::uint64_t red, std::uint64_t blue, Weight red_weight,
+                   Weight b, MoveType type, NodeId v) {
+    const std::uint64_t bit = 1ull << v;
+    switch (type) {
+      case MoveType::kLoad:
+        return (blue & bit) != 0 && (red & bit) == 0 &&
+               red_weight + graph.weight(v) <= b;
+      case MoveType::kStore:
+        return (red & bit) != 0 && (blue & bit) == 0;
+      case MoveType::kCompute:
+        return (sources & bit) == 0 && (red & bit) == 0 &&
+               (parents[v] & ~red) == 0 && red_weight + graph.weight(v) <= b;
+      case MoveType::kDelete:
+        return (red & bit) != 0;
+    }
+    return false;
+  };
+
+  StateBound::WideScratch scratch;
+  std::set<std::tuple<Weight, std::uint64_t, std::uint64_t>> seen;
+  std::size_t states_checked = 0;
+
+  auto check_state = [&](const StateBound& bound, Weight b, std::uint64_t red,
+                         std::uint64_t blue, Weight red_weight,
+                         const std::string& label) {
+    if (!seen.insert({b, red, blue}).second) return;
+    ++states_checked;
+    StateBound::WideCtx ctx;
+    bound.Prepare(&red, &blue, ctx, scratch);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint64_t bit = 1ull << v;
+      for (const MoveType type : kAllMoveTypes) {
+        if (!legal(red, blue, red_weight, b, type, v)) continue;
+        std::uint64_t nred = red;
+        std::uint64_t nblue = blue;
+        if (type == MoveType::kStore) {
+          nblue |= bit;
+        } else if (type == MoveType::kDelete) {
+          nred &= ~bit;
+        } else {
+          nred |= bit;
+        }
+        const Weight inc =
+            bound.EvaluateMove(ctx, &red, &blue, type, v, scratch);
+        EXPECT_EQ(inc, bound.Evaluate(&nred, &nblue, scratch))
+            << label << ": " << ToString(Move{type, v}) << " from red=" << red
+            << " blue=" << blue;
+      }
+    }
+  };
+
+  // Replay one (schedule, budget) pair, checking every prefix state and
+  // stopping at the first illegal move (mutants are near-valid, not valid).
+  auto replay = [&](const Schedule& sched, Weight b, const std::string& label) {
+    const StateBound bound(graph, b, /*required_red=*/0,
+                           /*require_sinks_blue=*/true);
+    std::uint64_t red = 0;
+    std::uint64_t blue = sources;
+    Weight red_weight = 0;
+    check_state(bound, b, red, blue, red_weight, label);
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      const Move& m = sched[i];
+      if (m.node >= n || !legal(red, blue, red_weight, b, m.type, m.node)) {
+        break;
+      }
+      const std::uint64_t bit = 1ull << m.node;
+      switch (m.type) {
+        case MoveType::kLoad:
+        case MoveType::kCompute:
+          red |= bit;
+          red_weight += graph.weight(m.node);
+          break;
+        case MoveType::kStore:
+          blue |= bit;
+          break;
+        case MoveType::kDelete:
+          red &= ~bit;
+          red_weight -= graph.weight(m.node);
+          break;
+      }
+      check_state(bound, b, red, blue, red_weight, label);
+    }
+  };
+
+  replay(schedule, budget, "baseline");
+  const FaultInjector injector(graph, budget, schedule);
+  Rng rng(0xf417u);
+  for (const FaultCase& fc : injector.Corpus(rng, 12)) {
+    replay(fc.schedule, fc.budget, fc.label);
+  }
+  EXPECT_GE(states_checked, 200u);
 }
 
 // required_red feeds the need closure even when every sink is stored.
