@@ -59,7 +59,13 @@ int main(int argc, char** argv) {
       {"workload", "approach", "capacity_bits", "area_lambda2", "leakage_mw",
        "read_power_mw", "write_power_mw", "read_bw_gbps", "write_bw_gbps"}};
   for (const DesignPoint& p : points) {
-    const SramMacro macro = SynthesizeSram(p.pow2_bits);
+    const SramSynthesisResult synth = TrySynthesizeSram(p.pow2_bits);
+    if (!synth.ok()) {
+      std::cout << "  [skipped] " << p.workload << " / " << p.approach << ": "
+                << synth.message << "\n";
+      continue;
+    }
+    const SramMacro& macro = synth.macro;
     const std::vector<std::string> cells = {
         p.workload,
         p.approach,

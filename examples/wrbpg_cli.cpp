@@ -45,6 +45,17 @@
 //       budget-aware I/O lower-bound certificates with their re-verified
 //       witnesses. Defaults the budget to MinValidBudget. --json emits
 //       the wrbpg-ganalysis-v1 document instead of the text report.
+//   wrbpg_cli explore <graph> [--budget-lo N] [--budget-hi N]
+//                     [--budget-step N] [--slack N] [--words CSV]
+//                     [--scheduler bb|robust] [--deadline-ms N]
+//                     [--max-states N] [--json]
+//       pre-synthesis design-space exploration (DESIGN.md §15): sweep the
+//       red-budget band × SRAM word widths, price every point through the
+//       anytime solver + SRAM/energy models, and report the Pareto
+//       frontier (table + ASCII area-vs-energy plot, or the
+//       wrbpg-explore-v1 JSON document with --json). Every point carries
+//       a certified optimality gap; invalid SRAM geometries are
+//       skipped-and-counted.
 //   wrbpg_cli dot <graph>
 //       Graphviz rendering of the dataflow.
 //   wrbpg_cli serve [<requests.txt>] [--cache-mb N] [--shards N]
@@ -113,6 +124,8 @@
 #include "core/simulator.h"
 #include "core/trace.h"
 #include "dataflows/builtin_spec.h"
+#include "explore/explore.h"
+#include "explore/report.h"
 #include "dataflows/dwt_graph.h"
 #include "dataflows/tree_graph.h"
 #include "ganalysis/canonical.h"
@@ -136,7 +149,7 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: wrbpg_cli <info|schedule|validate|trace|lint|repair|"
-               "analyze|profile|dot|serve|convert> <graph.txt|"
+               "analyze|explore|profile|dot|serve|convert> <graph.txt|"
             << BuiltinSpecHelp()
             << "> [schedule.txt] "
                "[--budget N] [--algo greedy|belady|brute|robust] "
@@ -169,6 +182,26 @@ int PrintHelp() {
       "      closed-form family recognition, budget-aware I/O lower-bound\n"
       "      certificates. --budget defaults to the minimum valid budget.\n"
       "      --json emits the wrbpg-ganalysis-v1 document.\n"
+      "  explore <graph> [--budget-lo N] [--budget-hi N] [--budget-step N]\n"
+      "          [--slack N] [--words CSV] [--scheduler bb|robust]\n"
+      "          [--deadline-ms N] [--max-states N] [--json]\n"
+      "      Pre-synthesis design-space exploration (DESIGN.md §15): sweep\n"
+      "      the red-budget band at --budget-step (default 16) across the\n"
+      "      SRAM word widths in --words (default 8,16,32), price every\n"
+      "      point through the anytime solver and the SRAM/energy models,\n"
+      "      and report the Pareto frontier over (area, leakage, energy,\n"
+      "      io_cost) as a table plus an ASCII area-vs-energy plot. The\n"
+      "      band defaults to [min valid budget, derived min-memory +\n"
+      "      --slack]. --scheduler bb (default) prices each budget with\n"
+      "      the branch-and-bound engine capped at --max-states (default\n"
+      "      200000): results are bit-identical at any --threads count;\n"
+      "      robust runs the fallback chain under a per-point\n"
+      "      --deadline-ms slice (bounded latency, wall-clock-dependent\n"
+      "      answers). Every point carries a\n"
+      "      certified optimality gap; SRAM geometries the synthesizer\n"
+      "      rejects are skipped-and-counted. --json emits the\n"
+      "      wrbpg-explore-v1 document. Exits 1 when the frontier is\n"
+      "      empty.\n"
       "  lint <graph> [<schedule> --budget N] [--json] [--fix]\n"
       "      Static analysis without the simulator. Graph-only mode checks\n"
       "      the graph-level rules; with a schedule and budget, the full\n"
@@ -387,6 +420,89 @@ int RunProfile(const CliArgs& args, const LoadedGraph& loaded,
   return robust.result.feasible ? 0 : 1;
 }
 
+// The `explore` verb: sweep the (red budget × SRAM word width) grid,
+// price every point through the anytime solver + hardware models, and
+// report the Pareto frontier (src/explore/, DESIGN.md §15).
+int RunExplore(const CliArgs& args, const LoadedGraph& loaded) {
+  ExploreOptions options;
+  options.budget_lo = args.GetInt("budget-lo", 0);
+  options.budget_hi = args.GetInt("budget-hi", 0);
+  options.budget_step = args.GetInt("budget-step", 16);
+  options.band_slack = args.GetInt("slack", 64);
+  options.deadline_ms = args.GetDouble("deadline-ms", 0);
+  const std::int64_t max_states = args.GetInt("max-states", 200'000);
+  const std::string words = args.GetString("words", "8,16,32");
+  const std::string scheduler_name = args.GetString("scheduler", "bb");
+  const bool json = args.GetBool("json", false);
+  if (!args.error().empty()) {
+    std::cerr << "error: " << args.error() << "\n";
+    return 2;
+  }
+  if (options.budget_lo < 0 || options.budget_hi < 0 ||
+      options.budget_step <= 0 || options.band_slack < 0 ||
+      max_states <= 0) {
+    std::cerr << "error: --budget-lo/--budget-hi/--slack must be >= 0 and "
+                 "--budget-step/--max-states > 0\n";
+    return 2;
+  }
+  options.max_states = static_cast<std::size_t>(max_states);
+  const std::optional<ExploreScheduler> scheduler =
+      ExploreSchedulerFromString(scheduler_name);
+  if (!scheduler) {
+    std::cerr << "error: unknown --scheduler '" << scheduler_name
+              << "' (expected bb|robust)\n";
+    return 2;
+  }
+  options.scheduler = *scheduler;
+  options.word_bits.clear();
+  std::istringstream word_stream(words);
+  std::string token;
+  while (std::getline(word_stream, token, ',')) {
+    Weight width = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), width);
+    if (ec != std::errc() || ptr != token.data() + token.size() ||
+        width <= 0) {
+      std::cerr << "error: --words expects comma-separated positive bit "
+                   "widths, got '"
+                << token << "'\n";
+      return 2;
+    }
+    options.word_bits.push_back(width);
+  }
+
+  const ExploreResult result = Explore(loaded.graph(), options);
+  if (!result.ok) {
+    std::cerr << "error: " << result.error << "\n";
+    return 1;
+  }
+  // Self-check the dominance pass with the independent verifier before
+  // publishing — a tampered/buggy frontier never leaves the process.
+  std::string verify_error;
+  if (!VerifyFrontier(result.points, result.frontier, &verify_error)) {
+    std::cerr << "internal error: frontier verification failed: "
+              << verify_error << "\n";
+    return 1;
+  }
+  if (json) {
+    std::cout << ExploreToJson(args.positional()[1],
+                               ToString(options.scheduler), result)
+                     .Dump()
+              << "\n";
+  } else {
+    std::cout << RenderExploreTable(result) << "\n"
+              << RenderFrontierPlot(result);
+  }
+  if (result.frontier.empty()) {
+    std::cerr << "no feasible design point (scanned "
+              << result.budgets_scanned << " budgets, "
+              << result.infeasible_budgets << " infeasible, "
+              << result.invalid_points << " invalid points)\n";
+    return 1;
+  }
+  return 0;
+}
+
 // The `serve` verb: a scheduling-as-a-service loop over a request stream
 // (file or stdin), one `<graph> <budget> [<deadline-ms>]` per line. Every
 // request flows through one shared ScheduleService, so repeated and
@@ -513,6 +629,9 @@ int RunVerb(const CliArgs& args) {
       {"info", {}},
       {"dot", {}},
       {"analyze", {"budget", "json"}},
+      {"explore",
+       {"budget-lo", "budget-hi", "budget-step", "slack", "words",
+        "scheduler", "deadline-ms", "max-states", "json"}},
       {"lint", {"budget", "json", "fix"}},
       {"schedule",
        {"budget", "algo", "engine", "deadline-ms", "memory-cap-mb",
@@ -582,6 +701,10 @@ int RunVerb(const CliArgs& args) {
       return 1;
     }
     return 0;
+  }
+
+  if (command == "explore") {
+    return RunExplore(args, loaded);
   }
 
   if (command == "analyze") {

@@ -1,0 +1,36 @@
+// Human- and machine-facing renderings of an exploration (DESIGN.md §15).
+//
+// Three views of the same ExploreResult, all byte-stable for identical
+// inputs (the Json writer keeps insertion order; the table and plot are
+// pure folds over the point vector):
+//
+//   RenderExploreTable   aligned text table, one row per priced point,
+//                        frontier rows marked — the CLI's default output.
+//   RenderFrontierPlot   ASCII area-vs-energy scatter in the trace-render
+//                        style (core/trace.h): '*' frontier, '.' dominated.
+//   ExploreToJson        the wrbpg-explore-v1 document (docs/FORMATS.md)
+//                        for --json and the explore-smoke CI check.
+#pragma once
+
+#include <string>
+
+#include "explore/explore.h"
+#include "obs/json.h"
+
+namespace wrbpg {
+
+std::string RenderExploreTable(const ExploreResult& result);
+
+// Fixed-size ASCII scatter of area (x) vs total energy (y). Degenerate
+// inputs (no points, or all points coincident) render a one-line note
+// instead of a chart.
+std::string RenderFrontierPlot(const ExploreResult& result, int width = 64,
+                               int height = 16);
+
+// `instance` is the graph spec or file the caller explored; `scheduler`
+// labels the pricing engine (ToString(ExploreScheduler)).
+obs::Json ExploreToJson(const std::string& instance,
+                        const std::string& scheduler,
+                        const ExploreResult& result);
+
+}  // namespace wrbpg

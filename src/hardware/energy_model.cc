@@ -1,6 +1,6 @@
 #include "hardware/energy_model.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace wrbpg {
 namespace {
@@ -11,15 +11,26 @@ double AccessRatePerSecond(const SramMacro& macro, double bw_gbps) {
   return bw_gbps * 1e9 / bytes_per_word;
 }
 
+// A macro that was never synthesized (word_bits or bandwidth zero) has no
+// defined access rate; the energy accessors return 0 instead of dividing
+// by zero — the explorer rejects such points before pricing, this is the
+// last line of defense.
+bool Degenerate(const SramMacro& macro) {
+  return macro.word_bits <= 0 || macro.read_bw_gbps <= 0 ||
+         macro.write_bw_gbps <= 0;
+}
+
 }  // namespace
 
 double ReadEnergyPerWordNj(const SramMacro& macro) {
+  if (Degenerate(macro)) return 0;
   // P[mW] / rate[1/s] = energy per access in microjoules * 1e-3 -> nJ.
   return macro.read_power_mw * 1e-3 /
          AccessRatePerSecond(macro, macro.read_bw_gbps) * 1e9;
 }
 
 double WriteEnergyPerWordNj(const SramMacro& macro) {
+  if (Degenerate(macro)) return 0;
   return macro.write_power_mw * 1e-3 /
          AccessRatePerSecond(macro, macro.write_bw_gbps) * 1e9;
 }
@@ -27,12 +38,18 @@ double WriteEnergyPerWordNj(const SramMacro& macro) {
 EnergyReport EstimateScheduleEnergy(const SramMacro& macro,
                                     Weight bits_loaded, Weight bits_stored,
                                     double duty_cycle) {
-  assert(duty_cycle >= 1.0);
   EnergyReport report;
+  if (Degenerate(macro)) return report;
+  // Sub-unit duty cycles would mean running faster than the
+  // traffic-limited minimum; clamp instead of asserting so a malformed
+  // sweep parameter degrades to the memory-bound estimate.
+  duty_cycle = std::max(duty_cycle, 1.0);
   const double reads =
-      static_cast<double>(bits_loaded) / static_cast<double>(macro.word_bits);
+      static_cast<double>(std::max<Weight>(bits_loaded, 0)) /
+      static_cast<double>(macro.word_bits);
   const double writes =
-      static_cast<double>(bits_stored) / static_cast<double>(macro.word_bits);
+      static_cast<double>(std::max<Weight>(bits_stored, 0)) /
+      static_cast<double>(macro.word_bits);
 
   report.read_energy_nj = reads * ReadEnergyPerWordNj(macro);
   report.write_energy_nj = writes * WriteEnergyPerWordNj(macro);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "util/mathutil.h"
 
@@ -46,18 +46,30 @@ Weight PowerOfTwoCapacity(Weight capacity_bits) {
   return NextPowerOfTwo(capacity_bits);
 }
 
-SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits) {
-  if (capacity_bits <= 0 || word_bits <= 0 ||
-      capacity_bits % word_bits != 0) {
-    std::fprintf(stderr,
-                 "SynthesizeSram: capacity (%lld) must be a positive "
-                 "multiple of the word size (%lld)\n",
-                 static_cast<long long>(capacity_bits),
-                 static_cast<long long>(word_bits));
-    std::abort();
+SramSynthesisResult TrySynthesizeSram(Weight capacity_bits,
+                                      Weight word_bits) {
+  SramSynthesisResult result;
+  if (capacity_bits <= 0) {
+    result.error = SramError::kNonPositiveCapacity;
+    result.message = "capacity (" + std::to_string(capacity_bits) +
+                     " bits) must be positive";
+    return result;
+  }
+  if (word_bits <= 0) {
+    result.error = SramError::kNonPositiveWordSize;
+    result.message =
+        "word size (" + std::to_string(word_bits) + " bits) must be positive";
+    return result;
+  }
+  if (capacity_bits % word_bits != 0) {
+    result.error = SramError::kCapacityNotWordMultiple;
+    result.message = "capacity (" + std::to_string(capacity_bits) +
+                     " bits) must be a multiple of the word size (" +
+                     std::to_string(word_bits) + " bits)";
+    return result;
   }
 
-  SramMacro macro;
+  SramMacro& macro = result.macro;
   macro.capacity_bits = capacity_bits;
   macro.word_bits = word_bits;
 
@@ -77,15 +89,22 @@ SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits) {
     }
   }
   macro.cols = best_cols;
-  std::int64_t total_rows = capacity_bits / macro.cols;
+  const std::int64_t total_rows = capacity_bits / macro.cols;
+  // Bank by doubling until a bank fits, with CEILING division: an odd row
+  // count must round up, not truncate — truncation silently dropped rows
+  // (257 rows -> 2 banks x 128 rows covers only 4096 of 4112 bits),
+  // understating area and leakage. Every bank is built at the ceiling row
+  // count; the excess over capacity is accounted as padding_bits.
   macro.banks = 1;
-  while (total_rows > kMaxRowsPerBank) {
-    total_rows /= 2;
+  while ((total_rows + macro.banks - 1) / macro.banks > kMaxRowsPerBank) {
     macro.banks *= 2;
   }
-  macro.rows = total_rows;
+  macro.rows = (total_rows + macro.banks - 1) / macro.banks;
+  macro.padding_bits = macro.rows * macro.cols * macro.banks - capacity_bits;
 
-  const double bits = static_cast<double>(capacity_bits);
+  // Physical bit count: padding rows are fabricated cells — they cost area
+  // and leak like any other cell, so every per-bit term bills them.
+  const double bits = static_cast<double>(macro.physical_bits());
   const double rows_total =
       static_cast<double>(macro.rows) * static_cast<double>(macro.banks);
   const double cols_d = static_cast<double>(macro.cols);
@@ -108,7 +127,26 @@ SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits) {
                           kCyclePerCol * cols_d;
   macro.read_bw_gbps = kAccessBytes / cycle_ns;  // GB/s: bytes per ns
   macro.write_bw_gbps = kWriteBwDerate * macro.read_bw_gbps;
-  return macro;
+  return result;
+}
+
+SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits) {
+  const SramSynthesisResult result =
+      TrySynthesizeSram(capacity_bits, word_bits);
+  assert(result.ok() && "SynthesizeSram precondition violated; use "
+                        "TrySynthesizeSram for untrusted input");
+  return result.macro;  // zero-initialized macro on invalid release input
+}
+
+const char* ToString(SramError error) {
+  switch (error) {
+    case SramError::kNone: return "none";
+    case SramError::kNonPositiveCapacity: return "non-positive-capacity";
+    case SramError::kNonPositiveWordSize: return "non-positive-word-size";
+    case SramError::kCapacityNotWordMultiple:
+      return "capacity-not-word-multiple";
+  }
+  return "unknown";
 }
 
 std::string RenderLayout(const SramMacro& macro, const std::string& label) {

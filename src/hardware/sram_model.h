@@ -36,6 +36,16 @@ struct SramMacro {
   std::int64_t rows = 0;   // rows per bank
   std::int64_t cols = 0;   // bitlines (bits per row)
   std::int64_t banks = 1;
+  // Bit cells fabricated beyond capacity_bits: when the row count does not
+  // split evenly across banks, every bank is built at the CEILING row
+  // count and the excess rows are padding. Invariant (tested):
+  //   physical_bits() == capacity_bits + padding_bits  >=  capacity_bits
+  // and padding is minimal for the chosen (cols, banks): padding_bits <
+  // cols * banks (less than one row per bank).
+  std::int64_t padding_bits = 0;
+
+  // Bits actually fabricated — what the area/leakage terms are billed on.
+  std::int64_t physical_bits() const { return rows * cols * banks; }
 
   double area_lambda2 = 0;
   double width_lambda = 0;
@@ -48,8 +58,40 @@ struct SramMacro {
   double write_bw_gbps = 0;
 };
 
-// Synthesizes the macro for a capacity (bits, must be a positive multiple
-// of word_bits). Deterministic.
+// Typed rejection taxonomy for malformed design points, in the style of
+// SimErrorCode: library code never aborts on bad input — a design-space
+// sweep prices thousands of machine-generated configurations and must be
+// able to skip-and-count the invalid ones (src/explore/).
+enum class SramError : std::uint8_t {
+  kNone = 0,                 // macro synthesized
+  kNonPositiveCapacity,      // capacity_bits <= 0
+  kNonPositiveWordSize,      // word_bits <= 0
+  kCapacityNotWordMultiple,  // capacity_bits % word_bits != 0
+};
+
+// Short stable identifier, e.g. "capacity-not-word-multiple". The switch
+// has no default case, so extending the enum without the mapping fails the
+// -Werror=switch build.
+const char* ToString(SramError error);
+
+struct SramSynthesisResult {
+  SramError error = SramError::kNone;
+  std::string message;  // human-readable rejection; empty when ok()
+  SramMacro macro;      // meaningful only when ok()
+
+  bool ok() const { return error == SramError::kNone; }
+};
+
+// Synthesizes the macro for a capacity. Never aborts: malformed inputs
+// (non-positive capacity or word size, capacity not a word multiple) come
+// back as a typed rejection. Deterministic.
+SramSynthesisResult TrySynthesizeSram(Weight capacity_bits,
+                                      Weight word_bits = 16);
+
+// Precondition-checked convenience wrapper for callers that already
+// validated their inputs (asserts in debug builds; returns a
+// zero-initialized macro on invalid input in release builds — use
+// TrySynthesizeSram when the input is not trusted).
 SramMacro SynthesizeSram(Weight capacity_bits, Weight word_bits = 16);
 
 // Round a minimum capacity up to the power-of-two macro actually built

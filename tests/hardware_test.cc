@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "hardware/energy_model.h"
 #include "hardware/sram_model.h"
 
 namespace wrbpg {
@@ -120,6 +121,122 @@ TEST(Sram, LayoutScalesWithCapacity) {
   const std::string small = RenderLayout(SynthesizeSram(256), "s");
   const std::string large = RenderLayout(SynthesizeSram(16384), "l");
   EXPECT_GT(large.size(), small.size());
+}
+
+TEST(Sram, OddRowBankingRoundsUpInsteadOfDroppingRows) {
+  // 4112 bits / 16-bit words with 16 cols -> 257 rows. The old banking loop
+  // halved to 2 banks x 128 rows = 4096 bits, silently losing a row. Now the
+  // odd count rounds up: 2 banks x 129 rows = 4128 physical bits, 16 padding.
+  const SramSynthesisResult synth = TrySynthesizeSram(4112, 16);
+  ASSERT_TRUE(synth.ok()) << synth.message;
+  const SramMacro& macro = synth.macro;
+  EXPECT_EQ(macro.cols, 16);
+  EXPECT_EQ(macro.banks, 2);
+  EXPECT_EQ(macro.rows, 129);
+  EXPECT_EQ(macro.physical_bits(), 4128);
+  EXPECT_EQ(macro.padding_bits, 16);
+  EXPECT_EQ(macro.physical_bits(), macro.capacity_bits + macro.padding_bits);
+}
+
+TEST(Sram, CapacityInvariantHoldsAcrossWordMultiples) {
+  // Sweep every word multiple in a band that includes many odd row counts:
+  // the physical array must always cover the requested capacity, padding
+  // must be exact, and no bank may exceed the row limit.
+  for (Weight word_bits : {8, 16, 32}) {
+    for (Weight capacity = word_bits; capacity <= 20000;
+         capacity += word_bits) {
+      const SramSynthesisResult synth = TrySynthesizeSram(capacity, word_bits);
+      ASSERT_TRUE(synth.ok()) << capacity << "/" << word_bits;
+      const SramMacro& macro = synth.macro;
+      ASSERT_GE(macro.physical_bits(), capacity)
+          << capacity << "/" << word_bits;
+      ASSERT_EQ(macro.physical_bits(), capacity + macro.padding_bits)
+          << capacity << "/" << word_bits;
+      // Padding is less than one row per bank: rows was the ceiling.
+      ASSERT_LT(macro.padding_bits, macro.cols * macro.banks)
+          << capacity << "/" << word_bits;
+      ASSERT_LE(macro.rows, 256) << capacity << "/" << word_bits;
+    }
+  }
+}
+
+TEST(Sram, PowerOfTwoCapacitiesHaveNoPadding) {
+  // The ceiling-division fix must be a no-op on the Table-1 design points:
+  // even splits have no padding, so Fig. 7 magnitudes are unchanged.
+  for (Weight capacity = 256; capacity <= (1 << 20); capacity *= 2) {
+    const SramMacro macro = SynthesizeSram(capacity);
+    EXPECT_EQ(macro.padding_bits, 0) << capacity;
+    EXPECT_EQ(macro.physical_bits(), capacity) << capacity;
+  }
+}
+
+TEST(Sram, TrySynthesizeRejectsMalformedInputsWithTypedErrors) {
+  EXPECT_EQ(TrySynthesizeSram(0, 16).error, SramError::kNonPositiveCapacity);
+  EXPECT_EQ(TrySynthesizeSram(-64, 16).error,
+            SramError::kNonPositiveCapacity);
+  EXPECT_EQ(TrySynthesizeSram(256, 0).error, SramError::kNonPositiveWordSize);
+  EXPECT_EQ(TrySynthesizeSram(256, -8).error,
+            SramError::kNonPositiveWordSize);
+  EXPECT_EQ(TrySynthesizeSram(100, 16).error,
+            SramError::kCapacityNotWordMultiple);
+  EXPECT_FALSE(TrySynthesizeSram(100, 16).message.empty());
+  EXPECT_TRUE(TrySynthesizeSram(256, 16).ok());
+  EXPECT_TRUE(TrySynthesizeSram(256, 16).message.empty());
+}
+
+TEST(Sram, ErrorToStringIsStable) {
+  EXPECT_STREQ(ToString(SramError::kNone), "none");
+  EXPECT_STREQ(ToString(SramError::kNonPositiveCapacity),
+               "non-positive-capacity");
+  EXPECT_STREQ(ToString(SramError::kNonPositiveWordSize),
+               "non-positive-word-size");
+  EXPECT_STREQ(ToString(SramError::kCapacityNotWordMultiple),
+               "capacity-not-word-multiple");
+}
+
+TEST(Sram, WrapperMatchesTryOnValidInput) {
+  for (Weight capacity : {256, 4096, 4112, 16384}) {
+    const SramMacro a = SynthesizeSram(capacity);
+    const SramSynthesisResult b = TrySynthesizeSram(capacity);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.rows, b.macro.rows);
+    EXPECT_EQ(a.banks, b.macro.banks);
+    EXPECT_EQ(a.padding_bits, b.macro.padding_bits);
+    EXPECT_EQ(a.area_lambda2, b.macro.area_lambda2);
+    EXPECT_EQ(a.leakage_mw, b.macro.leakage_mw);
+  }
+}
+
+TEST(Energy, NonNegativeAndMonotoneInTraffic) {
+  const SramMacro macro = SynthesizeSram(4096);
+  double prev = -1.0;
+  for (Weight traffic : {0, 256, 1024, 4096, 16384}) {
+    const EnergyReport report = EstimateScheduleEnergy(macro, traffic, traffic);
+    EXPECT_GE(report.total_energy_nj, 0.0);
+    EXPECT_GE(report.read_energy_nj, 0.0);
+    EXPECT_GE(report.write_energy_nj, 0.0);
+    EXPECT_GE(report.static_energy_nj, 0.0);
+    EXPECT_GT(report.total_energy_nj, prev) << traffic;
+    prev = report.total_energy_nj;
+  }
+}
+
+TEST(Energy, DegenerateMacroAndMalformedArgumentsDoNotDivideByZero) {
+  const SramMacro zero;  // never synthesized: word_bits == 0
+  EXPECT_EQ(ReadEnergyPerWordNj(zero), 0.0);
+  EXPECT_EQ(WriteEnergyPerWordNj(zero), 0.0);
+  const EnergyReport report = EstimateScheduleEnergy(zero, 1024, 1024);
+  EXPECT_EQ(report.total_energy_nj, 0.0);
+  EXPECT_EQ(report.average_power_mw, 0.0);
+
+  const SramMacro macro = SynthesizeSram(4096);
+  // Negative traffic clamps to zero; sub-unit duty cycle clamps to 1.0.
+  const EnergyReport neg = EstimateScheduleEnergy(macro, -100, -100);
+  EXPECT_EQ(neg.read_energy_nj, 0.0);
+  EXPECT_EQ(neg.write_energy_nj, 0.0);
+  const EnergyReport clamped = EstimateScheduleEnergy(macro, 1024, 1024, 0.25);
+  const EnergyReport unit = EstimateScheduleEnergy(macro, 1024, 1024, 1.0);
+  EXPECT_EQ(clamped.total_energy_nj, unit.total_energy_nj);
 }
 
 }  // namespace

@@ -30,6 +30,11 @@ wall-clock deadline depend on the machine, so gap changes are printed
 (and a widened gap is flagged loudly) but never fail the gate. Validity
 and schema violations still do.
 
+explore documents (bench_explore) follow the engine-compare shape with
+key (instance, threads), deterministic fields points / frontier_size /
+frontier_hash / identical, and relative mode normalizing by the same
+document's threads=1 row per instance.
+
 Several current documents may be given (repeated runs of the same bench
 invocation); each row's wall-clock is then the MINIMUM across the runs.
 Minimum-of-N is the standard answer to scheduler jitter: noise only ever
@@ -66,7 +71,25 @@ def row_key(row):
     return (row["instance"], row["mode"], row["engine"], row["threads"])
 
 
-def merge_runs(docs, key_fn):
+def explore_row_key(row):
+    return (row["instance"], row["threads"])
+
+
+# Fields that must agree bit-for-bit across repeated runs of the same
+# bench invocation, per tool. Disagreement is a determinism failure, not
+# noise, and fails the merge itself.
+DET_FIELDS = {
+    "engine-compare": ("cost", "identical", "expanded", "waves"),
+    "explore": ("points", "frontier_size", "frontier_hash", "identical"),
+}
+
+KEY_FNS = {
+    "engine-compare": row_key,
+    "explore": explore_row_key,
+}
+
+
+def merge_runs(docs, key_fn, det_fields=DET_FIELDS["engine-compare"]):
     """Min-of-N wall-clock merge of repeated runs; deterministic fields
     must agree across runs or the merge itself fails the gate."""
     merged = {}
@@ -78,7 +101,7 @@ def merge_runs(docs, key_fn):
             if have is None:
                 merged[k] = dict(row)
                 continue
-            for field in ("cost", "identical", "expanded", "waves"):
+            for field in det_fields:
                 if field in row and row.get(field) != have.get(field):
                     failures.append(
                         f"{k}: deterministic field {field!r} differs "
@@ -156,6 +179,73 @@ def diff_engine_compare(base, curs, threshold, absolute, min_ms):
     return failures
 
 
+def diff_explore(base, curs, threshold, absolute, min_ms):
+    """Engine-compare-shaped diff for bench_explore documents: the grid
+    outcome (point count, frontier size, frontier hash) is deterministic
+    and gates unconditionally; wall-clock gates like engine-compare, with
+    relative mode normalizing by each document's threads=1 row per
+    instance (outer-parallelism scaling is what the rows measure)."""
+    base_rows = {explore_row_key(r): r for r in base["rows"]}
+    cur_rows, failures = merge_runs(curs, explore_row_key,
+                                    DET_FIELDS["explore"])
+
+    def refs(rows):
+        return {r["instance"]: r["time_ms"]
+                for r in rows if r["threads"] == 1}
+
+    base_refs = refs(base["rows"])
+    cur_refs = refs(cur_rows.values())
+
+    ratios = []
+    print(f"{'row':<44} {'base':>9} {'cur':>9} {'ratio':>7}  verdict")
+    for key, brow in sorted(base_rows.items()):
+        name = "{}/t{}".format(*key)
+        crow = cur_rows.get(key)
+        if crow is None:
+            failures.append(f"{name}: row missing from current document")
+            continue
+        if not crow.get("identical", False):
+            failures.append(f"{name}: frontier hash diverged from the "
+                            "threads=1 run (identical=false)")
+        for field in ("points", "frontier_size", "frontier_hash"):
+            if crow.get(field) != brow.get(field):
+                failures.append(f"{name}: {field} changed "
+                                f"{brow.get(field)} -> {crow.get(field)}")
+
+        if max(brow["time_ms"], crow["time_ms"]) < min_ms:
+            print(f"{name:<44} {'-':>9} {'-':>9} {'-':>7}  "
+                  f"skipped (< {min_ms:g} ms)")
+            continue
+        if absolute:
+            b, c = brow["time_ms"], crow["time_ms"]
+        else:
+            inst = key[0]
+            if base_refs.get(inst, 0) <= 0 or cur_refs.get(inst, 0) <= 0:
+                failures.append(f"{name}: no threads=1 reference row for "
+                                "relative mode (rerun with --absolute?)")
+                continue
+            b = brow["time_ms"] / base_refs[inst]
+            c = crow["time_ms"] / cur_refs[inst]
+        if b <= 0:
+            continue
+        ratio = c / b
+        ratios.append(ratio)
+        regressed = ratio > 1.0 + threshold
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{name:<44} {b:>9.3f} {c:>9.3f} {ratio:>6.2f}x  {verdict}")
+        if regressed:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
+                            f"(threshold {1.0 + threshold:.2f}x)")
+
+    for key in sorted(set(cur_rows) - set(base_rows)):
+        print("new row (not in baseline): {}/t{}".format(*key))
+    if ratios:
+        geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print(f"\ngeomean current/baseline: {geo:.3f}x "
+              f"({'relative to threads=1' if not absolute else 'absolute'})")
+    return failures
+
+
 def diff_anytime(base, cur):
     def key(row):
         return (row["instance"], row["deadline_ms"])
@@ -208,11 +298,13 @@ def main():
 
     if args.merge_out:
         docs = [load(path) for path in args.current]
-        if docs[0].get("tool") != "engine-compare":
-            sys.exit("--merge-out only applies to engine-compare documents "
-                     "(anytime sweeps are deadline-paced; seed them from a "
-                     "single run)")
-        merged, failures = merge_runs(docs, row_key)
+        merge_tool = docs[0].get("tool")
+        if merge_tool not in KEY_FNS:
+            sys.exit("--merge-out only applies to engine-compare or explore "
+                     "documents (anytime sweeps are deadline-paced; seed "
+                     "them from a single run)")
+        merged, failures = merge_runs(docs, KEY_FNS[merge_tool],
+                                      DET_FIELDS[merge_tool])
         if failures:
             for f in failures:
                 print(f"  - {f}", file=sys.stderr)
@@ -241,13 +333,20 @@ def main():
                          "contract broken, not a perf question")
         failures = diff_engine_compare(base, curs, args.threshold,
                                        args.absolute, args.min_ms)
+    elif tool == "explore":
+        for path, cur in zip(args.current, curs):
+            if not cur.get("all_identical", False):
+                sys.exit(f"{path} reports all_identical=false — determinism "
+                         "contract broken, not a perf question")
+        failures = diff_explore(base, curs, args.threshold,
+                                args.absolute, args.min_ms)
     elif tool == "anytime-sweep":
         # Deadline sweeps are paced by wall-clock, so repeated runs do not
         # min-merge meaningfully; only the first document is compared.
         failures = diff_anytime(base, curs[0])
     else:
-        sys.exit(f"unsupported tool {tool!r} (expected engine-compare or "
-                 "anytime-sweep)")
+        sys.exit(f"unsupported tool {tool!r} (expected engine-compare, "
+                 "explore, or anytime-sweep)")
 
     if failures:
         print(f"\nbench_diff: {len(failures)} failure(s):", file=sys.stderr)
